@@ -1,0 +1,67 @@
+//! Curve-prediction cost across fidelity presets.
+//!
+//! Reproduces the §5.2 optimization claim: reducing total MCMC samples
+//! from 250k (`reference`, nwalkers=100 × nsamples=2500) to 70k (`paper`,
+//! 100 × 700) cuts prediction time by over 2×. The `fast` preset is the
+//! further-reduced operating point the experiment harness uses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperdrive_curve::{CurvePredictor, PredictorConfig};
+use hyperdrive_types::{LearningCurve, MetricKind, SimTime};
+
+fn sample_curve(n: u32) -> LearningCurve {
+    let mut c = LearningCurve::new(MetricKind::Accuracy);
+    for e in 1..=n {
+        let x = f64::from(e);
+        c.push(e, SimTime::from_secs(60.0 * x), 0.72 - 0.62 * x.powf(-0.85));
+    }
+    c
+}
+
+fn bench_fidelity_presets(c: &mut Criterion) {
+    let curve = sample_curve(30);
+    let mut group = c.benchmark_group("curve_fit");
+    group.sample_size(10);
+    for (name, config) in [
+        ("reference_250k", PredictorConfig::reference()),
+        ("paper_70k", PredictorConfig::paper()),
+        ("fast", PredictorConfig::fast()),
+        ("test", PredictorConfig::test()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, cfg| {
+            let predictor = CurvePredictor::new(cfg.with_seed(7));
+            b.iter(|| predictor.fit(&curve, 120).expect("fit succeeds"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_curve_length_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("curve_fit_length");
+    group.sample_size(10);
+    for n in [10u32, 30, 120] {
+        let curve = sample_curve(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &curve, |b, curve| {
+            let predictor = CurvePredictor::new(PredictorConfig::fast().with_seed(7));
+            b.iter(|| predictor.fit(curve, 200).expect("fit succeeds"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_posterior_queries(c: &mut Criterion) {
+    let curve = sample_curve(20);
+    let predictor = CurvePredictor::new(PredictorConfig::fast().with_seed(7));
+    let posterior = predictor.fit(&curve, 120).expect("fit succeeds");
+    c.bench_function("posterior_prob_at_least", |b| {
+        b.iter(|| posterior.prob_at_least(std::hint::black_box(120), 0.77))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fidelity_presets,
+    bench_curve_length_scaling,
+    bench_posterior_queries
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! End-to-end scheduling cost per policy on a small experiment: what one
+//! complete exploration costs in scheduler compute (training time is
+//! virtual, so this measures pure policy + engine overhead — the §6.2.3
+//! "scheduling overhead" dimension).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperdrive_bench::PolicyKind;
+use hyperdrive_curve::PredictorConfig;
+use hyperdrive_framework::{ExperimentSpec, ExperimentWorkload};
+use hyperdrive_sim::run_sim;
+use hyperdrive_workload::CifarWorkload;
+
+fn bench_policies(c: &mut Criterion) {
+    let workload = CifarWorkload::new().with_max_epochs(30);
+    let experiment = ExperimentWorkload::from_workload(&workload, 12, 4);
+    let spec = ExperimentSpec::new(4).with_stop_on_target(false);
+
+    let mut group = c.benchmark_group("policy_e2e");
+    group.sample_size(10);
+    for kind in PolicyKind::headline().into_iter().chain([PolicyKind::Hyperband]) {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &k| {
+            b.iter(|| {
+                let mut policy = k.build(PredictorConfig::test(), 4);
+                run_sim(policy.as_mut(), &experiment, spec)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

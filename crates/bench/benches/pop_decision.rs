@@ -1,0 +1,54 @@
+//! Cost of POP's per-boundary scheduling computations (excluding the
+//! curve-model fit, benchmarked separately): expected-remaining-time
+//! estimation and the desired/deserved slot allocation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperdrive_core::{allocate_slots, estimate_remaining_time};
+use hyperdrive_curve::{CurvePredictor, PredictorConfig};
+use hyperdrive_types::{LearningCurve, MetricKind, SimTime};
+
+fn bench_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocate_slots");
+    for n_jobs in [10usize, 100, 1000] {
+        // A realistic confidence mix: most near zero, a few high.
+        let confidences: Vec<f64> = (0..n_jobs)
+            .map(|i| {
+                let x = i as f64 / n_jobs as f64;
+                (x * x * 0.95).clamp(0.0, 1.0)
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n_jobs), &confidences, |b, conf| {
+            b.iter(|| allocate_slots(std::hint::black_box(conf), 16, 1));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ert(c: &mut Criterion) {
+    let mut curve = LearningCurve::new(MetricKind::Accuracy);
+    for e in 1..=20u32 {
+        let x = f64::from(e);
+        curve.push(e, SimTime::from_secs(60.0 * x), 0.7 - 0.6 * x.powf(-0.8));
+    }
+    let posterior = CurvePredictor::new(PredictorConfig::fast().with_seed(3))
+        .fit(&curve, 200)
+        .expect("fit succeeds");
+    let mut group = c.benchmark_group("estimate_remaining_time");
+    for horizon in [30u32, 100, 180] {
+        group.bench_with_input(BenchmarkId::from_parameter(horizon), &horizon, |b, &m| {
+            b.iter(|| {
+                estimate_remaining_time(
+                    &posterior,
+                    0.77,
+                    m,
+                    SimTime::from_secs(60.0),
+                    SimTime::from_hours(12.0),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocation, bench_ert);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Discrete-event simulator throughput: how fast the §7 engine replays
+//! experiments (relevant because the sensitivity analyses simulate
+//! thousands of experiment-hours).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hyperdrive_framework::{DefaultPolicy, ExperimentSpec, ExperimentWorkload};
+use hyperdrive_sim::run_sim;
+use hyperdrive_workload::CifarWorkload;
+
+fn bench_replay_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_replay");
+    for (n_configs, epochs) in [(20usize, 30u32), (50, 120), (100, 120)] {
+        let workload = CifarWorkload::new().with_max_epochs(epochs);
+        let experiment = ExperimentWorkload::from_workload(&workload, n_configs, 1);
+        let spec = ExperimentSpec::new(8).with_stop_on_target(false);
+        let total_epochs = (n_configs as u64) * u64::from(epochs);
+        group.throughput(Throughput::Elements(total_epochs));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n_configs}x{epochs}")),
+            &experiment,
+            |b, ew| {
+                b.iter(|| {
+                    let mut policy = DefaultPolicy::new();
+                    run_sim(&mut policy, ew, spec)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    use hyperdrive_sim::EventQueue;
+    use hyperdrive_types::SimTime;
+    c.bench_function("event_queue_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                // Scatter times deterministically.
+                let t = ((i.wrapping_mul(2654435761)) % 100_000) as f64;
+                q.schedule(SimTime::from_secs(t), i);
+            }
+            let mut count = 0u64;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            count
+        });
+    });
+}
+
+criterion_group!(benches, bench_replay_throughput, bench_event_queue);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Figure 7 (and the headline §1/§6.2.2 claims): time to reach the 77%
+//! validation-accuracy target on CIFAR-10, box plots over 10 repeats.
+//!
+//! Paper numbers: POP mean 2.8 h, Bandit 4.5 h (POP 1.6× faster),
+//! EarlyTerm 6.1 h (POP 2.1× faster); POP's min–max spread is ~2× smaller,
+//! and even POP's worst run beats the baselines' best. Against basic
+//! run-to-completion search (Default), the paper's abstract claims up to
+//! 6.7× speedup.
+
+use hyperdrive_bench::{
+    print_table, quick_mode, run_comparison, summarize, write_csv, ComparisonSettings,
+    PolicyKind,
+};
+use hyperdrive_workload::CifarWorkload;
+
+fn main() {
+    let mut settings = ComparisonSettings::cifar_paper(7);
+    if quick_mode() {
+        settings = settings.quick();
+    }
+    let workload = CifarWorkload::new();
+    let policies = PolicyKind::headline();
+    let runs = run_comparison(&workload, settings, &policies);
+    let summaries = summarize(&runs, &policies);
+
+    write_csv(
+        "fig07_time_to_target_cifar.csv",
+        "policy,repeat,hours",
+        runs.iter().filter_map(|r| {
+            r.result
+                .time_to_target
+                .map(|t| format!("{},{},{:.4}", r.policy.label(), r.repeat, t.as_hours()))
+        }),
+    );
+
+    let mut rows = Vec::new();
+    for s in &summaries {
+        match &s.box_plot {
+            Some(b) => rows.push(vec![
+                s.policy.label().to_string(),
+                format!("{:.2}", s.mean_hours().unwrap_or(f64::NAN)),
+                format!("{:.2}", b.min),
+                format!("{:.2}", b.q1),
+                format!("{:.2}", b.median),
+                format!("{:.2}", b.q3),
+                format!("{:.2}", b.max),
+                format!("{:.2}", b.range()),
+                s.failures.to_string(),
+            ]),
+            None => rows.push(vec![
+                s.policy.label().to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                s.failures.to_string(),
+            ]),
+        }
+    }
+    print_table(
+        "Figure 7: time to reach 77% accuracy (hours, CIFAR-10)",
+        &["policy", "mean", "min", "q1", "median", "q3", "max", "range", "failed"],
+        &rows,
+    );
+
+    let mean_of = |p: PolicyKind| {
+        summaries.iter().find(|s| s.policy == p).and_then(|s| s.mean_hours())
+    };
+    if let (Some(pop), Some(bandit), Some(et), Some(default)) = (
+        mean_of(PolicyKind::Pop),
+        mean_of(PolicyKind::Bandit),
+        mean_of(PolicyKind::EarlyTerm),
+        mean_of(PolicyKind::Default),
+    ) {
+        print_table(
+            "Speedups (mean time ratios)",
+            &["comparison", "measured", "paper"],
+            &[
+                vec!["POP vs Bandit".into(), format!("{:.2}x", bandit / pop), "1.6x".into()],
+                vec!["POP vs EarlyTerm".into(), format!("{:.2}x", et / pop), "2.1x".into()],
+                vec![
+                    "POP vs Default (random search)".into(),
+                    format!("{:.2}x", default / pop),
+                    "up to 6.7x".into(),
+                ],
+            ],
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Figure 9: time to reach the LunarLander solved condition (average
+//! reward 200 over 100 consecutive trials), 5 repeats on 15 machines.
+//!
+//! Paper numbers: POP's median time-to-target is 2.07× faster than Bandit
+//! and 1.26× faster than EarlyTerm; POP's min–max variation is 9.7×
+//! smaller than Bandit's and 3.5× smaller than EarlyTerm's.
+
+use hyperdrive_bench::{
+    print_table, quick_mode, run_comparison, summarize, write_csv, ComparisonSettings,
+    PolicyKind,
+};
+use hyperdrive_workload::LunarWorkload;
+
+fn main() {
+    // Config seed 9: three solvers, all beyond the initial 15-machine batch
+    // (positions 33, 38, 78) — the regime where scheduling matters.
+    let mut settings = ComparisonSettings::lunar_paper(9);
+    if quick_mode() {
+        settings = settings.quick();
+    }
+    let workload = LunarWorkload::new();
+    let policies = PolicyKind::figure_set();
+    let runs = run_comparison(&workload, settings, &policies);
+    let summaries = summarize(&runs, &policies);
+
+    write_csv(
+        "fig09_time_to_target_lunar.csv",
+        "policy,repeat,minutes",
+        runs.iter().filter_map(|r| {
+            r.result
+                .time_to_target
+                .map(|t| format!("{},{},{:.2}", r.policy.label(), r.repeat, t.as_mins()))
+        }),
+    );
+
+    let mut rows = Vec::new();
+    for s in &summaries {
+        match &s.box_plot {
+            Some(b) => rows.push(vec![
+                s.policy.label().to_string(),
+                format!("{:.0}", b.min * 60.0),
+                format!("{:.0}", b.median * 60.0),
+                format!("{:.0}", b.max * 60.0),
+                format!("{:.0}", b.range() * 60.0),
+                s.failures.to_string(),
+            ]),
+            None => rows.push(vec![
+                s.policy.label().to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                s.failures.to_string(),
+            ]),
+        }
+    }
+    print_table(
+        "Figure 9: time to reach solved reward (minutes, LunarLander)",
+        &["policy", "min", "median", "max", "range", "failed"],
+        &rows,
+    );
+
+    let find = |p: PolicyKind| summaries.iter().find(|s| s.policy == p);
+    if let (Some(pop), Some(bandit), Some(et)) = (
+        find(PolicyKind::Pop),
+        find(PolicyKind::Bandit),
+        find(PolicyKind::EarlyTerm),
+    ) {
+        if let (Some(pm), Some(bm), Some(em)) =
+            (pop.median_hours(), bandit.median_hours(), et.median_hours())
+        {
+            let spread = |s: &hyperdrive_bench::PolicySummary| {
+                s.box_plot.as_ref().map(|b| b.range()).unwrap_or(f64::NAN)
+            };
+            print_table(
+                "Ratios",
+                &["comparison", "measured", "paper"],
+                &[
+                    vec![
+                        "POP median speedup vs Bandit".into(),
+                        format!("{:.2}x", bm / pm),
+                        "2.07x".into(),
+                    ],
+                    vec![
+                        "POP median speedup vs EarlyTerm".into(),
+                        format!("{:.2}x", em / pm),
+                        "1.26x".into(),
+                    ],
+                    vec![
+                        "Bandit/POP min-max variation".into(),
+                        format!("{:.1}x", spread(bandit) / spread(pop)),
+                        "9.7x".into(),
+                    ],
+                    vec![
+                        "EarlyTerm/POP min-max variation".into(),
+                        format!("{:.1}x", spread(et) / spread(pop)),
+                        "3.5x".into(),
+                    ],
+                ],
+            );
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Figure 12b: sensitivity to resource capacity — trace-driven simulation
+//! of the time to reach the CIFAR-10 target for 4/8/16/32 machines under
+//! every policy.
+//!
+//! Pass `--domain rl` to run the §7.3 reinforcement-learning variant (the
+//! paper reports "similar results" and omits the figure).
+//!
+//! Paper observations: time-to-target improves with more machines for all
+//! policies; POP always wins, with a growing margin at larger capacities.
+
+use hyperdrive_bench::{print_table, quick_mode, write_csv, PolicyKind};
+use hyperdrive_curve::PredictorConfig;
+use hyperdrive_framework::{ExperimentSpec, ExperimentWorkload};
+use hyperdrive_sim::run_sim;
+use hyperdrive_types::SimTime;
+use hyperdrive_workload::{CifarWorkload, LunarWorkload, TraceSet, Workload};
+
+fn main() {
+    let rl = std::env::args().any(|a| a == "--domain") && std::env::args().any(|a| a == "rl");
+    let n_configs = if quick_mode() { 30 } else { 100 };
+    let fidelity = if quick_mode() { PredictorConfig::test() } else { PredictorConfig::fast() };
+
+    // §7.2: traces are collected once from (simulated) live runs, then
+    // replayed under every policy and capacity.
+    let workload: Box<dyn Workload> =
+        if rl { Box::new(LunarWorkload::new()) } else { Box::new(CifarWorkload::new()) };
+    let traces = TraceSet::generate(workload.as_ref(), n_configs, 7);
+    let experiment = ExperimentWorkload::from_traces(
+        &traces,
+        workload.domain_knowledge(),
+        workload.eval_boundary(),
+        workload.default_target(),
+        workload.suspend_model(),
+    );
+
+    let capacities = [4usize, 8, 16, 32];
+    let policies = PolicyKind::headline();
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for &machines in &capacities {
+        let spec =
+            ExperimentSpec::new(machines).with_tmax(SimTime::from_hours(48.0)).with_seed(3);
+        let mut row = vec![machines.to_string()];
+        for policy_kind in policies {
+            let mut policy = policy_kind.build(fidelity, 3);
+            let result = run_sim(policy.as_mut(), &experiment, spec);
+            let t = result.time_to_target.map(|t| t.as_hours());
+            row.push(t.map_or("-".into(), |h| format!("{h:.2}")));
+            csv_rows.push(format!(
+                "{machines},{},{}",
+                policy_kind.label(),
+                t.map_or("NaN".into(), |h| format!("{h:.4}"))
+            ));
+        }
+        rows.push(row);
+    }
+    write_csv(
+        if rl { "fig12b_capacity_sweep_rl.csv" } else { "fig12b_capacity_sweep.csv" },
+        "machines,policy,hours",
+        csv_rows,
+    );
+
+    print_table(
+        &format!(
+            "Figure 12b: time-to-target (hours) vs cluster capacity ({})",
+            if rl { "LunarLander" } else { "CIFAR-10" }
+        ),
+        &["machines", "POP", "Bandit", "EarlyTerm", "Default"],
+        &rows,
+    );
+    println!("\npaper: all policies improve with machines; POP always fastest, margin grows");
+}

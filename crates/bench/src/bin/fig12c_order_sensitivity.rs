@@ -1,0 +1,86 @@
+//! Figure 12c: sensitivity to configuration order — 25 random
+//! configuration orders replayed through the trace-driven simulator on 5
+//! machines; CDF of time-to-target per policy.
+//!
+//! Pass `--domain rl` for the §7.3 reinforcement-learning variant.
+//!
+//! Paper observations: POP dominates at every percentile and is far less
+//! order-sensitive — max completion-time difference 4.05 h vs Bandit
+//! 8.33 h, EarlyTerm 8.50 h, and Default a staggering 25.74 h.
+
+use hyperdrive_bench::{print_table, quick_mode, write_csv, PolicyKind};
+use hyperdrive_curve::PredictorConfig;
+use hyperdrive_framework::{ExperimentSpec, ExperimentWorkload};
+use hyperdrive_sim::run_sim;
+use hyperdrive_types::{stats, SimTime};
+use hyperdrive_workload::{CifarWorkload, LunarWorkload, TraceSet, Workload};
+
+fn main() {
+    let rl = std::env::args().any(|a| a == "--domain") && std::env::args().any(|a| a == "rl");
+    let (n_configs, n_orders, fidelity) = if quick_mode() {
+        (30, 5, PredictorConfig::test())
+    } else {
+        (100, 25, PredictorConfig::fast())
+    };
+
+    let workload: Box<dyn Workload> =
+        if rl { Box::new(LunarWorkload::new()) } else { Box::new(CifarWorkload::new()) };
+    let traces = TraceSet::generate(workload.as_ref(), n_configs, 7);
+
+    let policies = PolicyKind::headline();
+    let spec = ExperimentSpec::new(5).with_tmax(SimTime::from_hours(48.0)).with_seed(3);
+
+    let mut times: Vec<(PolicyKind, Vec<f64>)> =
+        policies.iter().map(|p| (*p, Vec::new())).collect();
+    for order in 0..n_orders {
+        let permuted = traces.permuted(order as u64);
+        let experiment = ExperimentWorkload::from_traces(
+            &permuted,
+            workload.domain_knowledge(),
+            workload.eval_boundary(),
+            workload.default_target(),
+            workload.suspend_model(),
+        );
+        for (policy_kind, bucket) in &mut times {
+            let mut policy = policy_kind.build(fidelity, order as u64);
+            let result = run_sim(policy.as_mut(), &experiment, spec);
+            if let Some(t) = result.time_to_target {
+                bucket.push(t.as_hours());
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    for (policy_kind, bucket) in &times {
+        write_csv(
+            &format!(
+                "fig12c_order_cdf_{}{}.csv",
+                policy_kind.label().to_lowercase(),
+                if rl { "_rl" } else { "" }
+            ),
+            "hours,cdf",
+            stats::ecdf(bucket).iter().map(|(v, f)| format!("{v:.4},{f:.4}")),
+        );
+        let b = stats::BoxPlot::from_values(bucket);
+        rows.push(vec![
+            policy_kind.label().to_string(),
+            bucket.len().to_string(),
+            b.map_or("-".into(), |b| format!("{:.2}", b.min)),
+            b.map_or("-".into(), |b| format!("{:.2}", b.median)),
+            b.map_or("-".into(), |b| format!("{:.2}", b.max)),
+            b.map_or("-".into(), |b| format!("{:.2}", b.range())),
+        ]);
+    }
+
+    print_table(
+        &format!(
+            "Figure 12c: time-to-target over {n_orders} random orders, 5 machines ({})",
+            if rl { "LunarLander" } else { "CIFAR-10" }
+        ),
+        &["policy", "reached", "min (h)", "median (h)", "max (h)", "spread (h)"],
+        &rows,
+    );
+    println!(
+        "\npaper spreads: POP 4.05h, Bandit 8.33h, EarlyTerm 8.50h, Default 25.74h — POP least order-sensitive"
+    );
+}

@@ -1,0 +1,302 @@
+//! Shared experiment plumbing: policy construction and repeated
+//! time-to-target comparisons.
+
+use hyperdrive_core::{PopConfig, PopPolicy};
+use hyperdrive_curve::PredictorConfig;
+use hyperdrive_framework::{
+    DefaultPolicy, ExperimentResult, ExperimentSpec, ExperimentWorkload, SchedulingPolicy,
+};
+use hyperdrive_policies::{BanditPolicy, EarlyTermConfig, EarlyTermPolicy, HyperbandPolicy};
+use hyperdrive_sim::run_sim;
+use hyperdrive_types::stats::BoxPlot;
+use hyperdrive_types::SimTime;
+use hyperdrive_workload::Workload;
+
+/// The policies evaluated throughout the paper, plus the Hyperband
+/// extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// POP (the paper's contribution).
+    Pop,
+    /// TuPAQ-style Bandit.
+    Bandit,
+    /// Predictive termination (Domhan et al.).
+    EarlyTerm,
+    /// Greedy run-to-completion.
+    Default,
+    /// Asynchronous successive halving (extension).
+    Hyperband,
+}
+
+impl PolicyKind {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Pop => "POP",
+            PolicyKind::Bandit => "Bandit",
+            PolicyKind::EarlyTerm => "EarlyTerm",
+            PolicyKind::Default => "Default",
+            PolicyKind::Hyperband => "Hyperband",
+        }
+    }
+
+    /// The §6.1 comparison set: POP against the three baselines.
+    pub fn headline() -> [PolicyKind; 4] {
+        [PolicyKind::Pop, PolicyKind::Bandit, PolicyKind::EarlyTerm, PolicyKind::Default]
+    }
+
+    /// The §6.2/§6.3 figure set (Default omitted, as in Figs. 6/7/9).
+    pub fn figure_set() -> [PolicyKind; 3] {
+        [PolicyKind::Pop, PolicyKind::Bandit, PolicyKind::EarlyTerm]
+    }
+
+    /// Builds a fresh policy instance. `fidelity` sets the curve-model
+    /// cost for the predictive policies; `seed` keeps prediction noise
+    /// reproducible per run.
+    pub fn build(self, fidelity: PredictorConfig, seed: u64) -> Box<dyn SchedulingPolicy> {
+        match self {
+            PolicyKind::Pop => Box::new(PopPolicy::with_config(PopConfig {
+                predictor: fidelity,
+                seed,
+                ..Default::default()
+            })),
+            PolicyKind::Bandit => Box::new(BanditPolicy::new()),
+            PolicyKind::EarlyTerm => Box::new(EarlyTermPolicy::with_config(EarlyTermConfig {
+                predictor: fidelity,
+                seed,
+                ..Default::default()
+            })),
+            PolicyKind::Default => Box::new(DefaultPolicy::new()),
+            PolicyKind::Hyperband => Box::new(HyperbandPolicy::new()),
+        }
+    }
+}
+
+/// One simulated run within a comparison.
+#[derive(Debug)]
+pub struct ComparisonRun {
+    /// Which policy produced it.
+    pub policy: PolicyKind,
+    /// Repeat index (selects the training-noise seed).
+    pub repeat: usize,
+    /// The full experiment result.
+    pub result: ExperimentResult,
+}
+
+/// Box-plot summary of a policy's time-to-target across repeats.
+#[derive(Debug)]
+pub struct PolicySummary {
+    /// The policy.
+    pub policy: PolicyKind,
+    /// Times-to-target in hours, one per successful repeat.
+    pub times_hours: Vec<f64>,
+    /// Five-number summary of `times_hours` (if any repeat succeeded).
+    pub box_plot: Option<BoxPlot>,
+    /// Repeats that never reached the target within `Tmax`.
+    pub failures: usize,
+}
+
+impl PolicySummary {
+    /// Mean time-to-target in hours.
+    pub fn mean_hours(&self) -> Option<f64> {
+        hyperdrive_types::stats::mean(&self.times_hours)
+    }
+
+    /// Median time-to-target in hours.
+    pub fn median_hours(&self) -> Option<f64> {
+        hyperdrive_types::stats::median(&self.times_hours)
+    }
+}
+
+/// Settings for a repeated comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct ComparisonSettings {
+    /// Configurations per experiment (paper: 100).
+    pub n_configs: usize,
+    /// Machines (paper: 4 supervised / 15 RL).
+    pub machines: usize,
+    /// Repeats (paper: 10 supervised / 5 RL).
+    pub repeats: usize,
+    /// Seed fixing the hyperparameter set.
+    pub config_seed: u64,
+    /// Experiment time budget.
+    pub tmax: SimTime,
+    /// Curve-model fidelity for predictive policies.
+    pub fidelity: PredictorConfig,
+}
+
+impl ComparisonSettings {
+    /// The paper's supervised-learning setup (§6.1/§6.2): 100 configs, 4
+    /// machines, 10 repeats.
+    pub fn cifar_paper(config_seed: u64) -> Self {
+        ComparisonSettings {
+            n_configs: 100,
+            machines: 4,
+            repeats: 10,
+            config_seed,
+            tmax: SimTime::from_hours(48.0),
+            fidelity: PredictorConfig::fast(),
+        }
+    }
+
+    /// The paper's reinforcement-learning setup (§6.3): 100 configs, 15
+    /// machines, 5 repeats.
+    pub fn lunar_paper(config_seed: u64) -> Self {
+        ComparisonSettings {
+            n_configs: 100,
+            machines: 15,
+            repeats: 5,
+            config_seed,
+            tmax: SimTime::from_hours(24.0),
+            fidelity: PredictorConfig::fast(),
+        }
+    }
+
+    /// Shrinks the setup for smoke runs (`HYPERDRIVE_QUICK`).
+    pub fn quick(mut self) -> Self {
+        self.n_configs = self.n_configs.min(30);
+        self.repeats = self.repeats.min(2);
+        self.fidelity = PredictorConfig::test();
+        self
+    }
+}
+
+/// Runs `repeats` simulated experiments per policy, keeping the
+/// configuration set fixed and varying training noise per repeat (§6.1's
+/// non-determinism protocol).
+///
+/// The `repeats × policies` grid runs on a worker pool (each simulation is
+/// single-threaded and deterministic, so parallelism across runs changes
+/// nothing but wall time); results come back in a fixed order.
+pub fn run_comparison(
+    workload: &dyn Workload,
+    settings: ComparisonSettings,
+    policies: &[PolicyKind],
+) -> Vec<ComparisonRun> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    // Pre-build the per-repeat experiments once; they are shared read-only.
+    let experiments: Vec<(u64, ExperimentWorkload)> = (0..settings.repeats)
+        .map(|repeat| {
+            let noise_seed = settings.config_seed.wrapping_add(1_000 * (repeat as u64 + 1));
+            let experiment = ExperimentWorkload::from_workload_with_noise(
+                workload,
+                settings.n_configs,
+                settings.config_seed,
+                noise_seed,
+            );
+            (noise_seed, experiment)
+        })
+        .collect();
+
+    let tasks: Vec<(usize, PolicyKind)> = (0..settings.repeats)
+        .flat_map(|repeat| policies.iter().map(move |p| (repeat, *p)))
+        .collect();
+    let n_tasks = tasks.len();
+    let results: Mutex<Vec<Option<ComparisonRun>>> =
+        Mutex::new((0..n_tasks).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(n_tasks.max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_tasks {
+                    break;
+                }
+                let (repeat, policy_kind) = tasks[i];
+                let (noise_seed, ref experiment) = experiments[repeat];
+                let spec = ExperimentSpec::new(settings.machines)
+                    .with_tmax(settings.tmax)
+                    .with_seed(noise_seed);
+                let mut policy = policy_kind.build(settings.fidelity, noise_seed);
+                let result = run_sim(policy.as_mut(), experiment, spec);
+                results.lock().expect("no panics hold the lock")[i] =
+                    Some(ComparisonRun { policy: policy_kind, repeat, result });
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .expect("workers finished")
+        .into_iter()
+        .map(|r| r.expect("every task ran"))
+        .collect()
+}
+
+/// Summarizes time-to-target per policy.
+pub fn summarize(runs: &[ComparisonRun], policies: &[PolicyKind]) -> Vec<PolicySummary> {
+    policies
+        .iter()
+        .map(|&policy| {
+            let times_hours: Vec<f64> = runs
+                .iter()
+                .filter(|r| r.policy == policy)
+                .filter_map(|r| r.result.time_to_target.map(|t| t.as_hours()))
+                .collect();
+            let failures = runs
+                .iter()
+                .filter(|r| r.policy == policy && r.result.time_to_target.is_none())
+                .count();
+            PolicySummary {
+                policy,
+                box_plot: BoxPlot::from_values(&times_hours),
+                times_hours,
+                failures,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperdrive_workload::CifarWorkload;
+
+    #[test]
+    fn policies_build_and_label() {
+        for kind in PolicyKind::headline().into_iter().chain([PolicyKind::Hyperband]) {
+            let p = kind.build(PredictorConfig::test(), 1);
+            assert!(!p.name().is_empty());
+            assert!(!kind.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn comparison_runs_and_summarizes() {
+        let w = CifarWorkload::new().with_max_epochs(30);
+        let settings = ComparisonSettings {
+            n_configs: 8,
+            machines: 2,
+            repeats: 2,
+            config_seed: 2,
+            tmax: SimTime::from_hours(48.0),
+            fidelity: PredictorConfig::test(),
+        };
+        let policies = [PolicyKind::Default, PolicyKind::Bandit];
+        let runs = run_comparison(&w, settings, &policies);
+        assert_eq!(runs.len(), 4);
+        let summaries = summarize(&runs, &policies);
+        assert_eq!(summaries.len(), 2);
+        for s in &summaries {
+            assert_eq!(s.times_hours.len() + s.failures, settings.repeats);
+        }
+    }
+
+    #[test]
+    fn repeats_vary_only_noise() {
+        let w = CifarWorkload::new().with_max_epochs(10);
+        let a = ExperimentWorkload::from_workload_with_noise(&w, 4, 7, 100);
+        let b = ExperimentWorkload::from_workload_with_noise(&w, 4, 7, 200);
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.config, y.config, "same configuration set");
+            assert_ne!(x.profile, y.profile, "different training noise");
+        }
+    }
+}

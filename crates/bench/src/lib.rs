@@ -1,0 +1,26 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§6–§7).
+//!
+//! Each figure has a dedicated binary under `src/bin/` (run with
+//! `cargo run --release -p hyperdrive-bench --bin <name>`); the shared
+//! plumbing lives here:
+//!
+//! * [`harness`] — policy construction and repeated time-to-target
+//!   comparisons with the paper's repeat protocol (fixed configuration
+//!   set, varying training noise).
+//! * [`report`] — CSV emission into `results/` and aligned terminal
+//!   tables.
+//!
+//! Set `HYPERDRIVE_QUICK=1` to shrink all experiment binaries to smoke
+//! scale; set `HYPERDRIVE_RESULTS=<dir>` to redirect CSV output.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod harness;
+pub mod report;
+
+pub use harness::{
+    run_comparison, summarize, ComparisonRun, ComparisonSettings, PolicyKind, PolicySummary,
+};
+pub use report::{hours, mins, print_table, quick_mode, results_dir, write_csv};

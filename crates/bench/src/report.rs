@@ -1,0 +1,101 @@
+//! Result output: CSV series for plotting and aligned text tables for the
+//! terminal / EXPERIMENTS.md.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+
+/// Directory where figure CSVs are written (`$HYPERDRIVE_RESULTS` or
+/// `./results`).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var_os("HYPERDRIVE_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).expect("results directory is creatable");
+    dir
+}
+
+/// True when `HYPERDRIVE_QUICK` is set: binaries shrink repeats/configs for
+/// smoke runs.
+pub fn quick_mode() -> bool {
+    std::env::var_os("HYPERDRIVE_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Writes one CSV file into the results directory.
+///
+/// # Panics
+///
+/// Panics on I/O errors — experiment binaries should fail loudly.
+pub fn write_csv(name: &str, header: &str, rows: impl IntoIterator<Item = String>) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut w = BufWriter::new(File::create(&path).expect("csv file creatable"));
+    writeln!(w, "{header}").expect("csv write");
+    for row in rows {
+        writeln!(w, "{row}").expect("csv write");
+    }
+    w.flush().expect("csv flush");
+    path
+}
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats an hour count as `H.HHh`.
+pub fn hours(h: f64) -> String {
+    format!("{h:.2}h")
+}
+
+/// Formats a minute count as `M.Mmin`.
+pub fn mins(m: f64) -> String {
+    format!("{m:.1}min")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_file_round_trips() {
+        std::env::set_var("HYPERDRIVE_RESULTS", std::env::temp_dir().join("hd-report-test"));
+        let path = write_csv(
+            "test.csv",
+            "a,b",
+            ["1,2".to_string(), "3,4".to_string()],
+        );
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,2\n3,4\n");
+        std::fs::remove_file(path).ok();
+        std::env::remove_var("HYPERDRIVE_RESULTS");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(hours(2.5), "2.50h");
+        assert_eq!(mins(30.25), "30.2min");
+    }
+}

@@ -1,0 +1,235 @@
+//! Infused classification & scheduling: slot allocation (§3.2).
+//!
+//! Given the prediction confidences `p_i` of all active jobs, POP divides
+//! the `S` cluster slots between a *promising* pool (exploitation) and an
+//! *opportunistic* pool (exploration):
+//!
+//! * `N_satisfying(p)` — number of jobs whose confidence is at least `p`;
+//! * `S_desired(p) = N_satisfying(p) · k` — slots those jobs want
+//!   (`k` dedicated slots per promising configuration);
+//! * `S_deserved(p) = S · p` — slots that confidence level has earned;
+//! * `S_effective(p) = min(S_desired(p), S_deserved(p))`;
+//! * `p* = argmax_p S_effective(p)` — the dynamic classification
+//!   threshold, and `S_promising = ⌊max_p S_effective(p)⌋`.
+//!
+//! `S_desired` is non-increasing in `p` and `S_deserved` is increasing, so
+//! the maximum sits at their crossing (Fig. 4a/4b). Early in an experiment
+//! all confidences are near zero, the crossing is at zero, and every slot
+//! is opportunistic; later, high confidences move the crossing right and
+//! exploitation dominates (Fig. 4c).
+
+/// One point on the desired/deserved curves, exported for the Fig. 4
+/// reproduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AllocationPoint {
+    /// Candidate confidence threshold `p`.
+    pub p: f64,
+    /// `S_desired(p)`.
+    pub desired: f64,
+    /// `S_deserved(p)`.
+    pub deserved: f64,
+    /// `S_effective(p)`.
+    pub effective: f64,
+}
+
+/// The outcome of one slot-allocation computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotAllocation {
+    /// The dynamic classification threshold `p*`.
+    pub p_threshold: f64,
+    /// Number of slots dedicated to promising configurations.
+    pub promising_slots: usize,
+    /// The evaluated allocation curve (one point per candidate `p`),
+    /// sorted by ascending `p`.
+    pub curve: Vec<AllocationPoint>,
+}
+
+impl SlotAllocation {
+    /// Slots left for the opportunistic pool given `total_slots`.
+    pub fn opportunistic_slots(&self, total_slots: usize) -> usize {
+        total_slots.saturating_sub(self.promising_slots)
+    }
+}
+
+/// Computes the slot division for the given job confidences.
+///
+/// `confidences` holds one `p_i ∈ [0, 1]` per active job (jobs without a
+/// prediction yet contribute `0.0`). `total_slots` is `S`; `k` is the
+/// number of dedicated slots per promising configuration (`k = 1` for
+/// sequential training).
+///
+/// # Panics
+///
+/// Panics if `total_slots` or `k` is zero, or any confidence is outside
+/// `[0, 1]`.
+pub fn allocate_slots(confidences: &[f64], total_slots: usize, k: usize) -> SlotAllocation {
+    assert!(total_slots > 0, "cluster must have slots");
+    assert!(k > 0, "k must be at least one slot per promising job");
+    assert!(
+        confidences.iter().all(|p| (0.0..=1.0).contains(p)),
+        "confidences must lie in [0, 1]"
+    );
+
+    // Candidate thresholds: every distinct job confidence. Evaluating only
+    // at these points is exact because S_desired is a step function that
+    // changes only at job confidences while S_deserved is linear, so the
+    // min's maximum over each interval is attained at an endpoint we
+    // evaluate.
+    let mut candidates: Vec<f64> = confidences.to_vec();
+    candidates.retain(|p| *p > 0.0);
+    candidates.sort_by(|a, b| a.partial_cmp(b).expect("validated above"));
+    candidates.dedup();
+
+    let mut curve = Vec::with_capacity(candidates.len());
+    let mut best: Option<AllocationPoint> = None;
+    for p in candidates {
+        let n_satisfying = confidences.iter().filter(|c| **c >= p).count();
+        let desired = (n_satisfying * k) as f64;
+        let deserved = total_slots as f64 * p;
+        let effective = desired.min(deserved);
+        let point = AllocationPoint { p, desired, deserved, effective };
+        curve.push(point);
+        // Ties break toward the higher threshold: same effective slots,
+        // more certainty per slot.
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                effective > b.effective + 1e-12
+                    || ((effective - b.effective).abs() <= 1e-12 && p > b.p)
+            }
+        };
+        if better {
+            best = Some(point);
+        }
+    }
+
+    match best {
+        // Rounding (rather than flooring) lets the late-experiment
+        // "all-in" regime of §2.3 emerge: with S = 3 and p* = 0.96 the
+        // effective 2.88 slots round to all three.
+        Some(b) if b.effective >= 1.0 => SlotAllocation {
+            p_threshold: b.p,
+            promising_slots: (b.effective.round() as usize).min(total_slots),
+            curve,
+        },
+        // No confidence earns even one slot: everything is opportunistic
+        // (the Fig. 3a early-experiment regime).
+        _ => SlotAllocation { p_threshold: f64::INFINITY, promising_slots: 0, curve },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_confidence_means_all_opportunistic() {
+        let alloc = allocate_slots(&[0.0, 0.0, 0.0], 4, 1);
+        assert_eq!(alloc.promising_slots, 0);
+        assert_eq!(alloc.opportunistic_slots(4), 4);
+        assert_eq!(alloc.p_threshold, f64::INFINITY);
+    }
+
+    #[test]
+    fn low_confidence_earns_nothing() {
+        // Highest deserved = 8 * 0.1 = 0.8 < 1 slot.
+        let alloc = allocate_slots(&[0.1, 0.05, 0.08], 8, 1);
+        assert_eq!(alloc.promising_slots, 0);
+    }
+
+    #[test]
+    fn single_confident_job_gets_a_slot() {
+        let alloc = allocate_slots(&[0.9, 0.05, 0.1], 4, 1);
+        assert_eq!(alloc.promising_slots, 1, "desired caps at N*k = 1");
+        assert!((alloc.p_threshold - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_point_balances_desired_and_deserved() {
+        // 8 slots, jobs at various confidences. At p=0.5: desired=3,
+        // deserved=4 -> effective 3. At p=0.25: desired=5, deserved=2 ->
+        // effective 2. At p=0.75: desired=2, deserved=6 -> effective 2.
+        let confidences = [0.9, 0.75, 0.5, 0.25, 0.25, 0.1];
+        let alloc = allocate_slots(&confidences, 8, 1);
+        assert!((alloc.p_threshold - 0.5).abs() < 1e-12, "p* = {}", alloc.p_threshold);
+        assert_eq!(alloc.promising_slots, 3);
+        assert_eq!(alloc.opportunistic_slots(8), 5);
+    }
+
+    #[test]
+    fn desired_is_nonincreasing_and_deserved_increasing() {
+        // Invariant (1)/(2) from §3.2 as observed on the exported curve.
+        let confidences = [0.9, 0.8, 0.55, 0.3, 0.3, 0.12, 0.05];
+        let alloc = allocate_slots(&confidences, 10, 1);
+        for w in alloc.curve.windows(2) {
+            assert!(w[0].p < w[1].p, "curve sorted by p");
+            assert!(w[0].desired >= w[1].desired, "desired non-increasing");
+            assert!(w[0].deserved < w[1].deserved, "deserved increasing");
+        }
+    }
+
+    #[test]
+    fn effective_never_exceeds_total_slots() {
+        let confidences = [1.0; 20];
+        let alloc = allocate_slots(&confidences, 5, 3);
+        assert!(alloc.promising_slots <= 5);
+    }
+
+    #[test]
+    fn k_multiplies_desired_slots() {
+        // One very confident job, k=4, plenty of slots.
+        let alloc = allocate_slots(&[1.0], 16, 4);
+        assert_eq!(alloc.promising_slots, 4, "one promising job deserves k slots");
+    }
+
+    #[test]
+    fn all_in_regime_late_in_experiment() {
+        // §2.3: late stage, several jobs with near-certain predictions on a
+        // small cluster -> exploitation takes everything.
+        let alloc = allocate_slots(&[0.99, 0.97, 0.96, 0.2, 0.1], 3, 1);
+        assert_eq!(alloc.promising_slots, 3);
+        assert_eq!(alloc.opportunistic_slots(3), 0);
+    }
+
+    #[test]
+    fn tie_breaks_toward_higher_threshold() {
+        // p=0.5 and p=1.0 both give effective = 1 (S=2): prefer p=1.0.
+        let alloc = allocate_slots(&[1.0, 0.5], 2, 1);
+        assert!(alloc.p_threshold >= 0.99, "p* = {}", alloc.p_threshold);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidences must lie in")]
+    fn out_of_range_confidence_panics() {
+        let _ = allocate_slots(&[1.5], 2, 1);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn allocation_invariants(
+                confidences in proptest::collection::vec(0.0f64..=1.0, 1..60),
+                slots in 1usize..32,
+                k in 1usize..4,
+            ) {
+                let alloc = allocate_slots(&confidences, slots, k);
+                prop_assert!(alloc.promising_slots <= slots);
+                // Promising slots never exceed what the threshold's
+                // satisfying set desires.
+                if alloc.promising_slots > 0 {
+                    let n = confidences.iter().filter(|c| **c >= alloc.p_threshold).count();
+                    prop_assert!(alloc.promising_slots <= n * k);
+                    // And never exceed what the threshold deserves
+                    // (within rounding).
+                    prop_assert!(
+                        alloc.promising_slots as f64
+                            <= slots as f64 * alloc.p_threshold + 0.5 + 1e-9
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,587 @@
+//! The POP scheduling policy (§3, §5.3).
+//!
+//! At every evaluation boundary `b` of a job, POP:
+//!
+//! 1. applies the model-owner **kill threshold** (§2.1): a job still at or
+//!    below known non-learning performance after a warmup number of
+//!    evaluations is Poor and terminated;
+//! 2. fits the probabilistic learning-curve model and computes the job's
+//!    expected remaining time and **prediction confidence** `p` (§3.1.1);
+//! 3. terminates jobs whose confidence falls below the lower bound
+//!    (§5.3: "if it is less than 0.05 we terminate it");
+//! 4. recomputes the **dynamic threshold** `p*` and promising-slot count
+//!    from the confidences of all active jobs (§3.2), labels every active
+//!    job with its priority, and classifies the current job;
+//! 5. **Promising** jobs keep their machine; **Opportunistic** jobs are
+//!    suspended at the boundary when other work is waiting ("if the job is
+//!    opportunistic we suspend it and start a new job"), implementing
+//!    round-robin sharing of the opportunistic pool.
+
+use std::collections::{HashMap, HashSet};
+
+use hyperdrive_curve::{CurvePredictor, PredictionService, PredictorConfig};
+use hyperdrive_framework::{JobDecision, JobEvent, SchedulerContext, SchedulingPolicy};
+use hyperdrive_types::{JobId, SimTime};
+
+use crate::allocation::{allocate_slots, AllocationPoint};
+use crate::ert::estimate_remaining_time;
+
+/// How POP applies the §2.1 early-kill domain knowledge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KillRule {
+    /// Use the workload's [`hyperdrive_types::DomainKnowledge`] threshold
+    /// and warmup.
+    DomainDefault,
+    /// Use an explicit threshold/warmup pair.
+    Custom {
+        /// Normalized performance at or below which a job is Poor.
+        threshold: f64,
+        /// Evaluation boundaries to wait before applying the threshold.
+        warmup_evals: u32,
+    },
+    /// Never kill on the threshold (ablation).
+    Disabled,
+}
+
+/// Configuration for [`PopPolicy`].
+#[derive(Debug, Clone, Copy)]
+pub struct PopConfig {
+    /// Curve-model fidelity.
+    pub predictor: PredictorConfig,
+    /// Dedicated slots per promising configuration (`k`; 1 for sequential
+    /// training).
+    pub k: usize,
+    /// Confidence lower bound below which a job is terminated (§5.3:
+    /// 0.05).
+    pub lower_bound_confidence: f64,
+    /// Early-kill rule.
+    pub kill_rule: KillRule,
+    /// Evaluation boundary override; `None` uses the workload's `b`.
+    pub boundary: Option<u32>,
+    /// Ablation: replace the dynamic `p*` with a static threshold
+    /// (§2.2c's strawman).
+    pub static_threshold: Option<f64>,
+    /// §5.2's overlapped prediction: fits run on a worker pool concurrently
+    /// with scheduling, and each boundary decision uses the fit submitted
+    /// at the job's *previous* boundary (one boundary of staleness instead
+    /// of blocking). Decisions remain deterministic — the posterior used
+    /// at boundary N is always the boundary-(N−1) fit.
+    pub async_prediction: bool,
+    /// Worker threads for async prediction (0 = one per CPU).
+    pub prediction_workers: usize,
+    /// Base seed for prediction determinism.
+    pub seed: u64,
+}
+
+impl Default for PopConfig {
+    fn default() -> Self {
+        PopConfig {
+            predictor: PredictorConfig::fast(),
+            k: 1,
+            lower_bound_confidence: 0.05,
+            kill_rule: KillRule::DomainDefault,
+            boundary: None,
+            static_threshold: None,
+            async_prediction: false,
+            prediction_workers: 0,
+            seed: 0,
+        }
+    }
+}
+
+/// POP's latest assessment of one job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobAssessment {
+    /// Prediction confidence `p`.
+    pub confidence: f64,
+    /// Expected remaining time to target.
+    pub ert: SimTime,
+    /// Epoch at which the assessment was made.
+    pub epoch: u32,
+}
+
+/// One recorded allocation decision, for the Fig. 4 reproduction.
+#[derive(Debug, Clone)]
+pub struct AllocationSnapshot {
+    /// When the decision was taken.
+    pub now: SimTime,
+    /// Active (non-terminated) jobs at the time.
+    pub active_jobs: usize,
+    /// Jobs classified promising.
+    pub promising_jobs: usize,
+    /// Jobs currently occupying machines.
+    pub running_jobs: usize,
+    /// Of the running jobs, how many are classified promising — the
+    /// numerator of Fig. 4c's "ratio of promising slots".
+    pub promising_running: usize,
+    /// The dynamic threshold `p*` in force.
+    pub p_threshold: f64,
+    /// Slots granted to the promising pool.
+    pub promising_slots: usize,
+    /// The full desired/deserved curve.
+    pub curve: Vec<AllocationPoint>,
+}
+
+/// The POP scheduling policy.
+#[derive(Debug)]
+pub struct PopPolicy {
+    config: PopConfig,
+    assessments: HashMap<JobId, JobAssessment>,
+    timeline: Vec<AllocationSnapshot>,
+    predictions_made: u64,
+    /// Async-prediction state: the worker pool and the set of fits
+    /// submitted so far (so stale-fit lookups never wait on a fit that was
+    /// never enqueued).
+    service: Option<PredictionService>,
+    submitted: HashSet<(JobId, u32)>,
+}
+
+impl PopPolicy {
+    /// Creates POP with default (paper §5.3) parameters and fast predictor
+    /// fidelity.
+    pub fn new() -> Self {
+        Self::with_config(PopConfig::default())
+    }
+
+    /// Creates POP with explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or the lower bound is outside `[0, 1]`.
+    pub fn with_config(config: PopConfig) -> Self {
+        assert!(config.k > 0, "k must be positive");
+        assert!(
+            (0.0..=1.0).contains(&config.lower_bound_confidence),
+            "lower bound must be a probability"
+        );
+        let service = if config.async_prediction {
+            let workers = if config.prediction_workers == 0 {
+                std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(2)
+            } else {
+                config.prediction_workers
+            };
+            Some(PredictionService::new(
+                config.predictor.with_seed(config.seed),
+                workers,
+            ))
+        } else {
+            None
+        };
+        PopPolicy {
+            config,
+            assessments: HashMap::new(),
+            timeline: Vec::new(),
+            predictions_made: 0,
+            service,
+            submitted: HashSet::new(),
+        }
+    }
+
+    /// The allocation decisions recorded so far (Fig. 4 instrumentation).
+    pub fn timeline(&self) -> &[AllocationSnapshot] {
+        &self.timeline
+    }
+
+    /// Number of curve-model fits performed (diagnostic; §5.2 overhead
+    /// accounting).
+    pub fn predictions_made(&self) -> u64 {
+        self.predictions_made
+    }
+
+    /// POP's latest assessment of a job, if it has one.
+    pub fn assessment(&self, job: JobId) -> Option<&JobAssessment> {
+        self.assessments.get(&job)
+    }
+
+    /// Drops all state for a terminated job.
+    fn forget(&mut self, job: JobId) {
+        self.assessments.remove(&job);
+        if let Some(service) = &self.service {
+            service.forget(job);
+        }
+        self.submitted.retain(|(j, _)| *j != job);
+    }
+
+    fn kill_params(&self, ctx: &dyn SchedulerContext) -> Option<(f64, u32)> {
+        match self.config.kill_rule {
+            KillRule::DomainDefault => {
+                let dk = ctx.domain();
+                Some((dk.kill_threshold, dk.kill_warmup_evals))
+            }
+            KillRule::Custom { threshold, warmup_evals } => Some((threshold, warmup_evals)),
+            KillRule::Disabled => None,
+        }
+    }
+}
+
+impl Default for PopPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SchedulingPolicy for PopPolicy {
+    fn name(&self) -> &str {
+        "pop"
+    }
+
+    fn on_iteration_finish(
+        &mut self,
+        event: &JobEvent,
+        ctx: &mut dyn SchedulerContext,
+    ) -> JobDecision {
+        let b = self.config.boundary.unwrap_or_else(|| ctx.eval_boundary()).max(1);
+        if !event.epoch.is_multiple_of(b) {
+            return JobDecision::Continue;
+        }
+        let evals = event.epoch / b;
+        let Some(curve) = ctx.curve(event.job) else {
+            return JobDecision::Continue;
+        };
+
+        // Step 1: domain-knowledge kill threshold (Poor, not learning).
+        if let Some((threshold, warmup)) = self.kill_params(ctx) {
+            if evals >= warmup && curve.best().is_some_and(|best| best <= threshold) {
+                self.forget(event.job);
+                return JobDecision::Terminate;
+            }
+        }
+
+        // Step 2: probabilistic assessment.
+        let budget = ctx.tmax().saturating_sub(event.now);
+        let epoch_duration = curve
+            .mean_epoch_duration()
+            .unwrap_or_else(|| SimTime::from_secs(event.now.as_secs() / f64::from(event.epoch)));
+        if budget <= SimTime::ZERO || epoch_duration <= SimTime::ZERO {
+            return JobDecision::Continue; // Tmax imminent; the engine stops anyway.
+        }
+        let m_budget = (budget.as_secs() / epoch_duration.as_secs()).floor() as u32;
+        let m_epochs = ctx.max_epochs().saturating_sub(event.epoch);
+        let max_future = m_budget.min(m_epochs);
+        if max_future >= 1 {
+            let posterior = match &self.service {
+                // §5.2 overlapped mode: enqueue a fit on the current prefix
+                // and decide with the fit from the previous boundary.
+                Some(service) => {
+                    if service.submit(event.job, &curve, event.epoch + max_future) {
+                        self.submitted.insert((event.job, event.epoch));
+                        self.predictions_made += 1;
+                    }
+                    let prev = event.epoch.saturating_sub(b);
+                    if prev >= 1 && self.submitted.contains(&(event.job, prev)) {
+                        service.wait(event.job, prev).ok()
+                    } else {
+                        None // first boundary: no completed fit yet
+                    }
+                }
+                None => {
+                    let seed = self
+                        .config
+                        .seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(event.job.raw() << 24)
+                        .wrapping_add(u64::from(event.epoch));
+                    let predictor = CurvePredictor::new(self.config.predictor.with_seed(seed));
+                    let fit = predictor.fit(&curve, event.epoch + max_future).ok();
+                    if fit.is_some() {
+                        self.predictions_made += 1;
+                    }
+                    fit
+                }
+            };
+            if let Some(posterior) = posterior {
+                let est = estimate_remaining_time(
+                    &posterior,
+                    ctx.target(),
+                    max_future,
+                    epoch_duration,
+                    budget,
+                );
+                self.assessments.insert(
+                    event.job,
+                    JobAssessment { confidence: est.confidence, ert: est.ert, epoch: event.epoch },
+                );
+                // Step 3: prune jobs unlikely to ever reach the target.
+                if est.confidence < self.config.lower_bound_confidence && evals >= 2 {
+                    self.forget(event.job);
+                    return JobDecision::Terminate;
+                }
+            }
+        }
+
+        // Step 4: dynamic classification across all active jobs.
+        let active = ctx.active_jobs();
+        let confidences: Vec<f64> = active
+            .iter()
+            .map(|j| self.assessments.get(j).map_or(0.0, |a| a.confidence))
+            .collect();
+        let alloc = allocate_slots(&confidences, ctx.total_slots(), self.config.k);
+        let (p_threshold, promising_cap) = match self.config.static_threshold {
+            Some(t) => (t, ctx.total_slots()),
+            None => (alloc.p_threshold, alloc.promising_slots),
+        };
+
+        // Rank active jobs by confidence and take the top `promising_cap`
+        // among those meeting the threshold.
+        let mut ranked: Vec<(JobId, f64)> = active
+            .iter()
+            .zip(&confidences)
+            .map(|(j, c)| (*j, *c))
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).expect("confidences are probabilities").then(a.0.cmp(&b.0))
+        });
+        let promising: Vec<JobId> = ranked
+            .iter()
+            .filter(|(_, c)| *c >= p_threshold)
+            .take(promising_cap)
+            .map(|(j, _)| *j)
+            .collect();
+
+        // Step 5: priority labels — promising jobs carry their confidence,
+        // opportunistic jobs share priority zero (round-robin FIFO).
+        for (job, confidence) in &ranked {
+            let priority = if promising.contains(job) { *confidence } else { 0.0 };
+            ctx.label_job(*job, priority);
+        }
+
+        let running = ctx.running_jobs();
+        let promising_running = running.iter().filter(|j| promising.contains(j)).count();
+        self.timeline.push(AllocationSnapshot {
+            now: event.now,
+            active_jobs: active.len(),
+            promising_jobs: promising.len(),
+            running_jobs: running.len(),
+            promising_running,
+            p_threshold,
+            promising_slots: promising_cap.min(promising.len()),
+            curve: alloc.curve,
+        });
+
+        if promising.contains(&event.job) {
+            JobDecision::Continue
+        } else if ctx.idle_job_count() > 0 {
+            // Opportunistic: yield the machine to the next waiting job.
+            JobDecision::Suspend
+        } else {
+            // Nobody is waiting; suspension would only waste snapshot cost.
+            JobDecision::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperdrive_framework::testing::MockContext;
+
+    fn event(job: u64, epoch: u32, value: f64) -> JobEvent {
+        JobEvent {
+            job: JobId::new(job),
+            epoch,
+            value,
+            now: SimTime::from_mins(f64::from(epoch)),
+        }
+    }
+
+    fn pop() -> PopPolicy {
+        PopPolicy::with_config(PopConfig {
+            predictor: PredictorConfig::test(),
+            ..Default::default()
+        })
+    }
+
+    /// Saturating curve rising from 0.1 toward `limit`.
+    fn saturating(limit: f64, n: usize) -> Vec<f64> {
+        (1..=n).map(|x| limit - (limit - 0.1) * (x as f64).powf(-0.8)).collect()
+    }
+
+    #[test]
+    fn ignores_non_boundary_epochs() {
+        let mut ctx = MockContext::new(4);
+        let mut policy = pop();
+        for epoch in [1, 9, 11, 15, 21] {
+            assert_eq!(
+                policy.on_iteration_finish(&event(0, epoch, 0.1), &mut ctx),
+                JobDecision::Continue
+            );
+        }
+        assert_eq!(policy.predictions_made(), 0);
+    }
+
+    #[test]
+    fn kill_threshold_terminates_non_learners() {
+        // Disable the confidence prune so the test isolates the §2.1 kill
+        // threshold (CIFAR-10 knowledge: kill at <= 0.15 after 3 evals).
+        let make_policy = || {
+            PopPolicy::with_config(PopConfig {
+                predictor: PredictorConfig::test(),
+                lower_bound_confidence: 0.0,
+                ..Default::default()
+            })
+        };
+        let mut ctx = MockContext::new(4);
+        ctx.push_curve(JobId::new(0), &vec![0.10; 30], 60.0);
+        ctx.active = vec![JobId::new(0)];
+        let mut policy = make_policy();
+        assert_eq!(
+            policy.on_iteration_finish(&event(0, 20, 0.1), &mut ctx),
+            JobDecision::Continue,
+            "within warmup (2 evals < 3)"
+        );
+        assert_eq!(
+            policy.on_iteration_finish(&event(0, 30, 0.1), &mut ctx),
+            JobDecision::Terminate,
+            "past warmup and below kill threshold"
+        );
+    }
+
+    #[test]
+    fn confidence_prune_also_catches_flat_curves() {
+        // With the default lower bound, a flat 10% curve dies at the second
+        // boundary via p < 0.05 — even before the kill-threshold warmup.
+        let mut ctx = MockContext::new(4);
+        ctx.push_curve(JobId::new(0), &[0.10; 20], 60.0);
+        ctx.active = vec![JobId::new(0)];
+        let mut policy = pop();
+        assert_eq!(
+            policy.on_iteration_finish(&event(0, 20, 0.1), &mut ctx),
+            JobDecision::Terminate
+        );
+    }
+
+    #[test]
+    fn kill_rule_can_be_disabled() {
+        let mut ctx = MockContext::new(4);
+        ctx.push_curve(JobId::new(0), &vec![0.10; 30], 60.0);
+        ctx.active = vec![JobId::new(0)];
+        let mut policy = PopPolicy::with_config(PopConfig {
+            predictor: PredictorConfig::test(),
+            kill_rule: KillRule::Disabled,
+            lower_bound_confidence: 0.0, // isolate the kill-rule effect
+            ..Default::default()
+        });
+        assert_eq!(
+            policy.on_iteration_finish(&event(0, 30, 0.1), &mut ctx),
+            JobDecision::Continue
+        );
+    }
+
+    #[test]
+    fn low_confidence_job_is_pruned() {
+        let mut ctx = MockContext::new(4);
+        // Learning (escapes the kill threshold) but saturating far below
+        // the 0.77 target.
+        ctx.push_curve(JobId::new(0), &saturating(0.30, 30), 60.0);
+        ctx.active = vec![JobId::new(0)];
+        let mut policy = pop();
+        assert_eq!(
+            policy.on_iteration_finish(&event(0, 30, 0.29), &mut ctx),
+            JobDecision::Terminate,
+            "p < 0.05 prune"
+        );
+        assert!(policy.predictions_made() > 0);
+    }
+
+    #[test]
+    fn promising_job_continues_and_is_labelled() {
+        let mut ctx = MockContext::new(4);
+        ctx.push_curve(JobId::new(0), &saturating(0.85, 30), 60.0);
+        ctx.active = vec![JobId::new(0)];
+        ctx.idle_jobs = vec![JobId::new(1)];
+        let mut policy = pop();
+        let decision = policy.on_iteration_finish(&event(0, 30, 0.8), &mut ctx);
+        assert_eq!(decision, JobDecision::Continue);
+        let a = policy.assessment(JobId::new(0)).expect("assessed");
+        assert!(a.confidence > 0.5, "confidence {}", a.confidence);
+        let label = ctx.labels.iter().find(|(j, _)| *j == JobId::new(0)).expect("labelled");
+        assert!(label.1 > 0.0, "promising jobs carry their confidence as priority");
+    }
+
+    #[test]
+    fn opportunistic_job_suspends_only_when_work_waits() {
+        // Pin the threshold above any achievable confidence so the strong
+        // job is classified opportunistic, isolating the suspend decision.
+        let setup = |idle: Vec<JobId>| -> (MockContext, PopPolicy) {
+            let mut ctx = MockContext::new(2);
+            ctx.push_curve(JobId::new(0), &saturating(0.85, 30), 60.0);
+            ctx.active = vec![JobId::new(0)];
+            ctx.idle_jobs = idle;
+            let policy = PopPolicy::with_config(PopConfig {
+                predictor: PredictorConfig::test(),
+                static_threshold: Some(1.5),
+                ..Default::default()
+            });
+            (ctx, policy)
+        };
+        let (mut ctx, mut policy) = setup(vec![JobId::new(3)]);
+        assert_eq!(
+            policy.on_iteration_finish(&event(0, 30, 0.8), &mut ctx),
+            JobDecision::Suspend,
+            "opportunistic with waiting work"
+        );
+        let (mut ctx2, mut policy2) = setup(Vec::new());
+        assert_eq!(
+            policy2.on_iteration_finish(&event(0, 30, 0.8), &mut ctx2),
+            JobDecision::Continue,
+            "no waiting work: keep the machine busy"
+        );
+    }
+
+    #[test]
+    fn strong_jobs_beat_weak_jobs_in_confidence_ranking() {
+        let mut ctx = MockContext::new(2);
+        ctx.push_curve(JobId::new(0), &saturating(0.85, 30), 60.0);
+        ctx.push_curve(JobId::new(1), &saturating(0.60, 30), 60.0);
+        ctx.active = vec![JobId::new(0), JobId::new(1)];
+        let mut policy = pop();
+        policy.on_iteration_finish(&event(0, 30, 0.8), &mut ctx);
+        policy.on_iteration_finish(&event(1, 30, 0.55), &mut ctx);
+        let strong = policy.assessment(JobId::new(0)).map(|a| a.confidence).unwrap_or(0.0);
+        // The weak job may already have been pruned (p < 0.05); if it
+        // survives, it must rank below the strong one.
+        if let Some(weak) = policy.assessment(JobId::new(1)) {
+            assert!(strong > weak.confidence);
+        }
+        assert!(strong > 0.3, "strong confidence {strong}");
+    }
+
+    #[test]
+    fn timeline_records_snapshots() {
+        let mut ctx = MockContext::new(4);
+        ctx.push_curve(JobId::new(0), &saturating(0.85, 30), 60.0);
+        ctx.active = vec![JobId::new(0)];
+        let mut policy = pop();
+        policy.on_iteration_finish(&event(0, 30, 0.8), &mut ctx);
+        assert_eq!(policy.timeline().len(), 1);
+        let snap = &policy.timeline()[0];
+        assert_eq!(snap.active_jobs, 1);
+        assert!(snap.promising_jobs <= 1);
+    }
+
+    #[test]
+    fn static_threshold_ablation_bypasses_dynamic_p_star() {
+        let mut ctx = MockContext::new(4);
+        ctx.push_curve(JobId::new(0), &saturating(0.85, 30), 60.0);
+        ctx.active = vec![JobId::new(0)];
+        ctx.idle_jobs = vec![JobId::new(1)];
+        // Impossible static threshold (confidence clamps at 1.0, so use a
+        // value above 1): nothing is ever promising.
+        let mut policy = PopPolicy::with_config(PopConfig {
+            predictor: PredictorConfig::test(),
+            static_threshold: Some(1.5),
+            ..Default::default()
+        });
+        assert_eq!(
+            policy.on_iteration_finish(&event(0, 30, 0.8), &mut ctx),
+            JobDecision::Suspend,
+            "with an unreachable static threshold every job is opportunistic"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let _ = PopPolicy::with_config(PopConfig { k: 0, ..Default::default() });
+    }
+}

@@ -1,0 +1,53 @@
+//! Probabilistic learning-curve prediction.
+//!
+//! This crate is a from-scratch Rust implementation of the learning-curve
+//! extrapolation model of Domhan, Springenberg & Hutter (IJCAI '15) — the
+//! paper's reference \[11\] and the prediction substrate of both the POP
+//! scheduling algorithm and the EarlyTerm baseline policy:
+//!
+//! * [`models`] — the 11 parametric curve families (vapor pressure,
+//!   Weibull, Janoschek, …).
+//! * [`ensemble`] — the weighted-combination model with Gaussian noise and
+//!   its log-posterior (growth + ceiling priors).
+//! * [`fit`] — per-family Nelder–Mead least-squares initialization.
+//! * [`mcmc`] — the affine-invariant ensemble sampler (Goodman–Weare
+//!   stretch move), the same sampler family as `emcee` used by the
+//!   reference implementation.
+//! * [`predictor`] — the public API: [`CurvePredictor`] fits a
+//!   [`CurvePosterior`] that answers `P(y(m) ≥ y | y(1:n))`, expected
+//!   performance, and prediction spread.
+//!
+//! # Example
+//!
+//! ```
+//! use hyperdrive_curve::{CurvePredictor, PredictorConfig};
+//! use hyperdrive_types::{LearningCurve, MetricKind, SimTime};
+//!
+//! // Ten epochs of a saturating accuracy curve.
+//! let mut curve = LearningCurve::new(MetricKind::Accuracy);
+//! for e in 1..=10u32 {
+//!     let x = e as f64;
+//!     curve.push(e, SimTime::from_mins(x), 0.65 - 0.55 * x.powf(-0.8));
+//! }
+//!
+//! let predictor = CurvePredictor::new(PredictorConfig::test());
+//! let posterior = predictor.fit(&curve, 120)?;
+//! let p = posterior.prob_at_least(120, 0.77);
+//! assert!((0.0..=1.0).contains(&p));
+//! # Ok::<(), hyperdrive_types::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ensemble;
+pub mod fit;
+pub mod mcmc;
+pub mod models;
+pub mod nelder_mead;
+pub mod predictor;
+pub mod service;
+
+pub use models::{ModelFamily, ALL_FAMILIES};
+pub use predictor::{CurvePosterior, CurvePredictor, PredictorConfig};
+pub use service::PredictionService;

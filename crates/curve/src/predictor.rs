@@ -1,0 +1,436 @@
+//! The public prediction API: fit a posterior over future performance from
+//! a partial learning curve.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hyperdrive_types::{stats, Error, LearningCurve, Result};
+
+use crate::ensemble::{log_posterior, ParamView};
+use crate::fit;
+use crate::fit::{build_initial_walkers, fit_all_families};
+use crate::mcmc::{sample, SamplerOptions};
+
+/// Fidelity and determinism knobs for [`CurvePredictor`].
+///
+/// The `walkers`/`steps` pairs mirror the paper's §5.2 operating points:
+/// the reference implementation defaults to `100 × 2500` (250k samples) and
+/// HyperDrive reduces it to `100 × 700` (70k samples) for a >2× speedup
+/// "without significant degradation". [`PredictorConfig::fast`] and
+/// [`PredictorConfig::test`] trade further fidelity for speed and are used
+/// by the experiment harness and unit tests respectively.
+#[derive(Debug, Clone, Copy)]
+pub struct PredictorConfig {
+    /// Number of ensemble walkers (`nwalkers`).
+    pub walkers: usize,
+    /// Steps per walker (`nsamples`).
+    pub steps: usize,
+    /// Fraction of steps discarded as burn-in.
+    pub burn_in_frac: f64,
+    /// Thinning interval on retained ensemble snapshots.
+    pub thin: usize,
+    /// Maximum number of posterior draws kept for queries (uniform
+    /// subsample above this).
+    pub max_draws: usize,
+    /// Maximum observations used for fitting: longer curves are thinned
+    /// by uniform striding (first and last points always kept). Bounds the
+    /// per-fit likelihood cost, which is linear in observation count.
+    pub max_obs: usize,
+    /// RNG seed; fits are fully deterministic given the seed and curve.
+    pub seed: u64,
+    /// Minimum number of observations required before fitting.
+    pub min_observations: usize,
+}
+
+impl PredictorConfig {
+    /// The paper's HyperDrive operating point (§5.2): 100 walkers × 700
+    /// samples = 70k likelihood evaluations.
+    pub fn paper() -> Self {
+        PredictorConfig {
+            walkers: 100,
+            steps: 700,
+            burn_in_frac: 0.3,
+            thin: 2,
+            max_draws: 1000,
+            max_obs: 60,
+            seed: 0,
+            min_observations: 4,
+        }
+    }
+
+    /// The reference implementation's original operating point: 100 × 2500
+    /// = 250k samples. Used by the `curve_prediction` bench to reproduce the
+    /// §5.2 ">2× faster" claim.
+    pub fn reference() -> Self {
+        PredictorConfig { steps: 2500, ..Self::paper() }
+    }
+
+    /// Reduced-fidelity preset for experiment sweeps: same walker count
+    /// (the ensemble needs ≥ 2× dimension walkers to mix), far fewer steps.
+    /// Initialization via per-family least squares keeps this accurate
+    /// enough for scheduling decisions.
+    pub fn fast() -> Self {
+        PredictorConfig {
+            steps: 60,
+            burn_in_frac: 0.4,
+            thin: 1,
+            max_draws: 400,
+            max_obs: 30,
+            ..Self::paper()
+        }
+    }
+
+    /// Minimal preset for unit tests.
+    pub fn test() -> Self {
+        PredictorConfig {
+            steps: 24,
+            burn_in_frac: 0.5,
+            thin: 1,
+            max_draws: 200,
+            max_obs: 25,
+            ..Self::paper()
+        }
+    }
+
+    /// Returns this config with a different seed.
+    pub fn with_seed(self, seed: u64) -> Self {
+        PredictorConfig { seed, ..self }
+    }
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Fits probabilistic learning-curve models to partial training histories.
+///
+/// # Example
+///
+/// ```
+/// use hyperdrive_curve::{CurvePredictor, PredictorConfig};
+/// use hyperdrive_types::{LearningCurve, MetricKind, SimTime};
+///
+/// let mut curve = LearningCurve::new(MetricKind::Accuracy);
+/// for e in 1..=12u32 {
+///     let x = e as f64;
+///     curve.push(e, SimTime::from_secs(60.0 * x), 0.7 - 0.6 * x.powf(-0.9));
+/// }
+/// let predictor = CurvePredictor::new(PredictorConfig::test());
+/// let posterior = predictor.fit(&curve, 100)?;
+/// // A curve saturating around 0.7 is unlikely to reach 0.95…
+/// assert!(posterior.prob_at_least(100, 0.95) < 0.5);
+/// // …and quite likely to stay above 0.4.
+/// assert!(posterior.prob_at_least(100, 0.40) > 0.5);
+/// # Ok::<(), hyperdrive_types::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CurvePredictor {
+    config: PredictorConfig,
+}
+
+impl CurvePredictor {
+    /// Creates a predictor with the given configuration.
+    pub fn new(config: PredictorConfig) -> Self {
+        CurvePredictor { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PredictorConfig {
+        &self.config
+    }
+
+    /// Fits the posterior to `curve`, extrapolating up to epoch `horizon`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CurveFit`] if the curve has fewer than
+    /// `min_observations` points or the horizon does not exceed the last
+    /// observed epoch.
+    pub fn fit(&self, curve: &LearningCurve, horizon: u32) -> Result<CurvePosterior> {
+        let n = curve.len();
+        if n < self.config.min_observations {
+            return Err(Error::CurveFit(format!(
+                "need at least {} observations, got {n}",
+                self.config.min_observations
+            )));
+        }
+        let last_epoch = curve.last_epoch().expect("non-empty curve");
+        if horizon <= last_epoch {
+            return Err(Error::CurveFit(format!(
+                "horizon {horizon} must exceed last observed epoch {last_epoch}"
+            )));
+        }
+
+        let all_obs: Vec<(f64, f64)> =
+            curve.points().iter().map(|p| (f64::from(p.epoch), p.value)).collect();
+        // Thin long curves: likelihood cost is linear in observations, and
+        // a strided subsample preserves the trajectory shape.
+        let obs: Vec<(f64, f64)> = if all_obs.len() > self.config.max_obs.max(2) {
+            let keep = self.config.max_obs.max(2);
+            let stride = (all_obs.len() - 1) as f64 / (keep - 1) as f64;
+            (0..keep).map(|i| all_obs[(i as f64 * stride).round() as usize]).collect()
+        } else {
+            all_obs
+        };
+        let horizon_f = f64::from(horizon);
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let fits = fit_all_families(&obs, &mut rng);
+        let mut init = build_initial_walkers(&fits, self.config.walkers, &mut rng);
+        // The growth/ceiling prior can reject every least-squares-derived
+        // walker (e.g. a decreasing observed curve); fall back to
+        // prior-safe default walkers rather than fail.
+        if !init.iter().any(|w| log_posterior(w, &obs, horizon_f).is_finite()) {
+            init = fit::build_default_walkers(self.config.walkers, &mut rng);
+        }
+        if !init.iter().any(|w| log_posterior(w, &obs, horizon_f).is_finite()) {
+            return Err(Error::CurveFit("no valid initialization found".into()));
+        }
+
+        let chain = sample(
+            |theta| log_posterior(theta, &obs, horizon_f),
+            init,
+            SamplerOptions {
+                steps: self.config.steps,
+                burn_in_frac: self.config.burn_in_frac,
+                thin: self.config.thin,
+                stretch: 2.0,
+            },
+            &mut rng,
+        );
+
+        if chain.draws.is_empty() {
+            return Err(Error::CurveFit("sampler produced no draws".into()));
+        }
+
+        // Uniform subsample down to max_draws to keep queries cheap.
+        let draws = if chain.draws.len() > self.config.max_draws {
+            let stride = chain.draws.len() as f64 / self.config.max_draws as f64;
+            (0..self.config.max_draws)
+                .map(|i| chain.draws[(i as f64 * stride) as usize].clone())
+                .collect()
+        } else {
+            chain.draws
+        };
+
+        Ok(CurvePosterior {
+            draws,
+            last_epoch,
+            horizon,
+            acceptance_rate: chain.acceptance_rate,
+        })
+    }
+}
+
+impl Default for CurvePredictor {
+    fn default() -> Self {
+        Self::new(PredictorConfig::default())
+    }
+}
+
+/// Posterior over future performance given an observed curve prefix.
+#[derive(Debug, Clone)]
+pub struct CurvePosterior {
+    draws: Vec<Vec<f64>>,
+    last_epoch: u32,
+    horizon: u32,
+    acceptance_rate: f64,
+}
+
+impl CurvePosterior {
+    /// Number of retained posterior draws.
+    pub fn n_draws(&self) -> usize {
+        self.draws.len()
+    }
+
+    /// The last observed epoch the posterior conditions on.
+    pub fn last_epoch(&self) -> u32 {
+        self.last_epoch
+    }
+
+    /// The extrapolation horizon supplied at fit time.
+    pub fn horizon(&self) -> u32 {
+        self.horizon
+    }
+
+    /// The MCMC acceptance rate (diagnostic; healthy runs sit roughly in
+    /// `[0.1, 0.9]`).
+    pub fn acceptance_rate(&self) -> f64 {
+        self.acceptance_rate
+    }
+
+    /// Expected (posterior-mean) performance at `epoch`.
+    pub fn expected(&self, epoch: u32) -> f64 {
+        let x = f64::from(epoch);
+        let vals: Vec<f64> =
+            self.draws.iter().map(|t| ParamView::new(t).mean(x)).filter(|v| v.is_finite()).collect();
+        stats::mean(&vals).unwrap_or(f64::NAN)
+    }
+
+    /// Standard deviation of the predicted mean curve at `epoch` across
+    /// posterior draws — the paper's "prediction accuracy" (PA) diagnostic.
+    pub fn prediction_std(&self, epoch: u32) -> f64 {
+        let x = f64::from(epoch);
+        let vals: Vec<f64> =
+            self.draws.iter().map(|t| ParamView::new(t).mean(x)).filter(|v| v.is_finite()).collect();
+        stats::std_dev(&vals).unwrap_or(f64::NAN)
+    }
+
+    /// Posterior-predictive probability `P(y(epoch) >= target | y(1:n))`
+    /// (Eq. 1 of the paper), marginalizing over model parameters and
+    /// observation noise.
+    pub fn prob_at_least(&self, epoch: u32, target: f64) -> f64 {
+        let x = f64::from(epoch);
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for theta in &self.draws {
+            let view = ParamView::new(theta);
+            let m = view.mean(x);
+            if !m.is_finite() {
+                continue;
+            }
+            let sigma = view.sigma();
+            total += stats::normal_cdf((m - target) / sigma);
+            count += 1;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+
+    /// Convenience: `(expected, prediction_std, prob_at_least)` at one
+    /// epoch, sharing the per-draw curve evaluations.
+    pub fn summary_at(&self, epoch: u32, target: f64) -> (f64, f64, f64) {
+        let x = f64::from(epoch);
+        let mut means = Vec::with_capacity(self.draws.len());
+        let mut prob = 0.0;
+        for theta in &self.draws {
+            let view = ParamView::new(theta);
+            let m = view.mean(x);
+            if !m.is_finite() {
+                continue;
+            }
+            prob += stats::normal_cdf((m - target) / view.sigma());
+            means.push(m);
+        }
+        if means.is_empty() {
+            return (f64::NAN, f64::NAN, 0.0);
+        }
+        let e = stats::mean(&means).unwrap_or(f64::NAN);
+        let s = stats::std_dev(&means).unwrap_or(f64::NAN);
+        (e, s, prob / means.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperdrive_types::{MetricKind, SimTime};
+
+    fn make_curve(n: u32, f: impl Fn(f64) -> f64) -> LearningCurve {
+        let mut c = LearningCurve::new(MetricKind::Accuracy);
+        for e in 1..=n {
+            let x = f64::from(e);
+            c.push(e, SimTime::from_secs(60.0 * x), f(x));
+        }
+        c
+    }
+
+    fn predictor() -> CurvePredictor {
+        CurvePredictor::new(PredictorConfig::test().with_seed(42))
+    }
+
+    #[test]
+    fn rejects_short_curves_and_bad_horizons() {
+        let p = predictor();
+        let short = make_curve(2, |_| 0.5);
+        assert!(matches!(p.fit(&short, 100), Err(Error::CurveFit(_))));
+        let ok = make_curve(10, |x| 0.6 - 0.5 / x);
+        assert!(matches!(p.fit(&ok, 10), Err(Error::CurveFit(_))));
+        assert!(p.fit(&ok, 11).is_ok());
+    }
+
+    #[test]
+    fn saturating_curve_predictions_are_calibrated() {
+        // Curve saturating near 0.72.
+        let curve = make_curve(15, |x| 0.72 - 0.62 * x.powf(-0.9));
+        let posterior = predictor().fit(&curve, 120).unwrap();
+        let p_low = posterior.prob_at_least(120, 0.30);
+        let p_high = posterior.prob_at_least(120, 0.97);
+        assert!(p_low > 0.7, "P(>=0.30) = {p_low}");
+        assert!(p_high < 0.3, "P(>=0.97) = {p_high}");
+        assert!(p_low > p_high);
+    }
+
+    #[test]
+    fn prob_is_monotone_in_target() {
+        let curve = make_curve(12, |x| 0.6 - 0.5 * x.powf(-0.8));
+        let posterior = predictor().fit(&curve, 100).unwrap();
+        let mut last = 1.0;
+        for target in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let p = posterior.prob_at_least(100, target);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p <= last + 1e-9, "P must fall as target rises");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn prob_is_nondecreasing_in_epoch_for_growth_curves() {
+        let curve = make_curve(12, |x| 0.7 - 0.6 * x.powf(-0.7));
+        let posterior = predictor().fit(&curve, 200).unwrap();
+        let p50 = posterior.prob_at_least(50, 0.6);
+        let p200 = posterior.prob_at_least(200, 0.6);
+        // The prior enforces growth toward the horizon, so more epochs can
+        // only help (up to Monte Carlo error).
+        assert!(p200 >= p50 - 0.1, "p50={p50} p200={p200}");
+    }
+
+    #[test]
+    fn flat_nonlearning_curve_cannot_reach_target() {
+        let curve = make_curve(10, |_| 0.10);
+        let posterior = predictor().fit(&curve, 120).unwrap();
+        let p = posterior.prob_at_least(120, 0.77);
+        assert!(p < 0.15, "flat 10% curve should not reach 77%: {p}");
+    }
+
+    #[test]
+    fn expected_value_tracks_curve_level() {
+        let curve = make_curve(15, |x| 0.65 - 0.55 * x.powf(-1.0));
+        let posterior = predictor().fit(&curve, 150).unwrap();
+        let e = posterior.expected(150);
+        assert!((0.5..=0.9).contains(&e), "expected {e}");
+        let pa = posterior.prediction_std(150);
+        assert!(pa.is_finite() && pa >= 0.0);
+    }
+
+    #[test]
+    fn summary_matches_individual_queries() {
+        let curve = make_curve(12, |x| 0.6 - 0.5 * x.powf(-0.8));
+        let posterior = predictor().fit(&curve, 100).unwrap();
+        let (e, s, p) = posterior.summary_at(80, 0.5);
+        assert!((e - posterior.expected(80)).abs() < 1e-9);
+        assert!((s - posterior.prediction_std(80)).abs() < 1e-9);
+        assert!((p - posterior.prob_at_least(80, 0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let curve = make_curve(10, |x| 0.5 - 0.4 / x);
+        let a = predictor().fit(&curve, 50).unwrap();
+        let b = predictor().fit(&curve, 50).unwrap();
+        assert_eq!(a.expected(50).to_bits(), b.expected(50).to_bits());
+    }
+
+    #[test]
+    fn acceptance_rate_is_sane() {
+        let curve = make_curve(15, |x| 0.7 - 0.6 * x.powf(-0.9));
+        let posterior = predictor().fit(&curve, 100).unwrap();
+        let ar = posterior.acceptance_rate();
+        assert!(ar > 0.01 && ar < 0.99, "acceptance {ar}");
+    }
+}

@@ -1,0 +1,281 @@
+//! Asynchronous, cached curve prediction — the §5.2 optimizations as a
+//! reusable component.
+//!
+//! §5.2 describes two systems tricks around the expensive MCMC fit:
+//! *distributed curve prediction* ("we push the learning curve prediction
+//! to the Node Agents" with per-job history tracking) and *overlapping
+//! training and prediction* ("as soon as the Node Agent detects that
+//! prediction should be started it does so in parallel to training").
+//!
+//! [`PredictionService`] provides both behaviours in-process: fits are
+//! submitted to a worker pool keyed by `(job, epoch)`, run concurrently
+//! with whatever the caller does next, and results are cached so repeated
+//! queries are free. A schedule-as-it-goes policy can submit a fit when a
+//! job passes its boundary and harvest the posterior at the *next*
+//! boundary, never blocking.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use hyperdrive_types::{JobId, LearningCurve, Result};
+
+use crate::predictor::{CurvePosterior, CurvePredictor, PredictorConfig};
+
+/// Key identifying one fit: the job and the last observed epoch the fit
+/// conditions on.
+pub type FitKey = (JobId, u32);
+
+enum WorkerMsg {
+    Fit { key: FitKey, curve: LearningCurve, horizon: u32, seed: u64 },
+    Shutdown,
+}
+
+struct Shared {
+    done: Mutex<HashMap<FitKey, Result<CurvePosterior>>>,
+    in_flight: Mutex<HashMap<FitKey, ()>>,
+}
+
+/// A worker pool computing curve posteriors off the caller's thread.
+pub struct PredictionService {
+    // (workers and channels are deliberately opaque in Debug output)
+
+    config: PredictorConfig,
+    shared: Arc<Shared>,
+    tx: Sender<WorkerMsg>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for PredictionService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PredictionService")
+            .field("workers", &self.workers.len())
+            .field("completed", &self.completed())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PredictionService {
+    /// Starts a service with `workers` threads using `config` fidelity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(config: PredictorConfig, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one prediction worker");
+        let shared = Arc::new(Shared {
+            done: Mutex::new(HashMap::new()),
+            in_flight: Mutex::new(HashMap::new()),
+        });
+        let (tx, rx): (Sender<WorkerMsg>, Receiver<WorkerMsg>) = unbounded();
+        let workers = (0..workers)
+            .map(|_| {
+                let rx = rx.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(rx, shared, config))
+            })
+            .collect();
+        PredictionService { config, shared, tx, workers }
+    }
+
+    /// Submits a fit for `(job, last epoch)` unless one is already cached
+    /// or in flight. Returns `true` if a new fit was enqueued.
+    pub fn submit(&self, job: JobId, curve: &LearningCurve, horizon: u32) -> bool {
+        let Some(last_epoch) = curve.last_epoch() else {
+            return false;
+        };
+        let key = (job, last_epoch);
+        if self.shared.done.lock().contains_key(&key) {
+            return false;
+        }
+        {
+            let mut in_flight = self.shared.in_flight.lock();
+            if in_flight.contains_key(&key) {
+                return false;
+            }
+            in_flight.insert(key, ());
+        }
+        // Per-(job, epoch) deterministic seed, as POP computes it.
+        let seed = self
+            .config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(job.raw() << 24)
+            .wrapping_add(u64::from(last_epoch));
+        self.tx
+            .send(WorkerMsg::Fit { key, curve: curve.clone(), horizon, seed })
+            .expect("workers alive");
+        true
+    }
+
+    /// Returns the cached posterior for `(job, epoch)` if the fit has
+    /// completed. Non-blocking.
+    pub fn poll(&self, job: JobId, epoch: u32) -> Option<Result<CurvePosterior>> {
+        self.shared.done.lock().get(&(job, epoch)).cloned()
+    }
+
+    /// The most recent completed posterior for `job` at or before `epoch`.
+    pub fn latest(&self, job: JobId, epoch: u32) -> Option<(u32, Result<CurvePosterior>)> {
+        let done = self.shared.done.lock();
+        (0..=epoch)
+            .rev()
+            .find_map(|e| done.get(&(job, e)).map(|r| (e, r.clone())))
+    }
+
+    /// Blocks until the fit for `(job, epoch)` completes (spin-waits on
+    /// the cache; intended for tests and synchronous callers).
+    pub fn wait(&self, job: JobId, epoch: u32) -> Result<CurvePosterior> {
+        loop {
+            if let Some(result) = self.poll(job, epoch) {
+                return result;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Number of completed fits currently cached.
+    pub fn completed(&self) -> usize {
+        self.shared.done.lock().len()
+    }
+
+    /// Drops cached results for a job (e.g. after termination).
+    pub fn forget(&self, job: JobId) {
+        self.shared.done.lock().retain(|(j, _), _| *j != job);
+    }
+}
+
+impl Drop for PredictionService {
+    fn drop(&mut self) {
+        for _ in &self.workers {
+            let _ = self.tx.send(WorkerMsg::Shutdown);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(rx: Receiver<WorkerMsg>, shared: Arc<Shared>, config: PredictorConfig) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WorkerMsg::Fit { key, curve, horizon, seed } => {
+                let predictor = CurvePredictor::new(config.with_seed(seed));
+                let result = predictor.fit(&curve, horizon);
+                shared.done.lock().insert(key, result);
+                shared.in_flight.lock().remove(&key);
+            }
+            WorkerMsg::Shutdown => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperdrive_types::{MetricKind, SimTime};
+
+    fn curve(n: u32) -> LearningCurve {
+        let mut c = LearningCurve::new(MetricKind::Accuracy);
+        for e in 1..=n {
+            let x = f64::from(e);
+            c.push(e, SimTime::from_secs(60.0 * x), 0.7 - 0.6 * x.powf(-0.8));
+        }
+        c
+    }
+
+    #[test]
+    fn fits_complete_asynchronously() {
+        let service = PredictionService::new(PredictorConfig::test(), 2);
+        let job = JobId::new(1);
+        assert!(service.submit(job, &curve(10), 100));
+        let posterior = service.wait(job, 10).expect("fit succeeds");
+        assert!(posterior.prob_at_least(100, 0.5) > 0.0);
+        assert_eq!(service.completed(), 1);
+    }
+
+    #[test]
+    fn duplicate_submissions_are_deduplicated() {
+        let service = PredictionService::new(PredictorConfig::test(), 2);
+        let job = JobId::new(2);
+        let c = curve(10);
+        assert!(service.submit(job, &c, 100));
+        // In-flight or cached: either way, no second fit is enqueued.
+        let resubmitted = service.submit(job, &c, 100);
+        let _ = service.wait(job, 10);
+        assert!(!service.submit(job, &c, 100), "cached result blocks resubmission");
+        let _ = resubmitted; // may race the first fit; both answers legal
+        assert_eq!(service.completed(), 1);
+    }
+
+    #[test]
+    fn latest_returns_most_recent_epoch() {
+        let service = PredictionService::new(PredictorConfig::test(), 2);
+        let job = JobId::new(3);
+        service.submit(job, &curve(8), 100);
+        service.submit(job, &curve(12), 100);
+        let _ = service.wait(job, 8);
+        let _ = service.wait(job, 12);
+        let (epoch, result) = service.latest(job, 20).expect("fits exist");
+        assert_eq!(epoch, 12);
+        assert!(result.is_ok());
+        let (epoch, _) = service.latest(job, 10).expect("older fit exists");
+        assert_eq!(epoch, 8);
+        assert!(service.latest(JobId::new(99), 100).is_none());
+    }
+
+    #[test]
+    fn results_match_synchronous_fits() {
+        // Determinism: the async service must produce exactly what a
+        // synchronous predictor with the same derived seed produces.
+        let config = PredictorConfig::test();
+        let service = PredictionService::new(config, 1);
+        let job = JobId::new(4);
+        let c = curve(10);
+        service.submit(job, &c, 100);
+        let async_posterior = service.wait(job, 10).unwrap();
+
+        let seed = config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(job.raw() << 24)
+            .wrapping_add(10);
+        let sync_posterior =
+            CurvePredictor::new(config.with_seed(seed)).fit(&c, 100).unwrap();
+        assert_eq!(
+            async_posterior.expected(100).to_bits(),
+            sync_posterior.expected(100).to_bits()
+        );
+    }
+
+    #[test]
+    fn forget_clears_job_cache() {
+        let service = PredictionService::new(PredictorConfig::test(), 1);
+        let job = JobId::new(5);
+        service.submit(job, &curve(8), 100);
+        let _ = service.wait(job, 8);
+        service.forget(job);
+        assert_eq!(service.completed(), 0);
+        assert!(service.poll(job, 8).is_none());
+    }
+
+    #[test]
+    fn parallel_fits_across_jobs() {
+        let service = PredictionService::new(PredictorConfig::test(), 4);
+        for j in 0..8u64 {
+            service.submit(JobId::new(j), &curve(10), 100);
+        }
+        for j in 0..8u64 {
+            assert!(service.wait(JobId::new(j), 10).is_ok());
+        }
+        assert_eq!(service.completed(), 8);
+    }
+
+    #[test]
+    fn empty_curve_is_rejected() {
+        let service = PredictionService::new(PredictorConfig::test(), 1);
+        let empty = LearningCurve::new(MetricKind::Accuracy);
+        assert!(!service.submit(JobId::new(6), &empty, 100));
+    }
+}

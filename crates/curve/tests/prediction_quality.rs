@@ -1,0 +1,132 @@
+//! Scientific validation of the curve predictor: fitted posteriors must
+//! *rank* configurations usefully from short prefixes — the property POP's
+//! classification quality rests on.
+
+use hyperdrive_curve::{CurvePredictor, PredictorConfig};
+use hyperdrive_types::{LearningCurve, MetricKind, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a family of saturating curves with varied limits and speeds.
+fn synthetic_population(n: usize, seed: u64) -> Vec<(Vec<f64>, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let limit = rng.gen_range(0.15..0.85);
+            let rate = rng.gen_range(0.4..1.1);
+            let noise = 0.008;
+            let mut state = 0.0f64;
+            let values: Vec<f64> = (1..=120)
+                .map(|e| {
+                    let x = f64::from(e);
+                    state = 0.5 * state + rng.gen_range(-noise..noise);
+                    (limit - (limit - 0.1) * x.powf(-rate) + state).clamp(0.01, 0.99)
+                })
+                .collect();
+            let final_value = values[119];
+            (values, final_value)
+        })
+        .collect()
+}
+
+fn prefix_curve(values: &[f64], upto: usize) -> LearningCurve {
+    let mut c = LearningCurve::new(MetricKind::Accuracy);
+    for (i, v) in values.iter().take(upto).enumerate() {
+        c.push(i as u32 + 1, SimTime::from_mins(i as f64 + 1.0), *v);
+    }
+    c
+}
+
+/// Fraction of pairs whose predicted ordering matches the true final
+/// ordering (Kendall-style concordance).
+fn concordance(predicted: &[f64], truth: &[f64]) -> f64 {
+    let mut concordant = 0usize;
+    let mut total = 0usize;
+    for i in 0..predicted.len() {
+        for j in (i + 1)..predicted.len() {
+            if (truth[i] - truth[j]).abs() < 0.02 {
+                continue; // effectively tied — uninformative pair
+            }
+            total += 1;
+            if (predicted[i] - predicted[j]).signum() == (truth[i] - truth[j]).signum() {
+                concordant += 1;
+            }
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        concordant as f64 / total as f64
+    }
+}
+
+#[test]
+fn posterior_means_rank_configurations_from_short_prefixes() {
+    let population = synthetic_population(25, 7);
+    let predictor = CurvePredictor::new(PredictorConfig::fast().with_seed(11));
+
+    let mut predicted_20 = Vec::new();
+    let mut truth = Vec::new();
+    for (values, final_value) in &population {
+        let posterior = predictor.fit(&prefix_curve(values, 20), 120).expect("fit succeeds");
+        predicted_20.push(posterior.expected(120));
+        truth.push(*final_value);
+    }
+    let c20 = concordance(&predicted_20, &truth);
+    assert!(c20 > 0.75, "20-epoch prefix concordance too low: {c20:.3}");
+}
+
+#[test]
+fn ranking_improves_with_more_history() {
+    let population = synthetic_population(20, 13);
+    let predictor = CurvePredictor::new(PredictorConfig::fast().with_seed(3));
+    let truth: Vec<f64> = population.iter().map(|(_, f)| *f).collect();
+
+    let concordance_at = |prefix: usize| -> f64 {
+        let predicted: Vec<f64> = population
+            .iter()
+            .map(|(values, _)| {
+                predictor
+                    .fit(&prefix_curve(values, prefix), 120)
+                    .expect("fit succeeds")
+                    .expected(120)
+            })
+            .collect();
+        concordance(&predicted, &truth)
+    };
+    let c10 = concordance_at(10);
+    let c40 = concordance_at(40);
+    assert!(
+        c40 >= c10 - 0.05,
+        "more history must not hurt ranking: {c10:.3} -> {c40:.3}"
+    );
+    assert!(c40 > 0.85, "40-epoch prefix should rank well: {c40:.3}");
+}
+
+#[test]
+fn confidence_separates_reachable_from_unreachable_targets() {
+    // For a population with a known target, P(reach) should be
+    // systematically higher for curves that truly reach it.
+    let population = synthetic_population(30, 21);
+    let predictor = CurvePredictor::new(PredictorConfig::fast().with_seed(5));
+    let target = 0.6;
+
+    let mut p_reachers = Vec::new();
+    let mut p_others = Vec::new();
+    for (values, final_value) in &population {
+        let posterior = predictor.fit(&prefix_curve(values, 25), 120).expect("fit succeeds");
+        let p = posterior.prob_at_least(120, target);
+        if *final_value >= target + 0.03 {
+            p_reachers.push(p);
+        } else if *final_value <= target - 0.03 {
+            p_others.push(p);
+        }
+    }
+    assert!(p_reachers.len() >= 3 && p_others.len() >= 3, "population spans the target");
+    let mean_r = hyperdrive_types::stats::mean(&p_reachers).unwrap();
+    let mean_o = hyperdrive_types::stats::mean(&p_others).unwrap();
+    assert!(
+        mean_r > mean_o + 0.3,
+        "reachers {mean_r:.3} must separate from non-reachers {mean_o:.3}"
+    );
+}

@@ -1,0 +1,187 @@
+//! The AppStat database.
+//!
+//! §4.2: "The application statistics database (AppStatDB) is used to store
+//! and retrieve model-generated application statistics such as performance
+//! stats (e.g., accuracy, reward), epoch duration, etc. In addition the
+//! AppStatDB stores model state used to enable suspend and resume training
+//! across machines."
+
+use std::collections::HashMap;
+
+use hyperdrive_types::{JobId, LearningCurve, MetricKind, SimTime};
+use hyperdrive_workload::SuspendCost;
+
+/// A suspend event as observed by the scheduler (for the §6.2.3 / Fig. 10
+/// overhead studies).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuspendEvent {
+    /// The suspended job.
+    pub job: JobId,
+    /// When the suspend request was issued.
+    pub requested_at: SimTime,
+    /// Sampled latency and snapshot size.
+    pub cost: SuspendCost,
+}
+
+/// Stores per-job performance history, model snapshots, and suspend-event
+/// telemetry.
+#[derive(Debug)]
+pub struct AppStatDb {
+    metric: MetricKind,
+    curves: HashMap<JobId, LearningCurve>,
+    /// Secondary-metric history per job (§9: "additional metrics of
+    /// concern", e.g. sparsity alongside perplexity).
+    secondary_curves: HashMap<JobId, LearningCurve>,
+    /// Latest stored snapshot per job (bytes are synthetic but really
+    /// allocated, so storage cost is honest).
+    snapshots: HashMap<JobId, Vec<u8>>,
+    suspend_events: Vec<SuspendEvent>,
+}
+
+impl AppStatDb {
+    /// Creates an empty database for the given metric kind.
+    pub fn new(metric: MetricKind) -> Self {
+        AppStatDb {
+            metric,
+            curves: HashMap::new(),
+            secondary_curves: HashMap::new(),
+            snapshots: HashMap::new(),
+            suspend_events: Vec::new(),
+        }
+    }
+
+    /// Records one performance observation for a job.
+    pub fn record_stat(&mut self, job: JobId, epoch: u32, time: SimTime, value: f64) {
+        self.curves
+            .entry(job)
+            .or_insert_with(|| LearningCurve::new(self.metric))
+            .push(epoch, time, value);
+    }
+
+    /// Records one secondary-metric observation for a job.
+    pub fn record_secondary(&mut self, job: JobId, epoch: u32, time: SimTime, value: f64) {
+        self.secondary_curves
+            .entry(job)
+            .or_insert_with(|| LearningCurve::new(self.metric))
+            .push(epoch, time, value);
+    }
+
+    /// Borrowed view of a job's secondary-metric history, if any.
+    pub fn secondary_curve_ref(&self, job: JobId) -> Option<&LearningCurve> {
+        self.secondary_curves.get(&job)
+    }
+
+    /// The observed learning curve of a job (empty curve if none yet).
+    pub fn curve(&self, job: JobId) -> LearningCurve {
+        self.curves.get(&job).cloned().unwrap_or_else(|| LearningCurve::new(self.metric))
+    }
+
+    /// Borrowed view of a job's curve, if any observation exists.
+    pub fn curve_ref(&self, job: JobId) -> Option<&LearningCurve> {
+        self.curves.get(&job)
+    }
+
+    /// Stores a model snapshot for later resume, returning the previous
+    /// snapshot's size if one existed.
+    pub fn store_snapshot(&mut self, job: JobId, state: Vec<u8>) -> Option<usize> {
+        self.snapshots.insert(job, state).map(|old| old.len())
+    }
+
+    /// The stored snapshot for a job.
+    pub fn snapshot(&self, job: JobId) -> Option<&[u8]> {
+        self.snapshots.get(&job).map(Vec::as_slice)
+    }
+
+    /// Records a completed suspend event.
+    pub fn record_suspend(&mut self, event: SuspendEvent) {
+        self.suspend_events.push(event);
+    }
+
+    /// All recorded suspend events.
+    pub fn suspend_events(&self) -> &[SuspendEvent] {
+        &self.suspend_events
+    }
+
+    /// Total bytes currently held in snapshot storage.
+    pub fn snapshot_storage_bytes(&self) -> usize {
+        self.snapshots.values().map(Vec::len).sum()
+    }
+
+    /// Best observed value across all jobs (the `globalBest` that Bandit
+    /// tracks), with the owning job.
+    pub fn global_best(&self) -> Option<(JobId, f64)> {
+        self.curves
+            .iter()
+            .filter_map(|(id, c)| c.best().map(|b| (*id, b)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("curve values are not NaN"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> AppStatDb {
+        AppStatDb::new(MetricKind::Accuracy)
+    }
+
+    #[test]
+    fn stats_accumulate_into_curves() {
+        let mut db = db();
+        let j = JobId::new(1);
+        db.record_stat(j, 1, SimTime::from_secs(60.0), 0.2);
+        db.record_stat(j, 2, SimTime::from_secs(120.0), 0.4);
+        let curve = db.curve(j);
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve.best(), Some(0.4));
+        assert!(db.curve(JobId::new(9)).is_empty());
+    }
+
+    #[test]
+    fn secondary_stats_are_separate() {
+        let mut db = db();
+        let j = JobId::new(4);
+        db.record_stat(j, 1, SimTime::from_secs(1.0), 0.5);
+        db.record_secondary(j, 1, SimTime::from_secs(1.0), 0.05);
+        assert_eq!(db.curve(j).len(), 1);
+        assert_eq!(db.secondary_curve_ref(j).unwrap().last_value(), Some(0.05));
+        assert!(db.secondary_curve_ref(JobId::new(9)).is_none());
+    }
+
+    #[test]
+    fn snapshots_round_trip() {
+        let mut db = db();
+        let j = JobId::new(2);
+        assert!(db.snapshot(j).is_none());
+        assert!(db.store_snapshot(j, vec![1, 2, 3]).is_none());
+        assert_eq!(db.snapshot(j), Some(&[1u8, 2, 3][..]));
+        assert_eq!(db.store_snapshot(j, vec![9; 10]), Some(3));
+        assert_eq!(db.snapshot_storage_bytes(), 10);
+    }
+
+    #[test]
+    fn global_best_across_jobs() {
+        let mut db = db();
+        db.record_stat(JobId::new(1), 1, SimTime::from_secs(1.0), 0.3);
+        db.record_stat(JobId::new(2), 1, SimTime::from_secs(1.0), 0.7);
+        db.record_stat(JobId::new(2), 2, SimTime::from_secs(2.0), 0.5);
+        assert_eq!(db.global_best(), Some((JobId::new(2), 0.7)));
+        assert_eq!(AppStatDb::new(MetricKind::Reward).global_best(), None);
+    }
+
+    #[test]
+    fn suspend_events_are_logged() {
+        let mut db = db();
+        let cost = SuspendCost {
+            latency: SimTime::from_secs(0.2),
+            snapshot_bytes: 1024,
+        };
+        db.record_suspend(SuspendEvent {
+            job: JobId::new(1),
+            requested_at: SimTime::from_secs(100.0),
+            cost,
+        });
+        assert_eq!(db.suspend_events().len(), 1);
+        assert_eq!(db.suspend_events()[0].cost.snapshot_bytes, 1024);
+    }
+}

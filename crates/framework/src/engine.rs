@@ -1,0 +1,694 @@
+//! The experiment engine: executor-independent scheduling logic.
+//!
+//! Both execution backends — the §7 discrete-event simulator
+//! (`hyperdrive-sim`) and the thread-based live executor
+//! ([`crate::live`]) — drive the same [`ExperimentEngine`]. The engine owns
+//! the Resource Manager, Job Manager, and AppStat DB, fires the SAP
+//! up-calls, and translates policy decisions into abstract [`Command`]s
+//! ("run epoch e of job j on machine m for duration d"). Executors differ
+//! only in *how* commands elapse: the simulator advances a virtual clock;
+//! the live executor hands them to node-agent threads that sleep scaled
+//! wall-clock time.
+//!
+//! This mirrors the paper's architecture: the scheduler is oblivious to
+//! where jobs physically run, and Node Agents are delay-and-report servers.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hyperdrive_types::{DomainKnowledge, JobId, LearningCurve, MachineId, SimTime};
+
+use crate::appstat::{AppStatDb, SuspendEvent};
+use crate::events::{EventLog, SchedulerEvent};
+use crate::snapshot::JobSnapshot;
+use crate::experiment::{
+    ExperimentResult, ExperimentSpec, ExperimentWorkload, JobEnd, JobOutcome, TargetMilestone,
+};
+use crate::job_manager::{JobManager, JobState};
+use crate::policy::{JobDecision, JobEvent, SchedulerContext, SchedulingPolicy};
+use crate::resource::ResourceManager;
+
+/// An instruction from the engine to the execution backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Command {
+    /// Execute one epoch of `job` on `machine`; report
+    /// [`EngineEvent::EpochDone`] after `duration` (which includes any
+    /// resume latency).
+    RunEpoch {
+        /// Job to train.
+        job: JobId,
+        /// Hosting machine.
+        machine: MachineId,
+        /// 1-based epoch to execute.
+        epoch: u32,
+        /// Wall/virtual time the epoch occupies the machine.
+        duration: SimTime,
+    },
+    /// Capture `job`'s state on `machine`; report
+    /// [`EngineEvent::SuspendDone`] after `latency`.
+    Suspend {
+        /// Job being suspended.
+        job: JobId,
+        /// Machine performing the snapshot.
+        machine: MachineId,
+        /// Snapshot latency.
+        latency: SimTime,
+    },
+    /// The experiment is over; backends stop delivering events.
+    Stop,
+}
+
+/// A completion notification from the execution backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// A previously issued `RunEpoch` finished.
+    EpochDone {
+        /// The job whose epoch completed.
+        job: JobId,
+    },
+    /// A previously issued `Suspend` finished; the job's state is stored.
+    SuspendDone {
+        /// The suspended job.
+        job: JobId,
+    },
+}
+
+/// Executor-independent experiment state; implements [`SchedulerContext`]
+/// for policy up-calls.
+struct EngineCore<'w> {
+    workload: &'w ExperimentWorkload,
+    spec: ExperimentSpec,
+    rm: ResourceManager,
+    jm: JobManager,
+    db: AppStatDb,
+    rng: StdRng,
+    now: SimTime,
+    pending: Vec<Command>,
+    stopped: bool,
+    time_to_target: Option<SimTime>,
+    winner: Option<JobId>,
+    current_target: f64,
+    milestones: Vec<TargetMilestone>,
+    busy_time: Vec<f64>,
+    total_epochs: u64,
+    log: EventLog,
+}
+
+impl<'w> EngineCore<'w> {
+    fn profile_of(&self, job: JobId) -> &hyperdrive_workload::JobProfile {
+        self.workload.profile(job)
+    }
+
+    fn charge(&mut self, job: JobId, time: SimTime) {
+        self.busy_time[job.raw() as usize] += time.as_secs();
+    }
+
+    /// Issues the next epoch of `job` on `machine`, including `extra`
+    /// latency (resume cost).
+    fn issue_epoch(&mut self, job: JobId, machine: MachineId, extra: SimTime) {
+        let next_epoch = self.jm.epochs_done(job).expect("job registered") + 1;
+        let duration = self.profile_of(job).epoch_duration(next_epoch) + extra;
+        self.charge(job, duration);
+        self.pending.push(Command::RunEpoch { job, machine, epoch: next_epoch, duration });
+    }
+
+    fn stop(&mut self) {
+        if !self.stopped {
+            self.stopped = true;
+            self.pending.push(Command::Stop);
+        }
+    }
+
+    /// True once a job's observed curve satisfies the experiment's goal at
+    /// the *current* target: the workload's solved condition (sustained
+    /// trailing mean over its window) if it has one, otherwise a plain
+    /// threshold on the latest value.
+    fn goal_reached(&self, curve: &LearningCurve, value: f64) -> bool {
+        match &self.workload.domain.solved {
+            Some(cond) => {
+                curve.len() >= cond.window
+                    && curve.trailing_mean(cond.window).is_some_and(|m| m >= self.current_target)
+            }
+            None => value >= self.current_target,
+        }
+    }
+}
+
+impl SchedulerContext for EngineCore<'_> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn tmax(&self) -> SimTime {
+        self.spec.tmax
+    }
+
+    fn target(&self) -> f64 {
+        self.current_target
+    }
+
+    fn total_slots(&self) -> usize {
+        self.rm.total()
+    }
+
+    fn idle_slots(&self) -> usize {
+        self.rm.idle_count()
+    }
+
+    fn domain(&self) -> &DomainKnowledge {
+        &self.workload.domain
+    }
+
+    fn max_epochs(&self) -> u32 {
+        self.workload.max_epochs
+    }
+
+    fn eval_boundary(&self) -> u32 {
+        self.workload.eval_boundary
+    }
+
+    fn active_jobs(&self) -> Vec<JobId> {
+        self.jm.active_jobs()
+    }
+
+    fn running_jobs(&self) -> Vec<JobId> {
+        self.jm.running_jobs()
+    }
+
+    fn idle_job_count(&self) -> usize {
+        self.jm.idle_jobs().len()
+    }
+
+    fn curve(&self, job: JobId) -> Option<LearningCurve> {
+        self.db.curve_ref(job).cloned()
+    }
+
+    fn secondary_curve(&self, job: JobId) -> Option<LearningCurve> {
+        self.db.secondary_curve_ref(job).cloned()
+    }
+
+    fn epochs_done(&self, job: JobId) -> u32 {
+        self.jm.epochs_done(job).unwrap_or(0)
+    }
+
+    fn global_best(&self) -> Option<(JobId, f64)> {
+        self.db.global_best()
+    }
+
+    fn label_job(&mut self, job: JobId, priority: f64) {
+        // Unknown jobs and NaN priorities are policy bugs; surface loudly.
+        self.jm.label_job(job, priority).expect("label_job on live job");
+    }
+
+    fn start_next_idle_job(&mut self) -> Option<JobId> {
+        if self.stopped {
+            return None;
+        }
+        let job = self.jm.peek_idle_job()?;
+        let machine = self.rm.reserve_idle_machine()?;
+        let resumed = self.jm.start_job(job, machine).expect("idle job starts");
+        let extra = if resumed {
+            // §5.1: resuming on any machine restores state from the
+            // AppStat DB. Decode and verify the stored snapshot — a
+            // failure here is a framework bug, not a policy decision.
+            let bytes = self.db.snapshot(job).expect("suspended job has a snapshot");
+            let snapshot = JobSnapshot::decode(bytes).expect("stored snapshot decodes");
+            assert_eq!(snapshot.job, job, "snapshot belongs to the resuming job");
+            assert_eq!(
+                snapshot.epochs_done,
+                self.jm.epochs_done(job).expect("job registered"),
+                "snapshot epoch state matches the job manager"
+            );
+            self.workload.suspend.sample_resume(&mut self.rng)
+        } else {
+            SimTime::ZERO
+        };
+        self.log.record(SchedulerEvent::Started { job, machine, time: self.now, resumed });
+        self.issue_epoch(job, machine, extra);
+        Some(job)
+    }
+
+    fn request_stop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Drives one experiment: wires the workload, spec, and policy together
+/// and exchanges [`Command`]s/[`EngineEvent`]s with an execution backend.
+pub struct ExperimentEngine<'w, 'p> {
+    core: EngineCore<'w>,
+    policy: &'p mut dyn SchedulingPolicy,
+}
+
+impl<'w, 'p> ExperimentEngine<'w, 'p> {
+    /// Creates an engine for one run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload has no jobs or the spec has no machines.
+    pub fn new(
+        policy: &'p mut dyn SchedulingPolicy,
+        workload: &'w ExperimentWorkload,
+        spec: ExperimentSpec,
+    ) -> Self {
+        assert!(!workload.is_empty(), "experiment needs at least one job");
+        let mut jm = JobManager::new();
+        for job in &workload.jobs {
+            jm.add_job(job.job);
+        }
+        let n_jobs = workload.jobs.len();
+        ExperimentEngine {
+            core: EngineCore {
+                workload,
+                spec,
+                rm: ResourceManager::new(spec.machines),
+                jm,
+                db: AppStatDb::new(workload.domain.metric),
+                rng: StdRng::seed_from_u64(spec.seed ^ 0xE46),
+                now: SimTime::ZERO,
+                pending: Vec::new(),
+                stopped: false,
+                time_to_target: None,
+                winner: None,
+                current_target: workload.target,
+                milestones: Vec::new(),
+                busy_time: vec![0.0; n_jobs],
+                total_epochs: 0,
+                log: EventLog::new(),
+            },
+            policy,
+        }
+    }
+
+    /// Starts the experiment: fires the initial `AllocateJobs` up-call and
+    /// returns the first command batch.
+    pub fn start(&mut self) -> Vec<Command> {
+        self.policy.allocate_jobs(&mut self.core);
+        std::mem::take(&mut self.core.pending)
+    }
+
+    /// Feeds one completion event back at time `now`, returning follow-up
+    /// commands.
+    ///
+    /// # Panics
+    ///
+    /// Panics on protocol violations (events for jobs in impossible
+    /// states), which indicate an executor bug.
+    pub fn handle(&mut self, event: EngineEvent, now: SimTime) -> Vec<Command> {
+        self.core.now = self.core.now.max(now);
+        if self.core.stopped {
+            return Vec::new();
+        }
+        match event {
+            EngineEvent::EpochDone { job } => self.on_epoch_done(job),
+            EngineEvent::SuspendDone { job } => self.on_suspend_done(job),
+        }
+        // Time budget check (§3.1.1: the search never runs past Tmax).
+        if self.core.now >= self.core.spec.tmax {
+            self.core.stop();
+        }
+        std::mem::take(&mut self.core.pending)
+    }
+
+    fn on_epoch_done(&mut self, job: JobId) {
+        let epoch = self.core.jm.record_epoch(job).expect("epoch on running job");
+        self.core.total_epochs += 1;
+        let value = self.core.profile_of(job).value_at(epoch);
+        let secondary = self.core.profile_of(job).secondary_at(epoch);
+        let now = self.core.now;
+        self.core.db.record_stat(job, epoch, now, value);
+        if let Some(sv) = secondary {
+            self.core.db.record_secondary(job, epoch, now, sv);
+        }
+
+        // Experiment-level goal check happens before policy up-calls: the
+        // run is over the moment any job exhibits the target — unless
+        // dynamic-target mode keeps raising the bar (§9).
+        if self.core.spec.stop_on_target || self.core.spec.dynamic_target_increment.is_some() {
+            let curve = self.core.db.curve_ref(job).expect("stat just recorded");
+            if self.core.goal_reached(curve, value) {
+                self.core.milestones.push(TargetMilestone {
+                    target: self.core.current_target,
+                    time: now,
+                    job,
+                });
+                self.core.log.record(SchedulerEvent::TargetReached {
+                    job,
+                    target: self.core.current_target,
+                    time: now,
+                });
+                if self.core.time_to_target.is_none() {
+                    self.core.time_to_target = Some(now);
+                    self.core.winner = Some(job);
+                }
+                match self.core.spec.dynamic_target_increment {
+                    Some(increment) => {
+                        self.core.current_target += increment;
+                        if self.core.current_target > 1.0 {
+                            self.core.stop();
+                            return;
+                        }
+                    }
+                    None => {
+                        self.core.stop();
+                        return;
+                    }
+                }
+            }
+        }
+
+        let event = JobEvent { job, epoch, value, now };
+        self.policy.application_stat(&event, &mut self.core);
+
+        let machine = self
+            .core
+            .jm
+            .state(job)
+            .expect("job registered")
+            .machine()
+            .expect("running job has a machine");
+
+        if epoch >= self.core.profile_of(job).max_epochs() {
+            // Ran to its cap.
+            self.core.jm.complete_job(job).expect("running job completes");
+            self.core.rm.release_machine(machine).expect("held machine releases");
+            self.core.log.record(SchedulerEvent::Completed { job, machine, time: now });
+        } else {
+            match self.policy.on_iteration_finish(&event, &mut self.core) {
+                JobDecision::Continue => {
+                    self.core.issue_epoch(job, machine, SimTime::ZERO);
+                }
+                JobDecision::Suspend => {
+                    self.core.jm.begin_suspend(job).expect("running job suspends");
+                    let cost = self.core.workload.suspend.sample_suspend(&mut self.core.rng);
+                    self.core.charge(job, cost.latency);
+                    self.core.db.record_suspend(SuspendEvent {
+                        job,
+                        requested_at: now,
+                        cost,
+                    });
+                    // Serialize the job's real training state (§5.1),
+                    // padded toward the sampled framework/CRIU size (the
+                    // sampled size is what telemetry reports; physical
+                    // padding is capped so simulating multi-GB snapshot
+                    // models does not exhaust host memory). Resume
+                    // verifies the round trip.
+                    const PAD_CAP: u64 = 4 * 1024 * 1024;
+                    let snapshot = JobSnapshot::capture(
+                        job,
+                        epoch,
+                        self.core.db.curve_ref(job).expect("stat recorded"),
+                    );
+                    self.core.db.store_snapshot(
+                        job,
+                        snapshot.encode(cost.snapshot_bytes.min(PAD_CAP) as usize),
+                    );
+                    self.core.pending.push(Command::Suspend {
+                        job,
+                        machine,
+                        latency: cost.latency,
+                    });
+                }
+                JobDecision::Terminate => {
+                    let held = self.core.jm.terminate_job(job).expect("running job terminates");
+                    let m = held.expect("running job holds a machine");
+                    self.core.rm.release_machine(m).expect("held machine releases");
+                    self.core.log.record(SchedulerEvent::Terminated { job, machine: m, time: now });
+                }
+            }
+        }
+        // Machines may have freed; let the policy allocate.
+        self.policy.allocate_jobs(&mut self.core);
+    }
+
+    fn on_suspend_done(&mut self, job: JobId) {
+        let machine = self.core.jm.finish_suspend(job).expect("suspending job finishes");
+        self.core.rm.release_machine(machine).expect("held machine releases");
+        self.core
+            .log
+            .record(SchedulerEvent::Suspended { job, machine, time: self.core.now });
+        self.policy.allocate_jobs(&mut self.core);
+    }
+
+    /// True once the experiment has stopped (goal reached or `Tmax`).
+    pub fn stopped(&self) -> bool {
+        self.core.stopped
+    }
+
+    /// Finalizes the run into a result at time `end_time`.
+    pub fn into_result(self, end_time: SimTime) -> ExperimentResult {
+        let core = self.core;
+        let outcomes = core
+            .workload
+            .jobs
+            .iter()
+            .map(|j| {
+                let state = core.jm.state(j.job).expect("job registered");
+                let end = match state {
+                    JobState::Completed => JobEnd::Completed,
+                    JobState::Terminated => JobEnd::Terminated,
+                    _ => JobEnd::Unfinished,
+                };
+                JobOutcome {
+                    job: j.job,
+                    epochs: core.jm.epochs_done(j.job).unwrap_or(0),
+                    busy_time: SimTime::from_secs(core.busy_time[j.job.raw() as usize]),
+                    best_value: core
+                        .db
+                        .curve_ref(j.job)
+                        .and_then(|c| c.best())
+                        .unwrap_or(f64::NAN),
+                    end,
+                }
+            })
+            .collect();
+        ExperimentResult {
+            policy: self.policy.name().to_string(),
+            time_to_target: core.time_to_target,
+            winner: core.winner,
+            end_time,
+            outcomes,
+            suspend_events: core.db.suspend_events().to_vec(),
+            milestones: core.milestones,
+            events: core.log,
+            total_epochs: core.total_epochs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::DefaultPolicy;
+    use hyperdrive_workload::CifarWorkload;
+
+    fn tiny_workload(n: usize, epochs: u32) -> ExperimentWorkload {
+        let w = CifarWorkload::new().with_max_epochs(epochs);
+        ExperimentWorkload::from_workload(&w, n, 7)
+    }
+
+    #[test]
+    fn start_fills_machines() {
+        let ew = tiny_workload(5, 4);
+        let mut policy = DefaultPolicy::new();
+        let mut engine = ExperimentEngine::new(&mut policy, &ew, ExperimentSpec::new(3));
+        let cmds = engine.start();
+        let runs = cmds
+            .iter()
+            .filter(|c| matches!(c, Command::RunEpoch { .. }))
+            .count();
+        assert_eq!(runs, 3, "3 machines -> 3 initial epochs");
+    }
+
+    #[test]
+    fn epoch_events_chain_until_completion() {
+        let ew = tiny_workload(1, 3);
+        let mut policy = DefaultPolicy::new();
+        let spec = ExperimentSpec::new(1).with_stop_on_target(false);
+        let mut engine = ExperimentEngine::new(&mut policy, &ew, spec);
+        let mut cmds = engine.start();
+        let mut now = SimTime::ZERO;
+        let mut epochs_seen = 0;
+        while let Some(Command::RunEpoch { job, duration, .. }) = cmds.first().copied() {
+            now += duration;
+            cmds = engine.handle(EngineEvent::EpochDone { job }, now);
+            epochs_seen += 1;
+            if epochs_seen > 10 {
+                panic!("runaway");
+            }
+        }
+        assert_eq!(epochs_seen, 3);
+        let result = engine.into_result(now);
+        assert_eq!(result.outcomes[0].end, JobEnd::Completed);
+        assert_eq!(result.outcomes[0].epochs, 3);
+        assert_eq!(result.total_epochs, 3);
+        assert!(result.outcomes[0].busy_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn tmax_stops_the_run() {
+        let ew = tiny_workload(2, 100);
+        let mut policy = DefaultPolicy::new();
+        let spec = ExperimentSpec::new(1)
+            .with_tmax(SimTime::from_secs(1.0))
+            .with_stop_on_target(false);
+        let mut engine = ExperimentEngine::new(&mut policy, &ew, spec);
+        let cmds = engine.start();
+        let Command::RunEpoch { job, duration, .. } = cmds[0] else {
+            panic!("expected RunEpoch");
+        };
+        let cmds = engine.handle(EngineEvent::EpochDone { job }, duration);
+        assert!(cmds.contains(&Command::Stop), "past Tmax the engine stops");
+        assert!(engine.stopped());
+    }
+
+    #[test]
+    fn target_stops_the_run_and_records_winner() {
+        // Force a trivially reachable target.
+        let ew = tiny_workload(2, 50).with_target(0.0);
+        let mut policy = DefaultPolicy::new();
+        let mut engine = ExperimentEngine::new(&mut policy, &ew, ExperimentSpec::new(2));
+        let cmds = engine.start();
+        let Command::RunEpoch { job, duration, .. } = cmds[0] else {
+            panic!("expected RunEpoch");
+        };
+        let cmds = engine.handle(EngineEvent::EpochDone { job }, duration);
+        assert!(cmds.contains(&Command::Stop));
+        let result = engine.into_result(duration);
+        assert!(result.reached_target());
+        assert_eq!(result.winner, Some(job));
+    }
+
+    #[test]
+    fn terminate_decision_frees_machine_for_next_job() {
+        struct KillFirst;
+        impl SchedulingPolicy for KillFirst {
+            fn name(&self) -> &str {
+                "kill-first"
+            }
+            fn on_iteration_finish(
+                &mut self,
+                _event: &JobEvent,
+                _ctx: &mut dyn SchedulerContext,
+            ) -> JobDecision {
+                JobDecision::Terminate
+            }
+        }
+        let ew = tiny_workload(3, 10);
+        let mut policy = KillFirst;
+        let spec = ExperimentSpec::new(1).with_stop_on_target(false);
+        let mut engine = ExperimentEngine::new(&mut policy, &ew, spec);
+        let cmds = engine.start();
+        let Command::RunEpoch { job, duration, .. } = cmds[0] else {
+            panic!("expected RunEpoch");
+        };
+        let cmds = engine.handle(EngineEvent::EpochDone { job }, duration);
+        // The killed job's machine immediately hosts the next idle job.
+        assert!(matches!(cmds[0], Command::RunEpoch { job: j, .. } if j != job));
+    }
+
+    #[test]
+    fn suspend_decision_issues_suspend_then_requeues() {
+        struct SuspendAlways;
+        impl SchedulingPolicy for SuspendAlways {
+            fn name(&self) -> &str {
+                "suspend-always"
+            }
+            fn on_iteration_finish(
+                &mut self,
+                _event: &JobEvent,
+                _ctx: &mut dyn SchedulerContext,
+            ) -> JobDecision {
+                JobDecision::Suspend
+            }
+        }
+        let ew = tiny_workload(2, 10);
+        let mut policy = SuspendAlways;
+        let spec = ExperimentSpec::new(1).with_stop_on_target(false);
+        let mut engine = ExperimentEngine::new(&mut policy, &ew, spec);
+        let cmds = engine.start();
+        let Command::RunEpoch { job: job0, duration, .. } = cmds[0] else {
+            panic!("expected RunEpoch");
+        };
+        let mut now = duration;
+        let cmds = engine.handle(EngineEvent::EpochDone { job: job0 }, now);
+        let Command::Suspend { job, latency, .. } = cmds[0] else {
+            panic!("expected Suspend, got {cmds:?}");
+        };
+        assert_eq!(job, job0);
+        now += latency;
+        let cmds = engine.handle(EngineEvent::SuspendDone { job: job0 }, now);
+        // Machine freed; the *other* job (FIFO) starts next.
+        let Command::RunEpoch { job: next, .. } = cmds[0] else {
+            panic!("expected RunEpoch, got {cmds:?}");
+        };
+        assert_ne!(next, job0, "round-robin: suspended job goes to the back");
+        let result = engine.into_result(now);
+        assert_eq!(result.suspend_events.len(), 1);
+        assert!(result.suspend_events[0].cost.latency > SimTime::ZERO);
+    }
+
+    #[test]
+    fn dynamic_target_records_milestones_and_keeps_running() {
+        // Every job exceeds a 0.01 target immediately; with a large
+        // increment the target climbs past 1.0 after a few milestones.
+        let ew = tiny_workload(2, 30).with_target(0.01);
+        let mut policy = DefaultPolicy::new();
+        let spec = ExperimentSpec::new(1).with_dynamic_target(0.02);
+        let mut engine = ExperimentEngine::new(&mut policy, &ew, spec);
+        let mut cmds = engine.start();
+        let mut now = SimTime::ZERO;
+        let mut guard = 0;
+        while !cmds.iter().any(|c| matches!(c, Command::Stop)) {
+            let Some(Command::RunEpoch { job, duration, .. }) = cmds.first().copied() else {
+                break;
+            };
+            now += duration;
+            cmds = engine.handle(EngineEvent::EpochDone { job }, now);
+            guard += 1;
+            assert!(guard < 500, "runaway dynamic-target loop");
+        }
+        let result = engine.into_result(now);
+        assert!(result.milestones.len() >= 2, "multiple targets reached");
+        assert!(result.milestones[0].target < result.milestones[1].target);
+        assert!(
+            result.milestones.windows(2).all(|w| w[0].time <= w[1].time),
+            "milestones in time order"
+        );
+        assert_eq!(
+            result.time_to_target,
+            Some(result.milestones[0].time),
+            "time-to-target is the first milestone"
+        );
+    }
+
+    #[test]
+    fn plain_stop_records_single_milestone() {
+        let ew = tiny_workload(2, 30).with_target(0.0);
+        let mut policy = DefaultPolicy::new();
+        let mut engine = ExperimentEngine::new(&mut policy, &ew, ExperimentSpec::new(1));
+        let cmds = engine.start();
+        let Command::RunEpoch { job, duration, .. } = cmds[0] else {
+            panic!("expected RunEpoch");
+        };
+        engine.handle(EngineEvent::EpochDone { job }, duration);
+        let result = engine.into_result(duration);
+        assert_eq!(result.milestones.len(), 1);
+        assert!(result.reached_target());
+    }
+
+    #[test]
+    fn events_after_stop_are_ignored() {
+        let ew = tiny_workload(1, 5).with_target(0.0);
+        let mut policy = DefaultPolicy::new();
+        let mut engine = ExperimentEngine::new(&mut policy, &ew, ExperimentSpec::new(1));
+        let cmds = engine.start();
+        let Command::RunEpoch { job, duration, .. } = cmds[0] else {
+            panic!("expected RunEpoch");
+        };
+        engine.handle(EngineEvent::EpochDone { job }, duration);
+        assert!(engine.stopped());
+        let cmds = engine.handle(EngineEvent::EpochDone { job }, duration);
+        assert!(cmds.is_empty());
+    }
+}

@@ -1,0 +1,328 @@
+//! Hyperparameter Generators (HG).
+//!
+//! §4.2: the generator "is responsible for generating specific parameter
+//! values within ranges specified by the experiment runner" behind the API
+//! `createJob() → (jobID, hyperparameters)` and
+//! `reportFinalPerformance(jobID, performance)`. Random and grid search
+//! ignore the feedback call; adaptive (Bayesian-style) generators use it —
+//! the paper plugs frameworks like Spearmint/GPyOpt in through "a shim that
+//! exposes the HG API". [`AdaptiveGenerator`] is that shim's native
+//! counterpart: a TPE-flavoured density-ratio sampler.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hyperdrive_types::{ConfigId, Configuration, Error, HyperParamSpace, ParamRange, Result};
+
+/// Generates hyperparameter configurations on demand and accepts final
+/// performance feedback.
+pub trait HyperparameterGenerator: Send {
+    /// Generator name for reports.
+    fn name(&self) -> &str;
+
+    /// Produces the next configuration (`createJob`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::GeneratorExhausted`] when no further configuration
+    /// can be produced (e.g. a grid ran out).
+    fn create_job(&mut self) -> Result<(ConfigId, Configuration)>;
+
+    /// Reports the final performance of a finished configuration
+    /// (`reportFinalPerformance`). Random/grid generators ignore this.
+    fn report_final_performance(&mut self, config: ConfigId, performance: f64) {
+        let _ = (config, performance);
+    }
+}
+
+/// Uniform random search over a space (the paper's default HG; §6.1 uses
+/// it with a fixed seed so every policy sees the same 100 configurations).
+#[derive(Debug)]
+pub struct RandomGenerator {
+    space: HyperParamSpace,
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl RandomGenerator {
+    /// Creates a seeded random generator.
+    pub fn new(space: HyperParamSpace, seed: u64) -> Self {
+        RandomGenerator { space, rng: StdRng::seed_from_u64(seed), next_id: 0 }
+    }
+}
+
+impl HyperparameterGenerator for RandomGenerator {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn create_job(&mut self) -> Result<(ConfigId, Configuration)> {
+        let id = ConfigId::new(self.next_id);
+        self.next_id += 1;
+        Ok((id, self.space.sample(&mut self.rng)))
+    }
+}
+
+/// Exhaustive grid search with a fixed number of points per dimension.
+#[derive(Debug)]
+pub struct GridGenerator {
+    configs: Vec<Configuration>,
+    next: usize,
+}
+
+impl GridGenerator {
+    /// Builds the full grid up front (`per_dim^dims` points — keep small).
+    pub fn new(space: &HyperParamSpace, per_dim: usize) -> Self {
+        GridGenerator { configs: space.grid(per_dim), next: 0 }
+    }
+
+    /// Remaining configurations.
+    pub fn remaining(&self) -> usize {
+        self.configs.len() - self.next
+    }
+}
+
+impl HyperparameterGenerator for GridGenerator {
+    fn name(&self) -> &str {
+        "grid"
+    }
+
+    fn create_job(&mut self) -> Result<(ConfigId, Configuration)> {
+        if self.next >= self.configs.len() {
+            return Err(Error::GeneratorExhausted);
+        }
+        let id = ConfigId::new(self.next as u64);
+        let config = self.configs[self.next].clone();
+        self.next += 1;
+        Ok((id, config))
+    }
+}
+
+/// An adaptive generator in the spirit of TPE (Bergstra et al.): numeric
+/// parameters of configurations whose reported performance lands in the top
+/// quantile form a "good" kernel-density model, the rest a "bad" one; new
+/// candidates are sampled at random and scored by the good/bad density
+/// ratio. Until enough feedback arrives it behaves like random search.
+#[derive(Debug)]
+pub struct AdaptiveGenerator {
+    space: HyperParamSpace,
+    rng: StdRng,
+    next_id: u64,
+    issued: HashMap<ConfigId, Configuration>,
+    observed: Vec<(Configuration, f64)>,
+    /// Fraction of observations counted as "good".
+    good_quantile: f64,
+    /// Observations required before the model activates.
+    warmup: usize,
+    /// Candidates scored per draw.
+    candidates: usize,
+}
+
+impl AdaptiveGenerator {
+    /// Creates an adaptive generator with standard settings (top 25%
+    /// good, 8-observation warmup, 24 candidates per draw).
+    pub fn new(space: HyperParamSpace, seed: u64) -> Self {
+        AdaptiveGenerator {
+            space,
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+            issued: HashMap::new(),
+            observed: Vec::new(),
+            good_quantile: 0.25,
+            warmup: 8,
+            candidates: 24,
+        }
+    }
+
+    /// Number of feedback observations received so far.
+    pub fn observations(&self) -> usize {
+        self.observed.len()
+    }
+
+    /// Log-density of `config` under a product of per-dimension Gaussian
+    /// kernels centred at each member of `group` (numeric dims only; in
+    /// log-space for log-scaled parameters).
+    fn log_density(&self, config: &Configuration, group: &[&Configuration]) -> f64 {
+        if group.is_empty() {
+            return f64::NEG_INFINITY;
+        }
+        let mut total = 0.0;
+        for (name, range) in self.space.params() {
+            let transform = |v: f64| -> f64 {
+                match range {
+                    ParamRange::Continuous { log: true, .. } => v.ln(),
+                    _ => v,
+                }
+            };
+            let (width, x) = match range {
+                ParamRange::Continuous { low, high, log } => {
+                    let w = if *log { (high.ln() - low.ln()).abs() } else { high - low };
+                    match config.get_f64(name) {
+                        Some(v) => (w, transform(v)),
+                        None => continue,
+                    }
+                }
+                ParamRange::Integer { low, high } => {
+                    let w = (*high - *low) as f64;
+                    match config.get_f64(name) {
+                        Some(v) => (w.max(1.0), v),
+                        None => continue,
+                    }
+                }
+                ParamRange::Categorical(_) => continue,
+            };
+            let bandwidth = (width / 5.0).max(1e-9);
+            // Mixture of Gaussians over the group members.
+            let mut acc = 0.0;
+            for member in group {
+                if let Some(mv) = member.get_f64(name) {
+                    let z = (x - transform(mv)) / bandwidth;
+                    acc += (-0.5 * z * z).exp();
+                }
+            }
+            total += (acc / group.len() as f64 + 1e-12).ln();
+        }
+        total
+    }
+}
+
+impl HyperparameterGenerator for AdaptiveGenerator {
+    fn name(&self) -> &str {
+        "adaptive"
+    }
+
+    fn create_job(&mut self) -> Result<(ConfigId, Configuration)> {
+        let id = ConfigId::new(self.next_id);
+        self.next_id += 1;
+
+        let config = if self.observed.len() < self.warmup {
+            self.space.sample(&mut self.rng)
+        } else {
+            // Split observations into good/bad by the performance quantile.
+            let mut sorted: Vec<&(Configuration, f64)> = self.observed.iter().collect();
+            sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("performance is not NaN"));
+            let n_good = ((sorted.len() as f64 * self.good_quantile).ceil() as usize).max(1);
+            let good: Vec<&Configuration> = sorted[..n_good].iter().map(|(c, _)| c).collect();
+            let bad: Vec<&Configuration> = sorted[n_good..].iter().map(|(c, _)| c).collect();
+
+            let mut best: Option<(Configuration, f64)> = None;
+            for _ in 0..self.candidates {
+                let cand = self.space.sample(&mut self.rng);
+                let score = self.log_density(&cand, &good)
+                    - if bad.is_empty() { 0.0 } else { self.log_density(&cand, &bad) };
+                if best.as_ref().is_none_or(|(_, s)| score > *s) {
+                    best = Some((cand, score));
+                }
+            }
+            best.expect("candidates > 0").0
+        };
+        self.issued.insert(id, config.clone());
+        Ok((id, config))
+    }
+
+    fn report_final_performance(&mut self, config: ConfigId, performance: f64) {
+        if let Some(c) = self.issued.remove(&config) {
+            if performance.is_finite() {
+                self.observed.push((c, performance));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperdrive_types::HyperParamSpace;
+
+    fn space() -> HyperParamSpace {
+        HyperParamSpace::builder()
+            .continuous_log("lr", 1e-5, 1.0)
+            .continuous("momentum", 0.0, 1.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn random_generator_is_seed_deterministic() {
+        let mut a = RandomGenerator::new(space(), 7);
+        let mut b = RandomGenerator::new(space(), 7);
+        for _ in 0..5 {
+            assert_eq!(a.create_job().unwrap(), b.create_job().unwrap());
+        }
+        let mut c = RandomGenerator::new(space(), 8);
+        assert_ne!(a.create_job().unwrap().1, c.create_job().unwrap().1);
+    }
+
+    #[test]
+    fn config_ids_are_sequential() {
+        let mut g = RandomGenerator::new(space(), 1);
+        assert_eq!(g.create_job().unwrap().0, ConfigId::new(0));
+        assert_eq!(g.create_job().unwrap().0, ConfigId::new(1));
+    }
+
+    #[test]
+    fn grid_exhausts() {
+        let mut g = GridGenerator::new(&space(), 2);
+        assert_eq!(g.remaining(), 4);
+        for _ in 0..4 {
+            g.create_job().unwrap();
+        }
+        assert!(matches!(g.create_job(), Err(Error::GeneratorExhausted)));
+    }
+
+    #[test]
+    fn adaptive_warms_up_as_random_then_exploits() {
+        // Ground truth: performance peaks at lr = 1e-3, momentum = 0.9.
+        let truth = |c: &Configuration| -> f64 {
+            let lr = c.get_f64("lr").unwrap().log10();
+            let m = c.get_f64("momentum").unwrap();
+            (-0.5 * ((lr + 3.0) / 0.8).powi(2)).exp() * (-0.5 * ((m - 0.9) / 0.3).powi(2)).exp()
+        };
+        let mut g = AdaptiveGenerator::new(space(), 3);
+        // Feed 40 observations.
+        for _ in 0..40 {
+            let (id, c) = g.create_job().unwrap();
+            let perf = truth(&c);
+            g.report_final_performance(id, perf);
+        }
+        assert_eq!(g.observations(), 40);
+        // Post-warmup candidates should concentrate near the optimum more
+        // than uniform sampling would.
+        let mut adaptive_scores = Vec::new();
+        for _ in 0..20 {
+            let (_, c) = g.create_job().unwrap();
+            adaptive_scores.push(truth(&c));
+        }
+        let mut uniform = RandomGenerator::new(space(), 999);
+        let mut uniform_scores = Vec::new();
+        for _ in 0..20 {
+            uniform_scores.push(truth(&uniform.create_job().unwrap().1));
+        }
+        let a = hyperdrive_types::stats::mean(&adaptive_scores).unwrap();
+        let u = hyperdrive_types::stats::mean(&uniform_scores).unwrap();
+        assert!(a > u, "adaptive mean {a} should beat uniform mean {u}");
+    }
+
+    #[test]
+    fn adaptive_ignores_unknown_feedback() {
+        let mut g = AdaptiveGenerator::new(space(), 1);
+        g.report_final_performance(ConfigId::new(42), 0.9);
+        assert_eq!(g.observations(), 0);
+        g.report_final_performance(ConfigId::new(0), f64::NAN);
+        assert_eq!(g.observations(), 0);
+    }
+
+    #[test]
+    fn generators_are_object_safe() {
+        let mut gens: Vec<Box<dyn HyperparameterGenerator>> = vec![
+            Box::new(RandomGenerator::new(space(), 1)),
+            Box::new(GridGenerator::new(&space(), 2)),
+            Box::new(AdaptiveGenerator::new(space(), 1)),
+        ];
+        for g in &mut gens {
+            assert!(g.create_job().is_ok());
+        }
+    }
+}

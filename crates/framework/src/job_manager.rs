@@ -1,0 +1,433 @@
+//! The Job Manager (JM).
+//!
+//! §4.2: the JM "provides the ability to start, resume, suspend, and
+//! terminate jobs on specific machines obtained from the RM" and "keeps
+//! track of each job's state based on the actions performed on it". It also
+//! supports `labelJob(jobID, priority)`: "Priority ordering is especially
+//! important when adding a suspended job to the list of idle jobs. If no
+//! priority is given then idle jobs are ordered according to FIFO order."
+
+use std::collections::HashMap;
+
+use hyperdrive_types::{Error, JobId, MachineId, Result};
+
+/// The lifecycle state of a job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JobState {
+    /// Waiting in the idle queue (never started, or suspended and
+    /// re-queued).
+    Idle,
+    /// Executing on a machine.
+    Running(MachineId),
+    /// A suspend request is in flight; state is being captured.
+    Suspending(MachineId),
+    /// Terminated early by policy decision.
+    Terminated,
+    /// Ran to its maximum epoch.
+    Completed,
+}
+
+impl JobState {
+    /// The machine the job occupies, if any.
+    pub fn machine(&self) -> Option<MachineId> {
+        match self {
+            JobState::Running(m) | JobState::Suspending(m) => Some(*m),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct JobEntry {
+    state: JobState,
+    /// Priority label; idle ordering is (priority desc, arrival asc).
+    priority: f64,
+    /// Monotonic arrival counter for FIFO tie-breaking, refreshed whenever
+    /// the job re-enters the idle queue.
+    arrival: u64,
+    /// Epochs completed so far (resume continues from here).
+    epochs_done: u32,
+    /// Whether the job has run before (a start after this is a resume).
+    started_before: bool,
+}
+
+/// Tracks every job's state and orders the idle queue.
+#[derive(Debug, Default)]
+pub struct JobManager {
+    jobs: HashMap<JobId, JobEntry>,
+    arrival_counter: u64,
+}
+
+impl JobManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new job in the idle queue with default (zero) priority.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job id is already registered.
+    pub fn add_job(&mut self, job: JobId) {
+        let arrival = self.next_arrival();
+        let prev = self.jobs.insert(
+            job,
+            JobEntry {
+                state: JobState::Idle,
+                priority: 0.0,
+                arrival,
+                epochs_done: 0,
+                started_before: false,
+            },
+        );
+        assert!(prev.is_none(), "job {job} registered twice");
+    }
+
+    fn next_arrival(&mut self) -> u64 {
+        let a = self.arrival_counter;
+        self.arrival_counter += 1;
+        a
+    }
+
+    fn entry(&self, job: JobId) -> Result<&JobEntry> {
+        self.jobs.get(&job).ok_or(Error::UnknownJob(job.raw()))
+    }
+
+    fn entry_mut(&mut self, job: JobId) -> Result<&mut JobEntry> {
+        self.jobs.get_mut(&job).ok_or(Error::UnknownJob(job.raw()))
+    }
+
+    /// Current state of a job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownJob`] for unregistered ids.
+    pub fn state(&self, job: JobId) -> Result<JobState> {
+        Ok(self.entry(job)?.state)
+    }
+
+    /// Number of epochs the job has completed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownJob`] for unregistered ids.
+    pub fn epochs_done(&self, job: JobId) -> Result<u32> {
+        Ok(self.entry(job)?.epochs_done)
+    }
+
+    /// Records completion of one more epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownJob`] or [`Error::InvalidJobState`] if the
+    /// job is not running.
+    pub fn record_epoch(&mut self, job: JobId) -> Result<u32> {
+        let e = self.entry_mut(job)?;
+        if !matches!(e.state, JobState::Running(_)) {
+            return Err(Error::InvalidJobState {
+                job: job.raw(),
+                detail: "epoch recorded while not running".into(),
+            });
+        }
+        e.epochs_done += 1;
+        Ok(e.epochs_done)
+    }
+
+    /// The highest-priority idle job (`getIdleJob`), without removing it.
+    /// Ordering: priority descending, then FIFO arrival.
+    pub fn peek_idle_job(&self) -> Option<JobId> {
+        self.jobs
+            .iter()
+            .filter(|(_, e)| e.state == JobState::Idle)
+            .min_by(|(ia, a), (ib, b)| {
+                b.priority
+                    .partial_cmp(&a.priority)
+                    .expect("priorities are never NaN")
+                    .then(a.arrival.cmp(&b.arrival))
+                    .then(ia.cmp(ib))
+            })
+            .map(|(id, _)| *id)
+    }
+
+    /// All idle jobs in queue order.
+    pub fn idle_jobs(&self) -> Vec<JobId> {
+        let mut idle: Vec<(&JobId, &JobEntry)> =
+            self.jobs.iter().filter(|(_, e)| e.state == JobState::Idle).collect();
+        idle.sort_by(|(ia, a), (ib, b)| {
+            b.priority
+                .partial_cmp(&a.priority)
+                .expect("priorities are never NaN")
+                .then(a.arrival.cmp(&b.arrival))
+                .then(ia.cmp(ib))
+        });
+        idle.into_iter().map(|(id, _)| *id).collect()
+    }
+
+    /// All running jobs (unsorted).
+    pub fn running_jobs(&self) -> Vec<JobId> {
+        self.jobs
+            .iter()
+            .filter(|(_, e)| matches!(e.state, JobState::Running(_)))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// All active jobs: running, suspending, or idle-but-not-finished.
+    /// (The paper's "non-terminated" set used for the tail distribution.)
+    pub fn active_jobs(&self) -> Vec<JobId> {
+        self.jobs
+            .iter()
+            .filter(|(_, e)| {
+                matches!(e.state, JobState::Running(_) | JobState::Suspending(_) | JobState::Idle)
+            })
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Starts (or resumes) an idle job on a machine. Returns `true` if this
+    /// is a resume of a previously-run job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidJobState`] unless the job is idle.
+    pub fn start_job(&mut self, job: JobId, machine: MachineId) -> Result<bool> {
+        let e = self.entry_mut(job)?;
+        if e.state != JobState::Idle {
+            return Err(Error::InvalidJobState {
+                job: job.raw(),
+                detail: format!("start while {:?}", e.state),
+            });
+        }
+        e.state = JobState::Running(machine);
+        let resumed = e.started_before;
+        e.started_before = true;
+        Ok(resumed)
+    }
+
+    /// Marks a running job as suspending (state capture in flight).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidJobState`] unless the job is running.
+    pub fn begin_suspend(&mut self, job: JobId) -> Result<MachineId> {
+        let e = self.entry_mut(job)?;
+        match e.state {
+            JobState::Running(m) => {
+                e.state = JobState::Suspending(m);
+                Ok(m)
+            }
+            other => Err(Error::InvalidJobState {
+                job: job.raw(),
+                detail: format!("suspend while {other:?}"),
+            }),
+        }
+    }
+
+    /// Completes a suspend: the job re-enters the idle queue (fresh FIFO
+    /// position, keeping its priority label) and its machine is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidJobState`] unless the job is suspending.
+    pub fn finish_suspend(&mut self, job: JobId) -> Result<MachineId> {
+        let arrival = self.next_arrival();
+        let e = self.entry_mut(job)?;
+        match e.state {
+            JobState::Suspending(m) => {
+                e.state = JobState::Idle;
+                e.arrival = arrival;
+                Ok(m)
+            }
+            other => Err(Error::InvalidJobState {
+                job: job.raw(),
+                detail: format!("finish_suspend while {other:?}"),
+            }),
+        }
+    }
+
+    /// Terminates a job from any live state. Returns the machine it held,
+    /// if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidJobState`] if the job already finished.
+    pub fn terminate_job(&mut self, job: JobId) -> Result<Option<MachineId>> {
+        let e = self.entry_mut(job)?;
+        match e.state {
+            JobState::Terminated | JobState::Completed => Err(Error::InvalidJobState {
+                job: job.raw(),
+                detail: "terminate after finish".into(),
+            }),
+            state => {
+                e.state = JobState::Terminated;
+                Ok(state.machine())
+            }
+        }
+    }
+
+    /// Marks a running job as completed (reached its max epoch). Returns
+    /// the machine it held.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidJobState`] unless the job is running.
+    pub fn complete_job(&mut self, job: JobId) -> Result<MachineId> {
+        let e = self.entry_mut(job)?;
+        match e.state {
+            JobState::Running(m) => {
+                e.state = JobState::Completed;
+                Ok(m)
+            }
+            other => Err(Error::InvalidJobState {
+                job: job.raw(),
+                detail: format!("complete while {other:?}"),
+            }),
+        }
+    }
+
+    /// Labels a job with a scheduling priority (`labelJob`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownJob`] for unregistered ids or
+    /// [`Error::InvalidParameter`] for NaN priorities.
+    pub fn label_job(&mut self, job: JobId, priority: f64) -> Result<()> {
+        if priority.is_nan() {
+            return Err(Error::InvalidParameter("priority cannot be NaN".into()));
+        }
+        self.entry_mut(job)?.priority = priority;
+        Ok(())
+    }
+
+    /// The job's current priority label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownJob`] for unregistered ids.
+    pub fn priority(&self, job: JobId) -> Result<f64> {
+        Ok(self.entry(job)?.priority)
+    }
+
+    /// Total number of registered jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True if no jobs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jm_with(n: u64) -> JobManager {
+        let mut jm = JobManager::new();
+        for i in 0..n {
+            jm.add_job(JobId::new(i));
+        }
+        jm
+    }
+
+    #[test]
+    fn idle_queue_is_fifo_without_priorities() {
+        let jm = jm_with(3);
+        assert_eq!(jm.peek_idle_job(), Some(JobId::new(0)));
+        assert_eq!(
+            jm.idle_jobs(),
+            vec![JobId::new(0), JobId::new(1), JobId::new(2)]
+        );
+    }
+
+    #[test]
+    fn priority_overrides_fifo() {
+        let mut jm = jm_with(3);
+        jm.label_job(JobId::new(2), 0.9).unwrap();
+        jm.label_job(JobId::new(1), 0.5).unwrap();
+        assert_eq!(
+            jm.idle_jobs(),
+            vec![JobId::new(2), JobId::new(1), JobId::new(0)]
+        );
+    }
+
+    #[test]
+    fn suspend_requeues_at_back_of_equal_priority() {
+        let mut jm = jm_with(3);
+        let m = MachineId::new(0);
+        jm.start_job(JobId::new(0), m).unwrap();
+        jm.begin_suspend(JobId::new(0)).unwrap();
+        jm.finish_suspend(JobId::new(0)).unwrap();
+        // Job 0 now sits behind jobs 1 and 2 (round-robin behaviour).
+        assert_eq!(
+            jm.idle_jobs(),
+            vec![JobId::new(1), JobId::new(2), JobId::new(0)]
+        );
+    }
+
+    #[test]
+    fn start_resume_distinction() {
+        let mut jm = jm_with(1);
+        let j = JobId::new(0);
+        let m = MachineId::new(0);
+        assert!(!jm.start_job(j, m).unwrap(), "first start is not a resume");
+        jm.record_epoch(j).unwrap();
+        jm.begin_suspend(j).unwrap();
+        jm.finish_suspend(j).unwrap();
+        assert!(jm.start_job(j, m).unwrap(), "second start is a resume");
+        assert_eq!(jm.epochs_done(j).unwrap(), 1);
+    }
+
+    #[test]
+    fn lifecycle_state_machine_is_enforced() {
+        let mut jm = jm_with(2);
+        let j = JobId::new(0);
+        let m = MachineId::new(0);
+        assert!(jm.begin_suspend(j).is_err(), "cannot suspend idle job");
+        assert!(jm.record_epoch(j).is_err(), "cannot record epoch while idle");
+        jm.start_job(j, m).unwrap();
+        assert!(jm.start_job(j, m).is_err(), "cannot start running job");
+        jm.complete_job(j).unwrap();
+        assert!(jm.terminate_job(j).is_err(), "cannot terminate completed job");
+        assert!(matches!(jm.state(j), Ok(JobState::Completed)));
+    }
+
+    #[test]
+    fn terminate_returns_held_machine() {
+        let mut jm = jm_with(1);
+        let j = JobId::new(0);
+        let m = MachineId::new(3);
+        jm.start_job(j, m).unwrap();
+        assert_eq!(jm.terminate_job(j).unwrap(), Some(m));
+    }
+
+    #[test]
+    fn terminate_idle_returns_no_machine() {
+        let mut jm = jm_with(1);
+        assert_eq!(jm.terminate_job(JobId::new(0)).unwrap(), None);
+    }
+
+    #[test]
+    fn active_jobs_excludes_finished() {
+        let mut jm = jm_with(3);
+        jm.start_job(JobId::new(0), MachineId::new(0)).unwrap();
+        jm.complete_job(JobId::new(0)).unwrap();
+        jm.terminate_job(JobId::new(1)).unwrap();
+        assert_eq!(jm.active_jobs(), vec![JobId::new(2)]);
+    }
+
+    #[test]
+    fn unknown_job_errors() {
+        let mut jm = JobManager::new();
+        assert!(matches!(jm.state(JobId::new(5)), Err(Error::UnknownJob(5))));
+        assert!(jm.label_job(JobId::new(5), 1.0).is_err());
+    }
+
+    #[test]
+    fn nan_priority_rejected() {
+        let mut jm = jm_with(1);
+        assert!(jm.label_job(JobId::new(0), f64::NAN).is_err());
+    }
+}

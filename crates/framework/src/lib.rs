@@ -1,0 +1,75 @@
+//! The HyperDrive framework (§4 of the paper).
+//!
+//! HyperDrive "largely decouples the scheduling policy for candidate
+//! configurations from the type of model and/or framework". This crate
+//! provides that separation:
+//!
+//! * [`resource`] — the Resource Manager (`reserve_idle_machine` /
+//!   `release_machine`).
+//! * [`job_manager`] — the Job Manager: start/resume/suspend/terminate,
+//!   priority labels, FIFO+priority idle queue.
+//! * [`appstat`] — the AppStat DB: per-job performance history, model
+//!   snapshots, suspend telemetry.
+//! * [`policy`] — the Scheduling Algorithm Policy (SAP) interface: the
+//!   three up-calls `allocate_jobs` / `application_stat` /
+//!   `on_iteration_finish`, plus the Default SAP.
+//! * [`generator`] — the Hyperparameter Generator API with random, grid,
+//!   and adaptive implementations.
+//! * [`experiment`] — experiment specification (workload + cluster +
+//!   `Tmax`) and results.
+//! * [`engine`] — the executor-independent experiment engine that turns
+//!   policy decisions into abstract commands.
+//! * [`live`] — the live executor: node-agent threads exchanging messages
+//!   with the scheduler over channels, in scaled wall-clock time.
+//!
+//! The discrete-event executor lives in the `hyperdrive-sim` crate; both
+//! executors drive the same [`engine::ExperimentEngine`], so any SAP runs
+//! unchanged on either (the paper's live-vs-simulator validation, Fig 12a).
+//!
+//! # Example
+//!
+//! ```
+//! use hyperdrive_framework::experiment::{ExperimentSpec, ExperimentWorkload};
+//! use hyperdrive_framework::live::run_live;
+//! use hyperdrive_framework::policy::DefaultPolicy;
+//! use hyperdrive_workload::CifarWorkload;
+//!
+//! let workload = CifarWorkload::new().with_max_epochs(3);
+//! let experiment = ExperimentWorkload::from_workload(&workload, 4, 42);
+//! let spec = ExperimentSpec::new(2).with_stop_on_target(false);
+//! let mut policy = DefaultPolicy::new();
+//! let result = run_live(&mut policy, &experiment, spec, 60_000.0);
+//! assert_eq!(result.total_epochs, 12);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod appstat;
+pub mod engine;
+pub mod events;
+pub mod experiment;
+pub mod generator;
+pub mod job_manager;
+pub mod live;
+pub mod policy;
+pub mod resource;
+pub mod snapshot;
+
+pub use appstat::{AppStatDb, SuspendEvent};
+pub use engine::{Command, EngineEvent, ExperimentEngine};
+pub use events::{EventLog, GanttSegment, SchedulerEvent};
+pub use experiment::{
+    ExperimentJob, ExperimentResult, ExperimentSpec, ExperimentWorkload, JobEnd, JobOutcome,
+    TargetMilestone,
+};
+pub use generator::{
+    AdaptiveGenerator, GridGenerator, HyperparameterGenerator, RandomGenerator,
+};
+pub use job_manager::{JobManager, JobState};
+pub use live::run_live;
+pub use policy::{
+    testing, DefaultPolicy, JobDecision, JobEvent, SchedulerContext, SchedulingPolicy,
+};
+pub use resource::ResourceManager;
+pub use snapshot::JobSnapshot;

@@ -1,0 +1,270 @@
+//! The live executor: real threads, real (scaled) time.
+//!
+//! One node-agent thread runs per machine, mirroring the paper's §4.2 Node
+//! Agent daemon: it receives job-execution requests from the scheduler,
+//! performs the work (here: sleeping the scaled epoch duration in place of
+//! GPU training), and reports application statistics back over a channel
+//! (standing in for GRPC). The scheduler thread multiplexes agent reports
+//! into the shared [`ExperimentEngine`].
+//!
+//! Unlike the discrete-event simulator, this executor exhibits genuine
+//! nondeterminism — thread scheduling and timer jitter reorder events —
+//! which is precisely what the Fig. 12a simulator-validation experiment
+//! compares against.
+
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+
+use hyperdrive_types::{JobId, SimTime};
+
+use crate::engine::{Command, EngineEvent, ExperimentEngine};
+use crate::experiment::{ExperimentResult, ExperimentSpec, ExperimentWorkload};
+use crate::policy::SchedulingPolicy;
+
+/// A request from the scheduler to a node agent. Work completes at an
+/// absolute wall-clock deadline computed from the triggering event's
+/// virtual time plus the work's virtual duration — so scheduler stalls
+/// (e.g. curve-model fits) do not serialize with training, mirroring the
+/// paper's §5.2 "overlap training and prediction" design. A dispatch that
+/// arrives after its deadline completes immediately: that residue is the
+/// genuine contention the live executor measures.
+#[derive(Debug, Clone, Copy)]
+enum AgentRequest {
+    /// Train one epoch until `deadline`, then report.
+    RunEpoch { job: JobId, deadline: Instant },
+    /// Capture job state until `deadline`, then report.
+    Suspend { job: JobId, deadline: Instant },
+    /// Exit the agent loop.
+    Shutdown,
+}
+
+/// A report from a node agent to the scheduler, stamped at completion.
+#[derive(Debug, Clone, Copy)]
+struct AgentReply {
+    event: EngineEvent,
+    completed_at: Instant,
+}
+
+/// Runs one experiment on the live (threaded) executor.
+///
+/// `time_scale` is virtual seconds per wall-clock second: with
+/// `time_scale = 600.0`, a 60-second training epoch occupies its node-agent
+/// thread for 100 ms of real time. Experiment timestamps are measured from
+/// the wall clock and converted back to virtual time, so all reported
+/// durations are comparable with simulator output.
+///
+/// # Panics
+///
+/// Panics if `time_scale` is not positive or the spec has no machines.
+pub fn run_live(
+    policy: &mut dyn SchedulingPolicy,
+    workload: &ExperimentWorkload,
+    spec: ExperimentSpec,
+    time_scale: f64,
+) -> ExperimentResult {
+    assert!(time_scale > 0.0 && time_scale.is_finite(), "time_scale must be positive");
+    let machines = spec.machines;
+    assert!(machines > 0, "need at least one machine");
+
+    let (reply_tx, reply_rx): (Sender<AgentReply>, Receiver<AgentReply>) = unbounded();
+    let agent_txs: Vec<Sender<AgentRequest>> = Vec::with_capacity(machines);
+
+    std::thread::scope(|scope| {
+        let mut agent_txs = agent_txs;
+        for _ in 0..machines {
+            let (tx, rx): (Sender<AgentRequest>, Receiver<AgentRequest>) = unbounded();
+            let reply_tx = reply_tx.clone();
+            scope.spawn(move || node_agent_loop(rx, reply_tx));
+            agent_txs.push(tx);
+        }
+        drop(reply_tx);
+
+        let mut engine = ExperimentEngine::new(policy, workload, spec);
+        let started = Instant::now();
+        let mut in_flight = 0usize;
+
+        // Converts a virtual completion time into a wall-clock deadline.
+        let wall_deadline = |virtual_time: SimTime| -> Instant {
+            started + Duration::from_secs_f64(virtual_time.as_secs() / time_scale)
+        };
+
+        // Dispatches follow-up commands for an event that completed at
+        // virtual time `base`: each command's work finishes `duration`
+        // after the event that caused it, regardless of how long the
+        // scheduler spent deciding.
+        let dispatch = |cmds: Vec<Command>, base: SimTime, in_flight: &mut usize| -> bool {
+            let mut stop = false;
+            for cmd in cmds {
+                match cmd {
+                    Command::RunEpoch { job, machine, duration, .. } => {
+                        agent_txs[machine.raw() as usize]
+                            .send(AgentRequest::RunEpoch {
+                                job,
+                                deadline: wall_deadline(base + duration),
+                            })
+                            .expect("agent alive");
+                        *in_flight += 1;
+                    }
+                    Command::Suspend { job, machine, latency } => {
+                        agent_txs[machine.raw() as usize]
+                            .send(AgentRequest::Suspend {
+                                job,
+                                deadline: wall_deadline(base + latency),
+                            })
+                            .expect("agent alive");
+                        *in_flight += 1;
+                    }
+                    Command::Stop => stop = true,
+                }
+            }
+            stop
+        };
+
+        let mut stopping = dispatch(engine.start(), SimTime::ZERO, &mut in_flight);
+        let mut last_now = SimTime::ZERO;
+        while in_flight > 0 && !stopping {
+            let reply = reply_rx.recv().expect("agents alive while work in flight");
+            in_flight -= 1;
+            // Events are stamped when the agent completed the work, not
+            // when the scheduler got around to processing the report.
+            let now = SimTime::from_secs(
+                reply.completed_at.duration_since(started).as_secs_f64() * time_scale,
+            );
+            last_now = last_now.max(now);
+            let cmds = engine.handle(reply.event, now);
+            stopping = dispatch(cmds, now, &mut in_flight) || engine.stopped();
+        }
+
+        for tx in &agent_txs {
+            // Agents may have exited already if their channel dropped.
+            let _ = tx.send(AgentRequest::Shutdown);
+        }
+        engine.into_result(last_now)
+    })
+}
+
+fn node_agent_loop(rx: Receiver<AgentRequest>, reply_tx: Sender<AgentReply>) {
+    let run = |deadline: Instant, event: EngineEvent| -> bool {
+        let now = Instant::now();
+        if deadline > now {
+            std::thread::sleep(deadline - now);
+        }
+        // A dispatch that arrived past its deadline completes now: the
+        // overshoot is real scheduler-induced contention.
+        reply_tx.send(AgentReply { event, completed_at: Instant::now() }).is_ok()
+    };
+    while let Ok(req) = rx.recv() {
+        let alive = match req {
+            AgentRequest::RunEpoch { job, deadline } => {
+                run(deadline, EngineEvent::EpochDone { job })
+            }
+            AgentRequest::Suspend { job, deadline } => {
+                run(deadline, EngineEvent::SuspendDone { job })
+            }
+            AgentRequest::Shutdown => return,
+        };
+        if !alive {
+            return; // scheduler gone
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::DefaultPolicy;
+    use hyperdrive_types::SimTime;
+    use hyperdrive_workload::CifarWorkload;
+
+    #[test]
+    fn live_default_runs_to_completion() {
+        let w = CifarWorkload::new().with_max_epochs(3);
+        let ew = crate::experiment::ExperimentWorkload::from_workload(&w, 4, 5);
+        let mut policy = DefaultPolicy::new();
+        let spec = ExperimentSpec::new(2).with_stop_on_target(false);
+        // 60s epochs at 60000x -> ~1ms each.
+        let result = run_live(&mut policy, &ew, spec, 60_000.0);
+        assert_eq!(result.total_epochs, 4 * 3);
+        assert!(result
+            .outcomes
+            .iter()
+            .all(|o| o.end == crate::experiment::JobEnd::Completed));
+    }
+
+    #[test]
+    fn live_stops_on_target() {
+        let w = CifarWorkload::new().with_max_epochs(50);
+        let ew = crate::experiment::ExperimentWorkload::from_workload(&w, 4, 5).with_target(0.0);
+        let mut policy = DefaultPolicy::new();
+        let result = run_live(&mut policy, &ew, ExperimentSpec::new(2), 60_000.0);
+        assert!(result.reached_target());
+        assert!(result.total_epochs < 200, "stopped early, not exhaustively");
+    }
+
+    #[test]
+    fn live_respects_tmax() {
+        let w = CifarWorkload::new().with_max_epochs(1000);
+        let ew = crate::experiment::ExperimentWorkload::from_workload(&w, 2, 5);
+        let mut policy = DefaultPolicy::new();
+        let spec = ExperimentSpec::new(1)
+            .with_tmax(SimTime::from_secs(180.0))
+            .with_stop_on_target(false);
+        let result = run_live(&mut policy, &ew, spec, 60_000.0);
+        assert!(result.end_time >= SimTime::from_secs(180.0));
+        assert!(result.total_epochs < 50, "Tmax bounded the run");
+    }
+
+    #[test]
+    fn live_suspend_resume_path_works() {
+        // A policy that suspends at every epoch forces the full live
+        // suspend machinery: snapshot deadline, SuspendDone reply, resume
+        // with restored state on a (possibly different) machine.
+        struct SuspendEverything;
+        impl crate::policy::SchedulingPolicy for SuspendEverything {
+            fn name(&self) -> &str {
+                "suspend-everything"
+            }
+            fn on_iteration_finish(
+                &mut self,
+                _event: &crate::policy::JobEvent,
+                ctx: &mut dyn crate::policy::SchedulerContext,
+            ) -> crate::policy::JobDecision {
+                if ctx.idle_job_count() > 0 {
+                    crate::policy::JobDecision::Suspend
+                } else {
+                    crate::policy::JobDecision::Continue
+                }
+            }
+        }
+        let w = CifarWorkload::new().with_max_epochs(3);
+        let ew = crate::experiment::ExperimentWorkload::from_workload(&w, 4, 5);
+        let mut policy = SuspendEverything;
+        let spec = ExperimentSpec::new(2).with_stop_on_target(false);
+        let result = run_live(&mut policy, &ew, spec, 60_000.0);
+        assert_eq!(result.total_epochs, 12, "all epochs complete across suspensions");
+        assert!(!result.suspend_events.is_empty(), "suspensions really happened");
+        let resumes = result
+            .events
+            .events()
+            .iter()
+            .filter(|e| matches!(e, crate::events::SchedulerEvent::Started { resumed: true, .. }))
+            .count();
+        assert!(resumes > 0, "suspended jobs resumed");
+    }
+
+    #[test]
+    fn virtual_time_tracks_epoch_durations() {
+        let w = CifarWorkload::new().with_max_epochs(2);
+        let ew = crate::experiment::ExperimentWorkload::from_workload(&w, 1, 5);
+        let expected: f64 =
+            ew.jobs[0].profile.epoch_durations().iter().map(|d| d.as_secs()).sum();
+        let mut policy = DefaultPolicy::new();
+        let spec = ExperimentSpec::new(1).with_stop_on_target(false);
+        let result = run_live(&mut policy, &ew, spec, 60_000.0);
+        // Wall time converts back to roughly the profile's virtual length
+        // (sleep overshoot only makes it longer).
+        assert!(result.end_time.as_secs() >= expected * 0.9);
+        assert!(result.end_time.as_secs() <= expected * 3.0 + 60.0);
+    }
+}

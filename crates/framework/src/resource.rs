@@ -1,0 +1,131 @@
+//! The Resource Manager (RM).
+//!
+//! §4.2: "The Resource Management component is responsible for keeping
+//! track of currently allocated and idle resources (e.g., machines, GPUs)"
+//! with the API `reserveIdleMachine() → machineId` and
+//! `releaseMachine(machineId)`. A slot may be a machine or a GPU; the
+//! scheduler does not distinguish.
+
+use hyperdrive_types::{Error, MachineId, Result};
+
+/// Tracks which machines (slots) are idle and which are allocated.
+#[derive(Debug, Clone)]
+pub struct ResourceManager {
+    /// `true` = allocated, indexed by machine id.
+    allocated: Vec<bool>,
+}
+
+impl ResourceManager {
+    /// Creates a manager over `n` machines, all idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a cluster needs at least one machine");
+        ResourceManager { allocated: vec![false; n] }
+    }
+
+    /// Total number of machines.
+    pub fn total(&self) -> usize {
+        self.allocated.len()
+    }
+
+    /// Number of idle machines.
+    pub fn idle_count(&self) -> usize {
+        self.allocated.iter().filter(|a| !**a).count()
+    }
+
+    /// Number of allocated machines.
+    pub fn allocated_count(&self) -> usize {
+        self.total() - self.idle_count()
+    }
+
+    /// Reserves the lowest-numbered idle machine, or `None` if all are
+    /// busy. (`reserveIdleMachine` in the paper's API.)
+    pub fn reserve_idle_machine(&mut self) -> Option<MachineId> {
+        let idx = self.allocated.iter().position(|a| !*a)?;
+        self.allocated[idx] = true;
+        Some(MachineId::new(idx as u64))
+    }
+
+    /// Releases a previously reserved machine. (`releaseMachine`.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownMachine`] for ids outside the cluster and
+    /// [`Error::InvalidParameter`] when releasing an already-idle machine
+    /// (a double release is always a framework bug worth surfacing).
+    pub fn release_machine(&mut self, machine: MachineId) -> Result<()> {
+        let idx = machine.raw() as usize;
+        let slot = self
+            .allocated
+            .get_mut(idx)
+            .ok_or(Error::UnknownMachine(machine.raw()))?;
+        if !*slot {
+            return Err(Error::InvalidParameter(format!(
+                "machine {machine} released while idle"
+            )));
+        }
+        *slot = false;
+        Ok(())
+    }
+
+    /// True if the machine is currently reserved.
+    pub fn is_allocated(&self, machine: MachineId) -> bool {
+        self.allocated.get(machine.raw() as usize).copied().unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release_cycle() {
+        let mut rm = ResourceManager::new(2);
+        assert_eq!(rm.idle_count(), 2);
+        let a = rm.reserve_idle_machine().unwrap();
+        let b = rm.reserve_idle_machine().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(rm.idle_count(), 0);
+        assert!(rm.reserve_idle_machine().is_none());
+        rm.release_machine(a).unwrap();
+        assert_eq!(rm.idle_count(), 1);
+        let c = rm.reserve_idle_machine().unwrap();
+        assert_eq!(c, a, "lowest-numbered idle machine is reused");
+    }
+
+    #[test]
+    fn double_release_is_an_error() {
+        let mut rm = ResourceManager::new(1);
+        let m = rm.reserve_idle_machine().unwrap();
+        rm.release_machine(m).unwrap();
+        assert!(rm.release_machine(m).is_err());
+    }
+
+    #[test]
+    fn unknown_machine_is_an_error() {
+        let mut rm = ResourceManager::new(1);
+        assert!(matches!(
+            rm.release_machine(MachineId::new(9)),
+            Err(Error::UnknownMachine(9))
+        ));
+    }
+
+    #[test]
+    fn allocation_status_is_tracked() {
+        let mut rm = ResourceManager::new(2);
+        let m = rm.reserve_idle_machine().unwrap();
+        assert!(rm.is_allocated(m));
+        rm.release_machine(m).unwrap();
+        assert!(!rm.is_allocated(m));
+        assert!(!rm.is_allocated(MachineId::new(77)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn empty_cluster_panics() {
+        let _ = ResourceManager::new(0);
+    }
+}

@@ -1,0 +1,192 @@
+//! The Bandit policy: TuPAQ-style action elimination.
+//!
+//! §5.3: "Our Bandit policy is based on the action elimination algorithm
+//! used by TuPAQ in their bandit allocation strategy. […] the SAP keeps
+//! track of the global best model performance (globalBest) along with the
+//! best model performance per job (jobBest). When OnIterationFinish is
+//! called the SAP checks to see if the current iteration is on an
+//! evaluation boundary (b); if so it checks if
+//! `jobBest * (1 + ε) > globalBest`. If true, the job continues training,
+//! if false the policy terminates the job. Based on prior work, ε is set
+//! to 0.50 and b is set to 10 for supervised-learning" (and to the same
+//! 2,000-iteration boundary as POP for reinforcement learning).
+//!
+//! Bandit is exactly the §2.2(a) ablation of POP: it judges jobs by their
+//! *instantaneous best* performance, with no learning-curve extrapolation —
+//! which is why a LunarLander job that learned well and then crashed keeps
+//! its slot forever.
+
+use hyperdrive_framework::{JobDecision, JobEvent, SchedulerContext, SchedulingPolicy};
+
+/// Configuration for [`BanditPolicy`].
+#[derive(Debug, Clone, Copy)]
+pub struct BanditConfig {
+    /// Slack factor ε: a job survives while
+    /// `jobBest * (1 + ε) > globalBest`.
+    pub epsilon: f64,
+    /// Evaluation boundary `b` in epochs; `None` uses the workload's
+    /// boundary (10 for CIFAR-10, 20 blocks = 2,000 iterations for
+    /// LunarLander — the paper's settings).
+    pub boundary: Option<u32>,
+}
+
+impl Default for BanditConfig {
+    fn default() -> Self {
+        BanditConfig { epsilon: 0.50, boundary: None }
+    }
+}
+
+/// The TuPAQ-style bandit allocation baseline.
+#[derive(Debug, Clone, Default)]
+pub struct BanditPolicy {
+    config: BanditConfig,
+}
+
+impl BanditPolicy {
+    /// Creates the policy with the paper's parameters (ε = 0.5, workload
+    /// boundary).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the policy with explicit configuration.
+    pub fn with_config(config: BanditConfig) -> Self {
+        BanditPolicy { config }
+    }
+}
+
+impl SchedulingPolicy for BanditPolicy {
+    fn name(&self) -> &str {
+        "bandit"
+    }
+
+    fn on_iteration_finish(
+        &mut self,
+        event: &JobEvent,
+        ctx: &mut dyn SchedulerContext,
+    ) -> JobDecision {
+        let b = self.config.boundary.unwrap_or_else(|| ctx.eval_boundary()).max(1);
+        if !event.epoch.is_multiple_of(b) {
+            return JobDecision::Continue;
+        }
+        let Some((_, global_best)) = ctx.global_best() else {
+            return JobDecision::Continue;
+        };
+        let job_best = ctx
+            .curve(event.job)
+            .and_then(|c| c.best())
+            .unwrap_or(event.value);
+        if job_best * (1.0 + self.config.epsilon) > global_best {
+            JobDecision::Continue
+        } else {
+            JobDecision::Terminate
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperdrive_framework::testing::MockContext;
+    use hyperdrive_types::{JobId, SimTime};
+
+    fn event(job: u64, epoch: u32, value: f64) -> JobEvent {
+        JobEvent {
+            job: JobId::new(job),
+            epoch,
+            value,
+            now: SimTime::from_mins(epoch as f64),
+        }
+    }
+
+    #[test]
+    fn survives_when_competitive() {
+        let mut ctx = MockContext::new(2);
+        ctx.push_curve(JobId::new(0), &[0.1, 0.3, 0.5], 60.0);
+        ctx.push_curve(JobId::new(1), &[0.1, 0.2, 0.4], 60.0);
+        let mut policy = BanditPolicy::new();
+        // jobBest 0.4 * 1.5 = 0.6 > globalBest 0.5 -> survive.
+        assert_eq!(
+            policy.on_iteration_finish(&event(1, 10, 0.4), &mut ctx),
+            JobDecision::Continue
+        );
+    }
+
+    #[test]
+    fn eliminated_when_far_behind() {
+        let mut ctx = MockContext::new(2);
+        ctx.push_curve(JobId::new(0), &[0.2, 0.5, 0.75], 60.0);
+        ctx.push_curve(JobId::new(1), &[0.1, 0.1, 0.11], 60.0);
+        let mut policy = BanditPolicy::new();
+        // jobBest 0.11 * 1.5 = 0.165 < 0.75 -> terminate.
+        assert_eq!(
+            policy.on_iteration_finish(&event(1, 10, 0.11), &mut ctx),
+            JobDecision::Terminate
+        );
+    }
+
+    #[test]
+    fn only_acts_on_boundaries() {
+        let mut ctx = MockContext::new(2);
+        ctx.push_curve(JobId::new(0), &[0.75], 60.0);
+        ctx.push_curve(JobId::new(1), &[0.1], 60.0);
+        let mut policy = BanditPolicy::new();
+        for epoch in [1, 5, 9, 11, 19] {
+            assert_eq!(
+                policy.on_iteration_finish(&event(1, epoch, 0.1), &mut ctx),
+                JobDecision::Continue,
+                "epoch {epoch} is not a boundary"
+            );
+        }
+        assert_eq!(
+            policy.on_iteration_finish(&event(1, 20, 0.1), &mut ctx),
+            JobDecision::Terminate
+        );
+    }
+
+    #[test]
+    fn best_ever_performance_shields_crashed_jobs() {
+        // The failure mode the paper's §6.3 exposes: a job that peaked at
+        // 0.8 then crashed to 0.5 keeps running because jobBest is sticky.
+        let mut ctx = MockContext::new(2);
+        ctx.push_curve(JobId::new(0), &[0.3, 0.8, 0.5, 0.5, 0.5], 60.0);
+        ctx.push_curve(JobId::new(1), &[0.3, 0.6, 0.85], 60.0);
+        let mut policy = BanditPolicy::new();
+        assert_eq!(
+            policy.on_iteration_finish(&event(0, 10, 0.5), &mut ctx),
+            JobDecision::Continue,
+            "bandit cannot see the crash"
+        );
+    }
+
+    #[test]
+    fn custom_epsilon_and_boundary() {
+        let mut ctx = MockContext::new(2);
+        ctx.push_curve(JobId::new(0), &[0.9], 60.0);
+        ctx.push_curve(JobId::new(1), &[0.5], 60.0);
+        let mut policy = BanditPolicy::with_config(BanditConfig {
+            epsilon: 0.0,
+            boundary: Some(5),
+        });
+        // epsilon 0: 0.5 < 0.9 -> terminate at the custom boundary 5.
+        assert_eq!(
+            policy.on_iteration_finish(&event(1, 5, 0.5), &mut ctx),
+            JobDecision::Terminate
+        );
+        assert_eq!(
+            policy.on_iteration_finish(&event(1, 6, 0.5), &mut ctx),
+            JobDecision::Continue
+        );
+    }
+
+    #[test]
+    fn the_global_best_job_itself_survives() {
+        let mut ctx = MockContext::new(2);
+        ctx.push_curve(JobId::new(0), &[0.6], 60.0);
+        let mut policy = BanditPolicy::new();
+        assert_eq!(
+            policy.on_iteration_finish(&event(0, 10, 0.6), &mut ctx),
+            JobDecision::Continue
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Barrier-like epoch scheduling (§4.2).
+//!
+//! "By default, HyperDrive uses a schedule-as-it-goes approach to maximize
+//! resource usage […]. HyperDrive also supports barrier-like epoch
+//! scheduling, which some SAPs may prefer as it can help explore job
+//! configurations in a breadth-first-style (i.e., executing many jobs for
+//! a short period of time in each round). Barrier-like epoch scheduling
+//! can be achieved by allowing the SAP to suspend jobs at every epoch
+//! boundary."
+//!
+//! [`BarrierPolicy`] wraps an inner policy with exactly that behaviour: at
+//! every `round_epochs` boundary the job yields its machine to the back of
+//! the queue (unless the inner policy terminated it, or nobody is
+//! waiting), producing breadth-first rounds over the configuration set.
+
+use hyperdrive_framework::{JobDecision, JobEvent, SchedulerContext, SchedulingPolicy};
+
+/// Breadth-first round-robin scheduling on top of any inner policy.
+#[derive(Debug)]
+pub struct BarrierPolicy<P> {
+    inner: P,
+    round_epochs: u32,
+    suspensions: u64,
+}
+
+impl<P: SchedulingPolicy> BarrierPolicy<P> {
+    /// Wraps `inner`, yielding machines every `round_epochs` epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round_epochs` is zero.
+    pub fn new(inner: P, round_epochs: u32) -> Self {
+        assert!(round_epochs >= 1, "rounds need at least one epoch");
+        BarrierPolicy { inner, round_epochs, suspensions: 0 }
+    }
+
+    /// Number of barrier-induced suspensions so far.
+    pub fn suspensions(&self) -> u64 {
+        self.suspensions
+    }
+
+    /// The wrapped policy.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: SchedulingPolicy> SchedulingPolicy for BarrierPolicy<P> {
+    fn name(&self) -> &str {
+        "barrier"
+    }
+
+    fn allocate_jobs(&mut self, ctx: &mut dyn SchedulerContext) {
+        self.inner.allocate_jobs(ctx);
+    }
+
+    fn application_stat(&mut self, event: &JobEvent, ctx: &mut dyn SchedulerContext) {
+        self.inner.application_stat(event, ctx);
+    }
+
+    fn on_iteration_finish(
+        &mut self,
+        event: &JobEvent,
+        ctx: &mut dyn SchedulerContext,
+    ) -> JobDecision {
+        match self.inner.on_iteration_finish(event, ctx) {
+            JobDecision::Terminate => JobDecision::Terminate,
+            JobDecision::Suspend => {
+                self.suspensions += 1;
+                JobDecision::Suspend
+            }
+            JobDecision::Continue => {
+                // Barrier: yield at every round boundary while others wait.
+                if event.epoch.is_multiple_of(self.round_epochs) && ctx.idle_job_count() > 0 {
+                    self.suspensions += 1;
+                    JobDecision::Suspend
+                } else {
+                    JobDecision::Continue
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperdrive_framework::testing::MockContext;
+    use hyperdrive_framework::DefaultPolicy;
+    use hyperdrive_types::{JobId, SimTime};
+
+    fn event(job: u64, epoch: u32) -> JobEvent {
+        JobEvent {
+            job: JobId::new(job),
+            epoch,
+            value: 0.5,
+            now: SimTime::from_mins(f64::from(epoch)),
+        }
+    }
+
+    #[test]
+    fn yields_at_round_boundaries_when_work_waits() {
+        let mut ctx = MockContext::new(1);
+        ctx.idle_jobs = vec![JobId::new(1)];
+        let mut policy = BarrierPolicy::new(DefaultPolicy::new(), 1);
+        assert_eq!(policy.on_iteration_finish(&event(0, 1), &mut ctx), JobDecision::Suspend);
+        assert_eq!(policy.suspensions(), 1);
+    }
+
+    #[test]
+    fn continues_when_queue_is_empty() {
+        let mut ctx = MockContext::new(1);
+        let mut policy = BarrierPolicy::new(DefaultPolicy::new(), 1);
+        assert_eq!(policy.on_iteration_finish(&event(0, 1), &mut ctx), JobDecision::Continue);
+        assert_eq!(policy.suspensions(), 0);
+    }
+
+    #[test]
+    fn respects_round_length() {
+        let mut ctx = MockContext::new(1);
+        ctx.idle_jobs = vec![JobId::new(1)];
+        let mut policy = BarrierPolicy::new(DefaultPolicy::new(), 5);
+        for epoch in 1..5 {
+            assert_eq!(
+                policy.on_iteration_finish(&event(0, epoch), &mut ctx),
+                JobDecision::Continue,
+                "mid-round epoch {epoch}"
+            );
+        }
+        assert_eq!(policy.on_iteration_finish(&event(0, 5), &mut ctx), JobDecision::Suspend);
+    }
+
+    #[test]
+    fn inner_terminations_pass_through() {
+        struct Kill;
+        impl SchedulingPolicy for Kill {
+            fn name(&self) -> &str {
+                "kill"
+            }
+            fn on_iteration_finish(
+                &mut self,
+                _event: &JobEvent,
+                _ctx: &mut dyn SchedulerContext,
+            ) -> JobDecision {
+                JobDecision::Terminate
+            }
+        }
+        let mut ctx = MockContext::new(1);
+        ctx.idle_jobs = vec![JobId::new(1)];
+        let mut policy = BarrierPolicy::new(Kill, 1);
+        assert_eq!(policy.on_iteration_finish(&event(0, 1), &mut ctx), JobDecision::Terminate);
+    }
+
+    #[test]
+    fn breadth_first_rounds_in_simulation() {
+        use hyperdrive_framework::{ExperimentSpec, ExperimentWorkload};
+        use hyperdrive_sim::run_sim;
+        use hyperdrive_workload::CifarWorkload;
+
+        // 6 jobs, 1 machine, rounds of 2 epochs: every job should make
+        // progress before any job finishes (breadth-first), unlike FIFO.
+        let w = CifarWorkload::new().with_max_epochs(8);
+        let ew = ExperimentWorkload::from_workload(&w, 6, 3);
+        let spec = ExperimentSpec::new(1)
+            .with_stop_on_target(false)
+            .with_tmax(hyperdrive_types::SimTime::from_hours(48.0));
+        let mut policy = BarrierPolicy::new(DefaultPolicy::new(), 2);
+        let result = run_sim(&mut policy, &ew, spec);
+        assert!(policy.suspensions() > 6, "rounds require repeated yielding");
+        assert_eq!(result.total_epochs, 6 * 8, "all work still completes");
+        assert!(
+            result.outcomes.iter().all(|o| o.epochs == 8),
+            "every job ran to completion across rounds"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one epoch")]
+    fn zero_round_rejected() {
+        let _ = BarrierPolicy::new(DefaultPolicy::new(), 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! User-defined global termination criteria (§9 "Ongoing Work").
+//!
+//! The paper reports "significantly reduced training times by enabling
+//! user-defined global termination criteria through HyperDrive's SAP API"
+//! for the LSTM group-lasso scenario: the experiment should stop as soon
+//! as *any* configuration simultaneously satisfies conditions on several
+//! monitored metrics (e.g. perplexity below a bound *and* sparsity above a
+//! bound).
+//!
+//! [`GlobalCriterionPolicy`] wraps any inner [`SchedulingPolicy`]: it
+//! forwards all up-calls unchanged, and additionally evaluates a
+//! user-supplied predicate over each job's primary and secondary metric
+//! histories. When the predicate holds, it requests experiment stop via
+//! [`SchedulerContext::request_stop`].
+
+use hyperdrive_framework::{
+    JobDecision, JobEvent, SchedulerContext, SchedulingPolicy,
+};
+use hyperdrive_types::{JobId, LearningCurve, SimTime};
+
+/// The view a criterion receives of one job at an iteration boundary.
+#[derive(Debug)]
+pub struct CriterionView<'a> {
+    /// The job under evaluation.
+    pub job: JobId,
+    /// Epoch it just finished.
+    pub epoch: u32,
+    /// Primary-metric history.
+    pub primary: &'a LearningCurve,
+    /// Secondary-metric history, if the workload reports one.
+    pub secondary: Option<&'a LearningCurve>,
+}
+
+/// A user-defined global termination predicate.
+pub type Criterion = Box<dyn FnMut(&CriterionView<'_>) -> bool + Send>;
+
+/// Wraps an inner policy with a global termination criterion.
+pub struct GlobalCriterionPolicy<P> {
+    inner: P,
+    criterion: Criterion,
+    satisfied: Option<(JobId, u32, SimTime)>,
+}
+
+impl<P: SchedulingPolicy> GlobalCriterionPolicy<P> {
+    /// Wraps `inner`; the experiment stops once `criterion` returns true
+    /// for any job.
+    pub fn new(
+        inner: P,
+        criterion: impl FnMut(&CriterionView<'_>) -> bool + Send + 'static,
+    ) -> Self {
+        GlobalCriterionPolicy { inner, criterion: Box::new(criterion), satisfied: None }
+    }
+
+    /// The job, epoch, and time at which the criterion fired, if it did.
+    pub fn satisfied_by(&self) -> Option<(JobId, u32, SimTime)> {
+        self.satisfied
+    }
+
+    /// The wrapped policy.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: SchedulingPolicy> SchedulingPolicy for GlobalCriterionPolicy<P> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn allocate_jobs(&mut self, ctx: &mut dyn SchedulerContext) {
+        self.inner.allocate_jobs(ctx);
+    }
+
+    fn application_stat(&mut self, event: &JobEvent, ctx: &mut dyn SchedulerContext) {
+        self.inner.application_stat(event, ctx);
+    }
+
+    fn on_iteration_finish(
+        &mut self,
+        event: &JobEvent,
+        ctx: &mut dyn SchedulerContext,
+    ) -> JobDecision {
+        if self.satisfied.is_none() {
+            let primary = ctx.curve(event.job);
+            let secondary = ctx.secondary_curve(event.job);
+            if let Some(primary) = primary {
+                let view = CriterionView {
+                    job: event.job,
+                    epoch: event.epoch,
+                    primary: &primary,
+                    secondary: secondary.as_ref(),
+                };
+                if (self.criterion)(&view) {
+                    self.satisfied = Some((event.job, event.epoch, event.now));
+                    ctx.request_stop();
+                    return JobDecision::Continue;
+                }
+            }
+        }
+        self.inner.on_iteration_finish(event, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperdrive_framework::testing::MockContext;
+    use hyperdrive_framework::DefaultPolicy;
+    use hyperdrive_types::{MetricKind, SimTime};
+
+    fn event(job: u64, epoch: u32, value: f64) -> JobEvent {
+        JobEvent {
+            job: JobId::new(job),
+            epoch,
+            value,
+            now: SimTime::from_mins(f64::from(epoch)),
+        }
+    }
+
+    fn install_secondary(ctx: &mut MockContext, job: JobId, values: &[f64]) {
+        let mut c = LearningCurve::new(MetricKind::Accuracy);
+        for (i, v) in values.iter().enumerate() {
+            c.push(i as u32 + 1, SimTime::from_mins(i as f64 + 1.0), *v);
+        }
+        ctx.secondary_curves.insert(job, c);
+    }
+
+    #[test]
+    fn criterion_fires_and_requests_stop() {
+        let mut ctx = MockContext::new(2);
+        ctx.push_curve(JobId::new(0), &[0.2, 0.5, 0.9], 60.0);
+        install_secondary(&mut ctx, JobId::new(0), &[0.1, 0.4, 0.7]);
+        let mut policy = GlobalCriterionPolicy::new(DefaultPolicy::new(), |view| {
+            // Primary >= 0.85 AND secondary >= 0.6 simultaneously.
+            view.primary.last_value().is_some_and(|p| p >= 0.85)
+                && view
+                    .secondary
+                    .and_then(|s| s.last_value())
+                    .is_some_and(|s| s >= 0.6)
+        });
+        assert_eq!(
+            policy.on_iteration_finish(&event(0, 3, 0.9), &mut ctx),
+            JobDecision::Continue
+        );
+        assert!(ctx.stop_requested, "criterion must stop the experiment");
+        let (job, epoch, _) = policy.satisfied_by().expect("criterion fired");
+        assert_eq!(job, JobId::new(0));
+        assert_eq!(epoch, 3);
+    }
+
+    #[test]
+    fn criterion_does_not_fire_on_partial_satisfaction() {
+        let mut ctx = MockContext::new(2);
+        ctx.push_curve(JobId::new(0), &[0.9], 60.0);
+        install_secondary(&mut ctx, JobId::new(0), &[0.1]); // sparsity too low
+        let mut policy = GlobalCriterionPolicy::new(DefaultPolicy::new(), |view| {
+            view.primary.last_value().is_some_and(|p| p >= 0.85)
+                && view
+                    .secondary
+                    .and_then(|s| s.last_value())
+                    .is_some_and(|s| s >= 0.6)
+        });
+        policy.on_iteration_finish(&event(0, 1, 0.9), &mut ctx);
+        assert!(!ctx.stop_requested);
+        assert!(policy.satisfied_by().is_none());
+    }
+
+    #[test]
+    fn inner_policy_decisions_pass_through() {
+        struct KillAll;
+        impl SchedulingPolicy for KillAll {
+            fn name(&self) -> &str {
+                "kill-all"
+            }
+            fn on_iteration_finish(
+                &mut self,
+                _event: &JobEvent,
+                _ctx: &mut dyn SchedulerContext,
+            ) -> JobDecision {
+                JobDecision::Terminate
+            }
+        }
+        let mut ctx = MockContext::new(1);
+        ctx.push_curve(JobId::new(0), &[0.1], 60.0);
+        let mut policy = GlobalCriterionPolicy::new(KillAll, |_| false);
+        assert_eq!(policy.name(), "kill-all");
+        assert_eq!(
+            policy.on_iteration_finish(&event(0, 1, 0.1), &mut ctx),
+            JobDecision::Terminate
+        );
+    }
+
+    #[test]
+    fn missing_secondary_is_visible_to_the_criterion() {
+        let mut ctx = MockContext::new(1);
+        ctx.push_curve(JobId::new(0), &[0.9], 60.0);
+        // Fire exactly when the secondary metric is absent: if the view
+        // hid the absence this criterion could never trigger.
+        let mut policy =
+            GlobalCriterionPolicy::new(DefaultPolicy::new(), |view| view.secondary.is_none());
+        policy.on_iteration_finish(&event(0, 1, 0.9), &mut ctx);
+        assert!(ctx.stop_requested, "criterion sees the absence of a secondary metric");
+    }
+}

@@ -1,0 +1,176 @@
+//! An asynchronous successive-halving policy (Hyperband-style).
+//!
+//! Hyperband (Li et al., ICLR '17) is discussed in the paper's related work
+//! (§8) as a sequential bandit-based pruning approach; this implementation
+//! is the extension ablation called out in DESIGN.md. It follows the
+//! asynchronous successive-halving formulation (promotion without global
+//! barriers, as in ASHA), which fits HyperDrive's schedule-as-it-goes
+//! execution model: at each rung `r_k = b · η^k`, a job survives only if
+//! its current performance ranks in the top `1/η` of all observations
+//! recorded at that rung so far.
+
+use std::collections::HashMap;
+
+use hyperdrive_framework::{JobDecision, JobEvent, SchedulerContext, SchedulingPolicy};
+
+/// Configuration for [`HyperbandPolicy`].
+#[derive(Debug, Clone, Copy)]
+pub struct HyperbandConfig {
+    /// Halving factor η (3 is the standard choice).
+    pub eta: u32,
+    /// First rung in epochs; `None` uses the workload's evaluation
+    /// boundary.
+    pub min_rung: Option<u32>,
+}
+
+impl Default for HyperbandConfig {
+    fn default() -> Self {
+        HyperbandConfig { eta: 3, min_rung: None }
+    }
+}
+
+/// Asynchronous successive halving.
+#[derive(Debug, Default)]
+pub struct HyperbandPolicy {
+    config: HyperbandConfig,
+    /// Observed performance per rung (epoch -> values seen at that rung).
+    rungs: HashMap<u32, Vec<f64>>,
+}
+
+impl HyperbandPolicy {
+    /// Creates the policy with η = 3 and the workload's boundary as the
+    /// first rung.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the policy with explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta < 2`.
+    pub fn with_config(config: HyperbandConfig) -> Self {
+        assert!(config.eta >= 2, "eta must be at least 2");
+        HyperbandPolicy { config, rungs: HashMap::new() }
+    }
+
+    /// True if `epoch` is a rung boundary `min_rung * eta^k`.
+    fn is_rung(&self, epoch: u32, min_rung: u32) -> bool {
+        let mut rung = min_rung.max(1);
+        while rung <= epoch {
+            if rung == epoch {
+                return true;
+            }
+            match rung.checked_mul(self.config.eta) {
+                Some(next) => rung = next,
+                None => return false,
+            }
+        }
+        false
+    }
+}
+
+impl SchedulingPolicy for HyperbandPolicy {
+    fn name(&self) -> &str {
+        "hyperband"
+    }
+
+    fn on_iteration_finish(
+        &mut self,
+        event: &JobEvent,
+        ctx: &mut dyn SchedulerContext,
+    ) -> JobDecision {
+        let min_rung = self.config.min_rung.unwrap_or_else(|| ctx.eval_boundary()).max(1);
+        if !self.is_rung(event.epoch, min_rung) {
+            return JobDecision::Continue;
+        }
+        let values = self.rungs.entry(event.epoch).or_default();
+        values.push(event.value);
+        // Survive if among the top 1/eta of observations at this rung.
+        let n = values.len();
+        let promoted = (n / self.config.eta as usize).max(1);
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).expect("metric values are not NaN"));
+        let cutoff = sorted[promoted - 1];
+        if event.value >= cutoff {
+            JobDecision::Continue
+        } else {
+            JobDecision::Terminate
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperdrive_framework::testing::MockContext;
+    use hyperdrive_types::{JobId, SimTime};
+
+    fn event(job: u64, epoch: u32, value: f64) -> JobEvent {
+        JobEvent {
+            job: JobId::new(job),
+            epoch,
+            value,
+            now: SimTime::from_mins(epoch as f64),
+        }
+    }
+
+    #[test]
+    fn rung_detection() {
+        let policy = HyperbandPolicy::new();
+        for (epoch, expect) in
+            [(10, true), (20, false), (30, true), (90, true), (60, false), (270, true)]
+        {
+            assert_eq!(policy.is_rung(epoch, 10), expect, "epoch {epoch}");
+        }
+    }
+
+    #[test]
+    fn first_job_at_a_rung_is_promoted() {
+        let mut ctx = MockContext::new(2);
+        let mut policy = HyperbandPolicy::new();
+        assert_eq!(
+            policy.on_iteration_finish(&event(0, 10, 0.2), &mut ctx),
+            JobDecision::Continue
+        );
+    }
+
+    #[test]
+    fn bottom_of_rung_is_terminated() {
+        let mut ctx = MockContext::new(2);
+        let mut policy = HyperbandPolicy::new();
+        // Three jobs hit rung 10; with eta=3 only the best survives as the
+        // observation set grows.
+        assert_eq!(
+            policy.on_iteration_finish(&event(0, 10, 0.5), &mut ctx),
+            JobDecision::Continue
+        );
+        assert_eq!(
+            policy.on_iteration_finish(&event(1, 10, 0.6), &mut ctx),
+            JobDecision::Continue,
+            "new best at rung"
+        );
+        assert_eq!(
+            policy.on_iteration_finish(&event(2, 10, 0.1), &mut ctx),
+            JobDecision::Terminate,
+            "worst of three at rung"
+        );
+    }
+
+    #[test]
+    fn non_rung_epochs_pass_through() {
+        let mut ctx = MockContext::new(2);
+        let mut policy = HyperbandPolicy::new();
+        assert_eq!(
+            policy.on_iteration_finish(&event(0, 7, 0.0), &mut ctx),
+            JobDecision::Continue
+        );
+        assert!(policy.rungs.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "eta must be at least 2")]
+    fn eta_one_rejected() {
+        let _ = HyperbandPolicy::with_config(HyperbandConfig { eta: 1, min_rung: None });
+    }
+}

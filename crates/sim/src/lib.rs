@@ -1,0 +1,200 @@
+//! Trace-driven discrete-event simulation of HyperDrive experiments.
+//!
+//! §7.1 of the paper: "Simulator Engine is a trace-driven discrete event
+//! simulator that accurately emulates the execution process of HyperDrive,
+//! i.e., the order of configurations and the resource management logic",
+//! with a "Pluggable Scheduling Policy". This crate is that engine: it
+//! drives the same [`ExperimentEngine`] (and therefore the same Resource
+//! Manager / Job Manager / SAP up-calls) as the live executor, but elapses
+//! commands on a virtual clock, making runs deterministic and thousands of
+//! times faster than wall-clock execution.
+//!
+//! Feed it synthetic workloads (`ExperimentWorkload::from_workload`) or
+//! recorded traces (`ExperimentWorkload::from_traces`) — the latter is the
+//! paper's configuration for all of §7's sensitivity analyses.
+//!
+//! # Example
+//!
+//! ```
+//! use hyperdrive_framework::{DefaultPolicy, ExperimentSpec, ExperimentWorkload};
+//! use hyperdrive_sim::run_sim;
+//! use hyperdrive_workload::CifarWorkload;
+//!
+//! let workload = CifarWorkload::new().with_max_epochs(5);
+//! let experiment = ExperimentWorkload::from_workload(&workload, 8, 42);
+//! let mut policy = DefaultPolicy::new();
+//! let result = run_sim(&mut policy, &experiment, ExperimentSpec::new(4));
+//! assert!(result.end_time > hyperdrive_types::SimTime::ZERO);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod queue;
+mod stepper;
+
+pub use queue::EventQueue;
+pub use stepper::{Simulation, StepOutcome};
+
+use hyperdrive_framework::{
+    Command, EngineEvent, ExperimentEngine, ExperimentResult, ExperimentSpec,
+    ExperimentWorkload, SchedulingPolicy,
+};
+use hyperdrive_types::SimTime;
+
+/// Runs one experiment to completion on the virtual clock.
+///
+/// Identical semantics to [`hyperdrive_framework::run_live`] up to event
+/// ordering: the simulator resolves simultaneous completions
+/// deterministically (schedule order), while the live executor resolves
+/// them by thread timing. Fig 12a quantifies the resulting gap.
+pub fn run_sim(
+    policy: &mut dyn SchedulingPolicy,
+    workload: &ExperimentWorkload,
+    spec: ExperimentSpec,
+) -> ExperimentResult {
+    let mut engine = ExperimentEngine::new(policy, workload, spec);
+    let mut queue: EventQueue<EngineEvent> = EventQueue::new();
+    let mut now = SimTime::ZERO;
+
+    let schedule = |cmds: Vec<Command>, now: SimTime, queue: &mut EventQueue<EngineEvent>| -> bool {
+        let mut stop = false;
+        for cmd in cmds {
+            match cmd {
+                Command::RunEpoch { job, duration, .. } => {
+                    queue.schedule(now + duration, EngineEvent::EpochDone { job });
+                }
+                Command::Suspend { job, latency, .. } => {
+                    queue.schedule(now + latency, EngineEvent::SuspendDone { job });
+                }
+                Command::Stop => stop = true,
+            }
+        }
+        stop
+    };
+
+    let mut stopping = schedule(engine.start(), now, &mut queue);
+    while !stopping {
+        let Some((t, event)) = queue.pop() else {
+            break; // all jobs finished
+        };
+        now = t;
+        let cmds = engine.handle(event, now);
+        stopping = schedule(cmds, now, &mut queue) || engine.stopped();
+    }
+    engine.into_result(now)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperdrive_framework::{DefaultPolicy, JobEnd};
+    use hyperdrive_workload::{CifarWorkload, LunarWorkload, TraceSet, Workload};
+
+    fn cifar_experiment(n: usize, epochs: u32, seed: u64) -> ExperimentWorkload {
+        let w = CifarWorkload::new().with_max_epochs(epochs);
+        ExperimentWorkload::from_workload(&w, n, seed)
+    }
+
+    #[test]
+    fn default_policy_runs_everything() {
+        let ew = cifar_experiment(6, 4, 1);
+        let mut policy = DefaultPolicy::new();
+        let spec = ExperimentSpec::new(2).with_stop_on_target(false);
+        let result = run_sim(&mut policy, &ew, spec);
+        assert_eq!(result.total_epochs, 6 * 4);
+        assert!(result.outcomes.iter().all(|o| o.end == JobEnd::Completed));
+        // With 2 machines and 6 jobs of ~4 minutes the experiment spans
+        // roughly 12 job-minutes of work per machine.
+        assert!(result.end_time > SimTime::from_mins(8.0));
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let ew = cifar_experiment(10, 6, 3);
+        let spec = ExperimentSpec::new(3).with_stop_on_target(false).with_seed(9);
+        let mut p1 = DefaultPolicy::new();
+        let r1 = run_sim(&mut p1, &ew, spec);
+        let mut p2 = DefaultPolicy::new();
+        let r2 = run_sim(&mut p2, &ew, spec);
+        assert_eq!(r1.end_time, r2.end_time);
+        assert_eq!(r1.total_epochs, r2.total_epochs);
+        for (a, b) in r1.outcomes.iter().zip(&r2.outcomes) {
+            assert_eq!(a.epochs, b.epochs);
+            assert_eq!(a.busy_time, b.busy_time);
+        }
+    }
+
+    #[test]
+    fn stops_at_target() {
+        let ew = cifar_experiment(6, 20, 1).with_target(0.05);
+        let mut policy = DefaultPolicy::new();
+        let result = run_sim(&mut policy, &ew, ExperimentSpec::new(2));
+        assert!(result.reached_target());
+        assert!(result.time_to_target.unwrap() <= result.end_time);
+        assert!(result.total_epochs < 120, "stopped before exhaustive execution");
+    }
+
+    #[test]
+    fn respects_tmax() {
+        let ew = cifar_experiment(4, 500, 1);
+        let mut policy = DefaultPolicy::new();
+        let spec = ExperimentSpec::new(1)
+            .with_tmax(SimTime::from_mins(10.0))
+            .with_stop_on_target(false);
+        let result = run_sim(&mut policy, &ew, spec);
+        assert!(!result.reached_target() || result.time_to_target.unwrap() <= spec.tmax);
+        assert!(result.end_time >= SimTime::from_mins(10.0));
+        assert!(result.end_time < SimTime::from_mins(15.0), "stops promptly after Tmax");
+    }
+
+    #[test]
+    fn trace_replay_matches_direct_generation() {
+        // §7.1: traces collected from runs replay identically.
+        let w = CifarWorkload::new().with_max_epochs(6);
+        let traces = TraceSet::generate(&w, 5, 11);
+        let from_traces = ExperimentWorkload::from_traces(
+            &traces,
+            w.domain_knowledge(),
+            w.eval_boundary(),
+            0.77,
+            w.suspend_model(),
+        );
+        let direct = ExperimentWorkload::from_workload(&w, 5, 11);
+        let spec = ExperimentSpec::new(2).with_stop_on_target(false);
+        let mut p1 = DefaultPolicy::new();
+        let r1 = run_sim(&mut p1, &from_traces, spec);
+        let mut p2 = DefaultPolicy::new();
+        let r2 = run_sim(&mut p2, &direct, spec);
+        assert_eq!(r1.total_epochs, r2.total_epochs);
+        assert!((r1.end_time.as_secs() - r2.end_time.as_secs()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lunar_workload_runs() {
+        let w = LunarWorkload::new().with_max_blocks(10);
+        let ew = ExperimentWorkload::from_workload(&w, 5, 2);
+        let mut policy = DefaultPolicy::new();
+        let spec = ExperimentSpec::new(3).with_stop_on_target(false);
+        let result = run_sim(&mut policy, &ew, spec);
+        assert_eq!(result.total_epochs, 50);
+    }
+
+    #[test]
+    fn sim_agrees_with_live_executor() {
+        // Fig 12a in miniature: same workload, same policy, both executors;
+        // virtual end times should agree closely (the paper reports max
+        // error 13%; Default policy with no suspends should be much
+        // tighter, modulo sleep overshoot in the live backend).
+        let ew = cifar_experiment(4, 3, 21);
+        let spec = ExperimentSpec::new(2).with_stop_on_target(false);
+        let mut p_sim = DefaultPolicy::new();
+        let sim = run_sim(&mut p_sim, &ew, spec);
+        let mut p_live = DefaultPolicy::new();
+        let live = hyperdrive_framework::run_live(&mut p_live, &ew, spec, 60_000.0);
+        assert_eq!(sim.total_epochs, live.total_epochs);
+        let err = (sim.end_time.as_secs() - live.end_time.as_secs()).abs()
+            / sim.end_time.as_secs();
+        assert!(err < 0.25, "sim {} vs live {} ({err})", sim.end_time, live.end_time);
+    }
+}

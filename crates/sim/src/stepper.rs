@@ -1,0 +1,239 @@
+//! Step-by-step simulation driving.
+//!
+//! [`run_sim`](crate::run_sim) executes an experiment to completion in one
+//! call. [`Simulation`] exposes the same discrete-event loop one event at a
+//! time, so callers can inspect scheduler state between events — for
+//! debugging policies, teaching, recording custom telemetry, or embedding
+//! the simulator in an outer control loop.
+//!
+//! # Example
+//!
+//! ```
+//! use hyperdrive_framework::{DefaultPolicy, ExperimentSpec, ExperimentWorkload};
+//! use hyperdrive_sim::Simulation;
+//! use hyperdrive_workload::CifarWorkload;
+//!
+//! let workload = CifarWorkload::new().with_max_epochs(3);
+//! let experiment = ExperimentWorkload::from_workload(&workload, 4, 1);
+//! let mut policy = DefaultPolicy::new();
+//! let mut sim = Simulation::new(
+//!     &mut policy,
+//!     &experiment,
+//!     ExperimentSpec::new(2).with_stop_on_target(false),
+//! );
+//! let mut steps: u64 = 0;
+//! while sim.step().is_some() {
+//!     steps += 1;
+//! }
+//! let result = sim.finish();
+//! assert_eq!(u64::from(steps), result.total_epochs);
+//! ```
+
+use hyperdrive_framework::{
+    Command, EngineEvent, ExperimentEngine, ExperimentResult, ExperimentSpec,
+    ExperimentWorkload, SchedulingPolicy,
+};
+use hyperdrive_types::SimTime;
+
+use crate::queue::EventQueue;
+
+/// What one [`Simulation::step`] processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// The event that was delivered to the engine.
+    pub event: EngineEvent,
+    /// The virtual time at which it occurred.
+    pub time: SimTime,
+}
+
+/// A resumable, inspectable discrete-event simulation of one experiment.
+pub struct Simulation<'w, 'p> {
+    engine: ExperimentEngine<'w, 'p>,
+    queue: EventQueue<EngineEvent>,
+    now: SimTime,
+    stopping: bool,
+}
+
+impl<'w, 'p> Simulation<'w, 'p> {
+    /// Sets up the simulation and schedules the initial job starts.
+    pub fn new(
+        policy: &'p mut dyn SchedulingPolicy,
+        workload: &'w ExperimentWorkload,
+        spec: ExperimentSpec,
+    ) -> Self {
+        let mut engine = ExperimentEngine::new(policy, workload, spec);
+        let mut queue = EventQueue::new();
+        let now = SimTime::ZERO;
+        let stopping = schedule(engine.start(), now, &mut queue);
+        Simulation { engine, queue, now, stopping }
+    }
+
+    /// Processes the next pending event. Returns `None` once the
+    /// experiment has stopped (goal, `Tmax`, or all work drained).
+    pub fn step(&mut self) -> Option<StepOutcome> {
+        if self.stopping {
+            return None;
+        }
+        let (t, event) = self.queue.pop()?;
+        self.now = t;
+        let cmds = self.engine.handle(event, t);
+        self.stopping = schedule(cmds, t, &mut self.queue) || self.engine.stopped();
+        Some(StepOutcome { event, time: t })
+    }
+
+    /// Runs at most `n` steps, returning how many were processed.
+    pub fn step_n(&mut self, n: usize) -> usize {
+        (0..n).take_while(|_| self.step().is_some()).count()
+    }
+
+    /// Runs until the virtual clock reaches `until` (or the experiment
+    /// stops), returning the number of events processed.
+    pub fn run_until(&mut self, until: SimTime) -> usize {
+        let mut processed = 0;
+        while !self.stopping {
+            match self.queue.peek_time() {
+                Some(t) if t <= until => {
+                    if self.step().is_none() {
+                        break;
+                    }
+                    processed += 1;
+                }
+                _ => break,
+            }
+        }
+        processed
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting in the future-event queue.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True once the experiment has stopped.
+    pub fn stopped(&self) -> bool {
+        self.stopping || self.queue.is_empty()
+    }
+
+    /// Consumes the simulation and produces the experiment result.
+    pub fn finish(self) -> ExperimentResult {
+        self.engine.into_result(self.now)
+    }
+}
+
+fn schedule(cmds: Vec<Command>, now: SimTime, queue: &mut EventQueue<EngineEvent>) -> bool {
+    let mut stop = false;
+    for cmd in cmds {
+        match cmd {
+            Command::RunEpoch { job, duration, .. } => {
+                queue.schedule(now + duration, EngineEvent::EpochDone { job });
+            }
+            Command::Suspend { job, latency, .. } => {
+                queue.schedule(now + latency, EngineEvent::SuspendDone { job });
+            }
+            Command::Stop => stop = true,
+        }
+    }
+    stop
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_sim;
+    use hyperdrive_framework::DefaultPolicy;
+    use hyperdrive_workload::CifarWorkload;
+
+    fn experiment(n: usize, epochs: u32) -> ExperimentWorkload {
+        let w = CifarWorkload::new().with_max_epochs(epochs);
+        ExperimentWorkload::from_workload(&w, n, 3)
+    }
+
+    #[test]
+    fn stepping_matches_run_sim_exactly() {
+        let ew = experiment(6, 5);
+        let spec = ExperimentSpec::new(2).with_stop_on_target(false).with_seed(9);
+
+        let mut p1 = DefaultPolicy::new();
+        let direct = run_sim(&mut p1, &ew, spec);
+
+        let mut p2 = DefaultPolicy::new();
+        let mut sim = Simulation::new(&mut p2, &ew, spec);
+        while sim.step().is_some() {}
+        let stepped = sim.finish();
+
+        assert_eq!(direct.end_time, stepped.end_time);
+        assert_eq!(direct.total_epochs, stepped.total_epochs);
+        for (a, b) in direct.outcomes.iter().zip(&stepped.outcomes) {
+            assert_eq!(a.epochs, b.epochs);
+            assert_eq!(a.busy_time, b.busy_time);
+        }
+    }
+
+    #[test]
+    fn events_arrive_in_time_order() {
+        let ew = experiment(5, 4);
+        let mut policy = DefaultPolicy::new();
+        let mut sim = Simulation::new(
+            &mut policy,
+            &ew,
+            ExperimentSpec::new(2).with_stop_on_target(false),
+        );
+        let mut last = SimTime::ZERO;
+        while let Some(step) = sim.step() {
+            assert!(step.time >= last, "time went backwards");
+            last = step.time;
+            assert_eq!(sim.now(), step.time);
+        }
+        assert!(sim.stopped());
+    }
+
+    #[test]
+    fn run_until_respects_the_clock() {
+        let ew = experiment(4, 10);
+        let mut policy = DefaultPolicy::new();
+        let mut sim = Simulation::new(
+            &mut policy,
+            &ew,
+            ExperimentSpec::new(2).with_stop_on_target(false),
+        );
+        let horizon = SimTime::from_mins(10.0);
+        sim.run_until(horizon);
+        assert!(sim.now() <= horizon);
+        // Remaining events are all beyond the horizon.
+        assert!(sim.pending_events() > 0);
+        // Continue to completion.
+        while sim.step().is_some() {}
+        let result = sim.finish();
+        assert_eq!(result.total_epochs, 4 * 10);
+    }
+
+    #[test]
+    fn step_n_counts_processed_events() {
+        let ew = experiment(3, 4);
+        let mut policy = DefaultPolicy::new();
+        let mut sim = Simulation::new(
+            &mut policy,
+            &ew,
+            ExperimentSpec::new(1).with_stop_on_target(false),
+        );
+        assert_eq!(sim.step_n(5), 5);
+        let rest = sim.step_n(1_000);
+        assert_eq!(5 + rest, 12, "3 jobs x 4 epochs in total");
+        assert_eq!(sim.step_n(10), 0, "no events after completion");
+    }
+
+    #[test]
+    fn stop_on_target_halts_stepping() {
+        let ew = experiment(4, 20).with_target(0.05);
+        let mut policy = DefaultPolicy::new();
+        let mut sim = Simulation::new(&mut policy, &ew, ExperimentSpec::new(2));
+        while sim.step().is_some() {}
+        let result = sim.finish();
+        assert!(result.reached_target());
+    }
+}

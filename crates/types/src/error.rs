@@ -1,0 +1,99 @@
+//! Error handling shared across the workspace.
+
+use std::fmt;
+
+/// A specialized `Result` using [`enum@Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by HyperDrive components.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A caller supplied an invalid parameter (message describes which).
+    InvalidParameter(String),
+    /// A job id was not known to the component that received it.
+    UnknownJob(u64),
+    /// A machine id was not known to the Resource Manager.
+    UnknownMachine(u64),
+    /// An operation was attempted in a job state that does not allow it
+    /// (e.g. resuming a job that is not suspended).
+    InvalidJobState {
+        /// The job the operation targeted.
+        job: u64,
+        /// Human-readable description of the violated transition.
+        detail: String,
+    },
+    /// The hyperparameter generator was exhausted (grid search ran out of
+    /// points).
+    GeneratorExhausted,
+    /// Curve fitting failed to produce a usable model (e.g. too few
+    /// observations).
+    CurveFit(String),
+    /// A trace file could not be parsed.
+    TraceFormat(String),
+    /// An I/O error, stringified to keep the error type `Clone + PartialEq`.
+    Io(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Error::UnknownJob(id) => write!(f, "unknown job id {id}"),
+            Error::UnknownMachine(id) => write!(f, "unknown machine id {id}"),
+            Error::InvalidJobState { job, detail } => {
+                write!(f, "invalid state for job {job}: {detail}")
+            }
+            Error::GeneratorExhausted => write!(f, "hyperparameter generator exhausted"),
+            Error::CurveFit(msg) => write!(f, "curve fit failed: {msg}"),
+            Error::TraceFormat(msg) => write!(f, "malformed trace: {msg}"),
+            Error::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(err: std::io::Error) -> Self {
+        Error::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_trailing_punctuation() {
+        let cases: Vec<Error> = vec![
+            Error::InvalidParameter("x must be positive".into()),
+            Error::UnknownJob(3),
+            Error::UnknownMachine(4),
+            Error::InvalidJobState { job: 1, detail: "resume while running".into() },
+            Error::GeneratorExhausted,
+            Error::CurveFit("too few points".into()),
+            Error::TraceFormat("line 7".into()),
+            Error::Io("disk on fire".into()),
+        ];
+        for e in cases {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'), "no trailing period in {s:?}");
+            assert!(s.chars().next().unwrap().is_lowercase(), "lowercase start in {s:?}");
+        }
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

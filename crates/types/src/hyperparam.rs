@@ -1,0 +1,539 @@
+//! Hyperparameter spaces and concrete configurations.
+//!
+//! A [`HyperParamSpace`] declares named parameters with search ranges
+//! (continuous, optionally log-scaled; integer; categorical). Generators
+//! sample or enumerate the space to produce [`Configuration`]s — the
+//! "specific set of hyperparameter values" the paper schedules as jobs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rand::Rng;
+
+use crate::error::{Error, Result};
+
+/// The search range of a single hyperparameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamRange {
+    /// A continuous value in `[low, high]`. If `log` is true the value is
+    /// sampled log-uniformly (standard for learning rates and
+    /// regularization strengths).
+    Continuous {
+        /// Lower bound (inclusive).
+        low: f64,
+        /// Upper bound (inclusive).
+        high: f64,
+        /// Sample log-uniformly instead of uniformly.
+        log: bool,
+    },
+    /// An integer value in `[low, high]`.
+    Integer {
+        /// Lower bound (inclusive).
+        low: i64,
+        /// Upper bound (inclusive).
+        high: i64,
+    },
+    /// One of a fixed set of choices.
+    Categorical(Vec<String>),
+}
+
+impl ParamRange {
+    /// Validates internal consistency.
+    fn validate(&self, name: &str) -> Result<()> {
+        match self {
+            ParamRange::Continuous { low, high, log } => {
+                if !low.is_finite() || !high.is_finite() || low >= high {
+                    return Err(Error::InvalidParameter(format!(
+                        "parameter {name}: continuous range must satisfy low < high, got [{low}, {high}]"
+                    )));
+                }
+                if *log && *low <= 0.0 {
+                    return Err(Error::InvalidParameter(format!(
+                        "parameter {name}: log-scaled range requires low > 0, got {low}"
+                    )));
+                }
+                Ok(())
+            }
+            ParamRange::Integer { low, high } => {
+                if low > high {
+                    return Err(Error::InvalidParameter(format!(
+                        "parameter {name}: integer range must satisfy low <= high, got [{low}, {high}]"
+                    )));
+                }
+                Ok(())
+            }
+            ParamRange::Categorical(choices) => {
+                if choices.is_empty() {
+                    return Err(Error::InvalidParameter(format!(
+                        "parameter {name}: categorical range needs at least one choice"
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Draws one value uniformly (or log-uniformly) from the range.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> ParamValue {
+        match self {
+            ParamRange::Continuous { low, high, log } => {
+                let v = if *log {
+                    let (ll, lh) = (low.ln(), high.ln());
+                    rng.gen_range(ll..=lh).exp()
+                } else {
+                    rng.gen_range(*low..=*high)
+                };
+                ParamValue::Float(v)
+            }
+            ParamRange::Integer { low, high } => ParamValue::Int(rng.gen_range(*low..=*high)),
+            ParamRange::Categorical(choices) => {
+                let i = rng.gen_range(0..choices.len());
+                ParamValue::Choice(choices[i].clone())
+            }
+        }
+    }
+
+    /// Enumerates `n` evenly spaced values for grid search. Categorical
+    /// parameters return all choices regardless of `n`; integer ranges are
+    /// subsampled evenly when they contain more than `n` values.
+    pub fn grid(&self, n: usize) -> Vec<ParamValue> {
+        let n = n.max(1);
+        match self {
+            ParamRange::Continuous { low, high, log } => {
+                if n == 1 {
+                    let mid = if *log {
+                        ((low.ln() + high.ln()) / 2.0).exp()
+                    } else {
+                        (low + high) / 2.0
+                    };
+                    return vec![ParamValue::Float(mid)];
+                }
+                (0..n)
+                    .map(|i| {
+                        let t = i as f64 / (n - 1) as f64;
+                        let v = if *log {
+                            (low.ln() + t * (high.ln() - low.ln())).exp()
+                        } else {
+                            low + t * (high - low)
+                        };
+                        ParamValue::Float(v)
+                    })
+                    .collect()
+            }
+            ParamRange::Integer { low, high } => {
+                let span = (high - low) as usize + 1;
+                if span <= n {
+                    (*low..=*high).map(ParamValue::Int).collect()
+                } else {
+                    (0..n)
+                        .map(|i| {
+                            let t = i as f64 / (n - 1).max(1) as f64;
+                            ParamValue::Int(low + (t * (high - low) as f64).round() as i64)
+                        })
+                        .collect()
+                }
+            }
+            ParamRange::Categorical(choices) => {
+                choices.iter().cloned().map(ParamValue::Choice).collect()
+            }
+        }
+    }
+}
+
+/// A concrete value assigned to a hyperparameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// Continuous value.
+    Float(f64),
+    /// Integer value.
+    Int(i64),
+    /// Categorical choice.
+    Choice(String),
+}
+
+impl ParamValue {
+    /// Returns the value as `f64` where that makes sense (floats and ints);
+    /// categorical choices return `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            ParamValue::Float(v) => Some(*v),
+            ParamValue::Int(v) => Some(*v as f64),
+            ParamValue::Choice(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::Float(v) => write!(f, "{v}"),
+            ParamValue::Int(v) => write!(f, "{v}"),
+            ParamValue::Choice(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A named set of hyperparameter ranges.
+///
+/// # Example
+///
+/// ```
+/// use hyperdrive_types::{HyperParamSpace, ParamRange};
+/// use rand::SeedableRng;
+///
+/// let space = HyperParamSpace::builder()
+///     .continuous_log("learning_rate", 1e-5, 1.0)
+///     .continuous("momentum", 0.0, 0.99)
+///     .integer("hidden_layers", 1, 4)
+///     .categorical("activation", ["relu", "tanh"])
+///     .build()?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let config = space.sample(&mut rng);
+/// assert_eq!(config.len(), 4);
+/// # Ok::<(), hyperdrive_types::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HyperParamSpace {
+    params: Vec<(String, ParamRange)>,
+}
+
+impl HyperParamSpace {
+    /// Starts building a space.
+    pub fn builder() -> SpaceBuilder {
+        SpaceBuilder { params: Vec::new() }
+    }
+
+    /// The declared parameters, in declaration order.
+    pub fn params(&self) -> &[(String, ParamRange)] {
+        &self.params
+    }
+
+    /// Number of parameters (the space's dimensionality).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True if the space has no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Looks up a parameter's range by name.
+    pub fn range(&self, name: &str) -> Option<&ParamRange> {
+        self.params.iter().find(|(n, _)| n == name).map(|(_, r)| r)
+    }
+
+    /// Samples one random configuration.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Configuration {
+        let values = self
+            .params
+            .iter()
+            .map(|(name, range)| (name.clone(), range.sample(rng)))
+            .collect();
+        Configuration { values }
+    }
+
+    /// Enumerates the full cartesian grid with `per_dim` points per
+    /// dimension. The result has up to `per_dim^len()` configurations —
+    /// callers are expected to keep `per_dim` small (the paper's point is
+    /// precisely that exhaustive grids are impractical).
+    pub fn grid(&self, per_dim: usize) -> Vec<Configuration> {
+        let axes: Vec<(String, Vec<ParamValue>)> = self
+            .params
+            .iter()
+            .map(|(name, range)| (name.clone(), range.grid(per_dim)))
+            .collect();
+        let mut configs = vec![Configuration { values: BTreeMap::new() }];
+        for (name, values) in axes {
+            let mut next = Vec::with_capacity(configs.len() * values.len());
+            for base in &configs {
+                for v in &values {
+                    let mut c = base.clone();
+                    c.values.insert(name.clone(), v.clone());
+                    next.push(c);
+                }
+            }
+            configs = next;
+        }
+        configs
+    }
+}
+
+/// Builder for [`HyperParamSpace`].
+#[derive(Debug, Clone)]
+pub struct SpaceBuilder {
+    params: Vec<(String, ParamRange)>,
+}
+
+impl SpaceBuilder {
+    /// Adds a uniformly sampled continuous parameter.
+    pub fn continuous(mut self, name: impl Into<String>, low: f64, high: f64) -> Self {
+        self.params.push((name.into(), ParamRange::Continuous { low, high, log: false }));
+        self
+    }
+
+    /// Adds a log-uniformly sampled continuous parameter.
+    pub fn continuous_log(mut self, name: impl Into<String>, low: f64, high: f64) -> Self {
+        self.params.push((name.into(), ParamRange::Continuous { low, high, log: true }));
+        self
+    }
+
+    /// Adds an integer parameter.
+    pub fn integer(mut self, name: impl Into<String>, low: i64, high: i64) -> Self {
+        self.params.push((name.into(), ParamRange::Integer { low, high }));
+        self
+    }
+
+    /// Adds a categorical parameter.
+    pub fn categorical<I, S>(mut self, name: impl Into<String>, choices: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let choices = choices.into_iter().map(Into::into).collect();
+        self.params.push((name.into(), ParamRange::Categorical(choices)));
+        self
+    }
+
+    /// Finishes the build, validating every range and rejecting duplicate
+    /// names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for empty spaces, duplicate
+    /// parameter names, or invalid ranges.
+    pub fn build(self) -> Result<HyperParamSpace> {
+        if self.params.is_empty() {
+            return Err(Error::InvalidParameter("hyperparameter space is empty".into()));
+        }
+        for (i, (name, range)) in self.params.iter().enumerate() {
+            range.validate(name)?;
+            if self.params[..i].iter().any(|(n, _)| n == name) {
+                return Err(Error::InvalidParameter(format!(
+                    "duplicate hyperparameter name {name}"
+                )));
+            }
+        }
+        Ok(HyperParamSpace { params: self.params })
+    }
+}
+
+/// A concrete assignment of values to every parameter of a space.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Configuration {
+    values: BTreeMap<String, ParamValue>,
+}
+
+impl Configuration {
+    /// Creates an empty configuration; mainly useful in tests.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets one value, replacing any previous assignment.
+    pub fn set(&mut self, name: impl Into<String>, value: ParamValue) {
+        self.values.insert(name.into(), value);
+    }
+
+    /// Looks up a value by parameter name.
+    pub fn get(&self, name: &str) -> Option<&ParamValue> {
+        self.values.get(name)
+    }
+
+    /// Looks up a value and converts it to `f64` (see
+    /// [`ParamValue::as_f64`]).
+    pub fn get_f64(&self, name: &str) -> Option<f64> {
+        self.values.get(name).and_then(ParamValue::as_f64)
+    }
+
+    /// Number of assigned parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if nothing is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ParamValue)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// A stable 64-bit hash of the configuration (FNV-1a over names and
+    /// value bits, in name order). Workload generators use it to derive
+    /// configuration-*intrinsic* properties (e.g. whether an RL agent
+    /// eventually crashes) that must not change across training-noise
+    /// seeds.
+    pub fn stable_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(mut h: u64, bytes: &[u8]) -> u64 {
+            for b in bytes {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(PRIME);
+            }
+            h
+        }
+        let mut h = OFFSET;
+        for (name, value) in &self.values {
+            h = mix(h, name.as_bytes());
+            h = match value {
+                ParamValue::Float(v) => mix(h, &v.to_bits().to_le_bytes()),
+                ParamValue::Int(v) => mix(h, &v.to_le_bytes()),
+                ParamValue::Choice(s) => mix(h, s.as_bytes()),
+            };
+        }
+        h
+    }
+}
+
+impl fmt::Display for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        write!(f, "{{")?;
+        for (k, v) in &self.values {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> HyperParamSpace {
+        HyperParamSpace::builder()
+            .continuous_log("lr", 1e-5, 1.0)
+            .continuous("momentum", 0.0, 0.99)
+            .integer("layers", 1, 4)
+            .categorical("act", ["relu", "tanh", "sigmoid"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sampling_respects_ranges() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let c = s.sample(&mut rng);
+            let lr = c.get_f64("lr").unwrap();
+            assert!((1e-5..=1.0).contains(&lr), "lr {lr}");
+            let m = c.get_f64("momentum").unwrap();
+            assert!((0.0..=0.99).contains(&m));
+            let layers = c.get_f64("layers").unwrap();
+            assert!((1.0..=4.0).contains(&layers));
+            match c.get("act").unwrap() {
+                ParamValue::Choice(a) => {
+                    assert!(["relu", "tanh", "sigmoid"].contains(&a.as_str()))
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn log_sampling_spreads_across_decades() {
+        let s = HyperParamSpace::builder().continuous_log("lr", 1e-6, 1.0).build().unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut below_1e3 = 0;
+        let n = 1000;
+        for _ in 0..n {
+            let lr = s.sample(&mut rng).get_f64("lr").unwrap();
+            if lr < 1e-3 {
+                below_1e3 += 1;
+            }
+        }
+        // Log-uniform puts half the mass below the geometric midpoint 1e-3;
+        // a uniform sampler would put ~0.1% there.
+        assert!(below_1e3 > n * 4 / 10, "log sampling skew: {below_1e3}/{n}");
+    }
+
+    #[test]
+    fn grid_enumerates_cartesian_product() {
+        let s = HyperParamSpace::builder()
+            .continuous("a", 0.0, 1.0)
+            .categorical("b", ["x", "y", "z"])
+            .build()
+            .unwrap();
+        let grid = s.grid(2);
+        assert_eq!(grid.len(), 2 * 3);
+        assert!(grid.iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn grid_endpoints_are_included() {
+        let r = ParamRange::Continuous { low: 2.0, high: 6.0, log: false };
+        let g = r.grid(3);
+        assert_eq!(
+            g,
+            vec![ParamValue::Float(2.0), ParamValue::Float(4.0), ParamValue::Float(6.0)]
+        );
+    }
+
+    #[test]
+    fn integer_grid_subsamples_wide_ranges() {
+        let r = ParamRange::Integer { low: 0, high: 100 };
+        let g = r.grid(5);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g[0], ParamValue::Int(0));
+        assert_eq!(g[4], ParamValue::Int(100));
+    }
+
+    #[test]
+    fn builder_rejects_bad_inputs() {
+        assert!(HyperParamSpace::builder().build().is_err());
+        assert!(HyperParamSpace::builder().continuous("a", 1.0, 0.0).build().is_err());
+        assert!(HyperParamSpace::builder().continuous_log("a", 0.0, 1.0).build().is_err());
+        assert!(HyperParamSpace::builder()
+            .continuous("a", 0.0, 1.0)
+            .integer("a", 1, 2)
+            .build()
+            .is_err());
+        assert!(HyperParamSpace::builder()
+            .categorical("c", Vec::<String>::new())
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn configuration_display_is_deterministic() {
+        let mut c = Configuration::new();
+        c.set("b", ParamValue::Int(2));
+        c.set("a", ParamValue::Float(0.5));
+        assert_eq!(c.to_string(), "{a=0.5, b=2}");
+    }
+
+    #[test]
+    fn stable_hash_distinguishes_configs() {
+        let mut a = Configuration::new();
+        a.set("x", ParamValue::Float(0.5));
+        let mut b = Configuration::new();
+        b.set("x", ParamValue::Float(0.5000001));
+        let mut c = Configuration::new();
+        c.set("x", ParamValue::Int(1));
+        assert_eq!(a.stable_hash(), a.clone().stable_hash());
+        assert_ne!(a.stable_hash(), b.stable_hash());
+        assert_ne!(a.stable_hash(), c.stable_hash());
+        assert_ne!(Configuration::new().stable_hash(), a.stable_hash());
+    }
+
+    #[test]
+    fn same_seed_same_samples() {
+        let s = space();
+        let a: Vec<_> =
+            (0..10).scan(StdRng::seed_from_u64(9), |rng, _| Some(s.sample(rng))).collect();
+        let b: Vec<_> =
+            (0..10).scan(StdRng::seed_from_u64(9), |rng, _| Some(s.sample(rng))).collect();
+        assert_eq!(a, b);
+    }
+}

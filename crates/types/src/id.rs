@@ -1,0 +1,113 @@
+//! Typed identifiers.
+//!
+//! Newtypes keep job, machine, configuration, and experiment identifiers from
+//! being confused with each other (C-NEWTYPE). All of them are cheap `Copy`
+//! wrappers around `u64` and order by their numeric value, which the Job
+//! Manager relies on for FIFO tie-breaking.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Creates an identifier from its raw numeric value.
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw numeric value.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(id: $name) -> u64 {
+                id.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies one training job (one hyperparameter configuration being
+    /// trained). The paper uses "job" and "configuration" interchangeably in
+    /// the scheduling sections; we keep distinct [`JobId`] and [`ConfigId`]
+    /// because a generator may in principle re-issue a configuration as a new
+    /// job.
+    JobId,
+    "job-"
+);
+
+define_id!(
+    /// Identifies one machine (slot) managed by the Resource Manager. A slot
+    /// may be a physical machine or a GPU; the scheduler does not care.
+    MachineId,
+    "machine-"
+);
+
+define_id!(
+    /// Identifies one point in hyperparameter space produced by a
+    /// Hyperparameter Generator.
+    ConfigId,
+    "config-"
+);
+
+define_id!(
+    /// Identifies one experiment run (one invocation of the Experiment
+    /// Runner).
+    ExperimentId,
+    "experiment-"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_raw_values() {
+        let id = JobId::new(42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(u64::from(id), 42);
+        assert_eq!(JobId::from(42), id);
+    }
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(JobId::new(7).to_string(), "job-7");
+        assert_eq!(MachineId::new(3).to_string(), "machine-3");
+        assert_eq!(ConfigId::new(0).to_string(), "config-0");
+        assert_eq!(ExperimentId::new(1).to_string(), "experiment-1");
+    }
+
+    #[test]
+    fn ids_order_numerically() {
+        assert!(JobId::new(2) < JobId::new(10));
+        let mut v = vec![MachineId::new(3), MachineId::new(1), MachineId::new(2)];
+        v.sort();
+        assert_eq!(v, vec![MachineId::new(1), MachineId::new(2), MachineId::new(3)]);
+    }
+
+    #[test]
+    fn distinct_id_types_do_not_compare() {
+        // Compile-time property: JobId and MachineId are distinct types.
+        fn takes_job(_: JobId) {}
+        takes_job(JobId::new(1));
+    }
+}

@@ -1,0 +1,47 @@
+//! Shared vocabulary types for the HyperDrive hyperparameter-exploration
+//! framework.
+//!
+//! This crate defines the common language spoken by every other crate in the
+//! workspace: typed identifiers, virtual time, performance metrics and their
+//! normalization, learning curves, hyperparameter spaces and concrete
+//! configurations, learning-domain knowledge (kill thresholds, solved
+//! conditions), error types, and a small statistics toolbox.
+//!
+//! Nothing in this crate knows about scheduling policies, training jobs, or
+//! simulation — those live upstream. Keeping the vocabulary in one dependency-
+//! free crate lets the curve-prediction substrate, the framework, and the
+//! simulator agree on data shapes without depending on each other.
+//!
+//! # Example
+//!
+//! ```
+//! use hyperdrive_types::{LearningCurve, MetricKind, SimTime};
+//!
+//! let mut curve = LearningCurve::new(MetricKind::Accuracy);
+//! curve.push(1, SimTime::from_secs(60.0), 0.12);
+//! curve.push(2, SimTime::from_secs(121.0), 0.19);
+//! assert_eq!(curve.len(), 2);
+//! assert!(curve.best().unwrap() > 0.18);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod curve;
+mod domain;
+mod error;
+mod hyperparam;
+mod id;
+mod metric;
+pub mod stats;
+mod time;
+
+pub use curve::{CurvePoint, LearningCurve};
+pub use domain::{DomainKnowledge, LearningDomain, SolvedCondition};
+pub use error::{Error, Result};
+pub use hyperparam::{
+    Configuration, HyperParamSpace, ParamRange, ParamValue, SpaceBuilder,
+};
+pub use id::{ConfigId, ExperimentId, JobId, MachineId};
+pub use metric::{MetricKind, MetricNormalizer};
+pub use time::SimTime;

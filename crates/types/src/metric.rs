@@ -1,0 +1,170 @@
+//! Performance metrics and normalization.
+//!
+//! Supervised learning reports validation accuracy in `[0, 1]`;
+//! reinforcement learning reports reward on an arbitrary scale (LunarLander:
+//! roughly `[-500, 300]`). Scheduling policies compare configurations on a
+//! single scale, so §6.3 of the paper normalizes rewards with min-max scaling
+//! (Eq. 4). [`MetricNormalizer`] implements that transform; [`MetricKind`]
+//! records which raw metric a value means.
+
+use crate::error::{Error, Result};
+
+/// The kind of task-performance metric a learning domain reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MetricKind {
+    /// Validation accuracy in `[0, 1]` (supervised learning). Higher is
+    /// better.
+    #[default]
+    Accuracy,
+    /// Task reward on an environment-specific scale (reinforcement
+    /// learning). Higher is better.
+    Reward,
+    /// Loss or perplexity style metric where lower is better. Stored
+    /// negated internally by callers that need a uniform "higher is better"
+    /// view; kept for the ongoing-work LSTM/perplexity scenario of §9.
+    LowerIsBetter,
+}
+
+impl MetricKind {
+    /// True if larger raw values mean better task performance.
+    pub fn higher_is_better(self) -> bool {
+        !matches!(self, MetricKind::LowerIsBetter)
+    }
+}
+
+/// Min-max scaling of raw metric values into `[0, 1]` (paper Eq. 4):
+/// `r_norm = (r - r_min) / (r_max - r_min)`.
+///
+/// For accuracy the identity normalizer (`r_min = 0, r_max = 1`) is used.
+/// For LunarLander the paper uses `r_min = -500`, `r_max = 300`, where the
+/// upper bound comes from the environment and the lower bound is determined
+/// empirically.
+///
+/// Values outside the declared range are clamped rather than rejected: live
+/// RL rewards occasionally undershoot the empirical minimum and the
+/// scheduler must keep working.
+///
+/// # Example
+///
+/// ```
+/// use hyperdrive_types::MetricNormalizer;
+///
+/// let norm = MetricNormalizer::lunar_lander();
+/// let solved = norm.normalize(200.0);
+/// assert!((solved - 0.875).abs() < 1e-12);
+/// assert_eq!(norm.denormalize(solved), 200.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricNormalizer {
+    min: f64,
+    max: f64,
+}
+
+impl MetricNormalizer {
+    /// Creates a normalizer for raw values in `[min, max]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if `min >= max` or either bound is
+    /// not finite.
+    pub fn new(min: f64, max: f64) -> Result<Self> {
+        if !min.is_finite() || !max.is_finite() || min >= max {
+            return Err(Error::InvalidParameter(format!(
+                "metric range must be finite with min < max, got [{min}, {max}]"
+            )));
+        }
+        Ok(MetricNormalizer { min, max })
+    }
+
+    /// The identity normalizer for metrics already in `[0, 1]` (accuracy).
+    pub fn identity() -> Self {
+        MetricNormalizer { min: 0.0, max: 1.0 }
+    }
+
+    /// The paper's LunarLander normalizer: `r_min = -500`, `r_max = 300`.
+    pub fn lunar_lander() -> Self {
+        MetricNormalizer { min: -500.0, max: 300.0 }
+    }
+
+    /// Lower bound of the raw range.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Upper bound of the raw range.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Maps a raw value into `[0, 1]`, clamping values outside the declared
+    /// range.
+    pub fn normalize(&self, raw: f64) -> f64 {
+        let x = (raw - self.min) / (self.max - self.min);
+        x.clamp(0.0, 1.0)
+    }
+
+    /// Maps a normalized value in `[0, 1]` back to the raw scale.
+    pub fn denormalize(&self, normalized: f64) -> f64 {
+        self.min + normalized * (self.max - self.min)
+    }
+}
+
+impl Default for MetricNormalizer {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_passes_values_through() {
+        let n = MetricNormalizer::identity();
+        assert_eq!(n.normalize(0.42), 0.42);
+        assert_eq!(n.denormalize(0.42), 0.42);
+    }
+
+    #[test]
+    fn lunar_lander_matches_paper_constants() {
+        let n = MetricNormalizer::lunar_lander();
+        assert_eq!(n.min(), -500.0);
+        assert_eq!(n.max(), 300.0);
+        // Crash reward -100 normalizes to 0.5.
+        assert!((n.normalize(-100.0) - 0.5).abs() < 1e-12);
+        // Solved reward 200 normalizes to 0.875.
+        assert!((n.normalize(200.0) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let n = MetricNormalizer::lunar_lander();
+        assert_eq!(n.normalize(-10_000.0), 0.0);
+        assert_eq!(n.normalize(10_000.0), 1.0);
+    }
+
+    #[test]
+    fn invalid_ranges_are_rejected() {
+        assert!(MetricNormalizer::new(1.0, 1.0).is_err());
+        assert!(MetricNormalizer::new(2.0, 1.0).is_err());
+        assert!(MetricNormalizer::new(f64::NAN, 1.0).is_err());
+        assert!(MetricNormalizer::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn metric_kind_direction() {
+        assert!(MetricKind::Accuracy.higher_is_better());
+        assert!(MetricKind::Reward.higher_is_better());
+        assert!(!MetricKind::LowerIsBetter.higher_is_better());
+    }
+
+    #[test]
+    fn normalize_denormalize_round_trip() {
+        let n = MetricNormalizer::new(-3.0, 7.5).unwrap();
+        for raw in [-3.0, -1.0, 0.0, 2.2, 7.5] {
+            let back = n.denormalize(n.normalize(raw));
+            assert!((back - raw).abs() < 1e-12, "raw {raw} -> {back}");
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Virtual time.
+//!
+//! Both the discrete-event simulator and the live executor measure experiment
+//! progress in seconds since experiment start. [`SimTime`] is a newtype over
+//! `f64` seconds with a total order (NaN is rejected at construction), so it
+//! can key event queues and be compared safely.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (virtual or scaled-real) time, in seconds since experiment
+/// start.
+///
+/// `SimTime` is totally ordered: constructing one from a NaN value panics, so
+/// every live value is comparable. Negative times are allowed as
+/// intermediate values of subtraction but most APIs expect non-negative time.
+///
+/// # Example
+///
+/// ```
+/// use hyperdrive_types::SimTime;
+///
+/// let t = SimTime::from_secs(90.0) + SimTime::from_mins(1.0);
+/// assert_eq!(t.as_secs(), 150.0);
+/// assert_eq!(t.as_mins(), 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero: the start of the experiment.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is NaN.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(!secs.is_nan(), "SimTime cannot be NaN");
+        SimTime(secs)
+    }
+
+    /// Creates a time from minutes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mins` is NaN.
+    pub fn from_mins(mins: f64) -> Self {
+        Self::from_secs(mins * 60.0)
+    }
+
+    /// Creates a time from hours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hours` is NaN.
+    pub fn from_hours(hours: f64) -> Self {
+        Self::from_secs(hours * 3600.0)
+    }
+
+    /// Returns the time in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the time in minutes.
+    pub fn as_mins(self) -> f64 {
+        self.0 / 60.0
+    }
+
+    /// Returns the time in hours.
+    pub fn as_hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+
+    /// Returns the larger of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two times.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Saturating subtraction: returns zero instead of a negative duration.
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime((self.0 - other.0).max(0.0))
+    }
+
+    /// True if this time is finite (not +/- infinity).
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Constructors reject NaN, so partial_cmp never fails for live values.
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.abs() >= 3600.0 {
+            write!(f, "{:.2}h", self.as_hours())
+        } else if self.0.abs() >= 60.0 {
+            write!(f, "{:.2}min", self.as_mins())
+        } else {
+            write!(f, "{:.2}s", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_are_consistent() {
+        let t = SimTime::from_hours(1.5);
+        assert!((t.as_mins() - 90.0).abs() < 1e-12);
+        assert!((t.as_secs() - 5400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_and_order() {
+        let a = SimTime::from_secs(10.0);
+        let b = SimTime::from_secs(4.0);
+        assert_eq!((a + b).as_secs(), 14.0);
+        assert_eq!((a - b).as_secs(), 6.0);
+        assert!(a > b);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_zero() {
+        let a = SimTime::from_secs(3.0);
+        let b = SimTime::from_secs(5.0);
+        assert_eq!(a.saturating_sub(b), SimTime::ZERO);
+        assert_eq!(b.saturating_sub(a).as_secs(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_is_rejected() {
+        let _ = SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimTime::from_secs(12.0).to_string(), "12.00s");
+        assert_eq!(SimTime::from_secs(120.0).to_string(), "2.00min");
+        assert_eq!(SimTime::from_hours(2.0).to_string(), "2.00h");
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut t = SimTime::ZERO;
+        for _ in 0..10 {
+            t += SimTime::from_secs(1.5);
+        }
+        assert!((t.as_secs() - 15.0).abs() < 1e-12);
+    }
+}

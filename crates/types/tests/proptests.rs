@@ -1,0 +1,107 @@
+//! Property tests for the shared vocabulary types.
+
+use proptest::prelude::*;
+
+use hyperdrive_types::stats::{self, BoxPlot};
+use hyperdrive_types::{
+    HyperParamSpace, LearningCurve, MetricKind, MetricNormalizer, SimTime, SolvedCondition,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Min-max normalization maps into [0, 1] and round-trips in-range
+    /// values.
+    #[test]
+    fn normalizer_round_trips(min in -1e6f64..1e6, width in 1e-3f64..1e6, raw in -2e6f64..2e6) {
+        let norm = MetricNormalizer::new(min, min + width).unwrap();
+        let n = norm.normalize(raw);
+        prop_assert!((0.0..=1.0).contains(&n));
+        if raw >= min && raw <= min + width {
+            let back = norm.denormalize(n);
+            prop_assert!((back - raw).abs() < 1e-6 * width.max(1.0), "{back} vs {raw}");
+        }
+    }
+
+    /// Percentiles are order statistics: bounded by min/max and monotone
+    /// in q.
+    #[test]
+    fn percentiles_are_monotone_and_bounded(
+        values in proptest::collection::vec(-1e9f64..1e9, 1..200),
+    ) {
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut last = f64::NEG_INFINITY;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let p = stats::percentile(&values, q).unwrap();
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+            prop_assert!(p >= last - 1e-9, "monotone in q");
+            last = p;
+        }
+        let b = BoxPlot::from_values(&values).unwrap();
+        prop_assert!(b.min <= b.q1 && b.q1 <= b.median && b.median <= b.q3 && b.q3 <= b.max);
+        prop_assert!(b.iqr() >= 0.0 && b.range() >= 0.0);
+    }
+
+    /// The empirical CDF ends at exactly 1 and is non-decreasing.
+    #[test]
+    fn ecdf_is_a_cdf(values in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let cdf = stats::ecdf(&values);
+        prop_assert_eq!(cdf.len(), values.len());
+        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    /// SimTime ordering agrees with the underlying seconds.
+    #[test]
+    fn simtime_order_is_numeric(a in -1e9f64..1e9, b in -1e9f64..1e9) {
+        let (ta, tb) = (SimTime::from_secs(a), SimTime::from_secs(b));
+        prop_assert_eq!(ta < tb, a < b);
+        prop_assert_eq!(ta.max(tb).as_secs(), a.max(b));
+        prop_assert!(ta.saturating_sub(tb).as_secs() >= 0.0);
+    }
+
+    /// Curves report consistent derived statistics for any monotone-epoch
+    /// history.
+    #[test]
+    fn curve_statistics_are_consistent(
+        values in proptest::collection::vec(0.0f64..1.0, 1..60),
+        epoch_secs in 1.0f64..1e4,
+    ) {
+        let mut curve = LearningCurve::new(MetricKind::Accuracy);
+        for (i, v) in values.iter().enumerate() {
+            curve.push(i as u32 + 1, SimTime::from_secs(epoch_secs * (i as f64 + 1.0)), *v);
+        }
+        let best = curve.best().unwrap();
+        prop_assert!(values.iter().all(|v| *v <= best));
+        prop_assert!(values.contains(&best));
+        if let Some(d) = curve.mean_epoch_duration() {
+            prop_assert!((d.as_secs() - epoch_secs).abs() < 1e-6 * epoch_secs);
+        }
+        let solved = SolvedCondition::trailing_mean(best + 0.1, 1);
+        prop_assert!(!solved.is_met(&curve), "cannot exceed best");
+    }
+
+    /// Every sampled configuration stays within its declared ranges.
+    #[test]
+    fn samples_stay_in_ranges(seed in 0u64..10_000) {
+        let space = HyperParamSpace::builder()
+            .continuous("a", -5.0, 5.0)
+            .continuous_log("b", 1e-8, 1e2)
+            .integer("c", -10, 10)
+            .categorical("d", ["x", "y"])
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = space.sample(&mut rng);
+        let a = config.get_f64("a").unwrap();
+        prop_assert!((-5.0..=5.0).contains(&a));
+        let b = config.get_f64("b").unwrap();
+        prop_assert!((1e-8..=1e2 + 1e-9).contains(&b));
+        let c = config.get_f64("c").unwrap();
+        prop_assert!((-10.0..=10.0).contains(&c));
+    }
+}

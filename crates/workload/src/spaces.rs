@@ -1,0 +1,83 @@
+//! The hyperparameter search spaces of the paper's two evaluation
+//! workloads.
+//!
+//! CIFAR-10 uses the 14 hyperparameters of the cuda-convnet `layers-18pct`
+//! network as tuned by Domhan et al. (Table 3 of [11], referenced in §6.1);
+//! LunarLander uses the 11 hyperparameters of the Keras/Theano DQN-style
+//! agent of Asadi & Williams (paper ref [4]).
+
+use hyperdrive_types::HyperParamSpace;
+
+/// The 14-hyperparameter CIFAR-10 search space (§6.1: "we explore up to 14
+/// different hyperparameters for CIFAR-10").
+///
+/// Learning rate, per-layer weight decays, and initialization scales are
+/// log-uniform, matching standard practice and the reference table.
+pub fn cifar10_space() -> HyperParamSpace {
+    HyperParamSpace::builder()
+        .continuous_log("learning_rate", 1e-5, 1.0)
+        .continuous_log("lr_reduction", 2.0, 100.0)
+        .continuous("momentum", 0.0, 0.99)
+        .continuous_log("weight_decay_conv1", 1e-6, 1e-1)
+        .continuous_log("weight_decay_conv2", 1e-6, 1e-1)
+        .continuous_log("weight_decay_conv3", 1e-6, 1e-1)
+        .continuous_log("weight_decay_fc10", 1e-6, 1e-1)
+        .continuous_log("init_std_conv1", 1e-4, 1e-1)
+        .continuous_log("init_std_conv2", 1e-4, 1e-1)
+        .continuous_log("init_std_conv3", 1e-4, 1e-1)
+        .continuous_log("init_std_fc10", 1e-4, 1e-1)
+        .continuous_log("lrn_scale", 1e-6, 1e-2)
+        .continuous("lrn_power", 0.5, 2.0)
+        .integer("batch_size", 32, 512)
+        .build()
+        .expect("cifar10 space is statically valid")
+}
+
+/// The 11-hyperparameter LunarLander search space (§6.1: "we explore 11
+/// different hyperparameters for LunarLander", ranges from the model
+/// authors).
+pub fn lunar_lander_space() -> HyperParamSpace {
+    HyperParamSpace::builder()
+        .continuous_log("learning_rate", 1e-5, 1e-2)
+        .continuous("gamma", 0.90, 0.9999)
+        .continuous("epsilon_decay", 0.90, 0.99999)
+        .continuous("epsilon_min", 0.0, 0.2)
+        .integer("batch_size", 16, 256)
+        .integer("hidden1", 16, 256)
+        .integer("hidden2", 16, 256)
+        .integer("target_update_freq", 1, 1000)
+        .integer("memory_size", 1_000, 100_000)
+        .continuous_log("soft_tau", 1e-4, 1e-1)
+        .continuous_log("grad_clip", 0.1, 10.0)
+        .build()
+        .expect("lunar lander space is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cifar_space_has_14_dims() {
+        assert_eq!(cifar10_space().len(), 14);
+    }
+
+    #[test]
+    fn lunar_space_has_11_dims() {
+        assert_eq!(lunar_lander_space().len(), 11);
+    }
+
+    #[test]
+    fn sampled_configs_cover_all_params() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = cifar10_space().sample(&mut rng);
+        assert_eq!(c.len(), 14);
+        assert!(c.get_f64("learning_rate").is_some());
+        assert!(c.get_f64("batch_size").is_some());
+        let l = lunar_lander_space().sample(&mut rng);
+        assert_eq!(l.len(), 11);
+        assert!(l.get_f64("gamma").is_some());
+    }
+}

@@ -1,0 +1,176 @@
+//! Suspend/resume cost models.
+//!
+//! The paper measures two very different suspend mechanisms:
+//!
+//! * **Supervised (§6.2.3)** — Caffe model snapshots: mean latency
+//!   157.69 ms (σ = 72 ms, p95 = 219 ms, max 1.12 s); state size mean
+//!   357.67 KB (σ = 122.46 KB, p95 = 685.26 KB, max 686.06 KB).
+//! * **Reinforcement learning (Fig. 10)** — CRIU whole-process snapshots:
+//!   latency up to 22.36 s, snapshot size up to 43.75 MB.
+//!
+//! [`SuspendModel`] samples `(latency, snapshot bytes)` pairs from lognormal
+//! distributions calibrated to those published statistics (truncated at the
+//! published maxima). Executors charge the latency to the experiment clock
+//! and store the snapshot bytes through the AppStat DB, so scheduling
+//! policies pay the real (simulated) cost of every suspension.
+
+use rand::Rng;
+
+use hyperdrive_types::{stats, SimTime};
+
+/// One sampled suspend event cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuspendCost {
+    /// Time from the suspend request until model state is stored.
+    pub latency: SimTime,
+    /// Size of the captured state in bytes.
+    pub snapshot_bytes: u64,
+}
+
+/// A stochastic model of suspend latency and snapshot size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuspendModel {
+    latency_mu: f64,
+    latency_sigma: f64,
+    latency_max_secs: f64,
+    size_mu: f64,
+    size_sigma: f64,
+    size_max_bytes: f64,
+    /// Resume is modelled as a fraction of suspend latency.
+    resume_factor: f64,
+}
+
+impl SuspendModel {
+    /// Builds a model from target mean/std of latency (seconds) and size
+    /// (bytes), with hard caps at the published maxima.
+    ///
+    /// Lognormal parameters are derived by moment matching:
+    /// `sigma² = ln(1 + (std/mean)²)`, `mu = ln(mean) − sigma²/2`.
+    pub fn from_moments(
+        latency_mean_secs: f64,
+        latency_std_secs: f64,
+        latency_max_secs: f64,
+        size_mean_bytes: f64,
+        size_std_bytes: f64,
+        size_max_bytes: f64,
+    ) -> Self {
+        assert!(latency_mean_secs > 0.0 && size_mean_bytes > 0.0);
+        let moment = |mean: f64, std: f64| -> (f64, f64) {
+            let cv2 = (std / mean).powi(2);
+            let sigma2 = (1.0 + cv2).ln();
+            ((mean.ln() - sigma2 / 2.0), sigma2.sqrt())
+        };
+        let (latency_mu, latency_sigma) = moment(latency_mean_secs, latency_std_secs);
+        let (size_mu, size_sigma) = moment(size_mean_bytes, size_std_bytes);
+        SuspendModel {
+            latency_mu,
+            latency_sigma,
+            latency_max_secs,
+            size_mu,
+            size_sigma,
+            size_max_bytes,
+            resume_factor: 0.8,
+        }
+    }
+
+    /// The supervised-learning snapshot model of §6.2.3 (Caffe model
+    /// state through the HyperDrive application library).
+    pub fn supervised_snapshot() -> Self {
+        Self::from_moments(
+            0.157_69,
+            0.072,
+            1.12,
+            357.67 * 1024.0,
+            122.46 * 1024.0,
+            686.06 * 1024.0,
+        )
+    }
+
+    /// The CRIU whole-process snapshot model of Fig. 10 (LunarLander).
+    pub fn criu_process() -> Self {
+        Self::from_moments(
+            7.5,
+            4.5,
+            22.36,
+            24.0 * 1024.0 * 1024.0,
+            9.0 * 1024.0 * 1024.0,
+            43.75 * 1024.0 * 1024.0,
+        )
+    }
+
+    /// Samples the cost of one suspend event.
+    pub fn sample_suspend<R: Rng + ?Sized>(&self, rng: &mut R) -> SuspendCost {
+        let latency = stats::sample_lognormal(rng, self.latency_mu, self.latency_sigma)
+            .min(self.latency_max_secs);
+        let size = stats::sample_lognormal(rng, self.size_mu, self.size_sigma)
+            .min(self.size_max_bytes);
+        SuspendCost { latency: SimTime::from_secs(latency), snapshot_bytes: size as u64 }
+    }
+
+    /// Samples the latency of resuming from a snapshot (restoring state on
+    /// a possibly different machine).
+    pub fn sample_resume<R: Rng + ?Sized>(&self, rng: &mut R) -> SimTime {
+        let latency = stats::sample_lognormal(rng, self.latency_mu, self.latency_sigma)
+            .min(self.latency_max_secs);
+        SimTime::from_secs(latency * self.resume_factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn supervised_moments_match_section_6_2_3() {
+        let model = SuspendModel::supervised_snapshot();
+        let mut rng = StdRng::seed_from_u64(1);
+        let costs: Vec<SuspendCost> =
+            (0..20_000).map(|_| model.sample_suspend(&mut rng)).collect();
+        let lat: Vec<f64> = costs.iter().map(|c| c.latency.as_secs()).collect();
+        let sizes: Vec<f64> = costs.iter().map(|c| c.snapshot_bytes as f64 / 1024.0).collect();
+
+        let mean_lat = stats::mean(&lat).unwrap();
+        assert!((mean_lat - 0.158).abs() < 0.02, "mean latency {mean_lat}s vs paper 157.69ms");
+        let p95 = stats::percentile(&lat, 0.95).unwrap();
+        assert!((p95 - 0.219).abs() < 0.08, "p95 latency {p95}s vs paper 219ms");
+        assert!(lat.iter().all(|l| *l <= 1.12 + 1e-9), "latency cap 1.12s");
+
+        let mean_size = stats::mean(&sizes).unwrap();
+        assert!((mean_size - 357.67).abs() < 40.0, "mean size {mean_size}KB vs paper 357.67KB");
+        assert!(sizes.iter().all(|s| *s <= 686.06 + 1e-6), "size cap 686.06KB");
+    }
+
+    #[test]
+    fn criu_stays_under_published_maxima() {
+        let model = SuspendModel::criu_process();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let c = model.sample_suspend(&mut rng);
+            assert!(c.latency.as_secs() <= 22.36 + 1e-9);
+            assert!(c.snapshot_bytes as f64 <= 43.75 * 1024.0 * 1024.0 + 1.0);
+        }
+    }
+
+    #[test]
+    fn resume_is_cheaper_than_suspend_on_average() {
+        let model = SuspendModel::criu_process();
+        let mut rng = StdRng::seed_from_u64(3);
+        let sus: Vec<f64> =
+            (0..5000).map(|_| model.sample_suspend(&mut rng).latency.as_secs()).collect();
+        let res: Vec<f64> = (0..5000).map(|_| model.sample_resume(&mut rng).as_secs()).collect();
+        assert!(stats::mean(&res).unwrap() < stats::mean(&sus).unwrap());
+    }
+
+    #[test]
+    fn costs_are_positive() {
+        let model = SuspendModel::supervised_snapshot();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let c = model.sample_suspend(&mut rng);
+            assert!(c.latency > SimTime::ZERO);
+            assert!(c.snapshot_bytes > 0);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests across all four synthetic workloads: every profile any
+//! configuration can produce must be well-formed, deterministic, and
+//! noise-stable in outcome.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hyperdrive_workload::{
+    CifarWorkload, ImagenetWorkload, LstmWorkload, LunarWorkload, Workload,
+};
+
+fn workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(CifarWorkload::new().with_max_epochs(30)),
+        Box::new(LunarWorkload::new().with_max_blocks(30)),
+        Box::new(LstmWorkload::new().with_max_epochs(20)),
+        Box::new(ImagenetWorkload::new().with_max_epochs(15)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Profiles are well-formed for arbitrary sampled configurations and
+    /// seeds: correct length, positive durations, normalized finite values.
+    #[test]
+    fn profiles_are_well_formed(config_seed in 0u64..10_000, noise_seed in 0u64..10_000) {
+        for w in workloads() {
+            let mut rng = StdRng::seed_from_u64(config_seed);
+            let config = w.space().sample(&mut rng);
+            let profile = w.profile(&config, noise_seed);
+            prop_assert_eq!(profile.max_epochs(), w.max_epochs(), "{}", w.name());
+            for e in 1..=profile.max_epochs() {
+                let d = profile.epoch_duration(e).as_secs();
+                prop_assert!(d > 0.0 && d.is_finite(), "{}: duration {d}", w.name());
+                let v = profile.value_at(e);
+                prop_assert!((0.0..=1.0).contains(&v), "{}: value {v}", w.name());
+            }
+            if let Some(secondary) = profile.secondary_values() {
+                prop_assert!(secondary.iter().all(|s| (0.0..=1.0).contains(s)));
+            }
+        }
+    }
+
+    /// Determinism: the same (config, seed) pair always yields the same
+    /// profile.
+    #[test]
+    fn profiles_are_deterministic(config_seed in 0u64..10_000, noise_seed in 0u64..10_000) {
+        for w in workloads() {
+            let mut rng = StdRng::seed_from_u64(config_seed);
+            let config = w.space().sample(&mut rng);
+            prop_assert_eq!(
+                w.profile(&config, noise_seed),
+                w.profile(&config, noise_seed),
+                "{}", w.name()
+            );
+        }
+    }
+
+    /// Noise stability: §6.1's run-to-run non-determinism perturbs
+    /// performance mildly; it never flips a configuration between "never
+    /// learns" and "learns well".
+    #[test]
+    fn noise_does_not_flip_outcomes(config_seed in 0u64..5_000) {
+        for w in workloads() {
+            let mut rng = StdRng::seed_from_u64(config_seed);
+            let config = w.space().sample(&mut rng);
+            let a = w.profile(&config, 1).final_value();
+            let b = w.profile(&config, 2).final_value();
+            prop_assert!(
+                (a - b).abs() < 0.12,
+                "{}: outcome flipped across noise seeds: {a} vs {b}",
+                w.name()
+            );
+        }
+    }
+
+    /// The workload's declared domain knowledge is internally consistent
+    /// with its target.
+    #[test]
+    fn domain_knowledge_is_consistent(_x in 0u8..1) {
+        for w in workloads() {
+            let dk = w.domain_knowledge();
+            prop_assert!((0.0..=1.0).contains(&dk.kill_threshold), "{}", w.name());
+            prop_assert!((0.0..=1.0).contains(&dk.random_performance));
+            prop_assert!(
+                w.default_target() > dk.kill_threshold,
+                "{}: target must exceed the kill threshold",
+                w.name()
+            );
+            prop_assert!(w.eval_boundary() >= 1);
+            prop_assert!(w.eval_boundary() <= w.max_epochs().max(1));
+        }
+    }
+}

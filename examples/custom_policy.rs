@@ -1,0 +1,81 @@
+//! Writing a custom Scheduling Algorithm Policy (SAP).
+//!
+//! The HyperDrive framework decouples scheduling policy from execution:
+//! implement the three §4.2 up-calls and the policy runs unchanged on the
+//! discrete-event simulator or the live threaded executor. This example
+//! implements a simple "median elimination" SAP: at every evaluation
+//! boundary, a job below the median of current best performances is
+//! terminated.
+//!
+//! ```sh
+//! cargo run --release --example custom_policy
+//! ```
+
+use hyperdrive::framework::{
+    ExperimentSpec, ExperimentWorkload, JobDecision, JobEvent, SchedulerContext,
+    SchedulingPolicy,
+};
+use hyperdrive::sim::run_sim;
+use hyperdrive::types::stats;
+use hyperdrive::workload::CifarWorkload;
+use hyperdrive::SimTime;
+
+/// Terminate any job whose best observed performance falls below the
+/// median best across all active jobs.
+struct MedianElimination {
+    /// Grace period (in evaluation boundaries) before eliminating.
+    warmup_evals: u32,
+}
+
+impl SchedulingPolicy for MedianElimination {
+    fn name(&self) -> &str {
+        "median-elimination"
+    }
+
+    // allocate_jobs: the default greedy fill is inherited.
+
+    fn on_iteration_finish(
+        &mut self,
+        event: &JobEvent,
+        ctx: &mut dyn SchedulerContext,
+    ) -> JobDecision {
+        let b = ctx.eval_boundary();
+        if !event.epoch.is_multiple_of(b) || event.epoch / b < self.warmup_evals {
+            return JobDecision::Continue;
+        }
+        let bests: Vec<f64> = ctx
+            .active_jobs()
+            .iter()
+            .filter_map(|j| ctx.curve(*j).and_then(|c| c.best()))
+            .collect();
+        let Some(median) = stats::median(&bests) else {
+            return JobDecision::Continue;
+        };
+        let job_best = ctx.curve(event.job).and_then(|c| c.best()).unwrap_or(event.value);
+        if job_best < median {
+            JobDecision::Terminate
+        } else {
+            JobDecision::Continue
+        }
+    }
+}
+
+fn main() {
+    let workload = CifarWorkload::new();
+    let experiment = ExperimentWorkload::from_workload(&workload, 40, 3);
+    let spec = ExperimentSpec::new(4).with_tmax(SimTime::from_hours(48.0));
+
+    let mut policy = MedianElimination { warmup_evals: 2 };
+    let result = run_sim(&mut policy, &experiment, spec);
+
+    println!("custom SAP: {}", result.policy);
+    match result.time_to_target {
+        Some(t) => println!("reached 77% accuracy in {:.2}h", t.as_hours()),
+        None => println!("target not reached (median elimination can kill the eventual winner!)"),
+    }
+    println!(
+        "epochs executed: {} | terminated early: {}",
+        result.total_epochs,
+        result.terminated_early()
+    );
+}

@@ -1,0 +1,44 @@
+//! Driving the discrete-event simulator one event at a time with
+//! [`hyperdrive::sim::Simulation`]: inspect the cluster between events,
+//! sample the clock on a fixed cadence, and print a coarse progress view.
+//!
+//! ```sh
+//! cargo run --release --example step_through
+//! ```
+
+use hyperdrive::framework::{ExperimentSpec, ExperimentWorkload};
+use hyperdrive::pop::PopPolicy;
+use hyperdrive::sim::Simulation;
+use hyperdrive::workload::CifarWorkload;
+use hyperdrive::SimTime;
+
+fn main() {
+    let workload = CifarWorkload::new();
+    let experiment = ExperimentWorkload::from_workload(&workload, 30, 2);
+    let spec = ExperimentSpec::new(4).with_tmax(SimTime::from_hours(24.0));
+
+    let mut pop = PopPolicy::new();
+    let mut sim = Simulation::new(&mut pop, &experiment, spec);
+
+    println!("{:>10} {:>10} {:>12}", "time", "events", "pending");
+    let mut horizon = SimTime::from_mins(15.0);
+    let mut total_events = 0usize;
+    while !sim.stopped() {
+        total_events += sim.run_until(horizon);
+        println!("{:>10} {:>10} {:>12}", format!("{}", sim.now()), total_events, sim.pending_events());
+        // Advance the inspection cadence; break manually once quiet.
+        horizon += SimTime::from_mins(15.0);
+        if sim.pending_events() == 0 {
+            break;
+        }
+    }
+    let result = sim.finish();
+    println!(
+        "\nfinished: target {} | {} epochs | {} scheduler events",
+        result
+            .time_to_target
+            .map_or("not reached".into(), |t| format!("reached in {t}")),
+        result.total_epochs,
+        result.events.len()
+    );
+}

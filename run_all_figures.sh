@@ -1,0 +1,17 @@
+#!/bin/sh
+# Regenerates every paper figure/table at full scale. CSVs land in results/,
+# terminal tables in results/logs/.
+set -e
+mkdir -p results/logs
+for bin in fig01_cifar_curves fig02_distribution_overtake fig03_prediction_over_time \
+           fig04_slot_allocation fig08_lunar_curves fig10_criu_overhead \
+           fig12a_sim_validation fig06_job_durations tab01_suspend_overhead \
+           fig09_time_to_target_lunar fig07_time_to_target_cifar \
+           fig12b_capacity_sweep fig12c_order_sensitivity \
+           tab02_lstm_frontier ablation_pop gantt_export scale_imagenet; do
+  echo "=== $bin ==="
+  cargo run -q --release -p hyperdrive-bench --bin "$bin" 2>&1 | tee "results/logs/$bin.log"
+done
+echo "=== fig12b_capacity_sweep (reinforcement learning, section 7.3) ==="
+cargo run -q --release -p hyperdrive-bench --bin fig12b_capacity_sweep -- --domain rl 2>&1 \
+  | tee results/logs/fig12b_capacity_sweep_rl.log

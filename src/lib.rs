@@ -1,0 +1,23 @@
+//! HyperDrive: hyperparameter exploration with POP scheduling.
+//!
+//! This is the umbrella crate of a from-scratch Rust reproduction of
+//! *HyperDrive: Exploring Hyperparameters with POP Scheduling* (Rasley, He,
+//! Yan, Ruwase, Fonseca — Middleware '17). It re-exports the public API of
+//! every workspace crate so applications can depend on a single crate.
+//!
+//! See the repository README for a quickstart and DESIGN.md for the system
+//! inventory.
+
+pub use hyperdrive_core as pop;
+pub use hyperdrive_curve as curve;
+pub use hyperdrive_framework as framework;
+pub use hyperdrive_policies as policies;
+pub use hyperdrive_sim as sim;
+pub use hyperdrive_types as types;
+pub use hyperdrive_workload as workload;
+
+pub use hyperdrive_types::{
+    ConfigId, Configuration, DomainKnowledge, Error, ExperimentId, HyperParamSpace, JobId,
+    LearningCurve, LearningDomain, MachineId, MetricKind, MetricNormalizer, ParamRange,
+    ParamValue, Result, SimTime, SolvedCondition,
+};

@@ -1,0 +1,113 @@
+//! The §7 trace pipeline: collect traces, persist them, permute
+//! configuration orders, and replay through the simulator.
+
+use hyperdrive::framework::{DefaultPolicy, ExperimentSpec, ExperimentWorkload};
+use hyperdrive::sim::run_sim;
+use hyperdrive::workload::{CifarWorkload, LunarWorkload, TraceSet, Workload};
+
+#[test]
+fn file_round_trip_preserves_replay_behaviour() {
+    let workload = CifarWorkload::new().with_max_epochs(12);
+    let traces = TraceSet::generate(&workload, 10, 77);
+
+    let dir = std::env::temp_dir().join("hyperdrive-trace-pipeline");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cifar.csv");
+    traces.write_to_path(&path).unwrap();
+    let loaded = TraceSet::read_from_path(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let build = |t: &TraceSet| {
+        ExperimentWorkload::from_traces(
+            t,
+            workload.domain_knowledge(),
+            workload.eval_boundary(),
+            workload.default_target(),
+            workload.suspend_model(),
+        )
+    };
+    let spec = ExperimentSpec::new(3).with_stop_on_target(false);
+    let mut p1 = DefaultPolicy::new();
+    let original = run_sim(&mut p1, &build(&traces), spec);
+    let mut p2 = DefaultPolicy::new();
+    let replayed = run_sim(&mut p2, &build(&loaded), spec);
+
+    assert_eq!(original.total_epochs, replayed.total_epochs);
+    // CSV stores 6 decimal places; end times agree to well under a second.
+    assert!((original.end_time.as_secs() - replayed.end_time.as_secs()).abs() < 1.0);
+}
+
+#[test]
+fn order_permutation_changes_schedule_but_not_outcome_set() {
+    let workload = CifarWorkload::new().with_max_epochs(10);
+    let traces = TraceSet::generate(&workload, 12, 5);
+    let spec = ExperimentSpec::new(2).with_stop_on_target(false);
+
+    let run_total = |t: &TraceSet| {
+        let ew = ExperimentWorkload::from_traces(
+            t,
+            workload.domain_knowledge(),
+            workload.eval_boundary(),
+            workload.default_target(),
+            workload.suspend_model(),
+        );
+        let mut p = DefaultPolicy::new();
+        run_sim(&mut p, &ew, spec)
+    };
+    let base = run_total(&traces);
+    let permuted = run_total(&traces.permuted(9));
+    // Run-to-completion executes the same total work whatever the order…
+    assert_eq!(base.total_epochs, permuted.total_epochs);
+    // …and the multiset of per-job best values is preserved.
+    let bests = |r: &hyperdrive::framework::ExperimentResult| {
+        let mut b: Vec<f64> =
+            r.outcomes.iter().map(|o| (o.best_value * 1e6).round() / 1e6).collect();
+        b.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        b
+    };
+    assert_eq!(bests(&base), bests(&permuted));
+}
+
+#[test]
+fn order_matters_for_time_to_target() {
+    // Fig. 12c's premise: with stop-on-target, configuration order changes
+    // the time-to-target for naive policies.
+    let workload = CifarWorkload::new();
+    let traces = TraceSet::generate(&workload, 40, 2);
+    let spec = ExperimentSpec::new(2).with_tmax(hyperdrive::SimTime::from_hours(96.0));
+
+    let mut times = Vec::new();
+    for order in 0..4u64 {
+        let permuted = traces.permuted(order);
+        let ew = ExperimentWorkload::from_traces(
+            &permuted,
+            workload.domain_knowledge(),
+            workload.eval_boundary(),
+            workload.default_target(),
+            workload.suspend_model(),
+        );
+        let mut p = DefaultPolicy::new();
+        let r = run_sim(&mut p, &ew, spec);
+        if let Some(t) = r.time_to_target {
+            times.push(t.as_hours());
+        }
+    }
+    assert!(times.len() >= 2, "most orders find the target");
+    let spread = times.iter().cloned().fold(f64::MIN, f64::max)
+        - times.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread > 0.1, "order should matter for Default, spread {spread}");
+}
+
+#[test]
+fn rl_traces_round_trip() {
+    let workload = LunarWorkload::new().with_max_blocks(15);
+    let traces = TraceSet::generate(&workload, 6, 3);
+    let mut buf = Vec::new();
+    traces.write(&mut buf).unwrap();
+    let loaded = TraceSet::read(buf.as_slice()).unwrap();
+    assert_eq!(loaded.workload_name, "lunarlander");
+    assert_eq!(loaded.len(), 6);
+    for (a, b) in loaded.traces.iter().zip(&traces.traces) {
+        assert_eq!(a.values.len(), b.values.len());
+    }
+}
