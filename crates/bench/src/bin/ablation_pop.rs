@@ -72,11 +72,9 @@ fn main() {
                 workload.default_target(),
                 workload.suspend_model(),
             );
-            let spec = ExperimentSpec::new(5)
-                .with_tmax(SimTime::from_hours(48.0))
-                .with_seed(order as u64);
-            let mut policy =
-                PopPolicy::with_config(PopConfig { seed: order as u64, ..*config });
+            let spec =
+                ExperimentSpec::new(5).with_tmax(SimTime::from_hours(48.0)).with_seed(order as u64);
+            let mut policy = PopPolicy::with_config(PopConfig { seed: order as u64, ..*config });
             let result = run_sim(&mut policy, &experiment, spec);
             match result.time_to_target {
                 Some(t) => times.push(t.as_hours()),

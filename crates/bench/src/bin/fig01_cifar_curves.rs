@@ -35,10 +35,7 @@ fn main() {
     let finals: Vec<f64> = profiles.iter().map(|p| p.final_value()).collect();
     let above75 = finals.iter().filter(|v| **v > 0.75).count();
     let below20 = finals.iter().filter(|v| **v < 0.20).count();
-    let mean_epoch_mins = profiles
-        .iter()
-        .map(|p| p.mean_epoch_duration().as_mins())
-        .sum::<f64>()
+    let mean_epoch_mins = profiles.iter().map(|p| p.mean_epoch_duration().as_mins()).sum::<f64>()
         / profiles.len() as f64;
 
     print_table(
@@ -46,11 +43,7 @@ fn main() {
         &["metric", "measured", "paper"],
         &[
             vec!["configs".into(), n_configs.to_string(), "50".into()],
-            vec![
-                "exceeding 75% accuracy".into(),
-                above75.to_string(),
-                "3".into(),
-            ],
+            vec!["exceeding 75% accuracy".into(), above75.to_string(), "3".into()],
             vec![
                 "below 20% accuracy".into(),
                 format!("{below20} ({:.0}%)", 100.0 * below20 as f64 / finals.len() as f64),

@@ -41,8 +41,7 @@ fn main() {
         finals.iter().filter(|v| **v <= 0.105).count() as f64 / finals.len() as f64;
     // Non-learners hover around random accuracy with ±2% measurement
     // noise, so also report the count within that noise band.
-    let near_random =
-        finals.iter().filter(|v| **v <= 0.12).count() as f64 / finals.len() as f64;
+    let near_random = finals.iter().filter(|v| **v <= 0.12).count() as f64 / finals.len() as f64;
 
     // (b) The strongest overtake pair: A ahead at epoch 20, B ahead at the
     // end, maximizing the combined margin.
@@ -67,14 +66,12 @@ fn main() {
     write_csv(
         "fig02b_overtake_pair.csv",
         "epoch,config_a,config_b",
-        (1..=a.max_epochs())
-            .map(|e| format!("{e},{:.4},{:.4}", a.value_at(e), b.value_at(e))),
+        (1..=a.max_epochs()).map(|e| format!("{e},{:.4},{:.4}", a.value_at(e), b.value_at(e))),
     );
 
     // (c) Predictions at epoch 10 for both configurations.
     let predictor = CurvePredictor::new(
-        if quick_mode() { PredictorConfig::test() } else { PredictorConfig::paper() }
-            .with_seed(3),
+        if quick_mode() { PredictorConfig::test() } else { PredictorConfig::paper() }.with_seed(3),
     );
     let horizon = a.max_epochs();
     let post_a = predictor.fit(&curve_prefix(a, 10), horizon).expect("fit A");

@@ -116,21 +116,13 @@ fn main() {
                 format!("{} / {:.3}", early.now, early.p_threshold),
                 "~20min: small p*, few promising".into(),
             ],
-            vec![
-                "early promising slots".into(),
-                early.promising_slots.to_string(),
-                "low".into(),
-            ],
+            vec!["early promising slots".into(), early.promising_slots.to_string(), "low".into()],
             vec![
                 "late snapshot time / p*".into(),
                 format!("{} / {:.3}", late.now, late.p_threshold),
                 "~2h: high p*".into(),
             ],
-            vec![
-                "late promising slots".into(),
-                late.promising_slots.to_string(),
-                "high".into(),
-            ],
+            vec!["late promising slots".into(), late.promising_slots.to_string(), "high".into()],
             vec![
                 "promising slot share, early third".into(),
                 format!("{:.3}", ratio_of(first_third)),
@@ -141,11 +133,7 @@ fn main() {
                 format!("{:.3}", ratio_of(last_third)),
                 "rises toward ~0.8".into(),
             ],
-            vec![
-                "allocation decisions recorded".into(),
-                timeline.len().to_string(),
-                "-".into(),
-            ],
+            vec!["allocation decisions recorded".into(), timeline.len().to_string(), "-".into()],
         ],
     );
 }

@@ -8,8 +8,7 @@
 //! 6.7× speedup.
 
 use hyperdrive_bench::{
-    print_table, quick_mode, run_comparison, summarize, write_csv, ComparisonSettings,
-    PolicyKind,
+    print_table, quick_mode, run_comparison, summarize, write_csv, ComparisonSettings, PolicyKind,
 };
 use hyperdrive_workload::CifarWorkload;
 
@@ -66,9 +65,8 @@ fn main() {
         &rows,
     );
 
-    let mean_of = |p: PolicyKind| {
-        summaries.iter().find(|s| s.policy == p).and_then(|s| s.mean_hours())
-    };
+    let mean_of =
+        |p: PolicyKind| summaries.iter().find(|s| s.policy == p).and_then(|s| s.mean_hours());
     if let (Some(pop), Some(bandit), Some(et), Some(default)) = (
         mean_of(PolicyKind::Pop),
         mean_of(PolicyKind::Bandit),

@@ -38,10 +38,8 @@ fn main() {
     let mut max_reward = f64::NEG_INFINITY;
     for i in 0..n_stats {
         let p = workload.profile(&workload.space().sample(&mut rng), 2_000 + i as u64);
-        let tail: Vec<f64> = p.values()[p.values().len() - 10..]
-            .iter()
-            .map(|v| norm.denormalize(*v))
-            .collect();
+        let tail: Vec<f64> =
+            p.values()[p.values().len() - 10..].iter().map(|v| norm.denormalize(*v)).collect();
         let tail_mean = hyperdrive_types::stats::mean(&tail).unwrap();
         if tail_mean <= -85.0 {
             non_learning += 1;

@@ -6,8 +6,7 @@
 //! smaller than Bandit's and 3.5× smaller than EarlyTerm's.
 
 use hyperdrive_bench::{
-    print_table, quick_mode, run_comparison, summarize, write_csv, ComparisonSettings,
-    PolicyKind,
+    print_table, quick_mode, run_comparison, summarize, write_csv, ComparisonSettings, PolicyKind,
 };
 use hyperdrive_workload::LunarWorkload;
 
@@ -61,11 +60,9 @@ fn main() {
     );
 
     let find = |p: PolicyKind| summaries.iter().find(|s| s.policy == p);
-    if let (Some(pop), Some(bandit), Some(et)) = (
-        find(PolicyKind::Pop),
-        find(PolicyKind::Bandit),
-        find(PolicyKind::EarlyTerm),
-    ) {
+    if let (Some(pop), Some(bandit), Some(et)) =
+        (find(PolicyKind::Pop), find(PolicyKind::Bandit), find(PolicyKind::EarlyTerm))
+    {
         if let (Some(pm), Some(bm), Some(em)) =
             (pop.median_hours(), bandit.median_hours(), et.median_hours())
         {

@@ -5,7 +5,9 @@
 //! does not exceed 22.36 s — "considerably small compared with job
 //! training time".
 
-use hyperdrive_bench::{print_table, quick_mode, run_comparison, write_csv, ComparisonSettings, PolicyKind};
+use hyperdrive_bench::{
+    print_table, quick_mode, run_comparison, write_csv, ComparisonSettings, PolicyKind,
+};
 use hyperdrive_types::stats;
 use hyperdrive_workload::LunarWorkload;
 

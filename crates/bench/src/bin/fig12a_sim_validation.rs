@@ -36,12 +36,10 @@ fn main() {
         let mut sim_times = Vec::new();
         for r in 0..repeats {
             let noise_seed = 5 + 1_000 * (r as u64 + 1);
-            let experiment = ExperimentWorkload::from_workload_with_noise(
-                &workload, n_configs, 5, noise_seed,
-            );
-            let spec = ExperimentSpec::new(15)
-                .with_tmax(SimTime::from_hours(24.0))
-                .with_seed(noise_seed);
+            let experiment =
+                ExperimentWorkload::from_workload_with_noise(&workload, n_configs, 5, noise_seed);
+            let spec =
+                ExperimentSpec::new(15).with_tmax(SimTime::from_hours(24.0)).with_seed(noise_seed);
             let mut sim_policy = policy_kind.build(fidelity, noise_seed);
             let sim = run_sim(sim_policy.as_mut(), &experiment, spec);
             sim_times.push(sim.time_to_target.unwrap_or(sim.end_time).as_mins());

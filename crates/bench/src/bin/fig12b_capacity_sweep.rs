@@ -38,8 +38,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
     for &machines in &capacities {
-        let spec =
-            ExperimentSpec::new(machines).with_tmax(SimTime::from_hours(48.0)).with_seed(3);
+        let spec = ExperimentSpec::new(machines).with_tmax(SimTime::from_hours(48.0)).with_seed(3);
         let mut row = vec![machines.to_string()];
         for policy_kind in policies {
             let mut policy = policy_kind.build(fidelity, 3);

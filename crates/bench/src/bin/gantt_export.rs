@@ -49,13 +49,10 @@ fn main() {
         w.flush().expect("csv flushed");
 
         let util = result.events.machine_utilization(machines, result.end_time);
-        let mean_util =
-            hyperdrive_types::stats::mean(&util).unwrap_or(0.0);
+        let mean_util = hyperdrive_types::stats::mean(&util).unwrap_or(0.0);
         rows.push(vec![
             policy_kind.label().to_string(),
-            result
-                .time_to_target
-                .map_or("-".into(), |t| format!("{:.2}h", t.as_hours())),
+            result.time_to_target.map_or("-".into(), |t| format!("{:.2}h", t.as_hours())),
             segments.len().to_string(),
             result.events.len().to_string(),
             format!("{:.1}%", mean_util * 100.0),

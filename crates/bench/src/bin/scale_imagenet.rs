@@ -25,11 +25,8 @@ fn main() {
             .map(|v| v.parse().expect("--machines takes a count"))
             .unwrap_or(16)
     };
-    let (n_configs, fidelity) = if quick_mode() {
-        (30, PredictorConfig::test())
-    } else {
-        (120, PredictorConfig::fast())
-    };
+    let (n_configs, fidelity) =
+        if quick_mode() { (30, PredictorConfig::test()) } else { (120, PredictorConfig::fast()) };
     let workload = ImagenetWorkload::new();
     let experiment = ExperimentWorkload::from_workload(&workload, n_configs, 6);
     // A month-long budget: even that cannot run 120 ten-day jobs on 62
@@ -38,19 +35,12 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
-    for policy_kind in [
-        PolicyKind::Pop,
-        PolicyKind::Bandit,
-        PolicyKind::Hyperband,
-        PolicyKind::Default,
-    ] {
+    for policy_kind in
+        [PolicyKind::Pop, PolicyKind::Bandit, PolicyKind::Hyperband, PolicyKind::Default]
+    {
         let mut policy = policy_kind.build(fidelity, 6);
         let result = run_sim(policy.as_mut(), &experiment, spec);
-        let machine_days: f64 = result
-            .outcomes
-            .iter()
-            .map(|o| o.busy_time.as_hours() / 24.0)
-            .sum();
+        let machine_days: f64 = result.outcomes.iter().map(|o| o.busy_time.as_hours() / 24.0).sum();
         let ttt = result.time_to_target.map(|t| t.as_hours() / 24.0);
         rows.push(vec![
             policy_kind.label().to_string(),
@@ -65,11 +55,7 @@ fn main() {
             result.terminated_early()
         ));
     }
-    write_csv(
-        "scale_imagenet.csv",
-        "policy,time_to_target_days,machine_days,terminated",
-        csv_rows,
-    );
+    write_csv("scale_imagenet.csv", "policy,time_to_target_days,machine_days,terminated", csv_rows);
 
     print_table(
         &format!(

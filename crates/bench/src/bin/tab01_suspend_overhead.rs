@@ -61,11 +61,8 @@ fn main() {
 
     // Overhead relative to training time — the paper's "negligible" claim.
     let total_suspend_hours: f64 = latencies_ms.iter().sum::<f64>() / 1000.0 / 3600.0;
-    let total_busy_hours: f64 = runs
-        .iter()
-        .flat_map(|r| r.result.outcomes.iter())
-        .map(|o| o.busy_time.as_hours())
-        .sum();
+    let total_busy_hours: f64 =
+        runs.iter().flat_map(|r| r.result.outcomes.iter()).map(|o| o.busy_time.as_hours()).sum();
     println!(
         "\ntotal suspend latency {total_suspend_hours:.4} h over {total_busy_hours:.1} h of training ({:.4}%) — paper: negligible",
         100.0 * total_suspend_hours / total_busy_hours

@@ -59,9 +59,8 @@ fn main() {
     let fidelity = if quick_mode() { PredictorConfig::test() } else { PredictorConfig::fast() };
     let experiment = ExperimentWorkload::from_workload(&workload, n_configs, 12)
         .with_target(LstmWorkload::normalize_perplexity(150.0));
-    let spec = ExperimentSpec::new(8)
-        .with_tmax(SimTime::from_hours(48.0))
-        .with_stop_on_target(false);
+    let spec =
+        ExperimentSpec::new(8).with_tmax(SimTime::from_hours(48.0)).with_stop_on_target(false);
 
     let ppl_bound = LstmWorkload::normalize_perplexity(150.0);
     let mut with_criterion = GlobalCriterionPolicy::new(

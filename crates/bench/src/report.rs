@@ -56,10 +56,7 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!(
-        "{}",
-        fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())
-    );
+    println!("{}", fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -82,11 +79,7 @@ mod tests {
     #[test]
     fn csv_file_round_trips() {
         std::env::set_var("HYPERDRIVE_RESULTS", std::env::temp_dir().join("hd-report-test"));
-        let path = write_csv(
-            "test.csv",
-            "a,b",
-            ["1,2".to_string(), "3,4".to_string()],
-        );
+        let path = write_csv("test.csv", "a,b", ["1,2".to_string(), "3,4".to_string()]);
         let content = std::fs::read_to_string(&path).unwrap();
         assert_eq!(content, "a,b\n1,2\n3,4\n");
         std::fs::remove_file(path).ok();

@@ -65,10 +65,7 @@ impl SlotAllocation {
 pub fn allocate_slots(confidences: &[f64], total_slots: usize, k: usize) -> SlotAllocation {
     assert!(total_slots > 0, "cluster must have slots");
     assert!(k > 0, "k must be at least one slot per promising job");
-    assert!(
-        confidences.iter().all(|p| (0.0..=1.0).contains(p)),
-        "confidences must lie in [0, 1]"
-    );
+    assert!(confidences.iter().all(|p| (0.0..=1.0).contains(p)), "confidences must lie in [0, 1]");
 
     // Candidate thresholds: every distinct job confidence. Evaluating only
     // at these points is exact because S_desired is a step function that

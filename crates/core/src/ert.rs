@@ -91,8 +91,7 @@ pub fn estimate_remaining_time(
     let ert = if truncated {
         remaining_budget
     } else {
-        SimTime::from_secs(expected_epochs * epoch_duration.as_secs())
-            .min(remaining_budget)
+        SimTime::from_secs(expected_epochs * epoch_duration.as_secs()).min(remaining_budget)
     };
     ErtEstimate {
         expected_remaining_epochs: expected_epochs,
@@ -165,13 +164,7 @@ mod tests {
         // ERT pins to the budget.
         let posterior = posterior_for(|x| 0.80 - 0.75 * x.powf(-0.35), 12, 400);
         let budget = SimTime::from_mins(5.0); // five epochs' worth
-        let est = estimate_remaining_time(
-            &posterior,
-            0.78,
-            300,
-            SimTime::from_secs(60.0),
-            budget,
-        );
+        let est = estimate_remaining_time(&posterior, 0.78, 300, SimTime::from_secs(60.0), budget);
         assert!(est.ert <= budget);
         if est.truncated {
             assert_eq!(est.ert, budget);
@@ -213,12 +206,7 @@ mod tests {
     #[should_panic(expected = "epoch duration must be positive")]
     fn zero_epoch_duration_panics() {
         let posterior = posterior_for(|x| 0.6 - 0.5 / x, 10, 150);
-        let _ = estimate_remaining_time(
-            &posterior,
-            0.5,
-            10,
-            SimTime::ZERO,
-            SimTime::from_hours(5.0),
-        );
+        let _ =
+            estimate_remaining_time(&posterior, 0.5, 10, SimTime::ZERO, SimTime::from_hours(5.0));
     }
 }

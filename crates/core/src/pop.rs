@@ -160,10 +160,7 @@ impl PopPolicy {
             } else {
                 config.prediction_workers
             };
-            Some(PredictionService::new(
-                config.predictor.with_seed(config.seed),
-                workers,
-            ))
+            Some(PredictionService::new(config.predictor.with_seed(config.seed), workers))
         } else {
             None
         };
@@ -311,10 +308,8 @@ impl SchedulingPolicy for PopPolicy {
 
         // Step 4: dynamic classification across all active jobs.
         let active = ctx.active_jobs();
-        let confidences: Vec<f64> = active
-            .iter()
-            .map(|j| self.assessments.get(j).map_or(0.0, |a| a.confidence))
-            .collect();
+        let confidences: Vec<f64> =
+            active.iter().map(|j| self.assessments.get(j).map_or(0.0, |a| a.confidence)).collect();
         let alloc = allocate_slots(&confidences, ctx.total_slots(), self.config.k);
         let (p_threshold, promising_cap) = match self.config.static_threshold {
             Some(t) => (t, ctx.total_slots()),
@@ -323,11 +318,8 @@ impl SchedulingPolicy for PopPolicy {
 
         // Rank active jobs by confidence and take the top `promising_cap`
         // among those meeting the threshold.
-        let mut ranked: Vec<(JobId, f64)> = active
-            .iter()
-            .zip(&confidences)
-            .map(|(j, c)| (*j, *c))
-            .collect();
+        let mut ranked: Vec<(JobId, f64)> =
+            active.iter().zip(&confidences).map(|(j, c)| (*j, *c)).collect();
         ranked.sort_by(|a, b| {
             b.1.partial_cmp(&a.1).expect("confidences are probabilities").then(a.0.cmp(&b.0))
         });
@@ -376,12 +368,7 @@ mod tests {
     use hyperdrive_framework::testing::MockContext;
 
     fn event(job: u64, epoch: u32, value: f64) -> JobEvent {
-        JobEvent {
-            job: JobId::new(job),
-            epoch,
-            value,
-            now: SimTime::from_mins(f64::from(epoch)),
-        }
+        JobEvent { job: JobId::new(job), epoch, value, now: SimTime::from_mins(f64::from(epoch)) }
     }
 
     fn pop() -> PopPolicy {
@@ -461,10 +448,7 @@ mod tests {
             lower_bound_confidence: 0.0, // isolate the kill-rule effect
             ..Default::default()
         });
-        assert_eq!(
-            policy.on_iteration_finish(&event(0, 30, 0.1), &mut ctx),
-            JobDecision::Continue
-        );
+        assert_eq!(policy.on_iteration_finish(&event(0, 30, 0.1), &mut ctx), JobDecision::Continue);
     }
 
     #[test]

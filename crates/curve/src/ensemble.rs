@@ -116,10 +116,7 @@ pub fn in_prior_box(theta: &[f64]) -> bool {
     if !(sigma.is_finite() && sigma >= SIGMA_BOUNDS.0 && sigma <= SIGMA_BOUNDS.1) {
         return false;
     }
-    ALL_FAMILIES
-        .iter()
-        .enumerate()
-        .all(|(k, family)| family.in_bounds(view.family_params(k)))
+    ALL_FAMILIES.iter().enumerate().all(|(k, family)| family.in_bounds(view.family_params(k)))
 }
 
 /// Log-posterior of `theta` given observations `obs` (pairs of epoch index

@@ -75,15 +75,16 @@ pub fn fit_family<R: Rng + ?Sized>(
     // box. Curve-family objectives are cheap, so a few restarts are free.
     let mut starts = vec![family.default_params()];
     for _ in 0..2 {
-        starts.push(
-            bounds.iter().map(|(lo, hi)| rng.gen_range(*lo..*hi)).collect::<Vec<f64>>(),
-        );
+        starts.push(bounds.iter().map(|(lo, hi)| rng.gen_range(*lo..*hi)).collect::<Vec<f64>>());
     }
 
     let mut best: Option<(Vec<f64>, f64)> = None;
     for start in starts {
-        let (x, fx) =
-            minimize(&objective, &start, NelderMeadOptions { max_evals: 300, ..Default::default() });
+        let (x, fx) = minimize(
+            &objective,
+            &start,
+            NelderMeadOptions { max_evals: 300, ..Default::default() },
+        );
         if best.as_ref().is_none_or(|(_, bf)| fx < *bf) {
             best = Some((x, fx));
         }
@@ -321,19 +322,14 @@ mod recovery_tests {
             let mut rng = StdRng::seed_from_u64(13);
             let obs: Vec<(f64, f64)> = (1..=30)
                 .map(|x| {
-                    let y = family.eval(x as f64, &params)
-                        + stats::sample_normal(&mut rng, 0.0, 0.01);
+                    let y =
+                        family.eval(x as f64, &params) + stats::sample_normal(&mut rng, 0.0, 0.01);
                     (x as f64, y)
                 })
                 .collect();
             let fit = fit_family(family, &obs, &mut rng);
             // Residual MSE should approach the injected noise variance.
-            assert!(
-                fit.mse < 5e-4,
-                "{} noisy recovery mse {}",
-                family.name(),
-                fit.mse
-            );
+            assert!(fit.mse < 5e-4, "{} noisy recovery mse {}", family.name(), fit.mse);
         }
     }
 }

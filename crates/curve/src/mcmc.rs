@@ -127,9 +127,7 @@ where
                 let lp_new = log_prob(&proposal);
                 proposed += 1;
                 let log_accept = (dim as f64 - 1.0) * z.ln() + lp_new - lps[i];
-                if lp_new.is_finite() && log_accept >= 0.0
-                    || rng.gen::<f64>().ln() < log_accept
-                {
+                if lp_new.is_finite() && log_accept >= 0.0 || rng.gen::<f64>().ln() < log_accept {
                     positions[i] = proposal;
                     lps[i] = lp_new;
                     accepted += 1;
@@ -164,9 +162,7 @@ mod tests {
     }
 
     fn init_walkers(rng: &mut StdRng, n: usize, dim: usize, spread: f64) -> Vec<Vec<f64>> {
-        (0..n)
-            .map(|_| (0..dim).map(|_| stats::sample_normal(rng, 0.0, spread)).collect())
-            .collect()
+        (0..n).map(|_| (0..dim).map(|_| stats::sample_normal(rng, 0.0, spread)).collect()).collect()
     }
 
     #[test]

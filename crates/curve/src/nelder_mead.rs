@@ -40,7 +40,11 @@ where
     simplex.push(x0.to_vec());
     for i in 0..n {
         let mut p = x0.to_vec();
-        let step = if p[i].abs() > 1e-8 { p[i].abs() * opts.initial_step } else { opts.initial_step * 0.1 };
+        let step = if p[i].abs() > 1e-8 {
+            p[i].abs() * opts.initial_step
+        } else {
+            opts.initial_step * 0.1
+        };
         p[i] += step;
         simplex.push(p);
     }
@@ -146,8 +150,7 @@ mod tests {
 
     #[test]
     fn minimizes_rosenbrock_reasonably() {
-        let rosen =
-            |p: &[f64]| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2);
+        let rosen = |p: &[f64]| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2);
         let (x, fx) = minimize(
             rosen,
             &[-1.0, 1.0],

@@ -215,12 +215,7 @@ impl CurvePredictor {
             chain.draws
         };
 
-        Ok(CurvePosterior {
-            draws,
-            last_epoch,
-            horizon,
-            acceptance_rate: chain.acceptance_rate,
-        })
+        Ok(CurvePosterior { draws, last_epoch, horizon, acceptance_rate: chain.acceptance_rate })
     }
 }
 
@@ -264,8 +259,12 @@ impl CurvePosterior {
     /// Expected (posterior-mean) performance at `epoch`.
     pub fn expected(&self, epoch: u32) -> f64 {
         let x = f64::from(epoch);
-        let vals: Vec<f64> =
-            self.draws.iter().map(|t| ParamView::new(t).mean(x)).filter(|v| v.is_finite()).collect();
+        let vals: Vec<f64> = self
+            .draws
+            .iter()
+            .map(|t| ParamView::new(t).mean(x))
+            .filter(|v| v.is_finite())
+            .collect();
         stats::mean(&vals).unwrap_or(f64::NAN)
     }
 
@@ -273,8 +272,12 @@ impl CurvePosterior {
     /// posterior draws — the paper's "prediction accuracy" (PA) diagnostic.
     pub fn prediction_std(&self, epoch: u32) -> f64 {
         let x = f64::from(epoch);
-        let vals: Vec<f64> =
-            self.draws.iter().map(|t| ParamView::new(t).mean(x)).filter(|v| v.is_finite()).collect();
+        let vals: Vec<f64> = self
+            .draws
+            .iter()
+            .map(|t| ParamView::new(t).mean(x))
+            .filter(|v| v.is_finite())
+            .collect();
         stats::std_dev(&vals).unwrap_or(f64::NAN)
     }
 

@@ -41,7 +41,6 @@ struct Shared {
 /// A worker pool computing curve posteriors off the caller's thread.
 pub struct PredictionService {
     // (workers and channels are deliberately opaque in Debug output)
-
     config: PredictorConfig,
     shared: Arc<Shared>,
     tx: Sender<WorkerMsg>,
@@ -119,9 +118,7 @@ impl PredictionService {
     /// The most recent completed posterior for `job` at or before `epoch`.
     pub fn latest(&self, job: JobId, epoch: u32) -> Option<(u32, Result<CurvePosterior>)> {
         let done = self.shared.done.lock();
-        (0..=epoch)
-            .rev()
-            .find_map(|e| done.get(&(job, e)).map(|r| (e, r.clone())))
+        (0..=epoch).rev().find_map(|e| done.get(&(job, e)).map(|r| (e, r.clone())))
     }
 
     /// Blocks until the fit for `(job, epoch)` completes (spin-waits on
@@ -241,12 +238,8 @@ mod tests {
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(job.raw() << 24)
             .wrapping_add(10);
-        let sync_posterior =
-            CurvePredictor::new(config.with_seed(seed)).fit(&c, 100).unwrap();
-        assert_eq!(
-            async_posterior.expected(100).to_bits(),
-            sync_posterior.expected(100).to_bits()
-        );
+        let sync_posterior = CurvePredictor::new(config.with_seed(seed)).fit(&c, 100).unwrap();
+        assert_eq!(async_posterior.expected(100).to_bits(), sync_posterior.expected(100).to_bits());
     }
 
     #[test]

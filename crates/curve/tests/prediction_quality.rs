@@ -96,10 +96,7 @@ fn ranking_improves_with_more_history() {
     };
     let c10 = concordance_at(10);
     let c40 = concordance_at(40);
-    assert!(
-        c40 >= c10 - 0.05,
-        "more history must not hurt ranking: {c10:.3} -> {c40:.3}"
-    );
+    assert!(c40 >= c10 - 0.05, "more history must not hurt ranking: {c10:.3} -> {c40:.3}");
     assert!(c40 > 0.85, "40-epoch prefix should rank well: {c40:.3}");
 }
 

@@ -92,6 +92,20 @@ impl AppStatDb {
         self.snapshots.get(&job).map(Vec::as_slice)
     }
 
+    /// Rolls a job's recorded history back to `keep_epoch` (crash
+    /// recovery: re-run epochs are re-recorded, so the curve must not
+    /// already contain them). Affects primary and secondary curves; the
+    /// stored snapshot is left alone — it is exactly what the job resumes
+    /// from.
+    pub fn truncate_stats(&mut self, job: JobId, keep_epoch: u32) {
+        if let Some(curve) = self.curves.get_mut(&job) {
+            curve.truncate_to_epoch(keep_epoch);
+        }
+        if let Some(curve) = self.secondary_curves.get_mut(&job) {
+            curve.truncate_to_epoch(keep_epoch);
+        }
+    }
+
     /// Records a completed suspend event.
     pub fn record_suspend(&mut self, event: SuspendEvent) {
         self.suspend_events.push(event);
@@ -170,12 +184,28 @@ mod tests {
     }
 
     #[test]
+    fn truncate_stats_rolls_back_both_curves() {
+        let mut db = db();
+        let j = JobId::new(3);
+        for e in 1..=4 {
+            let t = SimTime::from_secs(f64::from(e) * 10.0);
+            db.record_stat(j, e, t, 0.1 * f64::from(e));
+            db.record_secondary(j, e, t, 0.01 * f64::from(e));
+        }
+        db.truncate_stats(j, 2);
+        assert_eq!(db.curve(j).last_epoch(), Some(2));
+        assert_eq!(db.secondary_curve_ref(j).unwrap().last_epoch(), Some(2));
+        // Re-running epoch 3 records cleanly.
+        db.record_stat(j, 3, SimTime::from_secs(99.0), 0.9);
+        assert_eq!(db.curve(j).last_epoch(), Some(3));
+        // Truncating a job with no history is a no-op.
+        db.truncate_stats(JobId::new(9), 0);
+    }
+
+    #[test]
     fn suspend_events_are_logged() {
         let mut db = db();
-        let cost = SuspendCost {
-            latency: SimTime::from_secs(0.2),
-            snapshot_bytes: 1024,
-        };
+        let cost = SuspendCost { latency: SimTime::from_secs(0.2), snapshot_bytes: 1024 };
         db.record_suspend(SuspendEvent {
             job: JobId::new(1),
             requested_at: SimTime::from_secs(100.0),

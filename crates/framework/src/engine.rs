@@ -13,20 +13,23 @@
 //! This mirrors the paper's architecture: the scheduler is oblivious to
 //! where jobs physically run, and Node Agents are delay-and-report servers.
 
+use std::collections::HashMap;
+
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use hyperdrive_types::{DomainKnowledge, JobId, LearningCurve, MachineId, SimTime};
 
 use crate::appstat::{AppStatDb, SuspendEvent};
 use crate::events::{EventLog, SchedulerEvent};
-use crate::snapshot::JobSnapshot;
 use crate::experiment::{
     ExperimentResult, ExperimentSpec, ExperimentWorkload, JobEnd, JobOutcome, TargetMilestone,
 };
+use crate::fault::{FaultPlan, FaultStats, RetryPolicy};
 use crate::job_manager::{JobManager, JobState};
 use crate::policy::{JobDecision, JobEvent, SchedulerContext, SchedulingPolicy};
 use crate::resource::ResourceManager;
+use crate::snapshot::JobSnapshot;
 
 /// An instruction from the engine to the execution backend.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,6 +46,9 @@ pub enum Command {
         epoch: u32,
         /// Wall/virtual time the epoch occupies the machine.
         duration: SimTime,
+        /// Issue token; the completion event must echo it (see
+        /// [`EngineEvent`]).
+        token: u64,
     },
     /// Capture `job`'s state on `machine`; report
     /// [`EngineEvent::SuspendDone`] after `latency`.
@@ -53,23 +59,47 @@ pub enum Command {
         machine: MachineId,
         /// Snapshot latency.
         latency: SimTime,
+        /// Issue token; the completion event must echo it.
+        token: u64,
     },
     /// The experiment is over; backends stop delivering events.
     Stop,
 }
 
+impl Command {
+    /// The issue token carried by work commands (`None` for [`Stop`]).
+    ///
+    /// [`Stop`]: Command::Stop
+    pub fn token(&self) -> Option<u64> {
+        match self {
+            Command::RunEpoch { token, .. } | Command::Suspend { token, .. } => Some(*token),
+            Command::Stop => None,
+        }
+    }
+}
+
 /// A completion notification from the execution backend.
+///
+/// Every work [`Command`] carries a unique `token` that its completion must
+/// echo. When a fault interrupts a job, the engine invalidates the
+/// outstanding token, so a completion that arrives late (a reply from a
+/// crashed machine's queue, a wedged agent finally answering) no longer
+/// matches and is dropped instead of corrupting job state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineEvent {
     /// A previously issued `RunEpoch` finished.
     EpochDone {
         /// The job whose epoch completed.
         job: JobId,
+        /// Token echoed from the command.
+        token: u64,
     },
     /// A previously issued `Suspend` finished; the job's state is stored.
     SuspendDone {
         /// The suspended job.
         job: JobId,
+        /// Token echoed from the command.
+        token: u64,
     },
 }
 
@@ -92,6 +122,26 @@ struct EngineCore<'w> {
     busy_time: Vec<f64>,
     total_epochs: u64,
     log: EventLog,
+    /// Next issue token; strictly monotonic, never reused.
+    next_token: u64,
+    /// Token of each job's in-flight command. A completion whose token is
+    /// not here is stale (superseded by a fault) and is dropped.
+    outstanding: HashMap<JobId, u64>,
+    /// RNG stream for probabilistic faults. Never touched while both
+    /// probabilities are zero, so fault-free runs stay byte-identical to
+    /// runs without the fault subsystem.
+    fault_rng: StdRng,
+    suspend_fail_prob: f64,
+    snapshot_corrupt_prob: f64,
+    retry: RetryPolicy,
+    /// Interruptions suffered per job (counts against `retry.max_retries`).
+    retries: HashMap<JobId, u32>,
+    /// Epochs covered by each job's stored snapshot, as the engine
+    /// believes them (corruption is only discovered at resume).
+    snapshot_epochs: HashMap<JobId, u32>,
+    /// Backoff penalty to charge the next start of an interrupted job.
+    restart_penalty: HashMap<JobId, SimTime>,
+    stats: FaultStats,
 }
 
 impl<'w> EngineCore<'w> {
@@ -103,13 +153,59 @@ impl<'w> EngineCore<'w> {
         self.busy_time[job.raw() as usize] += time.as_secs();
     }
 
+    fn issue_token(&mut self, job: JobId) -> u64 {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.outstanding.insert(job, token);
+        token
+    }
+
     /// Issues the next epoch of `job` on `machine`, including `extra`
-    /// latency (resume cost).
+    /// latency (resume cost and/or retry backoff).
     fn issue_epoch(&mut self, job: JobId, machine: MachineId, extra: SimTime) {
         let next_epoch = self.jm.epochs_done(job).expect("job registered") + 1;
         let duration = self.profile_of(job).epoch_duration(next_epoch) + extra;
         self.charge(job, duration);
-        self.pending.push(Command::RunEpoch { job, machine, epoch: next_epoch, duration });
+        let token = self.issue_token(job);
+        self.pending.push(Command::RunEpoch { job, machine, epoch: next_epoch, duration, token });
+    }
+
+    /// Knocks `job` off `machine` after a fault: invalidates its in-flight
+    /// command, rolls it back to its last snapshot (or scratch), and either
+    /// re-queues it with a backoff penalty or — once its retry budget is
+    /// exhausted — marks it failed. `release` returns the machine to the
+    /// pool (stall / failed suspend); a crashed machine is already dead
+    /// and must not be released.
+    fn interrupt(&mut self, job: JobId, machine: MachineId, release: bool) {
+        self.outstanding.remove(&job);
+        let epochs_done = self.jm.epochs_done(job).unwrap_or(0);
+        let rollback_to = self.snapshot_epochs.get(&job).copied().unwrap_or(0);
+        let has_snapshot = self.snapshot_epochs.contains_key(&job);
+        let lost = epochs_done.saturating_sub(rollback_to);
+        self.stats.interruptions += 1;
+        self.stats.lost_epochs += u64::from(lost);
+        self.log.record(SchedulerEvent::Interrupted {
+            job,
+            machine,
+            time: self.now,
+            lost_epochs: lost,
+        });
+        self.jm.interrupt_job(job, rollback_to, has_snapshot).expect("live job interrupts");
+        self.db.truncate_stats(job, rollback_to);
+        if release {
+            self.rm.release_machine(machine).expect("held machine releases");
+        }
+        let retries = self.retries.entry(job).or_insert(0);
+        *retries += 1;
+        let attempt = *retries;
+        if attempt > self.retry.max_retries {
+            self.jm.fail_job(job).expect("interrupted job fails");
+            self.log.record(SchedulerEvent::Failed { job, time: self.now });
+            self.stats.failed_jobs += 1;
+            self.restart_penalty.remove(&job);
+        } else {
+            self.restart_penalty.insert(job, self.retry.penalty(attempt));
+        }
     }
 
     fn stop(&mut self) {
@@ -148,7 +244,9 @@ impl SchedulerContext for EngineCore<'_> {
     }
 
     fn total_slots(&self) -> usize {
-        self.rm.total()
+        // Dead machines are invisible capacity: policies observe crashes
+        // only as a shrunken cluster through this existing up-call.
+        self.rm.alive_count()
     }
 
     fn idle_slots(&self) -> usize {
@@ -207,22 +305,36 @@ impl SchedulerContext for EngineCore<'_> {
         let job = self.jm.peek_idle_job()?;
         let machine = self.rm.reserve_idle_machine()?;
         let resumed = self.jm.start_job(job, machine).expect("idle job starts");
-        let extra = if resumed {
+        let mut extra = if resumed {
             // §5.1: resuming on any machine restores state from the
-            // AppStat DB. Decode and verify the stored snapshot — a
-            // failure here is a framework bug, not a policy decision.
-            let bytes = self.db.snapshot(job).expect("suspended job has a snapshot");
-            let snapshot = JobSnapshot::decode(bytes).expect("stored snapshot decodes");
-            assert_eq!(snapshot.job, job, "snapshot belongs to the resuming job");
-            assert_eq!(
-                snapshot.epochs_done,
-                self.jm.epochs_done(job).expect("job registered"),
-                "snapshot epoch state matches the job manager"
-            );
-            self.workload.suspend.sample_resume(&mut self.rng)
+            // AppStat DB. Decode and verify the stored snapshot; a
+            // snapshot that is missing, undecodable, or inconsistent with
+            // the Job Manager (fault injection corrupts payloads in
+            // place) is discovered exactly here, and the job restarts
+            // from scratch rather than crashing the scheduler.
+            let believed_epochs = self.jm.epochs_done(job).expect("job registered");
+            let valid = self
+                .db
+                .snapshot(job)
+                .and_then(|bytes| JobSnapshot::decode(bytes).ok())
+                .is_some_and(|s| s.job == job && s.epochs_done == believed_epochs);
+            if valid {
+                self.workload.suspend.sample_resume(&mut self.rng)
+            } else {
+                self.stats.snapshot_corruptions += 1;
+                self.stats.lost_epochs += u64::from(believed_epochs);
+                self.log.record(SchedulerEvent::SnapshotCorrupted { job, time: self.now });
+                self.jm.reset_epochs(job, 0).expect("running job resets");
+                self.db.truncate_stats(job, 0);
+                self.snapshot_epochs.remove(&job);
+                SimTime::ZERO
+            }
         } else {
             SimTime::ZERO
         };
+        if let Some(penalty) = self.restart_penalty.remove(&job) {
+            extra += penalty;
+        }
         self.log.record(SchedulerEvent::Started { job, machine, time: self.now, resumed });
         self.issue_epoch(job, machine, extra);
         Some(job)
@@ -251,7 +363,27 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
         workload: &'w ExperimentWorkload,
         spec: ExperimentSpec,
     ) -> Self {
+        Self::with_fault_injection(policy, workload, spec, &FaultPlan::none())
+    }
+
+    /// Creates an engine whose probabilistic faults (suspend failure,
+    /// snapshot corruption) and retry policy come from `plan`. Timed
+    /// faults in the plan are the executor's responsibility — it calls
+    /// [`inject_machine_crash`](Self::inject_machine_crash) and friends
+    /// when their times come. With [`FaultPlan::none`] this is exactly
+    /// [`ExperimentEngine::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload has no jobs or the spec has no machines.
+    pub fn with_fault_injection(
+        policy: &'p mut dyn SchedulingPolicy,
+        workload: &'w ExperimentWorkload,
+        spec: ExperimentSpec,
+        plan: &FaultPlan,
+    ) -> Self {
         assert!(!workload.is_empty(), "experiment needs at least one job");
+        assert!(spec.machines > 0, "experiment needs at least one machine");
         let mut jm = JobManager::new();
         for job in &workload.jobs {
             jm.add_job(job.job);
@@ -261,7 +393,7 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
             core: EngineCore {
                 workload,
                 spec,
-                rm: ResourceManager::new(spec.machines),
+                rm: ResourceManager::new(spec.machines).expect("non-empty cluster"),
                 jm,
                 db: AppStatDb::new(workload.domain.metric),
                 rng: StdRng::seed_from_u64(spec.seed ^ 0xE46),
@@ -275,6 +407,16 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
                 busy_time: vec![0.0; n_jobs],
                 total_epochs: 0,
                 log: EventLog::new(),
+                next_token: 0,
+                outstanding: HashMap::new(),
+                fault_rng: StdRng::seed_from_u64(plan.seed ^ 0xFA11),
+                suspend_fail_prob: plan.suspend_fail_prob,
+                snapshot_corrupt_prob: plan.snapshot_corrupt_prob,
+                retry: plan.retry,
+                retries: HashMap::new(),
+                snapshot_epochs: HashMap::new(),
+                restart_penalty: HashMap::new(),
+                stats: FaultStats::default(),
             },
             policy,
         }
@@ -290,24 +432,112 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
     /// Feeds one completion event back at time `now`, returning follow-up
     /// commands.
     ///
+    /// Stale events — whose token no longer matches the job's outstanding
+    /// command because a fault invalidated it — are silently dropped.
+    ///
     /// # Panics
     ///
     /// Panics on protocol violations (events for jobs in impossible
     /// states), which indicate an executor bug.
     pub fn handle(&mut self, event: EngineEvent, now: SimTime) -> Vec<Command> {
-        self.core.now = self.core.now.max(now);
         if self.core.stopped {
             return Vec::new();
         }
+        let (job, token) = match event {
+            EngineEvent::EpochDone { job, token } | EngineEvent::SuspendDone { job, token } => {
+                (job, token)
+            }
+        };
+        if self.core.outstanding.get(&job) != Some(&token) {
+            return Vec::new();
+        }
+        self.core.outstanding.remove(&job);
+        self.core.now = self.core.now.max(now);
         match event {
-            EngineEvent::EpochDone { job } => self.on_epoch_done(job),
-            EngineEvent::SuspendDone { job } => self.on_suspend_done(job),
+            EngineEvent::EpochDone { job, .. } => self.on_epoch_done(job),
+            EngineEvent::SuspendDone { job, .. } => self.on_suspend_done(job),
         }
         // Time budget check (§3.1.1: the search never runs past Tmax).
         if self.core.now >= self.core.spec.tmax {
             self.core.stop();
         }
         std::mem::take(&mut self.core.pending)
+    }
+
+    /// Injects a machine crash at time `now`: the machine goes dead, any
+    /// hosted job is interrupted (rolled back to its last snapshot), and
+    /// the policy gets a chance to reallocate. Returns follow-up commands.
+    /// Crashing an already-dead machine is a no-op.
+    pub fn inject_machine_crash(&mut self, machine: MachineId, now: SimTime) -> Vec<Command> {
+        if self.core.stopped || self.core.rm.is_dead(machine) {
+            return Vec::new();
+        }
+        self.core.now = self.core.now.max(now);
+        self.core.stats.machine_crashes += 1;
+        self.core.log.record(SchedulerEvent::MachineCrashed { machine, time: self.core.now });
+        let victim = self.job_on(machine);
+        self.core.rm.mark_dead(machine).expect("alive machine crashes");
+        if let Some(job) = victim {
+            // The machine is dead: do not release it back to the pool.
+            self.core.interrupt(job, machine, false);
+        }
+        self.policy.allocate_jobs(&mut self.core);
+        if self.core.now >= self.core.spec.tmax {
+            self.core.stop();
+        }
+        std::mem::take(&mut self.core.pending)
+    }
+
+    /// Injects a machine recovery at time `now`: the machine returns to
+    /// the idle pool and the policy may immediately use it. Recovering an
+    /// alive machine is a no-op.
+    pub fn inject_machine_recovery(&mut self, machine: MachineId, now: SimTime) -> Vec<Command> {
+        if self.core.stopped || !self.core.rm.is_dead(machine) {
+            return Vec::new();
+        }
+        self.core.now = self.core.now.max(now);
+        self.core.rm.mark_recovered(machine).expect("dead machine recovers");
+        self.core.stats.machine_recoveries += 1;
+        self.core.log.record(SchedulerEvent::MachineRecovered { machine, time: self.core.now });
+        self.policy.allocate_jobs(&mut self.core);
+        std::mem::take(&mut self.core.pending)
+    }
+
+    /// Injects a detected node-agent stall at time `now`: the report for
+    /// the machine's in-flight work is lost, the hosted job is interrupted
+    /// (rolled back to its last snapshot), and the machine — which
+    /// survives, only its agent was restarted — returns to the pool.
+    /// A stall on a machine hosting nothing is a no-op.
+    pub fn inject_agent_stall(&mut self, machine: MachineId, now: SimTime) -> Vec<Command> {
+        if self.core.stopped || self.core.rm.is_dead(machine) {
+            return Vec::new();
+        }
+        let Some(job) = self.job_on(machine) else {
+            return Vec::new();
+        };
+        self.core.now = self.core.now.max(now);
+        self.core.stats.agent_stalls += 1;
+        self.core.interrupt(job, machine, true);
+        self.policy.allocate_jobs(&mut self.core);
+        if self.core.now >= self.core.spec.tmax {
+            self.core.stop();
+        }
+        std::mem::take(&mut self.core.pending)
+    }
+
+    /// The job currently occupying `machine`, if any.
+    fn job_on(&self, machine: MachineId) -> Option<JobId> {
+        self.core
+            .jm
+            .active_jobs()
+            .into_iter()
+            .find(|j| self.core.jm.state(*j).ok().and_then(|s| s.machine()) == Some(machine))
+    }
+
+    /// Number of jobs still live (running, suspending, or queued).
+    /// Executors use this to detect natural termination under faults.
+    pub fn active_job_count(&self) -> usize {
+        self.core.jm.active_jobs().len()
     }
 
     fn on_epoch_done(&mut self, job: JobId) {
@@ -379,35 +609,50 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
                     self.core.issue_epoch(job, machine, SimTime::ZERO);
                 }
                 JobDecision::Suspend => {
-                    self.core.jm.begin_suspend(job).expect("running job suspends");
-                    let cost = self.core.workload.suspend.sample_suspend(&mut self.core.rng);
-                    self.core.charge(job, cost.latency);
-                    self.core.db.record_suspend(SuspendEvent {
-                        job,
-                        requested_at: now,
-                        cost,
-                    });
-                    // Serialize the job's real training state (§5.1),
-                    // padded toward the sampled framework/CRIU size (the
-                    // sampled size is what telemetry reports; physical
-                    // padding is capped so simulating multi-GB snapshot
-                    // models does not exhaust host memory). Resume
-                    // verifies the round trip.
-                    const PAD_CAP: u64 = 4 * 1024 * 1024;
-                    let snapshot = JobSnapshot::capture(
-                        job,
-                        epoch,
-                        self.core.db.curve_ref(job).expect("stat recorded"),
-                    );
-                    self.core.db.store_snapshot(
-                        job,
-                        snapshot.encode(cost.snapshot_bytes.min(PAD_CAP) as usize),
-                    );
-                    self.core.pending.push(Command::Suspend {
-                        job,
-                        machine,
-                        latency: cost.latency,
-                    });
+                    // Injected suspend failure: the snapshot capture dies
+                    // mid-flight, so no snapshot is stored and the job
+                    // falls back to its previous one (or scratch).
+                    if self.core.suspend_fail_prob > 0.0
+                        && self.core.fault_rng.gen_range(0.0..1.0) < self.core.suspend_fail_prob
+                    {
+                        self.core.stats.suspend_failures += 1;
+                        self.core.interrupt(job, machine, true);
+                    } else {
+                        self.core.jm.begin_suspend(job).expect("running job suspends");
+                        let cost = self.core.workload.suspend.sample_suspend(&mut self.core.rng);
+                        self.core.charge(job, cost.latency);
+                        self.core.db.record_suspend(SuspendEvent { job, requested_at: now, cost });
+                        // Serialize the job's real training state (§5.1),
+                        // padded toward the sampled framework/CRIU size (the
+                        // sampled size is what telemetry reports; physical
+                        // padding is capped so simulating multi-GB snapshot
+                        // models does not exhaust host memory). Resume
+                        // verifies the round trip.
+                        const PAD_CAP: u64 = 4 * 1024 * 1024;
+                        let snapshot = JobSnapshot::capture(
+                            job,
+                            epoch,
+                            self.core.db.curve_ref(job).expect("stat recorded"),
+                        );
+                        let mut bytes = snapshot.encode(cost.snapshot_bytes.min(PAD_CAP) as usize);
+                        // Injected corruption: flip the magic so the damage
+                        // stays latent until a resume tries to decode it.
+                        if self.core.snapshot_corrupt_prob > 0.0
+                            && self.core.fault_rng.gen_range(0.0..1.0)
+                                < self.core.snapshot_corrupt_prob
+                        {
+                            bytes[0] ^= 0xFF;
+                        }
+                        self.core.db.store_snapshot(job, bytes);
+                        self.core.snapshot_epochs.insert(job, epoch);
+                        let token = self.core.issue_token(job);
+                        self.core.pending.push(Command::Suspend {
+                            job,
+                            machine,
+                            latency: cost.latency,
+                            token,
+                        });
+                    }
                 }
                 JobDecision::Terminate => {
                     let held = self.core.jm.terminate_job(job).expect("running job terminates");
@@ -424,9 +669,7 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
     fn on_suspend_done(&mut self, job: JobId) {
         let machine = self.core.jm.finish_suspend(job).expect("suspending job finishes");
         self.core.rm.release_machine(machine).expect("held machine releases");
-        self.core
-            .log
-            .record(SchedulerEvent::Suspended { job, machine, time: self.core.now });
+        self.core.log.record(SchedulerEvent::Suspended { job, machine, time: self.core.now });
         self.policy.allocate_jobs(&mut self.core);
     }
 
@@ -437,7 +680,10 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
 
     /// Finalizes the run into a result at time `end_time`.
     pub fn into_result(self, end_time: SimTime) -> ExperimentResult {
-        let core = self.core;
+        let mut core = self.core;
+        core.stats.dead_machines_at_end = (0..core.rm.total())
+            .filter(|m| core.rm.is_dead(MachineId::new(*m as u64)))
+            .count() as u64;
         let outcomes = core
             .workload
             .jobs
@@ -447,17 +693,14 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
                 let end = match state {
                     JobState::Completed => JobEnd::Completed,
                     JobState::Terminated => JobEnd::Terminated,
+                    JobState::Failed => JobEnd::Failed,
                     _ => JobEnd::Unfinished,
                 };
                 JobOutcome {
                     job: j.job,
                     epochs: core.jm.epochs_done(j.job).unwrap_or(0),
                     busy_time: SimTime::from_secs(core.busy_time[j.job.raw() as usize]),
-                    best_value: core
-                        .db
-                        .curve_ref(j.job)
-                        .and_then(|c| c.best())
-                        .unwrap_or(f64::NAN),
+                    best_value: core.db.curve_ref(j.job).and_then(|c| c.best()).unwrap_or(f64::NAN),
                     end,
                 }
             })
@@ -472,6 +715,7 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
             milestones: core.milestones,
             events: core.log,
             total_epochs: core.total_epochs,
+            faults: core.stats,
         }
     }
 }
@@ -493,10 +737,7 @@ mod tests {
         let mut policy = DefaultPolicy::new();
         let mut engine = ExperimentEngine::new(&mut policy, &ew, ExperimentSpec::new(3));
         let cmds = engine.start();
-        let runs = cmds
-            .iter()
-            .filter(|c| matches!(c, Command::RunEpoch { .. }))
-            .count();
+        let runs = cmds.iter().filter(|c| matches!(c, Command::RunEpoch { .. })).count();
         assert_eq!(runs, 3, "3 machines -> 3 initial epochs");
     }
 
@@ -509,9 +750,9 @@ mod tests {
         let mut cmds = engine.start();
         let mut now = SimTime::ZERO;
         let mut epochs_seen = 0;
-        while let Some(Command::RunEpoch { job, duration, .. }) = cmds.first().copied() {
+        while let Some(Command::RunEpoch { job, duration, token, .. }) = cmds.first().copied() {
             now += duration;
-            cmds = engine.handle(EngineEvent::EpochDone { job }, now);
+            cmds = engine.handle(EngineEvent::EpochDone { job, token }, now);
             epochs_seen += 1;
             if epochs_seen > 10 {
                 panic!("runaway");
@@ -529,15 +770,14 @@ mod tests {
     fn tmax_stops_the_run() {
         let ew = tiny_workload(2, 100);
         let mut policy = DefaultPolicy::new();
-        let spec = ExperimentSpec::new(1)
-            .with_tmax(SimTime::from_secs(1.0))
-            .with_stop_on_target(false);
+        let spec =
+            ExperimentSpec::new(1).with_tmax(SimTime::from_secs(1.0)).with_stop_on_target(false);
         let mut engine = ExperimentEngine::new(&mut policy, &ew, spec);
         let cmds = engine.start();
-        let Command::RunEpoch { job, duration, .. } = cmds[0] else {
+        let Command::RunEpoch { job, duration, token, .. } = cmds[0] else {
             panic!("expected RunEpoch");
         };
-        let cmds = engine.handle(EngineEvent::EpochDone { job }, duration);
+        let cmds = engine.handle(EngineEvent::EpochDone { job, token }, duration);
         assert!(cmds.contains(&Command::Stop), "past Tmax the engine stops");
         assert!(engine.stopped());
     }
@@ -549,10 +789,10 @@ mod tests {
         let mut policy = DefaultPolicy::new();
         let mut engine = ExperimentEngine::new(&mut policy, &ew, ExperimentSpec::new(2));
         let cmds = engine.start();
-        let Command::RunEpoch { job, duration, .. } = cmds[0] else {
+        let Command::RunEpoch { job, duration, token, .. } = cmds[0] else {
             panic!("expected RunEpoch");
         };
-        let cmds = engine.handle(EngineEvent::EpochDone { job }, duration);
+        let cmds = engine.handle(EngineEvent::EpochDone { job, token }, duration);
         assert!(cmds.contains(&Command::Stop));
         let result = engine.into_result(duration);
         assert!(result.reached_target());
@@ -579,10 +819,10 @@ mod tests {
         let spec = ExperimentSpec::new(1).with_stop_on_target(false);
         let mut engine = ExperimentEngine::new(&mut policy, &ew, spec);
         let cmds = engine.start();
-        let Command::RunEpoch { job, duration, .. } = cmds[0] else {
+        let Command::RunEpoch { job, duration, token, .. } = cmds[0] else {
             panic!("expected RunEpoch");
         };
-        let cmds = engine.handle(EngineEvent::EpochDone { job }, duration);
+        let cmds = engine.handle(EngineEvent::EpochDone { job, token }, duration);
         // The killed job's machine immediately hosts the next idle job.
         assert!(matches!(cmds[0], Command::RunEpoch { job: j, .. } if j != job));
     }
@@ -607,17 +847,17 @@ mod tests {
         let spec = ExperimentSpec::new(1).with_stop_on_target(false);
         let mut engine = ExperimentEngine::new(&mut policy, &ew, spec);
         let cmds = engine.start();
-        let Command::RunEpoch { job: job0, duration, .. } = cmds[0] else {
+        let Command::RunEpoch { job: job0, duration, token, .. } = cmds[0] else {
             panic!("expected RunEpoch");
         };
         let mut now = duration;
-        let cmds = engine.handle(EngineEvent::EpochDone { job: job0 }, now);
-        let Command::Suspend { job, latency, .. } = cmds[0] else {
+        let cmds = engine.handle(EngineEvent::EpochDone { job: job0, token }, now);
+        let Command::Suspend { job, latency, token, .. } = cmds[0] else {
             panic!("expected Suspend, got {cmds:?}");
         };
         assert_eq!(job, job0);
         now += latency;
-        let cmds = engine.handle(EngineEvent::SuspendDone { job: job0 }, now);
+        let cmds = engine.handle(EngineEvent::SuspendDone { job: job0, token }, now);
         // Machine freed; the *other* job (FIFO) starts next.
         let Command::RunEpoch { job: next, .. } = cmds[0] else {
             panic!("expected RunEpoch, got {cmds:?}");
@@ -640,11 +880,11 @@ mod tests {
         let mut now = SimTime::ZERO;
         let mut guard = 0;
         while !cmds.iter().any(|c| matches!(c, Command::Stop)) {
-            let Some(Command::RunEpoch { job, duration, .. }) = cmds.first().copied() else {
+            let Some(Command::RunEpoch { job, duration, token, .. }) = cmds.first().copied() else {
                 break;
             };
             now += duration;
-            cmds = engine.handle(EngineEvent::EpochDone { job }, now);
+            cmds = engine.handle(EngineEvent::EpochDone { job, token }, now);
             guard += 1;
             assert!(guard < 500, "runaway dynamic-target loop");
         }
@@ -668,10 +908,10 @@ mod tests {
         let mut policy = DefaultPolicy::new();
         let mut engine = ExperimentEngine::new(&mut policy, &ew, ExperimentSpec::new(1));
         let cmds = engine.start();
-        let Command::RunEpoch { job, duration, .. } = cmds[0] else {
+        let Command::RunEpoch { job, duration, token, .. } = cmds[0] else {
             panic!("expected RunEpoch");
         };
-        engine.handle(EngineEvent::EpochDone { job }, duration);
+        engine.handle(EngineEvent::EpochDone { job, token }, duration);
         let result = engine.into_result(duration);
         assert_eq!(result.milestones.len(), 1);
         assert!(result.reached_target());
@@ -683,12 +923,199 @@ mod tests {
         let mut policy = DefaultPolicy::new();
         let mut engine = ExperimentEngine::new(&mut policy, &ew, ExperimentSpec::new(1));
         let cmds = engine.start();
-        let Command::RunEpoch { job, duration, .. } = cmds[0] else {
+        let Command::RunEpoch { job, duration, token, .. } = cmds[0] else {
             panic!("expected RunEpoch");
         };
-        engine.handle(EngineEvent::EpochDone { job }, duration);
+        engine.handle(EngineEvent::EpochDone { job, token }, duration);
         assert!(engine.stopped());
-        let cmds = engine.handle(EngineEvent::EpochDone { job }, duration);
+        let cmds = engine.handle(EngineEvent::EpochDone { job, token }, duration);
         assert!(cmds.is_empty());
+    }
+
+    #[test]
+    fn stale_tokens_are_dropped() {
+        let ew = tiny_workload(2, 10);
+        let mut policy = DefaultPolicy::new();
+        let spec = ExperimentSpec::new(2).with_stop_on_target(false);
+        let mut engine = ExperimentEngine::new(&mut policy, &ew, spec);
+        let cmds = engine.start();
+        let Command::RunEpoch { job, machine, duration, token, .. } = cmds[0] else {
+            panic!("expected RunEpoch");
+        };
+        // A stall invalidates the in-flight token; the late reply from the
+        // wedged agent must not be double-counted.
+        let followups = engine.inject_agent_stall(machine, SimTime::from_secs(1.0));
+        assert!(
+            followups.iter().any(|c| matches!(c, Command::RunEpoch { job: j, .. } if *j == job)),
+            "interrupted job reschedules, got {followups:?}"
+        );
+        let stale = engine.handle(EngineEvent::EpochDone { job, token }, duration);
+        assert!(stale.is_empty(), "stale completion is dropped");
+        let result = engine.into_result(duration);
+        assert_eq!(result.faults.agent_stalls, 1);
+        assert_eq!(result.faults.interruptions, 1);
+        assert_eq!(result.faults.lost_epochs, 0, "no epoch had completed, so none were lost");
+    }
+
+    #[test]
+    fn machine_crash_interrupts_and_recovery_restores_capacity() {
+        let ew = tiny_workload(1, 10);
+        let mut policy = DefaultPolicy::new();
+        let spec = ExperimentSpec::new(1).with_stop_on_target(false);
+        let mut engine = ExperimentEngine::new(&mut policy, &ew, spec);
+        let cmds = engine.start();
+        let Command::RunEpoch { job, machine, .. } = cmds[0] else {
+            panic!("expected RunEpoch");
+        };
+        // Crash the only machine: the job is interrupted but nothing can
+        // restart it until the machine recovers.
+        let cmds = engine.inject_machine_crash(machine, SimTime::from_secs(5.0));
+        assert!(cmds.is_empty(), "no capacity left, got {cmds:?}");
+        assert_eq!(engine.active_job_count(), 1, "job waits in the idle queue");
+        // Double crash is a no-op.
+        assert!(engine.inject_machine_crash(machine, SimTime::from_secs(6.0)).is_empty());
+        // Recovery restarts the job from scratch (no snapshot existed).
+        let cmds = engine.inject_machine_recovery(machine, SimTime::from_secs(60.0));
+        assert!(
+            cmds.iter()
+                .any(|c| matches!(c, Command::RunEpoch { job: j, epoch: 1, .. } if *j == job)),
+            "job restarts at epoch 1, got {cmds:?}"
+        );
+        let result = engine.into_result(SimTime::from_secs(60.0));
+        assert_eq!(result.faults.machine_crashes, 1);
+        assert_eq!(result.faults.machine_recoveries, 1);
+        assert_eq!(result.faults.dead_machines_at_end, 0);
+    }
+
+    #[test]
+    fn retry_exhaustion_fails_the_job() {
+        let ew = tiny_workload(1, 10);
+        let mut policy = DefaultPolicy::new();
+        let spec = ExperimentSpec::new(1).with_stop_on_target(false);
+        let mut plan = FaultPlan::none();
+        plan.retry = RetryPolicy { max_retries: 1, ..RetryPolicy::default() };
+        let mut engine = ExperimentEngine::with_fault_injection(&mut policy, &ew, spec, &plan);
+        let cmds = engine.start();
+        let Command::RunEpoch { machine, .. } = cmds[0] else {
+            panic!("expected RunEpoch");
+        };
+        // First stall: retry 1 of 1, job reschedules.
+        let cmds = engine.inject_agent_stall(machine, SimTime::from_secs(1.0));
+        assert!(cmds.iter().any(|c| matches!(c, Command::RunEpoch { .. })));
+        // Second stall: budget exhausted, job fails, nothing reschedules.
+        let cmds = engine.inject_agent_stall(machine, SimTime::from_secs(2.0));
+        assert!(
+            !cmds.iter().any(|c| matches!(c, Command::RunEpoch { .. })),
+            "failed job must not reschedule, got {cmds:?}"
+        );
+        assert_eq!(engine.active_job_count(), 0);
+        let result = engine.into_result(SimTime::from_secs(2.0));
+        assert_eq!(result.outcomes[0].end, JobEnd::Failed);
+        assert_eq!(result.failed_jobs(), 1);
+        assert_eq!(result.faults.failed_jobs, 1);
+    }
+
+    #[test]
+    fn corrupted_snapshot_restarts_from_scratch() {
+        struct SuspendOnce {
+            suspended: bool,
+        }
+        impl SchedulingPolicy for SuspendOnce {
+            fn name(&self) -> &str {
+                "suspend-once"
+            }
+            fn on_iteration_finish(
+                &mut self,
+                _event: &JobEvent,
+                _ctx: &mut dyn SchedulerContext,
+            ) -> JobDecision {
+                if self.suspended {
+                    JobDecision::Continue
+                } else {
+                    self.suspended = true;
+                    JobDecision::Suspend
+                }
+            }
+        }
+        let ew = tiny_workload(1, 5);
+        let mut policy = SuspendOnce { suspended: false };
+        let spec = ExperimentSpec::new(1).with_stop_on_target(false);
+        let mut plan = FaultPlan::none();
+        plan.snapshot_corrupt_prob = 1.0; // every stored snapshot is damaged
+        let mut engine = ExperimentEngine::with_fault_injection(&mut policy, &ew, spec, &plan);
+        let mut cmds = engine.start();
+        let mut now = SimTime::ZERO;
+        let mut guard = 0;
+        while let Some(cmd) = cmds.first().copied() {
+            let event = match cmd {
+                Command::RunEpoch { job, duration, token, .. } => {
+                    now += duration;
+                    EngineEvent::EpochDone { job, token }
+                }
+                Command::Suspend { job, latency, token, .. } => {
+                    now += latency;
+                    EngineEvent::SuspendDone { job, token }
+                }
+                Command::Stop => break,
+            };
+            cmds = engine.handle(event, now);
+            guard += 1;
+            assert!(guard < 50, "runaway");
+        }
+        let result = engine.into_result(now);
+        assert_eq!(result.faults.snapshot_corruptions, 1);
+        assert_eq!(result.faults.lost_epochs, 1, "the pre-suspend epoch re-ran");
+        assert_eq!(result.outcomes[0].end, JobEnd::Completed, "job still finishes");
+        assert_eq!(result.outcomes[0].epochs, 5);
+        assert_eq!(
+            result.total_epochs,
+            u64::from(result.outcomes[0].epochs) + result.faults.lost_epochs,
+            "lost-epoch accounting holds"
+        );
+        assert!(
+            result
+                .events
+                .events()
+                .iter()
+                .any(|e| matches!(e, SchedulerEvent::SnapshotCorrupted { .. })),
+            "corruption is logged"
+        );
+    }
+
+    #[test]
+    fn suspend_failure_rolls_back_without_snapshot() {
+        struct SuspendAlways;
+        impl SchedulingPolicy for SuspendAlways {
+            fn name(&self) -> &str {
+                "suspend-always"
+            }
+            fn on_iteration_finish(
+                &mut self,
+                _event: &JobEvent,
+                _ctx: &mut dyn SchedulerContext,
+            ) -> JobDecision {
+                JobDecision::Suspend
+            }
+        }
+        let ew = tiny_workload(1, 5);
+        let mut policy = SuspendAlways;
+        let spec = ExperimentSpec::new(1).with_stop_on_target(false);
+        let mut plan = FaultPlan::none();
+        plan.suspend_fail_prob = 1.0; // every suspend dies mid-capture
+        plan.retry = RetryPolicy { max_retries: 0, ..RetryPolicy::default() };
+        let mut engine = ExperimentEngine::with_fault_injection(&mut policy, &ew, spec, &plan);
+        let cmds = engine.start();
+        let Command::RunEpoch { job, duration, token, .. } = cmds[0] else {
+            panic!("expected RunEpoch");
+        };
+        let cmds = engine.handle(EngineEvent::EpochDone { job, token }, duration);
+        assert!(
+            !cmds.iter().any(|c| matches!(c, Command::Suspend { .. })),
+            "failed suspend issues no Suspend command, got {cmds:?}"
+        );
+        let result = engine.into_result(duration);
+        assert_eq!(result.faults.suspend_failures, 1);
+        assert_eq!(result.outcomes[0].end, JobEnd::Failed, "zero retries allowed");
+        assert_eq!(result.faults.lost_epochs, 1, "the completed epoch rolled back");
     }
 }

@@ -60,6 +60,47 @@ pub enum SchedulerEvent {
         /// When.
         time: SimTime,
     },
+    /// A machine crashed (fault injection); work on it was lost.
+    MachineCrashed {
+        /// The crashed machine.
+        machine: MachineId,
+        /// When.
+        time: SimTime,
+    },
+    /// A crashed machine returned to service.
+    MachineRecovered {
+        /// The recovered machine.
+        machine: MachineId,
+        /// When.
+        time: SimTime,
+    },
+    /// A job was knocked off its machine by a fault (crash, agent stall,
+    /// or failed suspend) and rolled back to its last snapshot.
+    Interrupted {
+        /// The job.
+        job: JobId,
+        /// The machine it lost.
+        machine: MachineId,
+        /// When the interruption was detected.
+        time: SimTime,
+        /// Completed epochs rolled back (to be re-run).
+        lost_epochs: u32,
+    },
+    /// A resume found an undecodable snapshot; the job restarts from
+    /// scratch.
+    SnapshotCorrupted {
+        /// The job.
+        job: JobId,
+        /// When the corruption was discovered.
+        time: SimTime,
+    },
+    /// A job exhausted its retry budget and was marked failed.
+    Failed {
+        /// The job.
+        job: JobId,
+        /// When.
+        time: SimTime,
+    },
 }
 
 impl SchedulerEvent {
@@ -70,7 +111,12 @@ impl SchedulerEvent {
             | SchedulerEvent::Suspended { time, .. }
             | SchedulerEvent::Terminated { time, .. }
             | SchedulerEvent::Completed { time, .. }
-            | SchedulerEvent::TargetReached { time, .. } => *time,
+            | SchedulerEvent::TargetReached { time, .. }
+            | SchedulerEvent::MachineCrashed { time, .. }
+            | SchedulerEvent::MachineRecovered { time, .. }
+            | SchedulerEvent::Interrupted { time, .. }
+            | SchedulerEvent::SnapshotCorrupted { time, .. }
+            | SchedulerEvent::Failed { time, .. } => *time,
         }
     }
 }
@@ -139,12 +185,21 @@ impl EventLog {
                 }
                 SchedulerEvent::Suspended { job, time, .. }
                 | SchedulerEvent::Terminated { job, time, .. }
-                | SchedulerEvent::Completed { job, time, .. } => {
+                | SchedulerEvent::Completed { job, time, .. }
+                | SchedulerEvent::Interrupted { job, time, .. } => {
                     if let Some((machine, start, resumed)) = open.remove(&job) {
                         segments.push(GanttSegment { job, machine, start, end: time, resumed });
                     }
                 }
-                SchedulerEvent::TargetReached { .. } => {}
+                SchedulerEvent::Failed { job, time } => {
+                    if let Some((machine, start, resumed)) = open.remove(&job) {
+                        segments.push(GanttSegment { job, machine, start, end: time, resumed });
+                    }
+                }
+                SchedulerEvent::TargetReached { .. }
+                | SchedulerEvent::MachineCrashed { .. }
+                | SchedulerEvent::MachineRecovered { .. }
+                | SchedulerEvent::SnapshotCorrupted { .. } => {}
             }
         }
         for (job, (machine, start, resumed)) in open {
@@ -194,13 +249,9 @@ impl EventLog {
                     time.as_secs(),
                     if resumed { "resumed" } else { "fresh" }
                 )?,
-                SchedulerEvent::Suspended { job, machine, time } => writeln!(
-                    w,
-                    "suspended,{},{},{:.3},",
-                    job.raw(),
-                    machine.raw(),
-                    time.as_secs()
-                )?,
+                SchedulerEvent::Suspended { job, machine, time } => {
+                    writeln!(w, "suspended,{},{},{:.3},", job.raw(), machine.raw(), time.as_secs())?
+                }
                 SchedulerEvent::Terminated { job, machine, time } => writeln!(
                     w,
                     "terminated,{},{},{:.3},",
@@ -208,19 +259,31 @@ impl EventLog {
                     machine.raw(),
                     time.as_secs()
                 )?,
-                SchedulerEvent::Completed { job, machine, time } => writeln!(
+                SchedulerEvent::Completed { job, machine, time } => {
+                    writeln!(w, "completed,{},{},{:.3},", job.raw(), machine.raw(), time.as_secs())?
+                }
+                SchedulerEvent::TargetReached { job, target, time } => {
+                    writeln!(w, "target_reached,{},,{:.3},{target:.4}", job.raw(), time.as_secs())?
+                }
+                SchedulerEvent::MachineCrashed { machine, time } => {
+                    writeln!(w, "machine_crashed,,{},{:.3},", machine.raw(), time.as_secs())?
+                }
+                SchedulerEvent::MachineRecovered { machine, time } => {
+                    writeln!(w, "machine_recovered,,{},{:.3},", machine.raw(), time.as_secs())?
+                }
+                SchedulerEvent::Interrupted { job, machine, time, lost_epochs } => writeln!(
                     w,
-                    "completed,{},{},{:.3},",
+                    "interrupted,{},{},{:.3},lost={lost_epochs}",
                     job.raw(),
                     machine.raw(),
                     time.as_secs()
                 )?,
-                SchedulerEvent::TargetReached { job, target, time } => writeln!(
-                    w,
-                    "target_reached,{},,{:.3},{target:.4}",
-                    job.raw(),
-                    time.as_secs()
-                )?,
+                SchedulerEvent::SnapshotCorrupted { job, time } => {
+                    writeln!(w, "snapshot_corrupted,{},,{:.3},", job.raw(), time.as_secs())?
+                }
+                SchedulerEvent::Failed { job, time } => {
+                    writeln!(w, "failed,{},,{:.3},", job.raw(), time.as_secs())?
+                }
             }
         }
         Ok(())
@@ -241,7 +304,12 @@ mod tests {
         let m0 = MachineId::new(0);
         log.record(SchedulerEvent::Started { job: j0, machine: m0, time: t(0.0), resumed: false });
         log.record(SchedulerEvent::Suspended { job: j0, machine: m0, time: t(100.0) });
-        log.record(SchedulerEvent::Started { job: j1, machine: m0, time: t(100.0), resumed: false });
+        log.record(SchedulerEvent::Started {
+            job: j1,
+            machine: m0,
+            time: t(100.0),
+            resumed: false,
+        });
         log.record(SchedulerEvent::Terminated { job: j1, machine: m0, time: t(150.0) });
         log.record(SchedulerEvent::Started { job: j0, machine: m0, time: t(150.0), resumed: true });
         log.record(SchedulerEvent::TargetReached { job: j0, target: 0.77, time: t(190.0) });
@@ -286,10 +354,46 @@ mod tests {
         let mut buf = Vec::new();
         log.write_csv(&mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
-        for needle in ["started,0,0,0.000,fresh", "suspended,0", "terminated,1", "target_reached,0"] {
+        for needle in ["started,0,0,0.000,fresh", "suspended,0", "terminated,1", "target_reached,0"]
+        {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
         assert_eq!(text.lines().count(), 1 + log.len());
+    }
+
+    #[test]
+    fn fault_events_close_gantt_spans_and_serialize() {
+        let mut log = EventLog::new();
+        let j = JobId::new(0);
+        let m = MachineId::new(1);
+        log.record(SchedulerEvent::Started { job: j, machine: m, time: t(0.0), resumed: false });
+        log.record(SchedulerEvent::MachineCrashed { machine: m, time: t(50.0) });
+        log.record(SchedulerEvent::Interrupted {
+            job: j,
+            machine: m,
+            time: t(50.0),
+            lost_epochs: 2,
+        });
+        log.record(SchedulerEvent::MachineRecovered { machine: m, time: t(80.0) });
+        log.record(SchedulerEvent::Started { job: j, machine: m, time: t(80.0), resumed: true });
+        log.record(SchedulerEvent::SnapshotCorrupted { job: j, time: t(80.0) });
+        log.record(SchedulerEvent::Failed { job: j, time: t(120.0) });
+        let segments = log.gantt(t(200.0));
+        assert_eq!(segments.len(), 2, "interrupt and fail both close spans");
+        assert_eq!(segments[0].end, t(50.0));
+        assert_eq!(segments[1].end, t(120.0));
+        let mut buf = Vec::new();
+        log.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        for needle in [
+            "machine_crashed,,1,50.000,",
+            "interrupted,0,1,50.000,lost=2",
+            "machine_recovered,,1,80.000,",
+            "snapshot_corrupted,0,,80.000,",
+            "failed,0,,120.000,",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
     }
 
     #[test]

@@ -8,9 +8,7 @@
 //! sees the same set) and an [`ExperimentSpec`] (cluster size, `Tmax`,
 //! stopping behaviour). Executors produce an [`ExperimentResult`].
 
-use hyperdrive_types::{
-    ConfigId, Configuration, DomainKnowledge, JobId, Result, SimTime,
-};
+use hyperdrive_types::{ConfigId, Configuration, DomainKnowledge, JobId, Result, SimTime};
 use hyperdrive_workload::{JobProfile, SuspendModel, TraceSet, Workload};
 
 use crate::appstat::SuspendEvent;
@@ -91,12 +89,7 @@ impl ExperimentWorkload {
         for i in 0..n {
             let (config_id, config) = generator.create_job()?;
             let profile = workload.profile(&config, seed.wrapping_add(i as u64));
-            jobs.push(ExperimentJob {
-                job: JobId::new(i as u64),
-                config_id,
-                config,
-                profile,
-            });
+            jobs.push(ExperimentJob { job: JobId::new(i as u64), config_id, config, profile });
         }
         Ok(ExperimentWorkload {
             name: workload.name().to_string(),
@@ -118,8 +111,7 @@ impl ExperimentWorkload {
         target: f64,
         suspend: SuspendModel,
     ) -> Self {
-        let max_epochs =
-            traces.traces.iter().map(|t| t.values.len() as u32).max().unwrap_or(0);
+        let max_epochs = traces.traces.iter().map(|t| t.values.len() as u32).max().unwrap_or(0);
         let jobs = traces
             .traces
             .iter()
@@ -256,6 +248,8 @@ pub enum JobEnd {
     /// Still live (running, suspended, or queued) when the experiment
     /// stopped.
     Unfinished,
+    /// Interrupted by faults until its retry budget ran out.
+    Failed,
 }
 
 /// Per-job accounting at experiment end.
@@ -295,8 +289,14 @@ pub struct ExperimentResult {
     /// The full scheduler event log (starts, suspends, terminations,
     /// completions, milestones) for Gantt/utilization analysis.
     pub events: EventLog,
-    /// Total epochs executed across all jobs.
+    /// Total epochs executed across all jobs. Epochs rolled back by faults
+    /// and re-run count every time they executed, so
+    /// `total_epochs == Σ outcomes[].epochs + faults.lost_epochs`
+    /// (epochs in flight when a fault struck were never recorded and appear
+    /// in neither term).
     pub total_epochs: u64,
+    /// Fault-injection accounting; all-zero for fault-free runs.
+    pub faults: crate::fault::FaultStats,
 }
 
 impl ExperimentResult {
@@ -308,16 +308,17 @@ impl ExperimentResult {
     /// Job execution durations in minutes (Fig. 6's metric) for jobs that
     /// ran at all.
     pub fn job_durations_mins(&self) -> Vec<f64> {
-        self.outcomes
-            .iter()
-            .filter(|o| o.epochs > 0)
-            .map(|o| o.busy_time.as_mins())
-            .collect()
+        self.outcomes.iter().filter(|o| o.epochs > 0).map(|o| o.busy_time.as_mins()).collect()
     }
 
     /// Number of jobs the policy terminated early.
     pub fn terminated_early(&self) -> usize {
         self.outcomes.iter().filter(|o| o.end == JobEnd::Terminated).count()
+    }
+
+    /// Number of jobs that exhausted their fault-retry budget.
+    pub fn failed_jobs(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.end == JobEnd::Failed).count()
     }
 }
 
@@ -413,6 +414,7 @@ mod tests {
             milestones: vec![],
             events: EventLog::new(),
             total_epochs: 10,
+            faults: crate::fault::FaultStats::default(),
         };
         assert!(result.reached_target());
         assert_eq!(result.job_durations_mins(), vec![10.0]);

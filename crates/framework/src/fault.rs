@@ -1,0 +1,359 @@
+//! Fault injection: seeded, deterministic schedules of cluster failures.
+//!
+//! HyperDrive's suspend/resume state path (§5.1) exists so long-running
+//! explorations survive real clusters, where machines crash, node agents
+//! wedge, and snapshots go missing. A [`FaultPlan`] is a reproducible
+//! schedule of such faults:
+//!
+//! * **Machine crash / recovery** — timed events; a crashed machine is
+//!   marked dead in the Resource Manager, any in-flight work on it is
+//!   lost, and the hosted job rolls back to its last snapshot.
+//! * **Node-agent stall** — the next completion report from a machine is
+//!   lost; the scheduler detects it by timeout (the live executor's
+//!   heartbeat watchdog, or a scheduled detection event in the simulator)
+//!   and reschedules the job. The machine itself survives.
+//! * **Delayed report** — the next completion report from a machine
+//!   arrives late; policies observe stale statistics but no work is lost.
+//! * **Suspend failure** — a snapshot capture fails at suspend time; the
+//!   job rolls back to its previous snapshot (probabilistic, evaluated by
+//!   the engine at each suspend decision).
+//! * **Snapshot corruption** — stored snapshot bytes are corrupted in
+//!   place; the corruption is only discovered when a resume fails to
+//!   decode them, and the job restarts from scratch (probabilistic,
+//!   evaluated at each snapshot store).
+//!
+//! Timed faults are injected by the executor (virtual time in the
+//! simulator, watchdog timeouts in the live executor); probabilistic
+//! faults are evaluated inside the engine from a dedicated RNG stream so
+//! an empty plan leaves fault-free runs byte-identical.
+//!
+//! Retries are capped by a [`RetryPolicy`]: each interruption of a job
+//! counts against its retry budget and adds an exponential-backoff restart
+//! penalty; a job that exhausts the budget enters the `Failed` state.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hyperdrive_types::{MachineId, SimTime};
+
+/// What a timed fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The machine dies; work on it is lost and it stops accepting jobs.
+    MachineCrash,
+    /// The machine returns to service, idle.
+    MachineRecover,
+    /// The next completion report from this machine is lost. The loss is
+    /// detected `detection` after the report would have arrived.
+    AgentStall {
+        /// Detection latency (heartbeat timeout).
+        detection: SimTime,
+    },
+    /// The next completion report from this machine arrives `delay` late.
+    ReplyDelay {
+        /// Extra report latency.
+        delay: SimTime,
+    },
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault fires (virtual time).
+    pub at: SimTime,
+    /// The machine it targets.
+    pub machine: MachineId,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Caps and prices job restarts after interruptions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Interruptions a job tolerates before it is marked `Failed`.
+    pub max_retries: u32,
+    /// Restart penalty after the first interruption.
+    pub backoff: SimTime,
+    /// Multiplier applied to the penalty for each further interruption.
+    pub backoff_factor: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 3, backoff: SimTime::from_secs(30.0), backoff_factor: 2.0 }
+    }
+}
+
+impl RetryPolicy {
+    /// The restart penalty for a job's `retry`-th interruption (1-based):
+    /// `backoff * backoff_factor^(retry-1)`.
+    pub fn penalty(&self, retry: u32) -> SimTime {
+        if retry == 0 {
+            return SimTime::ZERO;
+        }
+        let scale = self.backoff_factor.powi(retry.saturating_sub(1) as i32);
+        SimTime::from_secs(self.backoff.as_secs() * scale)
+    }
+}
+
+/// Rates and distributions from which [`FaultPlan::generate`] draws a
+/// schedule. All rates are per machine.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Seed for the plan's RNG stream (independent of workload/spec seeds).
+    pub seed: u64,
+    /// Faults are generated over `[0, horizon)`.
+    pub horizon: SimTime,
+    /// Machine crashes per machine-hour.
+    pub crash_rate_per_hour: f64,
+    /// Mean downtime before a crashed machine recovers.
+    pub mean_downtime: SimTime,
+    /// Agent stalls (lost reports) per machine-hour.
+    pub stall_rate_per_hour: f64,
+    /// How long a lost report takes to detect (heartbeat timeout).
+    pub stall_detection: SimTime,
+    /// Delayed reports per machine-hour.
+    pub delay_rate_per_hour: f64,
+    /// Mean extra latency of a delayed report.
+    pub mean_delay: SimTime,
+    /// Probability a suspend's snapshot capture fails.
+    pub suspend_fail_prob: f64,
+    /// Probability a stored snapshot is silently corrupted.
+    pub snapshot_corrupt_prob: f64,
+    /// Retry cap and backoff applied to interrupted jobs.
+    pub retry: RetryPolicy,
+}
+
+impl FaultConfig {
+    /// A config whose fault intensity scales with a single knob:
+    /// `intensity = 1.0` means one crash and one stall per machine per
+    /// ten hours plus mild probabilistic faults; `0.0` disables
+    /// everything.
+    pub fn with_intensity(seed: u64, horizon: SimTime, intensity: f64) -> Self {
+        assert!(intensity >= 0.0 && intensity.is_finite(), "fault intensity must be non-negative");
+        FaultConfig {
+            seed,
+            horizon,
+            crash_rate_per_hour: 0.1 * intensity,
+            mean_downtime: SimTime::from_mins(20.0),
+            stall_rate_per_hour: 0.1 * intensity,
+            stall_detection: SimTime::from_mins(2.0),
+            delay_rate_per_hour: 0.2 * intensity,
+            mean_delay: SimTime::from_mins(5.0),
+            suspend_fail_prob: (0.02 * intensity).min(0.5),
+            snapshot_corrupt_prob: (0.02 * intensity).min(0.5),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// A seeded, deterministic schedule of injectable faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Timed faults, sorted by time (ties keep generation order).
+    pub events: Vec<FaultEvent>,
+    /// Probability a suspend's snapshot capture fails.
+    pub suspend_fail_prob: f64,
+    /// Probability a stored snapshot is silently corrupted.
+    pub snapshot_corrupt_prob: f64,
+    /// Retry cap and backoff for interrupted jobs.
+    pub retry: RetryPolicy,
+    /// Seed for the engine's probabilistic-fault RNG stream.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// The empty plan: no timed faults, zero probabilities. Running with
+    /// this plan is byte-identical to running without the fault subsystem.
+    pub fn none() -> Self {
+        FaultPlan {
+            events: Vec::new(),
+            suspend_fail_prob: 0.0,
+            snapshot_corrupt_prob: 0.0,
+            retry: RetryPolicy::default(),
+            seed: 0,
+        }
+    }
+
+    /// True if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.suspend_fail_prob == 0.0 && self.snapshot_corrupt_prob == 0.0
+    }
+
+    /// Draws a deterministic schedule for a cluster of `machines`
+    /// machines. The same config always produces the same plan.
+    ///
+    /// Crash/recovery pairs never overlap on one machine: the next crash
+    /// is drawn after the previous recovery. Every crash inside the
+    /// horizon gets a recovery event (possibly past the horizon), so no
+    /// machine stays dead forever.
+    pub fn generate(machines: usize, config: &FaultConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xFA17);
+        let mut events = Vec::new();
+        let horizon = config.horizon.as_secs();
+        for m in 0..machines {
+            let machine = MachineId::new(m as u64);
+            // Crash/recovery pairs.
+            if config.crash_rate_per_hour > 0.0 {
+                let mean_gap = 3600.0 / config.crash_rate_per_hour;
+                let mut t = exp_sample(&mut rng, mean_gap);
+                while t < horizon {
+                    let downtime = exp_sample(&mut rng, config.mean_downtime.as_secs()).max(1.0);
+                    events.push(FaultEvent {
+                        at: SimTime::from_secs(t),
+                        machine,
+                        kind: FaultKind::MachineCrash,
+                    });
+                    events.push(FaultEvent {
+                        at: SimTime::from_secs(t + downtime),
+                        machine,
+                        kind: FaultKind::MachineRecover,
+                    });
+                    t += downtime + exp_sample(&mut rng, mean_gap);
+                }
+            }
+            // Lost reports (agent stalls).
+            if config.stall_rate_per_hour > 0.0 {
+                let mean_gap = 3600.0 / config.stall_rate_per_hour;
+                let mut t = exp_sample(&mut rng, mean_gap);
+                while t < horizon {
+                    events.push(FaultEvent {
+                        at: SimTime::from_secs(t),
+                        machine,
+                        kind: FaultKind::AgentStall { detection: config.stall_detection },
+                    });
+                    t += exp_sample(&mut rng, mean_gap);
+                }
+            }
+            // Delayed reports.
+            if config.delay_rate_per_hour > 0.0 {
+                let mean_gap = 3600.0 / config.delay_rate_per_hour;
+                let mut t = exp_sample(&mut rng, mean_gap);
+                while t < horizon {
+                    let delay = exp_sample(&mut rng, config.mean_delay.as_secs()).max(1.0);
+                    events.push(FaultEvent {
+                        at: SimTime::from_secs(t),
+                        machine,
+                        kind: FaultKind::ReplyDelay { delay: SimTime::from_secs(delay) },
+                    });
+                    t += exp_sample(&mut rng, mean_gap);
+                }
+            }
+        }
+        events.sort_by_key(|e| e.at);
+        FaultPlan {
+            events,
+            suspend_fail_prob: config.suspend_fail_prob,
+            snapshot_corrupt_prob: config.snapshot_corrupt_prob,
+            retry: config.retry,
+            seed: config.seed,
+        }
+    }
+}
+
+/// Draws from an exponential distribution with the given mean (seconds).
+fn exp_sample<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let u: f64 = rng.gen_range(0.0..1.0);
+    -(1.0 - u).ln() * mean
+}
+
+/// Counters describing what the fault subsystem did during one run.
+/// Present (all zero) even in fault-free runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Machine crashes injected.
+    pub machine_crashes: u64,
+    /// Machines returned to service.
+    pub machine_recoveries: u64,
+    /// Lost-report stalls detected.
+    pub agent_stalls: u64,
+    /// Jobs knocked off a machine (crash, stall, or failed suspend).
+    pub interruptions: u64,
+    /// Completed epochs rolled back and re-run.
+    pub lost_epochs: u64,
+    /// Suspend attempts whose snapshot capture failed.
+    pub suspend_failures: u64,
+    /// Resumes that found an undecodable snapshot and restarted from
+    /// scratch.
+    pub snapshot_corruptions: u64,
+    /// Jobs that exhausted their retry budget.
+    pub failed_jobs: u64,
+    /// Machines still dead when the experiment ended.
+    pub dead_machines_at_end: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(seed: u64) -> FaultConfig {
+        FaultConfig::with_intensity(seed, SimTime::from_hours(24.0), 5.0)
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert!(plan.events.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = FaultPlan::generate(4, &config(7));
+        let b = FaultPlan::generate(4, &config(7));
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(4, &config(8));
+        assert_ne!(a.events, c.events, "different seeds differ");
+    }
+
+    #[test]
+    fn events_are_time_sorted_and_crashes_pair_with_recoveries() {
+        let plan = FaultPlan::generate(3, &config(42));
+        assert!(!plan.events.is_empty(), "intensity 5 over 24h injects faults");
+        assert!(plan.events.windows(2).all(|w| w[0].at <= w[1].at), "events sorted by time");
+        let crashes = plan.events.iter().filter(|e| e.kind == FaultKind::MachineCrash).count();
+        let recoveries = plan.events.iter().filter(|e| e.kind == FaultKind::MachineRecover).count();
+        assert_eq!(crashes, recoveries, "every crash has a recovery");
+    }
+
+    #[test]
+    fn crash_windows_do_not_overlap_per_machine() {
+        let plan = FaultPlan::generate(2, &config(11));
+        for m in 0..2u64 {
+            let mut up = true;
+            for e in plan.events.iter().filter(|e| e.machine.raw() == m) {
+                match e.kind {
+                    FaultKind::MachineCrash => {
+                        assert!(up, "crash while already down on machine {m}");
+                        up = false;
+                    }
+                    FaultKind::MachineRecover => {
+                        assert!(!up, "recover while up on machine {m}");
+                        up = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_intensity_generates_nothing() {
+        let cfg = FaultConfig::with_intensity(1, SimTime::from_hours(24.0), 0.0);
+        let plan = FaultPlan::generate(8, &cfg);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn retry_penalty_backs_off_exponentially() {
+        let retry =
+            RetryPolicy { max_retries: 3, backoff: SimTime::from_secs(10.0), backoff_factor: 2.0 };
+        assert_eq!(retry.penalty(0), SimTime::ZERO);
+        assert_eq!(retry.penalty(1), SimTime::from_secs(10.0));
+        assert_eq!(retry.penalty(2), SimTime::from_secs(20.0));
+        assert_eq!(retry.penalty(3), SimTime::from_secs(40.0));
+    }
+}

@@ -25,6 +25,8 @@ pub enum JobState {
     Terminated,
     /// Ran to its maximum epoch.
     Completed,
+    /// Interrupted by faults until its retry budget ran out.
+    Failed,
 }
 
 impl JobState {
@@ -255,10 +257,12 @@ impl JobManager {
     pub fn terminate_job(&mut self, job: JobId) -> Result<Option<MachineId>> {
         let e = self.entry_mut(job)?;
         match e.state {
-            JobState::Terminated | JobState::Completed => Err(Error::InvalidJobState {
-                job: job.raw(),
-                detail: "terminate after finish".into(),
-            }),
+            JobState::Terminated | JobState::Completed | JobState::Failed => {
+                Err(Error::InvalidJobState {
+                    job: job.raw(),
+                    detail: "terminate after finish".into(),
+                })
+            }
             state => {
                 e.state = JobState::Terminated;
                 Ok(state.machine())
@@ -284,6 +288,78 @@ impl JobManager {
                 detail: format!("complete while {other:?}"),
             }),
         }
+    }
+
+    /// Interrupts a job whose machine crashed, agent stalled, or suspend
+    /// failed: the job rolls back to `epochs` completed epochs (its last
+    /// snapshot, or zero) and re-enters the idle queue with a fresh FIFO
+    /// position. `has_snapshot` controls whether the next start counts as
+    /// a resume (snapshot restore) or a fresh start. Returns the machine
+    /// the job held.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidJobState`] unless the job is running or
+    /// suspending.
+    pub fn interrupt_job(
+        &mut self,
+        job: JobId,
+        epochs: u32,
+        has_snapshot: bool,
+    ) -> Result<MachineId> {
+        let arrival = self.next_arrival();
+        let e = self.entry_mut(job)?;
+        match e.state {
+            JobState::Running(m) | JobState::Suspending(m) => {
+                e.state = JobState::Idle;
+                e.arrival = arrival;
+                e.epochs_done = epochs;
+                e.started_before = has_snapshot;
+                Ok(m)
+            }
+            other => Err(Error::InvalidJobState {
+                job: job.raw(),
+                detail: format!("interrupt while {other:?}"),
+            }),
+        }
+    }
+
+    /// Marks a job as `Failed` after its retry budget is exhausted. The
+    /// job leaves the idle queue permanently. Returns the machine it held,
+    /// if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidJobState`] if the job already finished.
+    pub fn fail_job(&mut self, job: JobId) -> Result<Option<MachineId>> {
+        let e = self.entry_mut(job)?;
+        match e.state {
+            JobState::Terminated | JobState::Completed | JobState::Failed => {
+                Err(Error::InvalidJobState { job: job.raw(), detail: "fail after finish".into() })
+            }
+            state => {
+                e.state = JobState::Failed;
+                Ok(state.machine())
+            }
+        }
+    }
+
+    /// Rewinds a running job's completed-epoch counter (restart from
+    /// scratch after a corrupted snapshot was discovered at resume time).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidJobState`] unless the job is running.
+    pub fn reset_epochs(&mut self, job: JobId, epochs: u32) -> Result<()> {
+        let e = self.entry_mut(job)?;
+        if !matches!(e.state, JobState::Running(_)) {
+            return Err(Error::InvalidJobState {
+                job: job.raw(),
+                detail: "epoch reset while not running".into(),
+            });
+        }
+        e.epochs_done = epochs;
+        Ok(())
     }
 
     /// Labels a job with a scheduling priority (`labelJob`).
@@ -336,10 +412,7 @@ mod tests {
     fn idle_queue_is_fifo_without_priorities() {
         let jm = jm_with(3);
         assert_eq!(jm.peek_idle_job(), Some(JobId::new(0)));
-        assert_eq!(
-            jm.idle_jobs(),
-            vec![JobId::new(0), JobId::new(1), JobId::new(2)]
-        );
+        assert_eq!(jm.idle_jobs(), vec![JobId::new(0), JobId::new(1), JobId::new(2)]);
     }
 
     #[test]
@@ -347,10 +420,7 @@ mod tests {
         let mut jm = jm_with(3);
         jm.label_job(JobId::new(2), 0.9).unwrap();
         jm.label_job(JobId::new(1), 0.5).unwrap();
-        assert_eq!(
-            jm.idle_jobs(),
-            vec![JobId::new(2), JobId::new(1), JobId::new(0)]
-        );
+        assert_eq!(jm.idle_jobs(), vec![JobId::new(2), JobId::new(1), JobId::new(0)]);
     }
 
     #[test]
@@ -361,10 +431,7 @@ mod tests {
         jm.begin_suspend(JobId::new(0)).unwrap();
         jm.finish_suspend(JobId::new(0)).unwrap();
         // Job 0 now sits behind jobs 1 and 2 (round-robin behaviour).
-        assert_eq!(
-            jm.idle_jobs(),
-            vec![JobId::new(1), JobId::new(2), JobId::new(0)]
-        );
+        assert_eq!(jm.idle_jobs(), vec![JobId::new(1), JobId::new(2), JobId::new(0)]);
     }
 
     #[test]
@@ -429,5 +496,70 @@ mod tests {
     fn nan_priority_rejected() {
         let mut jm = jm_with(1);
         assert!(jm.label_job(JobId::new(0), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn interrupt_rolls_back_and_requeues() {
+        let mut jm = jm_with(2);
+        let j = JobId::new(0);
+        let m = MachineId::new(0);
+        jm.start_job(j, m).unwrap();
+        for _ in 0..5 {
+            jm.record_epoch(j).unwrap();
+        }
+        // Crash with a snapshot at epoch 3: roll back, resume later.
+        assert_eq!(jm.interrupt_job(j, 3, true).unwrap(), m);
+        assert_eq!(jm.state(j).unwrap(), JobState::Idle);
+        assert_eq!(jm.epochs_done(j).unwrap(), 3);
+        // Re-queued behind job 1 (fresh arrival).
+        assert_eq!(jm.idle_jobs(), vec![JobId::new(1), j]);
+        assert!(jm.start_job(j, m).unwrap(), "restart from snapshot is a resume");
+    }
+
+    #[test]
+    fn interrupt_without_snapshot_is_fresh_start() {
+        let mut jm = jm_with(1);
+        let j = JobId::new(0);
+        let m = MachineId::new(0);
+        jm.start_job(j, m).unwrap();
+        jm.record_epoch(j).unwrap();
+        jm.interrupt_job(j, 0, false).unwrap();
+        assert_eq!(jm.epochs_done(j).unwrap(), 0);
+        assert!(!jm.start_job(j, m).unwrap(), "no snapshot: restart is fresh");
+    }
+
+    #[test]
+    fn interrupt_requires_live_state() {
+        let mut jm = jm_with(1);
+        let j = JobId::new(0);
+        assert!(jm.interrupt_job(j, 0, false).is_err(), "cannot interrupt idle job");
+        jm.start_job(j, MachineId::new(0)).unwrap();
+        jm.begin_suspend(j).unwrap();
+        assert!(jm.interrupt_job(j, 0, false).is_ok(), "suspending jobs interrupt");
+    }
+
+    #[test]
+    fn failed_jobs_leave_the_pool() {
+        let mut jm = jm_with(2);
+        let j = JobId::new(0);
+        let m = MachineId::new(0);
+        jm.start_job(j, m).unwrap();
+        assert_eq!(jm.fail_job(j).unwrap(), Some(m));
+        assert_eq!(jm.state(j).unwrap(), JobState::Failed);
+        assert!(jm.fail_job(j).is_err(), "double fail rejected");
+        assert!(jm.terminate_job(j).is_err(), "terminate after fail rejected");
+        assert_eq!(jm.active_jobs(), vec![JobId::new(1)]);
+        assert!(!jm.idle_jobs().contains(&j));
+    }
+
+    #[test]
+    fn reset_epochs_requires_running() {
+        let mut jm = jm_with(1);
+        let j = JobId::new(0);
+        assert!(jm.reset_epochs(j, 0).is_err());
+        jm.start_job(j, MachineId::new(0)).unwrap();
+        jm.record_epoch(j).unwrap();
+        jm.reset_epochs(j, 0).unwrap();
+        assert_eq!(jm.epochs_done(j).unwrap(), 0);
     }
 }

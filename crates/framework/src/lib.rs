@@ -49,6 +49,7 @@ pub mod appstat;
 pub mod engine;
 pub mod events;
 pub mod experiment;
+pub mod fault;
 pub mod generator;
 pub mod job_manager;
 pub mod live;
@@ -63,11 +64,10 @@ pub use experiment::{
     ExperimentJob, ExperimentResult, ExperimentSpec, ExperimentWorkload, JobEnd, JobOutcome,
     TargetMilestone,
 };
-pub use generator::{
-    AdaptiveGenerator, GridGenerator, HyperparameterGenerator, RandomGenerator,
-};
+pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultPlan, FaultStats, RetryPolicy};
+pub use generator::{AdaptiveGenerator, GridGenerator, HyperparameterGenerator, RandomGenerator};
 pub use job_manager::{JobManager, JobState};
-pub use live::run_live;
+pub use live::{run_live, run_live_with_faults, LiveFaultPlan};
 pub use policy::{
     testing, DefaultPolicy, JobDecision, JobEvent, SchedulerContext, SchedulingPolicy,
 };

@@ -7,20 +7,54 @@
 //! (standing in for GRPC). The scheduler thread multiplexes agent reports
 //! into the shared [`ExperimentEngine`].
 //!
+//! The scheduler guards every outstanding request with a heartbeat
+//! watchdog: if an agent's report does not arrive within its deadline plus
+//! [`LiveFaultPlan::watchdog_grace`], the agent is declared stalled, a
+//! fresh agent thread replaces it, and the engine rolls the hosted job
+//! back to its last snapshot ([`ExperimentEngine::inject_agent_stall`]).
+//! [`run_live_with_faults`] exercises that path deliberately by wedging
+//! chosen requests.
+//!
 //! Unlike the discrete-event simulator, this executor exhibits genuine
 //! nondeterminism — thread scheduling and timer jitter reorder events —
 //! which is precisely what the Fig. 12a simulator-validation experiment
 //! compares against.
 
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
-use hyperdrive_types::{JobId, SimTime};
+use hyperdrive_types::{JobId, MachineId, SimTime};
 
 use crate::engine::{Command, EngineEvent, ExperimentEngine};
 use crate::experiment::{ExperimentResult, ExperimentSpec, ExperimentWorkload};
+use crate::fault::FaultPlan;
 use crate::policy::SchedulingPolicy;
+
+/// Fault instructions for the live executor.
+///
+/// Unlike the simulator's virtual-time [`FaultPlan`], live faults are
+/// expressed against the observable request stream: "swallow the nth
+/// request sent to machine m". A wedged request never produces a report,
+/// so the scheduler's watchdog must detect and repair the stall — the
+/// live analogue of a hung node agent.
+#[derive(Debug, Clone)]
+pub struct LiveFaultPlan {
+    /// `(machine index, nth request to that machine, 1-based)` pairs to
+    /// swallow. The agent accepts the request and then goes silent.
+    pub wedge_requests: Vec<(u64, u32)>,
+    /// Extra wall-clock slack past a request's deadline before the
+    /// watchdog declares the agent stalled. Must comfortably exceed
+    /// ordinary sleep overshoot at the chosen time scale.
+    pub watchdog_grace: Duration,
+}
+
+impl Default for LiveFaultPlan {
+    fn default() -> Self {
+        LiveFaultPlan { wedge_requests: Vec::new(), watchdog_grace: Duration::from_secs(1) }
+    }
+}
 
 /// A request from the scheduler to a node agent. Work completes at an
 /// absolute wall-clock deadline computed from the triggering event's
@@ -31,10 +65,10 @@ use crate::policy::SchedulingPolicy;
 /// genuine contention the live executor measures.
 #[derive(Debug, Clone, Copy)]
 enum AgentRequest {
-    /// Train one epoch until `deadline`, then report.
-    RunEpoch { job: JobId, deadline: Instant },
-    /// Capture job state until `deadline`, then report.
-    Suspend { job: JobId, deadline: Instant },
+    /// Train one epoch until `deadline`, then report (unless wedged).
+    RunEpoch { job: JobId, deadline: Instant, token: u64, wedge: bool },
+    /// Capture job state until `deadline`, then report (unless wedged).
+    Suspend { job: JobId, deadline: Instant, token: u64, wedge: bool },
     /// Exit the agent loop.
     Shutdown,
 }
@@ -42,8 +76,76 @@ enum AgentRequest {
 /// A report from a node agent to the scheduler, stamped at completion.
 #[derive(Debug, Clone, Copy)]
 struct AgentReply {
+    machine: usize,
     event: EngineEvent,
     completed_at: Instant,
+}
+
+/// Scheduler-side bookkeeping shared by dispatch and the watchdog.
+struct LiveState {
+    agent_txs: Vec<Sender<AgentRequest>>,
+    /// Per machine: the token and wall deadline of its outstanding
+    /// request. At most one request is in flight per machine.
+    inflight: HashMap<usize, (u64, Instant)>,
+    /// Requests sent per machine so far (drives wedge matching).
+    sent: Vec<u32>,
+    wedges: Vec<(u64, u32)>,
+    /// Machines whose request channel failed mid-send; the caller repairs
+    /// them exactly like watchdog-detected stalls.
+    dead_sends: Vec<usize>,
+    started: Instant,
+    time_scale: f64,
+}
+
+impl LiveState {
+    fn wall_deadline(&self, virtual_time: SimTime) -> Instant {
+        self.started + Duration::from_secs_f64(virtual_time.as_secs() / self.time_scale)
+    }
+
+    fn virtual_time(&self, wall: Instant) -> SimTime {
+        SimTime::from_secs(wall.duration_since(self.started).as_secs_f64() * self.time_scale)
+    }
+
+    fn is_wedged(&self, machine: usize, nth: u32) -> bool {
+        self.wedges.iter().any(|&(m, n)| m == machine as u64 && n == nth)
+    }
+
+    /// Dispatches follow-up commands for an event that completed at
+    /// virtual time `base`: each command's work finishes `duration` after
+    /// the event that caused it, regardless of how long the scheduler
+    /// spent deciding. Returns whether a `Stop` was seen; send failures
+    /// land in `dead_sends` instead of panicking.
+    fn dispatch(&mut self, cmds: Vec<Command>, base: SimTime) -> bool {
+        let mut stop = false;
+        for cmd in cmds {
+            let (machine, request, token, deadline) = match cmd {
+                Command::RunEpoch { job, machine, duration, token, .. } => {
+                    let m = machine.raw() as usize;
+                    self.sent[m] += 1;
+                    let deadline = self.wall_deadline(base + duration);
+                    let wedge = self.is_wedged(m, self.sent[m]);
+                    (m, AgentRequest::RunEpoch { job, deadline, token, wedge }, token, deadline)
+                }
+                Command::Suspend { job, machine, latency, token } => {
+                    let m = machine.raw() as usize;
+                    self.sent[m] += 1;
+                    let deadline = self.wall_deadline(base + latency);
+                    let wedge = self.is_wedged(m, self.sent[m]);
+                    (m, AgentRequest::Suspend { job, deadline, token, wedge }, token, deadline)
+                }
+                Command::Stop => {
+                    stop = true;
+                    continue;
+                }
+            };
+            if self.agent_txs[machine].send(request).is_ok() {
+                self.inflight.insert(machine, (token, deadline));
+            } else {
+                self.dead_sends.push(machine);
+            }
+        }
+        stop
+    }
 }
 
 /// Runs one experiment on the live (threaded) executor.
@@ -63,80 +165,120 @@ pub fn run_live(
     spec: ExperimentSpec,
     time_scale: f64,
 ) -> ExperimentResult {
+    run_live_with_faults(policy, workload, spec, time_scale, &LiveFaultPlan::default())
+}
+
+/// Runs one experiment on the live executor while wedging the requests
+/// named in `plan` (see [`LiveFaultPlan`]).
+///
+/// The watchdog detects each wedged request `watchdog_grace` past its
+/// deadline, restarts the machine's node agent, and reschedules the
+/// interrupted job from its last snapshot. Stale reports from replaced
+/// agents are dropped by token. Probabilistic engine-side faults (suspend
+/// failure, snapshot corruption) come from the `FaultPlan` embedded in
+/// none here — the live plan covers only agent-level faults; compose with
+/// the simulator for the rest.
+///
+/// # Panics
+///
+/// Panics if `time_scale` is not positive or the spec has no machines.
+pub fn run_live_with_faults(
+    policy: &mut dyn SchedulingPolicy,
+    workload: &ExperimentWorkload,
+    spec: ExperimentSpec,
+    time_scale: f64,
+    plan: &LiveFaultPlan,
+) -> ExperimentResult {
     assert!(time_scale > 0.0 && time_scale.is_finite(), "time_scale must be positive");
     let machines = spec.machines;
     assert!(machines > 0, "need at least one machine");
+    let grace = plan.watchdog_grace;
 
     let (reply_tx, reply_rx): (Sender<AgentReply>, Receiver<AgentReply>) = unbounded();
-    let agent_txs: Vec<Sender<AgentRequest>> = Vec::with_capacity(machines);
 
     std::thread::scope(|scope| {
-        let mut agent_txs = agent_txs;
-        for _ in 0..machines {
-            let (tx, rx): (Sender<AgentRequest>, Receiver<AgentRequest>) = unbounded();
-            let reply_tx = reply_tx.clone();
-            scope.spawn(move || node_agent_loop(rx, reply_tx));
-            agent_txs.push(tx);
+        let mut state = LiveState {
+            agent_txs: Vec::with_capacity(machines),
+            inflight: HashMap::new(),
+            sent: vec![0; machines],
+            wedges: plan.wedge_requests.clone(),
+            dead_sends: Vec::new(),
+            started: Instant::now(),
+            time_scale,
+        };
+        for machine in 0..machines {
+            state.agent_txs.push(spawn_agent(scope, machine, reply_tx.clone()));
         }
-        drop(reply_tx);
 
-        let mut engine = ExperimentEngine::new(policy, workload, spec);
-        let started = Instant::now();
-        let mut in_flight = 0usize;
-
-        // Converts a virtual completion time into a wall-clock deadline.
-        let wall_deadline = |virtual_time: SimTime| -> Instant {
-            started + Duration::from_secs_f64(virtual_time.as_secs() / time_scale)
-        };
-
-        // Dispatches follow-up commands for an event that completed at
-        // virtual time `base`: each command's work finishes `duration`
-        // after the event that caused it, regardless of how long the
-        // scheduler spent deciding.
-        let dispatch = |cmds: Vec<Command>, base: SimTime, in_flight: &mut usize| -> bool {
-            let mut stop = false;
-            for cmd in cmds {
-                match cmd {
-                    Command::RunEpoch { job, machine, duration, .. } => {
-                        agent_txs[machine.raw() as usize]
-                            .send(AgentRequest::RunEpoch {
-                                job,
-                                deadline: wall_deadline(base + duration),
-                            })
-                            .expect("agent alive");
-                        *in_flight += 1;
-                    }
-                    Command::Suspend { job, machine, latency } => {
-                        agent_txs[machine.raw() as usize]
-                            .send(AgentRequest::Suspend {
-                                job,
-                                deadline: wall_deadline(base + latency),
-                            })
-                            .expect("agent alive");
-                        *in_flight += 1;
-                    }
-                    Command::Stop => stop = true,
-                }
-            }
-            stop
-        };
-
-        let mut stopping = dispatch(engine.start(), SimTime::ZERO, &mut in_flight);
+        let mut engine =
+            ExperimentEngine::with_fault_injection(policy, workload, spec, &FaultPlan::none());
         let mut last_now = SimTime::ZERO;
-        while in_flight > 0 && !stopping {
-            let reply = reply_rx.recv().expect("agents alive while work in flight");
-            in_flight -= 1;
-            // Events are stamped when the agent completed the work, not
-            // when the scheduler got around to processing the report.
-            let now = SimTime::from_secs(
-                reply.completed_at.duration_since(started).as_secs_f64() * time_scale,
-            );
-            last_now = last_now.max(now);
-            let cmds = engine.handle(reply.event, now);
-            stopping = dispatch(cmds, now, &mut in_flight) || engine.stopped();
+
+        let mut stopping = state.dispatch(engine.start(), SimTime::ZERO);
+        while !state.inflight.is_empty() && !stopping {
+            // Repair machines whose channel died mid-dispatch: restart the
+            // agent and treat the undeliverable work as a stall.
+            while let Some(machine) = state.dead_sends.pop() {
+                state.agent_txs[machine] = spawn_agent(scope, machine, reply_tx.clone());
+                let now = state.virtual_time(Instant::now());
+                last_now = last_now.max(now);
+                let cmds = engine.inject_agent_stall(MachineId::new(machine as u64), now);
+                stopping = state.dispatch(cmds, now) || stopping || engine.stopped();
+            }
+            if state.inflight.is_empty() || stopping {
+                break;
+            }
+
+            let next_watchdog = state
+                .inflight
+                .values()
+                .map(|&(_, deadline)| deadline + grace)
+                .min()
+                .expect("inflight is non-empty");
+            let wait = next_watchdog.saturating_duration_since(Instant::now());
+            match reply_rx.recv_timeout(wait) {
+                Ok(reply) => {
+                    // Events are stamped when the agent completed the
+                    // work, not when the scheduler got around to
+                    // processing the report.
+                    let now = state.virtual_time(reply.completed_at);
+                    last_now = last_now.max(now);
+                    let token = match reply.event {
+                        EngineEvent::EpochDone { token, .. }
+                        | EngineEvent::SuspendDone { token, .. } => token,
+                    };
+                    if state.inflight.get(&reply.machine).map(|&(t, _)| t) == Some(token) {
+                        state.inflight.remove(&reply.machine);
+                    }
+                    // Stale reports (from agents replaced after a stall)
+                    // are dropped inside the engine by token mismatch.
+                    let cmds = engine.handle(reply.event, now);
+                    stopping = state.dispatch(cmds, now) || engine.stopped();
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    let wall_now = Instant::now();
+                    let overdue: Vec<usize> = state
+                        .inflight
+                        .iter()
+                        .filter(|&(_, &(_, deadline))| deadline + grace <= wall_now)
+                        .map(|(&machine, _)| machine)
+                        .collect();
+                    for machine in overdue {
+                        state.inflight.remove(&machine);
+                        // The old agent may be wedged forever; dropping
+                        // its sender lets it exit if it ever wakes.
+                        state.agent_txs[machine] = spawn_agent(scope, machine, reply_tx.clone());
+                        let now = state.virtual_time(wall_now);
+                        last_now = last_now.max(now);
+                        let cmds = engine.inject_agent_stall(MachineId::new(machine as u64), now);
+                        stopping = state.dispatch(cmds, now) || stopping || engine.stopped();
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => break, // all agents gone
+            }
         }
 
-        for tx in &agent_txs {
+        for tx in &state.agent_txs {
             // Agents may have exited already if their channel dropped.
             let _ = tx.send(AgentRequest::Shutdown);
         }
@@ -144,23 +286,39 @@ pub fn run_live(
     })
 }
 
-fn node_agent_loop(rx: Receiver<AgentRequest>, reply_tx: Sender<AgentReply>) {
-    let run = |deadline: Instant, event: EngineEvent| -> bool {
+/// Starts a node-agent thread for `machine`, returning its request channel.
+fn spawn_agent<'scope>(
+    scope: &'scope std::thread::Scope<'scope, '_>,
+    machine: usize,
+    reply_tx: Sender<AgentReply>,
+) -> Sender<AgentRequest> {
+    let (tx, rx): (Sender<AgentRequest>, Receiver<AgentRequest>) = unbounded();
+    scope.spawn(move || node_agent_loop(machine, rx, reply_tx));
+    tx
+}
+
+fn node_agent_loop(machine: usize, rx: Receiver<AgentRequest>, reply_tx: Sender<AgentReply>) {
+    let run = |deadline: Instant, event: EngineEvent, wedge: bool| -> bool {
         let now = Instant::now();
         if deadline > now {
             std::thread::sleep(deadline - now);
         }
+        if wedge {
+            // The injected fault: work "completes" but the report is never
+            // sent — the scheduler's watchdog has to notice.
+            return true;
+        }
         // A dispatch that arrived past its deadline completes now: the
         // overshoot is real scheduler-induced contention.
-        reply_tx.send(AgentReply { event, completed_at: Instant::now() }).is_ok()
+        reply_tx.send(AgentReply { machine, event, completed_at: Instant::now() }).is_ok()
     };
     while let Ok(req) = rx.recv() {
         let alive = match req {
-            AgentRequest::RunEpoch { job, deadline } => {
-                run(deadline, EngineEvent::EpochDone { job })
+            AgentRequest::RunEpoch { job, deadline, token, wedge } => {
+                run(deadline, EngineEvent::EpochDone { job, token }, wedge)
             }
-            AgentRequest::Suspend { job, deadline } => {
-                run(deadline, EngineEvent::SuspendDone { job })
+            AgentRequest::Suspend { job, deadline, token, wedge } => {
+                run(deadline, EngineEvent::SuspendDone { job, token }, wedge)
             }
             AgentRequest::Shutdown => return,
         };
@@ -173,6 +331,7 @@ fn node_agent_loop(rx: Receiver<AgentRequest>, reply_tx: Sender<AgentReply>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::SchedulerEvent;
     use crate::policy::DefaultPolicy;
     use hyperdrive_types::SimTime;
     use hyperdrive_workload::CifarWorkload;
@@ -186,10 +345,7 @@ mod tests {
         // 60s epochs at 60000x -> ~1ms each.
         let result = run_live(&mut policy, &ew, spec, 60_000.0);
         assert_eq!(result.total_epochs, 4 * 3);
-        assert!(result
-            .outcomes
-            .iter()
-            .all(|o| o.end == crate::experiment::JobEnd::Completed));
+        assert!(result.outcomes.iter().all(|o| o.end == crate::experiment::JobEnd::Completed));
     }
 
     #[test]
@@ -207,9 +363,8 @@ mod tests {
         let w = CifarWorkload::new().with_max_epochs(1000);
         let ew = crate::experiment::ExperimentWorkload::from_workload(&w, 2, 5);
         let mut policy = DefaultPolicy::new();
-        let spec = ExperimentSpec::new(1)
-            .with_tmax(SimTime::from_secs(180.0))
-            .with_stop_on_target(false);
+        let spec =
+            ExperimentSpec::new(1).with_tmax(SimTime::from_secs(180.0)).with_stop_on_target(false);
         let result = run_live(&mut policy, &ew, spec, 60_000.0);
         assert!(result.end_time >= SimTime::from_secs(180.0));
         assert!(result.total_epochs < 50, "Tmax bounded the run");
@@ -248,7 +403,7 @@ mod tests {
             .events
             .events()
             .iter()
-            .filter(|e| matches!(e, crate::events::SchedulerEvent::Started { resumed: true, .. }))
+            .filter(|e| matches!(e, SchedulerEvent::Started { resumed: true, .. }))
             .count();
         assert!(resumes > 0, "suspended jobs resumed");
     }
@@ -257,8 +412,7 @@ mod tests {
     fn virtual_time_tracks_epoch_durations() {
         let w = CifarWorkload::new().with_max_epochs(2);
         let ew = crate::experiment::ExperimentWorkload::from_workload(&w, 1, 5);
-        let expected: f64 =
-            ew.jobs[0].profile.epoch_durations().iter().map(|d| d.as_secs()).sum();
+        let expected: f64 = ew.jobs[0].profile.epoch_durations().iter().map(|d| d.as_secs()).sum();
         let mut policy = DefaultPolicy::new();
         let spec = ExperimentSpec::new(1).with_stop_on_target(false);
         let result = run_live(&mut policy, &ew, spec, 60_000.0);
@@ -266,5 +420,87 @@ mod tests {
         // (sleep overshoot only makes it longer).
         assert!(result.end_time.as_secs() >= expected * 0.9);
         assert!(result.end_time.as_secs() <= expected * 3.0 + 60.0);
+    }
+
+    #[test]
+    fn wedged_agent_is_detected_and_job_reruns() {
+        let w = CifarWorkload::new().with_max_epochs(2);
+        let ew = crate::experiment::ExperimentWorkload::from_workload(&w, 4, 5);
+        let mut policy = DefaultPolicy::new();
+        let spec = ExperimentSpec::new(2).with_stop_on_target(false);
+        let plan = LiveFaultPlan {
+            // Swallow the second request ever sent to machine 0.
+            wedge_requests: vec![(0, 2)],
+            watchdog_grace: Duration::from_millis(100),
+        };
+        let result = run_live_with_faults(&mut policy, &ew, spec, 60_000.0, &plan);
+        assert_eq!(result.faults.agent_stalls, 1, "the wedge was detected");
+        assert!(
+            result.outcomes.iter().all(|o| o.end == crate::experiment::JobEnd::Completed),
+            "interrupted work re-ran to completion: {:?}",
+            result.outcomes.iter().map(|o| o.end).collect::<Vec<_>>()
+        );
+        let surviving: u64 = result.outcomes.iter().map(|o| u64::from(o.epochs)).sum();
+        assert_eq!(surviving, 4 * 2, "every job still trained every epoch");
+        assert_eq!(
+            result.total_epochs,
+            surviving + result.faults.lost_epochs,
+            "lost-epoch accounting holds"
+        );
+    }
+
+    #[test]
+    fn stalled_job_resumes_from_last_snapshot() {
+        // One job, one machine; the policy snapshots after epoch 1, then
+        // the resumed epoch-2 request is wedged. Detection must restore
+        // the job from the snapshot: zero epochs lost, resumed start.
+        struct SuspendOnce {
+            suspended: bool,
+        }
+        impl crate::policy::SchedulingPolicy for SuspendOnce {
+            fn name(&self) -> &str {
+                "suspend-once"
+            }
+            fn on_iteration_finish(
+                &mut self,
+                _event: &crate::policy::JobEvent,
+                _ctx: &mut dyn crate::policy::SchedulerContext,
+            ) -> crate::policy::JobDecision {
+                if self.suspended {
+                    crate::policy::JobDecision::Continue
+                } else {
+                    self.suspended = true;
+                    crate::policy::JobDecision::Suspend
+                }
+            }
+        }
+        let w = CifarWorkload::new().with_max_epochs(4);
+        let ew = crate::experiment::ExperimentWorkload::from_workload(&w, 1, 5);
+        let mut policy = SuspendOnce { suspended: false };
+        let spec = ExperimentSpec::new(1).with_stop_on_target(false);
+        let plan = LiveFaultPlan {
+            // Request 1 = epoch 1, request 2 = suspend, request 3 = the
+            // resumed epoch 2 — wedge that one.
+            wedge_requests: vec![(0, 3)],
+            watchdog_grace: Duration::from_millis(100),
+        };
+        let result = run_live_with_faults(&mut policy, &ew, spec, 60_000.0, &plan);
+        assert_eq!(result.faults.agent_stalls, 1);
+        assert_eq!(
+            result.faults.lost_epochs, 0,
+            "epoch 2 was in flight, not complete; the snapshot preserved epoch 1"
+        );
+        assert_eq!(result.outcomes[0].end, crate::experiment::JobEnd::Completed);
+        assert_eq!(result.outcomes[0].epochs, 4);
+        let resumed_starts = result
+            .events
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SchedulerEvent::Started { resumed: true, .. }))
+            .count();
+        assert!(
+            resumed_starts >= 2,
+            "resume after suspend and again after the stall, got {resumed_starts}"
+        );
     }
 }

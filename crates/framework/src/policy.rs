@@ -330,12 +330,8 @@ mod tests {
     fn default_policy_always_continues() {
         let mut ctx = MockContext::new(1);
         let mut policy = DefaultPolicy::new();
-        let event = JobEvent {
-            job: JobId::new(0),
-            epoch: 10,
-            value: 0.01,
-            now: SimTime::from_mins(10.0),
-        };
+        let event =
+            JobEvent { job: JobId::new(0), epoch: 10, value: 0.01, now: SimTime::from_mins(10.0) };
         assert_eq!(policy.on_iteration_finish(&event, &mut ctx), JobDecision::Continue);
     }
 

@@ -5,46 +5,61 @@
 //! with the API `reserveIdleMachine() → machineId` and
 //! `releaseMachine(machineId)`. A slot may be a machine or a GPU; the
 //! scheduler does not distinguish.
+//!
+//! The RM additionally tracks machine liveness for fault injection and
+//! recovery: a dead machine is never handed out by
+//! [`reserve_idle_machine`](ResourceManager::reserve_idle_machine) and does
+//! not count as capacity until it recovers.
 
 use hyperdrive_types::{Error, MachineId, Result};
 
-/// Tracks which machines (slots) are idle and which are allocated.
+/// Tracks which machines (slots) are idle, allocated, or dead.
 #[derive(Debug, Clone)]
 pub struct ResourceManager {
     /// `true` = allocated, indexed by machine id.
     allocated: Vec<bool>,
+    /// `true` = crashed and not yet recovered, indexed by machine id.
+    dead: Vec<bool>,
 }
 
 impl ResourceManager {
-    /// Creates a manager over `n` machines, all idle.
+    /// Creates a manager over `n` machines, all idle and alive.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `n` is zero.
-    pub fn new(n: usize) -> Self {
-        assert!(n > 0, "a cluster needs at least one machine");
-        ResourceManager { allocated: vec![false; n] }
+    /// Returns [`Error::EmptyCluster`] if `n` is zero.
+    pub fn new(n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(Error::EmptyCluster);
+        }
+        Ok(ResourceManager { allocated: vec![false; n], dead: vec![false; n] })
     }
 
-    /// Total number of machines.
+    /// Total number of machines, dead or alive.
     pub fn total(&self) -> usize {
         self.allocated.len()
     }
 
-    /// Number of idle machines.
+    /// Number of machines currently alive (not crashed).
+    pub fn alive_count(&self) -> usize {
+        self.dead.iter().filter(|d| !**d).count()
+    }
+
+    /// Number of idle machines (alive and unallocated).
     pub fn idle_count(&self) -> usize {
-        self.allocated.iter().filter(|a| !**a).count()
+        self.allocated.iter().zip(&self.dead).filter(|(alloc, dead)| !**alloc && !**dead).count()
     }
 
     /// Number of allocated machines.
     pub fn allocated_count(&self) -> usize {
-        self.total() - self.idle_count()
+        self.allocated.iter().filter(|a| **a).count()
     }
 
-    /// Reserves the lowest-numbered idle machine, or `None` if all are
-    /// busy. (`reserveIdleMachine` in the paper's API.)
+    /// Reserves the lowest-numbered idle machine, or `None` if every alive
+    /// machine is busy. (`reserveIdleMachine` in the paper's API.)
     pub fn reserve_idle_machine(&mut self) -> Option<MachineId> {
-        let idx = self.allocated.iter().position(|a| !*a)?;
+        let idx =
+            self.allocated.iter().zip(&self.dead).position(|(alloc, dead)| !*alloc && !*dead)?;
         self.allocated[idx] = true;
         Some(MachineId::new(idx as u64))
     }
@@ -58,14 +73,9 @@ impl ResourceManager {
     /// (a double release is always a framework bug worth surfacing).
     pub fn release_machine(&mut self, machine: MachineId) -> Result<()> {
         let idx = machine.raw() as usize;
-        let slot = self
-            .allocated
-            .get_mut(idx)
-            .ok_or(Error::UnknownMachine(machine.raw()))?;
+        let slot = self.allocated.get_mut(idx).ok_or(Error::UnknownMachine(machine.raw()))?;
         if !*slot {
-            return Err(Error::InvalidParameter(format!(
-                "machine {machine} released while idle"
-            )));
+            return Err(Error::InvalidParameter(format!("machine {machine} released while idle")));
         }
         *slot = false;
         Ok(())
@@ -75,15 +85,62 @@ impl ResourceManager {
     pub fn is_allocated(&self, machine: MachineId) -> bool {
         self.allocated.get(machine.raw() as usize).copied().unwrap_or(false)
     }
+
+    /// True if the machine has crashed and not yet recovered.
+    pub fn is_dead(&self, machine: MachineId) -> bool {
+        self.dead.get(machine.raw() as usize).copied().unwrap_or(false)
+    }
+
+    /// Marks a machine dead after a crash. Any allocation on it is dropped
+    /// (the work is gone; the Job Manager handles the hosted job).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownMachine`] for ids outside the cluster and
+    /// [`Error::InvalidParameter`] if the machine is already dead.
+    pub fn mark_dead(&mut self, machine: MachineId) -> Result<()> {
+        let idx = machine.raw() as usize;
+        let dead = self.dead.get_mut(idx).ok_or(Error::UnknownMachine(machine.raw()))?;
+        if *dead {
+            return Err(Error::InvalidParameter(format!(
+                "machine {machine} crashed while already dead"
+            )));
+        }
+        *dead = true;
+        self.allocated[idx] = false;
+        Ok(())
+    }
+
+    /// Returns a recovered machine to service, idle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownMachine`] for ids outside the cluster and
+    /// [`Error::InvalidParameter`] if the machine was not dead.
+    pub fn mark_recovered(&mut self, machine: MachineId) -> Result<()> {
+        let idx = machine.raw() as usize;
+        let dead = self.dead.get_mut(idx).ok_or(Error::UnknownMachine(machine.raw()))?;
+        if !*dead {
+            return Err(Error::InvalidParameter(format!(
+                "machine {machine} recovered while alive"
+            )));
+        }
+        *dead = false;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn rm(n: usize) -> ResourceManager {
+        ResourceManager::new(n).unwrap()
+    }
+
     #[test]
     fn reserve_and_release_cycle() {
-        let mut rm = ResourceManager::new(2);
+        let mut rm = rm(2);
         assert_eq!(rm.idle_count(), 2);
         let a = rm.reserve_idle_machine().unwrap();
         let b = rm.reserve_idle_machine().unwrap();
@@ -98,7 +155,7 @@ mod tests {
 
     #[test]
     fn double_release_is_an_error() {
-        let mut rm = ResourceManager::new(1);
+        let mut rm = rm(1);
         let m = rm.reserve_idle_machine().unwrap();
         rm.release_machine(m).unwrap();
         assert!(rm.release_machine(m).is_err());
@@ -106,16 +163,13 @@ mod tests {
 
     #[test]
     fn unknown_machine_is_an_error() {
-        let mut rm = ResourceManager::new(1);
-        assert!(matches!(
-            rm.release_machine(MachineId::new(9)),
-            Err(Error::UnknownMachine(9))
-        ));
+        let mut rm = rm(1);
+        assert!(matches!(rm.release_machine(MachineId::new(9)), Err(Error::UnknownMachine(9))));
     }
 
     #[test]
     fn allocation_status_is_tracked() {
-        let mut rm = ResourceManager::new(2);
+        let mut rm = rm(2);
         let m = rm.reserve_idle_machine().unwrap();
         assert!(rm.is_allocated(m));
         rm.release_machine(m).unwrap();
@@ -124,8 +178,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one machine")]
-    fn empty_cluster_panics() {
-        let _ = ResourceManager::new(0);
+    fn empty_cluster_is_an_error() {
+        assert_eq!(ResourceManager::new(0).unwrap_err(), Error::EmptyCluster);
+    }
+
+    #[test]
+    fn dead_machines_are_skipped_and_recover_idle() {
+        let mut rm = rm(3);
+        let m0 = rm.reserve_idle_machine().unwrap();
+        assert_eq!(m0, MachineId::new(0));
+        rm.mark_dead(m0).unwrap();
+        assert!(rm.is_dead(m0));
+        assert!(!rm.is_allocated(m0), "crash drops the allocation");
+        assert_eq!(rm.alive_count(), 2);
+        assert_eq!(rm.idle_count(), 2);
+        // Reservation skips the dead machine.
+        assert_eq!(rm.reserve_idle_machine(), Some(MachineId::new(1)));
+        rm.mark_recovered(m0).unwrap();
+        assert!(!rm.is_dead(m0));
+        assert_eq!(rm.reserve_idle_machine(), Some(m0), "recovered machine is idle");
+    }
+
+    #[test]
+    fn liveness_transitions_are_validated() {
+        let mut rm = rm(1);
+        let m = MachineId::new(0);
+        assert!(rm.mark_recovered(m).is_err(), "recover while alive");
+        rm.mark_dead(m).unwrap();
+        assert!(rm.mark_dead(m).is_err(), "double crash");
+        assert!(rm.mark_dead(MachineId::new(9)).is_err(), "unknown machine");
+        assert!(rm.mark_recovered(MachineId::new(9)).is_err());
     }
 }

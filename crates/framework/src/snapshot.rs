@@ -75,11 +75,8 @@ impl JobSnapshot {
         if bytes[4] != VERSION {
             return Err(err("unsupported version"));
         }
-        let job = JobId::new(u64::from_le_bytes(
-            bytes[5..13].try_into().expect("length checked"),
-        ));
-        let epochs_done =
-            u32::from_le_bytes(bytes[13..17].try_into().expect("length checked"));
+        let job = JobId::new(u64::from_le_bytes(bytes[5..13].try_into().expect("length checked")));
+        let epochs_done = u32::from_le_bytes(bytes[13..17].try_into().expect("length checked"));
         let n = u32::from_le_bytes(bytes[17..21].try_into().expect("length checked")) as usize;
         let need = 21 + n * 8;
         if bytes.len() < need {
@@ -88,8 +85,7 @@ impl JobSnapshot {
         let mut history = Vec::with_capacity(n);
         for i in 0..n {
             let off = 21 + i * 8;
-            let bits =
-                u64::from_le_bytes(bytes[off..off + 8].try_into().expect("length checked"));
+            let bits = u64::from_le_bytes(bytes[off..off + 8].try_into().expect("length checked"));
             let v = f64::from_bits(bits);
             if !v.is_finite() {
                 return Err(err("non-finite history value"));
@@ -156,8 +152,7 @@ mod tests {
 
     #[test]
     fn empty_history_is_valid() {
-        let snap =
-            JobSnapshot { job: JobId::new(0), epochs_done: 0, history: Vec::new() };
+        let snap = JobSnapshot { job: JobId::new(0), epochs_done: 0, history: Vec::new() };
         assert_eq!(JobSnapshot::decode(&snap.encode(64)).unwrap(), snap);
     }
 }

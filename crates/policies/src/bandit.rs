@@ -72,10 +72,7 @@ impl SchedulingPolicy for BanditPolicy {
         let Some((_, global_best)) = ctx.global_best() else {
             return JobDecision::Continue;
         };
-        let job_best = ctx
-            .curve(event.job)
-            .and_then(|c| c.best())
-            .unwrap_or(event.value);
+        let job_best = ctx.curve(event.job).and_then(|c| c.best()).unwrap_or(event.value);
         if job_best * (1.0 + self.config.epsilon) > global_best {
             JobDecision::Continue
         } else {
@@ -91,12 +88,7 @@ mod tests {
     use hyperdrive_types::{JobId, SimTime};
 
     fn event(job: u64, epoch: u32, value: f64) -> JobEvent {
-        JobEvent {
-            job: JobId::new(job),
-            epoch,
-            value,
-            now: SimTime::from_mins(epoch as f64),
-        }
+        JobEvent { job: JobId::new(job), epoch, value, now: SimTime::from_mins(epoch as f64) }
     }
 
     #[test]
@@ -106,10 +98,7 @@ mod tests {
         ctx.push_curve(JobId::new(1), &[0.1, 0.2, 0.4], 60.0);
         let mut policy = BanditPolicy::new();
         // jobBest 0.4 * 1.5 = 0.6 > globalBest 0.5 -> survive.
-        assert_eq!(
-            policy.on_iteration_finish(&event(1, 10, 0.4), &mut ctx),
-            JobDecision::Continue
-        );
+        assert_eq!(policy.on_iteration_finish(&event(1, 10, 0.4), &mut ctx), JobDecision::Continue);
     }
 
     #[test]
@@ -164,19 +153,11 @@ mod tests {
         let mut ctx = MockContext::new(2);
         ctx.push_curve(JobId::new(0), &[0.9], 60.0);
         ctx.push_curve(JobId::new(1), &[0.5], 60.0);
-        let mut policy = BanditPolicy::with_config(BanditConfig {
-            epsilon: 0.0,
-            boundary: Some(5),
-        });
+        let mut policy =
+            BanditPolicy::with_config(BanditConfig { epsilon: 0.0, boundary: Some(5) });
         // epsilon 0: 0.5 < 0.9 -> terminate at the custom boundary 5.
-        assert_eq!(
-            policy.on_iteration_finish(&event(1, 5, 0.5), &mut ctx),
-            JobDecision::Terminate
-        );
-        assert_eq!(
-            policy.on_iteration_finish(&event(1, 6, 0.5), &mut ctx),
-            JobDecision::Continue
-        );
+        assert_eq!(policy.on_iteration_finish(&event(1, 5, 0.5), &mut ctx), JobDecision::Terminate);
+        assert_eq!(policy.on_iteration_finish(&event(1, 6, 0.5), &mut ctx), JobDecision::Continue);
     }
 
     #[test]
@@ -184,9 +165,6 @@ mod tests {
         let mut ctx = MockContext::new(2);
         ctx.push_curve(JobId::new(0), &[0.6], 60.0);
         let mut policy = BanditPolicy::new();
-        assert_eq!(
-            policy.on_iteration_finish(&event(0, 10, 0.6), &mut ctx),
-            JobDecision::Continue
-        );
+        assert_eq!(policy.on_iteration_finish(&event(0, 10, 0.6), &mut ctx), JobDecision::Continue);
     }
 }

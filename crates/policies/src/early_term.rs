@@ -37,12 +37,7 @@ pub struct EarlyTermConfig {
 
 impl Default for EarlyTermConfig {
     fn default() -> Self {
-        EarlyTermConfig {
-            delta: 0.05,
-            boundary: None,
-            predictor: PredictorConfig::fast(),
-            seed: 0,
-        }
+        EarlyTermConfig { delta: 0.05, boundary: None, predictor: PredictorConfig::fast(), seed: 0 }
     }
 }
 
@@ -139,12 +134,7 @@ mod tests {
     use hyperdrive_types::{JobId, SimTime};
 
     fn event(job: u64, epoch: u32, value: f64) -> JobEvent {
-        JobEvent {
-            job: JobId::new(job),
-            epoch,
-            value,
-            now: SimTime::from_mins(epoch as f64),
-        }
+        JobEvent { job: JobId::new(job), epoch, value, now: SimTime::from_mins(epoch as f64) }
     }
 
     fn policy() -> EarlyTermPolicy {
@@ -156,9 +146,7 @@ mod tests {
 
     /// Saturating curve values: rises from 0.1 toward `limit`.
     fn saturating(limit: f64, n: usize) -> Vec<f64> {
-        (1..=n)
-            .map(|x| limit - (limit - 0.1) * (x as f64).powf(-0.8))
-            .collect()
+        (1..=n).map(|x| limit - (limit - 0.1) * (x as f64).powf(-0.8)).collect()
     }
 
     #[test]
@@ -182,10 +170,7 @@ mod tests {
         // Candidate clearly heading past the incumbent.
         ctx.push_curve(JobId::new(1), &saturating(0.85, 30), 60.0);
         let mut policy = policy();
-        assert_eq!(
-            policy.on_iteration_finish(&event(1, 30, 0.8), &mut ctx),
-            JobDecision::Continue
-        );
+        assert_eq!(policy.on_iteration_finish(&event(1, 30, 0.8), &mut ctx), JobDecision::Continue);
     }
 
     #[test]

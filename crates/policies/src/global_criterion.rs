@@ -13,9 +13,7 @@
 //! histories. When the predicate holds, it requests experiment stop via
 //! [`SchedulerContext::request_stop`].
 
-use hyperdrive_framework::{
-    JobDecision, JobEvent, SchedulerContext, SchedulingPolicy,
-};
+use hyperdrive_framework::{JobDecision, JobEvent, SchedulerContext, SchedulingPolicy};
 use hyperdrive_types::{JobId, LearningCurve, SimTime};
 
 /// The view a criterion receives of one job at an iteration boundary.
@@ -109,12 +107,7 @@ mod tests {
     use hyperdrive_types::{MetricKind, SimTime};
 
     fn event(job: u64, epoch: u32, value: f64) -> JobEvent {
-        JobEvent {
-            job: JobId::new(job),
-            epoch,
-            value,
-            now: SimTime::from_mins(f64::from(epoch)),
-        }
+        JobEvent { job: JobId::new(job), epoch, value, now: SimTime::from_mins(f64::from(epoch)) }
     }
 
     fn install_secondary(ctx: &mut MockContext, job: JobId, values: &[f64]) {
@@ -133,15 +126,9 @@ mod tests {
         let mut policy = GlobalCriterionPolicy::new(DefaultPolicy::new(), |view| {
             // Primary >= 0.85 AND secondary >= 0.6 simultaneously.
             view.primary.last_value().is_some_and(|p| p >= 0.85)
-                && view
-                    .secondary
-                    .and_then(|s| s.last_value())
-                    .is_some_and(|s| s >= 0.6)
+                && view.secondary.and_then(|s| s.last_value()).is_some_and(|s| s >= 0.6)
         });
-        assert_eq!(
-            policy.on_iteration_finish(&event(0, 3, 0.9), &mut ctx),
-            JobDecision::Continue
-        );
+        assert_eq!(policy.on_iteration_finish(&event(0, 3, 0.9), &mut ctx), JobDecision::Continue);
         assert!(ctx.stop_requested, "criterion must stop the experiment");
         let (job, epoch, _) = policy.satisfied_by().expect("criterion fired");
         assert_eq!(job, JobId::new(0));
@@ -155,10 +142,7 @@ mod tests {
         install_secondary(&mut ctx, JobId::new(0), &[0.1]); // sparsity too low
         let mut policy = GlobalCriterionPolicy::new(DefaultPolicy::new(), |view| {
             view.primary.last_value().is_some_and(|p| p >= 0.85)
-                && view
-                    .secondary
-                    .and_then(|s| s.last_value())
-                    .is_some_and(|s| s >= 0.6)
+                && view.secondary.and_then(|s| s.last_value()).is_some_and(|s| s >= 0.6)
         });
         policy.on_iteration_finish(&event(0, 1, 0.9), &mut ctx);
         assert!(!ctx.stop_requested);
@@ -184,10 +168,7 @@ mod tests {
         ctx.push_curve(JobId::new(0), &[0.1], 60.0);
         let mut policy = GlobalCriterionPolicy::new(KillAll, |_| false);
         assert_eq!(policy.name(), "kill-all");
-        assert_eq!(
-            policy.on_iteration_finish(&event(0, 1, 0.1), &mut ctx),
-            JobDecision::Terminate
-        );
+        assert_eq!(policy.on_iteration_finish(&event(0, 1, 0.1), &mut ctx), JobDecision::Terminate);
     }
 
     #[test]

@@ -107,12 +107,7 @@ mod tests {
     use hyperdrive_types::{JobId, SimTime};
 
     fn event(job: u64, epoch: u32, value: f64) -> JobEvent {
-        JobEvent {
-            job: JobId::new(job),
-            epoch,
-            value,
-            now: SimTime::from_mins(epoch as f64),
-        }
+        JobEvent { job: JobId::new(job), epoch, value, now: SimTime::from_mins(epoch as f64) }
     }
 
     #[test]
@@ -129,10 +124,7 @@ mod tests {
     fn first_job_at_a_rung_is_promoted() {
         let mut ctx = MockContext::new(2);
         let mut policy = HyperbandPolicy::new();
-        assert_eq!(
-            policy.on_iteration_finish(&event(0, 10, 0.2), &mut ctx),
-            JobDecision::Continue
-        );
+        assert_eq!(policy.on_iteration_finish(&event(0, 10, 0.2), &mut ctx), JobDecision::Continue);
     }
 
     #[test]
@@ -141,10 +133,7 @@ mod tests {
         let mut policy = HyperbandPolicy::new();
         // Three jobs hit rung 10; with eta=3 only the best survives as the
         // observation set grows.
-        assert_eq!(
-            policy.on_iteration_finish(&event(0, 10, 0.5), &mut ctx),
-            JobDecision::Continue
-        );
+        assert_eq!(policy.on_iteration_finish(&event(0, 10, 0.5), &mut ctx), JobDecision::Continue);
         assert_eq!(
             policy.on_iteration_finish(&event(1, 10, 0.6), &mut ctx),
             JobDecision::Continue,
@@ -161,10 +150,7 @@ mod tests {
     fn non_rung_epochs_pass_through() {
         let mut ctx = MockContext::new(2);
         let mut policy = HyperbandPolicy::new();
-        assert_eq!(
-            policy.on_iteration_finish(&event(0, 7, 0.0), &mut ctx),
-            JobDecision::Continue
-        );
+        assert_eq!(policy.on_iteration_finish(&event(0, 7, 0.0), &mut ctx), JobDecision::Continue);
         assert!(policy.rungs.is_empty());
     }
 

@@ -30,15 +30,17 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod faults;
 mod queue;
 mod stepper;
 
+pub use faults::run_sim_with_faults;
 pub use queue::EventQueue;
 pub use stepper::{Simulation, StepOutcome};
 
 use hyperdrive_framework::{
-    Command, EngineEvent, ExperimentEngine, ExperimentResult, ExperimentSpec,
-    ExperimentWorkload, SchedulingPolicy,
+    EngineEvent, ExperimentEngine, ExperimentResult, ExperimentSpec, ExperimentWorkload,
+    SchedulingPolicy,
 };
 use hyperdrive_types::SimTime;
 
@@ -57,30 +59,14 @@ pub fn run_sim(
     let mut queue: EventQueue<EngineEvent> = EventQueue::new();
     let mut now = SimTime::ZERO;
 
-    let schedule = |cmds: Vec<Command>, now: SimTime, queue: &mut EventQueue<EngineEvent>| -> bool {
-        let mut stop = false;
-        for cmd in cmds {
-            match cmd {
-                Command::RunEpoch { job, duration, .. } => {
-                    queue.schedule(now + duration, EngineEvent::EpochDone { job });
-                }
-                Command::Suspend { job, latency, .. } => {
-                    queue.schedule(now + latency, EngineEvent::SuspendDone { job });
-                }
-                Command::Stop => stop = true,
-            }
-        }
-        stop
-    };
-
-    let mut stopping = schedule(engine.start(), now, &mut queue);
+    let mut stopping = stepper::schedule(engine.start(), now, &mut queue);
     while !stopping {
         let Some((t, event)) = queue.pop() else {
             break; // all jobs finished
         };
         now = t;
         let cmds = engine.handle(event, now);
-        stopping = schedule(cmds, now, &mut queue) || engine.stopped();
+        stopping = stepper::schedule(cmds, now, &mut queue) || engine.stopped();
     }
     engine.into_result(now)
 }
@@ -139,9 +125,8 @@ mod tests {
     fn respects_tmax() {
         let ew = cifar_experiment(4, 500, 1);
         let mut policy = DefaultPolicy::new();
-        let spec = ExperimentSpec::new(1)
-            .with_tmax(SimTime::from_mins(10.0))
-            .with_stop_on_target(false);
+        let spec =
+            ExperimentSpec::new(1).with_tmax(SimTime::from_mins(10.0)).with_stop_on_target(false);
         let result = run_sim(&mut policy, &ew, spec);
         assert!(!result.reached_target() || result.time_to_target.unwrap() <= spec.tmax);
         assert!(result.end_time >= SimTime::from_mins(10.0));
@@ -191,10 +176,11 @@ mod tests {
         let mut p_sim = DefaultPolicy::new();
         let sim = run_sim(&mut p_sim, &ew, spec);
         let mut p_live = DefaultPolicy::new();
-        let live = hyperdrive_framework::run_live(&mut p_live, &ew, spec, 60_000.0);
+        // 10000x (6ms epochs, not 1ms) keeps sleep overshoot small
+        // relative to epoch length even on a loaded test machine.
+        let live = hyperdrive_framework::run_live(&mut p_live, &ew, spec, 10_000.0);
         assert_eq!(sim.total_epochs, live.total_epochs);
-        let err = (sim.end_time.as_secs() - live.end_time.as_secs()).abs()
-            / sim.end_time.as_secs();
+        let err = (sim.end_time.as_secs() - live.end_time.as_secs()).abs() / sim.end_time.as_secs();
         assert!(err < 0.25, "sim {} vs live {} ({err})", sim.end_time, live.end_time);
     }
 }

@@ -30,8 +30,8 @@
 //! ```
 
 use hyperdrive_framework::{
-    Command, EngineEvent, ExperimentEngine, ExperimentResult, ExperimentSpec,
-    ExperimentWorkload, SchedulingPolicy,
+    Command, EngineEvent, ExperimentEngine, ExperimentResult, ExperimentSpec, ExperimentWorkload,
+    SchedulingPolicy,
 };
 use hyperdrive_types::SimTime;
 
@@ -125,15 +125,22 @@ impl<'w, 'p> Simulation<'w, 'p> {
     }
 }
 
-fn schedule(cmds: Vec<Command>, now: SimTime, queue: &mut EventQueue<EngineEvent>) -> bool {
+/// Translates engine commands into future completion events (echoing each
+/// command's token), returning whether a `Stop` was seen. Shared by
+/// [`run_sim`](crate::run_sim) and [`Simulation`].
+pub(crate) fn schedule(
+    cmds: Vec<Command>,
+    now: SimTime,
+    queue: &mut EventQueue<EngineEvent>,
+) -> bool {
     let mut stop = false;
     for cmd in cmds {
         match cmd {
-            Command::RunEpoch { job, duration, .. } => {
-                queue.schedule(now + duration, EngineEvent::EpochDone { job });
+            Command::RunEpoch { job, duration, token, .. } => {
+                queue.schedule(now + duration, EngineEvent::EpochDone { job, token });
             }
-            Command::Suspend { job, latency, .. } => {
-                queue.schedule(now + latency, EngineEvent::SuspendDone { job });
+            Command::Suspend { job, latency, token, .. } => {
+                queue.schedule(now + latency, EngineEvent::SuspendDone { job, token });
             }
             Command::Stop => stop = true,
         }
@@ -178,11 +185,8 @@ mod tests {
     fn events_arrive_in_time_order() {
         let ew = experiment(5, 4);
         let mut policy = DefaultPolicy::new();
-        let mut sim = Simulation::new(
-            &mut policy,
-            &ew,
-            ExperimentSpec::new(2).with_stop_on_target(false),
-        );
+        let mut sim =
+            Simulation::new(&mut policy, &ew, ExperimentSpec::new(2).with_stop_on_target(false));
         let mut last = SimTime::ZERO;
         while let Some(step) = sim.step() {
             assert!(step.time >= last, "time went backwards");
@@ -196,11 +200,8 @@ mod tests {
     fn run_until_respects_the_clock() {
         let ew = experiment(4, 10);
         let mut policy = DefaultPolicy::new();
-        let mut sim = Simulation::new(
-            &mut policy,
-            &ew,
-            ExperimentSpec::new(2).with_stop_on_target(false),
-        );
+        let mut sim =
+            Simulation::new(&mut policy, &ew, ExperimentSpec::new(2).with_stop_on_target(false));
         let horizon = SimTime::from_mins(10.0);
         sim.run_until(horizon);
         assert!(sim.now() <= horizon);
@@ -216,11 +217,8 @@ mod tests {
     fn step_n_counts_processed_events() {
         let ew = experiment(3, 4);
         let mut policy = DefaultPolicy::new();
-        let mut sim = Simulation::new(
-            &mut policy,
-            &ew,
-            ExperimentSpec::new(1).with_stop_on_target(false),
-        );
+        let mut sim =
+            Simulation::new(&mut policy, &ew, ExperimentSpec::new(1).with_stop_on_target(false));
         assert_eq!(sim.step_n(5), 5);
         let rest = sim.step_n(1_000);
         assert_eq!(5 + rest, 12, "3 jobs x 4 epochs in total");

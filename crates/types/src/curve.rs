@@ -93,6 +93,14 @@ impl LearningCurve {
         &self.points
     }
 
+    /// Discards every observation past `keep_epoch`, keeping the curve
+    /// consistent with a job rolled back to that epoch (crash recovery
+    /// re-runs the lost epochs and re-records them). `keep_epoch = 0`
+    /// empties the curve.
+    pub fn truncate_to_epoch(&mut self, keep_epoch: u32) {
+        self.points.retain(|p| p.epoch <= keep_epoch);
+    }
+
     /// The performance values, in epoch order.
     pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
         self.points.iter().map(|p| p.value)
@@ -266,5 +274,19 @@ mod tests {
         ];
         let c = LearningCurve::from_points(MetricKind::Accuracy, pts);
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn truncate_to_epoch_rolls_back_and_allows_rerecording() {
+        let mut c = sample();
+        let before = c.len();
+        c.truncate_to_epoch(2);
+        assert!(c.len() < before);
+        assert_eq!(c.last_epoch(), Some(2));
+        // Re-running the lost epoch records cleanly.
+        c.push(3, SimTime::from_secs(500.0), 0.9);
+        assert_eq!(c.last_epoch(), Some(3));
+        c.truncate_to_epoch(0);
+        assert!(c.is_empty());
     }
 }

@@ -15,6 +15,8 @@ pub enum Error {
     UnknownJob(u64),
     /// A machine id was not known to the Resource Manager.
     UnknownMachine(u64),
+    /// A cluster was configured with zero machines.
+    EmptyCluster,
     /// An operation was attempted in a job state that does not allow it
     /// (e.g. resuming a job that is not suspended).
     InvalidJobState {
@@ -41,6 +43,7 @@ impl fmt::Display for Error {
             Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             Error::UnknownJob(id) => write!(f, "unknown job id {id}"),
             Error::UnknownMachine(id) => write!(f, "unknown machine id {id}"),
+            Error::EmptyCluster => write!(f, "a cluster needs at least one machine"),
             Error::InvalidJobState { job, detail } => {
                 write!(f, "invalid state for job {job}: {detail}")
             }
@@ -70,6 +73,7 @@ mod tests {
             Error::InvalidParameter("x must be positive".into()),
             Error::UnknownJob(3),
             Error::UnknownMachine(4),
+            Error::EmptyCluster,
             Error::InvalidJobState { job: 1, detail: "resume while running".into() },
             Error::GeneratorExhausted,
             Error::CurveFit("too few points".into()),

@@ -225,11 +225,8 @@ impl HyperParamSpace {
 
     /// Samples one random configuration.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Configuration {
-        let values = self
-            .params
-            .iter()
-            .map(|(name, range)| (name.clone(), range.sample(rng)))
-            .collect();
+        let values =
+            self.params.iter().map(|(name, range)| (name.clone(), range.sample(rng))).collect();
         Configuration { values }
     }
 
@@ -238,11 +235,8 @@ impl HyperParamSpace {
     /// callers are expected to keep `per_dim` small (the paper's point is
     /// precisely that exhaustive grids are impractical).
     pub fn grid(&self, per_dim: usize) -> Vec<Configuration> {
-        let axes: Vec<(String, Vec<ParamValue>)> = self
-            .params
-            .iter()
-            .map(|(name, range)| (name.clone(), range.grid(per_dim)))
-            .collect();
+        let axes: Vec<(String, Vec<ParamValue>)> =
+            self.params.iter().map(|(name, range)| (name.clone(), range.grid(per_dim))).collect();
         let mut configs = vec![Configuration { values: BTreeMap::new() }];
         for (name, values) in axes {
             let mut next = Vec::with_capacity(configs.len() * values.len());
@@ -474,10 +468,7 @@ mod tests {
     fn grid_endpoints_are_included() {
         let r = ParamRange::Continuous { low: 2.0, high: 6.0, log: false };
         let g = r.grid(3);
-        assert_eq!(
-            g,
-            vec![ParamValue::Float(2.0), ParamValue::Float(4.0), ParamValue::Float(6.0)]
-        );
+        assert_eq!(g, vec![ParamValue::Float(2.0), ParamValue::Float(4.0), ParamValue::Float(6.0)]);
     }
 
     #[test]
@@ -499,10 +490,7 @@ mod tests {
             .integer("a", 1, 2)
             .build()
             .is_err());
-        assert!(HyperParamSpace::builder()
-            .categorical("c", Vec::<String>::new())
-            .build()
-            .is_err());
+        assert!(HyperParamSpace::builder().categorical("c", Vec::<String>::new()).build().is_err());
     }
 
     #[test]

@@ -39,9 +39,7 @@ mod time;
 pub use curve::{CurvePoint, LearningCurve};
 pub use domain::{DomainKnowledge, LearningDomain, SolvedCondition};
 pub use error::{Error, Result};
-pub use hyperparam::{
-    Configuration, HyperParamSpace, ParamRange, ParamValue, SpaceBuilder,
-};
+pub use hyperparam::{Configuration, HyperParamSpace, ParamRange, ParamValue, SpaceBuilder};
 pub use id::{ConfigId, ExperimentId, JobId, MachineId};
 pub use metric::{MetricKind, MetricNormalizer};
 pub use time::SimTime;

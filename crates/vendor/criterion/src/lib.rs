@@ -1,0 +1,256 @@
+//! Minimal offline stand-in for `criterion` (0.5 API subset).
+//!
+//! Runs each benchmark closure for a fixed number of timed iterations and
+//! prints mean wall-clock time per iteration (plus element throughput when
+//! configured). No warm-up calibration, statistics, or HTML reports — just
+//! enough to keep `cargo bench` harnesses compiling and producing useful
+//! numbers in hermetic environments.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Work-amount metadata used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times a single benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `body` for the configured number of iterations, timing the
+    /// total. Return values are passed through [`black_box`] so the
+    /// optimizer cannot delete the work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Prevents the compiler from optimizing away a value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+fn run_one(label: &str, samples: u64, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: samples.max(1),
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.checked_div(b.iters as u32).unwrap_or_default();
+    let mut line = format!("{label:<40} {:>12}/iter", format_duration(per_iter));
+    if let Some(tp) = throughput {
+        let per_sec = |count: u64| {
+            let secs = per_iter.as_secs_f64();
+            if secs > 0.0 {
+                count as f64 / secs
+            } else {
+                f64::INFINITY
+            }
+        };
+        match tp {
+            Throughput::Elements(n) => {
+                let _ = write!(line, "  {:>14.0} elem/s", per_sec(n));
+            }
+            Throughput::Bytes(n) => {
+                let _ = write!(line, "  {:>14.0} B/s", per_sec(n));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n as u64;
+        self
+    }
+
+    /// Declares per-iteration work for throughput reporting; applies to
+    /// subsequently registered benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Registers and immediately runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.samples, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Registers and immediately runs a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.samples, self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group (benchmarks already ran eagerly; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    samples: u64,
+}
+
+impl Criterion {
+    /// Returns a harness with default settings.
+    pub fn new() -> Self {
+        Criterion { samples: 20 }
+    }
+
+    /// Opens a configuration scope for related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.samples;
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.samples, None, &mut f);
+        self
+    }
+
+    /// Runs every registered group function (invoked by
+    /// [`criterion_main!`]).
+    pub fn final_summary(&self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` function running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_expands_and_runs() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::from_parameter("8x2").to_string(), "8x2");
+        assert_eq!(BenchmarkId::new("fit", 100).to_string(), "fit/100");
+    }
+}

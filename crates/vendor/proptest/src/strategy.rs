@@ -1,0 +1,119 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] produces arbitrary values of its `Value` type from a
+//! deterministic RNG. Unlike upstream proptest there is no shrinking tree;
+//! `generate` returns the final value directly.
+
+use std::sync::Arc;
+
+/// The RNG handed to strategies by the [`proptest!`](crate::proptest) runner.
+pub type TestRng = rand::rngs::StdRng;
+
+/// A source of arbitrary values for property tests.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy { .. }")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// A `Vec` of strategies is itself a strategy producing one value per
+/// element, in order (mirrors upstream's `Strategy for Vec<S>`).
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn boxed_strategy_clones_share_behaviour() {
+        let s = (0u32..10).boxed();
+        let t = s.clone();
+        let mut a = TestRng::seed_from_u64(1);
+        let mut b = TestRng::seed_from_u64(1);
+        for _ in 0..20 {
+            assert_eq!(s.generate(&mut a), t.generate(&mut b));
+        }
+    }
+
+    #[test]
+    fn vec_of_strategies_generates_elementwise() {
+        let v: Vec<BoxedStrategy<f64>> = vec![(0.0f64..1.0).boxed(), (10.0f64..11.0).boxed()];
+        let mut rng = TestRng::seed_from_u64(4);
+        let out = v.generate(&mut rng);
+        assert_eq!(out.len(), 2);
+        assert!((0.0..1.0).contains(&out[0]));
+        assert!((10.0..11.0).contains(&out[1]));
+    }
+}

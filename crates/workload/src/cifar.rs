@@ -278,12 +278,8 @@ mod tests {
         let c = w.space().sample(&mut rng);
         let a = w.profile(&c, 1);
         let b = w.profile(&c, 2);
-        let max_dev = a
-            .values()
-            .iter()
-            .zip(b.values())
-            .map(|(x, y)| (x - y).abs())
-            .fold(0.0f64, f64::max);
+        let max_dev =
+            a.values().iter().zip(b.values()).map(|(x, y)| (x - y).abs()).fold(0.0f64, f64::max);
         assert!(max_dev > 0.0, "seeds must differ");
         assert!(max_dev < 0.08, "noise too large: {max_dev}");
     }
@@ -343,7 +339,9 @@ mod tests {
         c.set("learning_rate", Float(1e-3));
         c.set("lr_reduction", Float(10.0));
         c.set("momentum", Float(0.9));
-        for p in ["weight_decay_conv1", "weight_decay_conv2", "weight_decay_conv3", "weight_decay_fc10"] {
+        for p in
+            ["weight_decay_conv1", "weight_decay_conv2", "weight_decay_conv3", "weight_decay_fc10"]
+        {
             c.set(p, Float(1e-3));
         }
         for p in ["init_std_conv1", "init_std_conv2", "init_std_conv3", "init_std_fc10"] {
@@ -373,7 +371,11 @@ mod calibration_probe {
         for _ in 0..4000 {
             let c = w.space().sample(&mut rng);
             let (q, d) = w.quality(&c);
-            if d { div += 1; } else { qs.push(q); }
+            if d {
+                div += 1;
+            } else {
+                qs.push(q);
+            }
         }
         qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         eprintln!("diverged={}", div as f64 / 4000.0);

@@ -90,9 +90,7 @@ impl ImagenetWorkload {
 
         // Asynchronous SGD at scale: too-high lr or unbounded staleness
         // with many workers diverges (the Project Adam failure modes).
-        let diverged = lr > -0.5
-            || (workers > 64.0 && staleness > 1.4 && lr > -1.5)
-            || init > -1.2;
+        let diverged = lr > -0.5 || (workers > 64.0 && staleness > 1.4 && lr > -1.5) || init > -1.2;
 
         let k_lr = kernel(lr, -2.0, 0.7);
         let k_mom = kernel(momentum, 0.9, 0.3);
@@ -223,19 +221,15 @@ mod tests {
         let c = w.space().sample(&mut rng);
         let p = w.profile(&c, 1);
         let days = p.total_duration().as_hours() / 24.0;
-        assert!(
-            (2.0..=30.0).contains(&days),
-            "training should take days, got {days:.1}"
-        );
+        assert!((2.0..=30.0).contains(&days), "training should take days, got {days:.1}");
     }
 
     #[test]
     fn population_is_sparse_at_the_top() {
         let w = ImagenetWorkload::new();
         let mut rng = StdRng::seed_from_u64(2024);
-        let finals: Vec<f64> = (0..300)
-            .map(|i| w.profile(&w.space().sample(&mut rng), i).final_value())
-            .collect();
+        let finals: Vec<f64> =
+            (0..300).map(|i| w.profile(&w.space().sample(&mut rng), i).final_value()).collect();
         let n = finals.len() as f64;
         let dead = finals.iter().filter(|v| **v < 0.01).count() as f64 / n;
         let strong = finals.iter().filter(|v| **v >= 0.30).count() as f64 / n;

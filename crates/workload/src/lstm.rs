@@ -124,7 +124,10 @@ impl LstmWorkload {
         let k_layers = kernel(layers, 2.0, 1.0);
         let k_seq = kernel(seq, 35.0, 20.0);
         let k_clip = kernel(clip, 0.7, 0.8);
-        let q = (k_lr * k_drop.powf(0.5) * k_hidden.powf(0.6) * k_layers.powf(0.3)
+        let q = (k_lr
+            * k_drop.powf(0.5)
+            * k_hidden.powf(0.6)
+            * k_layers.powf(0.3)
             * k_seq.powf(0.2)
             * k_clip.powf(0.3))
         .clamp(0.0, 1.0);
@@ -136,8 +139,8 @@ impl LstmWorkload {
         // Moderate sparsity is nearly free (the §9 "without perplexity
         // loss" operating point); pushing toward full sparsity costs
         // steeply.
-        let lambda_ppl_factor = 1.0 - 0.04 * kernel(log_lambda, -4.2, 0.5)
-            + 0.55 * (sparsity / 0.95).powf(4.0);
+        let lambda_ppl_factor =
+            1.0 - 0.04 * kernel(log_lambda, -4.2, 0.5) + 0.55 * (sparsity / 0.95).powf(4.0);
 
         // Base perplexity: good configurations reach ~75–90; poor ones
         // stay in the hundreds.

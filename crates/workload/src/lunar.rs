@@ -22,7 +22,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use hyperdrive_types::{stats, Configuration, DomainKnowledge, HyperParamSpace, SimTime, SolvedCondition};
+use hyperdrive_types::{
+    stats, Configuration, DomainKnowledge, HyperParamSpace, SimTime, SolvedCondition,
+};
 
 use crate::profile::JobProfile;
 use crate::spaces::lunar_lander_space;
@@ -157,10 +159,7 @@ impl Workload for LunarWorkload {
         // "average reward of 200 over 100 consecutive trials" is a window
         // of one block.
         let mut dk = DomainKnowledge::lunar_lander();
-        dk.solved = Some(SolvedCondition::trailing_mean(
-            dk.normalizer.normalize(200.0),
-            1,
-        ));
+        dk.solved = Some(SolvedCondition::trailing_mean(dk.normalizer.normalize(200.0), 1));
         dk
     }
 

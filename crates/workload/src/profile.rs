@@ -51,11 +51,7 @@ impl JobProfile {
     /// Panics if the series length differs from the epoch count or any
     /// value is non-finite.
     pub fn with_secondary(mut self, secondary: Vec<f64>) -> Self {
-        assert_eq!(
-            secondary.len(),
-            self.values.len(),
-            "secondary series must cover every epoch"
-        );
+        assert_eq!(secondary.len(), self.values.len(), "secondary series must cover every epoch");
         assert!(secondary.iter().all(|v| v.is_finite()), "bad secondary value");
         self.secondary = Some(secondary);
         self

@@ -76,14 +76,7 @@ impl SuspendModel {
     /// The supervised-learning snapshot model of §6.2.3 (Caffe model
     /// state through the HyperDrive application library).
     pub fn supervised_snapshot() -> Self {
-        Self::from_moments(
-            0.157_69,
-            0.072,
-            1.12,
-            357.67 * 1024.0,
-            122.46 * 1024.0,
-            686.06 * 1024.0,
-        )
+        Self::from_moments(0.157_69, 0.072, 1.12, 357.67 * 1024.0, 122.46 * 1024.0, 686.06 * 1024.0)
     }
 
     /// The CRIU whole-process snapshot model of Fig. 10 (LunarLander).
@@ -102,8 +95,8 @@ impl SuspendModel {
     pub fn sample_suspend<R: Rng + ?Sized>(&self, rng: &mut R) -> SuspendCost {
         let latency = stats::sample_lognormal(rng, self.latency_mu, self.latency_sigma)
             .min(self.latency_max_secs);
-        let size = stats::sample_lognormal(rng, self.size_mu, self.size_sigma)
-            .min(self.size_max_bytes);
+        let size =
+            stats::sample_lognormal(rng, self.size_mu, self.size_sigma).min(self.size_max_bytes);
         SuspendCost { latency: SimTime::from_secs(latency), snapshot_bytes: size as u64 }
     }
 
@@ -126,8 +119,7 @@ mod tests {
     fn supervised_moments_match_section_6_2_3() {
         let model = SuspendModel::supervised_snapshot();
         let mut rng = StdRng::seed_from_u64(1);
-        let costs: Vec<SuspendCost> =
-            (0..20_000).map(|_| model.sample_suspend(&mut rng)).collect();
+        let costs: Vec<SuspendCost> = (0..20_000).map(|_| model.sample_suspend(&mut rng)).collect();
         let lat: Vec<f64> = costs.iter().map(|c| c.latency.as_secs()).collect();
         let sizes: Vec<f64> = costs.iter().map(|c| c.snapshot_bytes as f64 / 1024.0).collect();
 

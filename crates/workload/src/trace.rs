@@ -137,8 +137,7 @@ impl TraceSet {
         let mut workload_name = String::from("unknown");
         // Traces keyed by config index, in order of first appearance.
         let mut order: Vec<u32> = Vec::new();
-        let mut traces: std::collections::HashMap<u32, JobTrace> =
-            std::collections::HashMap::new();
+        let mut traces: std::collections::HashMap<u32, JobTrace> = std::collections::HashMap::new();
 
         for (lineno, line) in BufReader::new(reader).lines().enumerate() {
             let line = line?;
@@ -163,9 +162,8 @@ impl TraceSet {
                     fields.len()
                 )));
             }
-            let parse_err = |what: &str| {
-                Error::TraceFormat(format!("line {}: bad {what}: {line}", lineno + 1))
-            };
+            let parse_err =
+                |what: &str| Error::TraceFormat(format!("line {}: bad {what}: {line}", lineno + 1));
             let config: u32 = fields[0].parse().map_err(|_| parse_err("config index"))?;
             let epoch: u32 = fields[1].parse().map_err(|_| parse_err("epoch"))?;
             let duration: f64 = fields[2].parse().map_err(|_| parse_err("duration"))?;
@@ -188,8 +186,9 @@ impl TraceSet {
             trace.values.push(value);
         }
 
-        let traces =
-            order.into_iter().map(|i| traces.remove(&i).expect("tracked index")).collect();
+        // Every index in `order` was inserted into the map above, so the
+        // lookups always succeed; filter_map keeps this panic-free anyway.
+        let traces = order.into_iter().filter_map(|i| traces.remove(&i)).collect();
         Ok(TraceSet { workload_name, traces })
     }
 
@@ -260,13 +259,75 @@ mod tests {
         );
     }
 
+    /// Parses `input`, requiring a [`Error::TraceFormat`] whose message
+    /// contains `expect_msg` (each malformed shape must be diagnosed as
+    /// itself, not as some other failure).
+    fn assert_trace_error(input: &str, expect_msg: &str) {
+        match TraceSet::read(input.as_bytes()) {
+            Err(hyperdrive_types::Error::TraceFormat(msg)) => assert!(
+                msg.contains(expect_msg),
+                "expected message containing {expect_msg:?}, got {msg:?}"
+            ),
+            Err(other) => panic!("expected TraceFormat, got {other:?}"),
+            Ok(_) => panic!("malformed input parsed: {input:?}"),
+        }
+    }
+
     #[test]
-    fn malformed_csv_is_rejected() {
-        assert!(TraceSet::read("config,epoch\n1,2".as_bytes()).is_err());
-        assert!(TraceSet::read("0,1,60.0".as_bytes()).is_err());
-        assert!(TraceSet::read("0,1,abc,0.5".as_bytes()).is_err());
-        assert!(TraceSet::read("0,2,60.0,0.5".as_bytes()).is_err(), "epoch gap");
-        assert!(TraceSet::read("0,1,-5.0,0.5".as_bytes()).is_err(), "negative duration");
+    fn too_few_fields_are_rejected() {
+        assert_trace_error("0,1,60.0", "expected 4 fields, got 3");
+    }
+
+    #[test]
+    fn too_many_fields_are_rejected() {
+        assert_trace_error("0,1,60.0,0.5,extra", "expected 4 fields, got 5");
+    }
+
+    #[test]
+    fn non_numeric_config_index_is_rejected() {
+        assert_trace_error("x,1,60.0,0.5", "bad config index");
+    }
+
+    #[test]
+    fn non_numeric_epoch_is_rejected() {
+        assert_trace_error("0,one,60.0,0.5", "bad epoch");
+    }
+
+    #[test]
+    fn non_numeric_duration_is_rejected() {
+        assert_trace_error("0,1,abc,0.5", "bad duration");
+    }
+
+    #[test]
+    fn non_numeric_value_is_rejected() {
+        assert_trace_error("0,1,60.0,?", "bad value");
+    }
+
+    #[test]
+    fn non_positive_duration_is_rejected() {
+        assert_trace_error("0,1,-5.0,0.5", "bad numeric value");
+        assert_trace_error("0,1,0.0,0.5", "bad numeric value");
+        assert_trace_error("0,1,inf,0.5", "bad numeric value");
+    }
+
+    #[test]
+    fn non_finite_value_is_rejected() {
+        assert_trace_error("0,1,60.0,NaN", "bad numeric value");
+    }
+
+    #[test]
+    fn epoch_gaps_are_rejected() {
+        assert_trace_error("0,2,60.0,0.5", "epochs out of order (expected 1, got 2)");
+        assert_trace_error("0,1,60.0,0.5\n0,3,61.0,0.6", "epochs out of order (expected 2, got 3)");
+    }
+
+    #[test]
+    fn error_reports_the_offending_line_number() {
+        // Line 1 is a comment, line 2 the header, line 3 the bad row.
+        assert_trace_error(
+            "# hyperdrive-trace v1\nconfig,epoch,duration_secs,value\n0,1,bad,0.5",
+            "line 3",
+        );
     }
 
     #[test]

@@ -6,9 +6,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use hyperdrive_workload::{
-    CifarWorkload, ImagenetWorkload, LstmWorkload, LunarWorkload, Workload,
-};
+use hyperdrive_workload::{CifarWorkload, ImagenetWorkload, LstmWorkload, LunarWorkload, Workload};
 
 fn workloads() -> Vec<Box<dyn Workload>> {
     vec![

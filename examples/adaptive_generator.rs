@@ -38,7 +38,12 @@ fn main() {
         best_adaptive = best_adaptive.max(final_acc);
 
         if (i + 1) % 10 == 0 {
-            println!("{:>6} {:>13.1}% {:>13.1}%", i + 1, best_random * 100.0, best_adaptive * 100.0);
+            println!(
+                "{:>6} {:>13.1}% {:>13.1}%",
+                i + 1,
+                best_random * 100.0,
+                best_adaptive * 100.0
+            );
         }
     }
     println!(

@@ -6,9 +6,7 @@
 //! ```
 
 use hyperdrive::curve::PredictorConfig;
-use hyperdrive::framework::{
-    DefaultPolicy, ExperimentSpec, ExperimentWorkload, SchedulingPolicy,
-};
+use hyperdrive::framework::{DefaultPolicy, ExperimentSpec, ExperimentWorkload, SchedulingPolicy};
 use hyperdrive::policies::{BanditPolicy, EarlyTermPolicy, HyperbandPolicy};
 use hyperdrive::pop::{PopConfig, PopPolicy};
 use hyperdrive::sim::run_sim;

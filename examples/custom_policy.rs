@@ -12,8 +12,7 @@
 //! ```
 
 use hyperdrive::framework::{
-    ExperimentSpec, ExperimentWorkload, JobDecision, JobEvent, SchedulerContext,
-    SchedulingPolicy,
+    ExperimentSpec, ExperimentWorkload, JobDecision, JobEvent, SchedulerContext, SchedulingPolicy,
 };
 use hyperdrive::sim::run_sim;
 use hyperdrive::types::stats;
@@ -43,11 +42,8 @@ impl SchedulingPolicy for MedianElimination {
         if !event.epoch.is_multiple_of(b) || event.epoch / b < self.warmup_evals {
             return JobDecision::Continue;
         }
-        let bests: Vec<f64> = ctx
-            .active_jobs()
-            .iter()
-            .filter_map(|j| ctx.curve(*j).and_then(|c| c.best()))
-            .collect();
+        let bests: Vec<f64> =
+            ctx.active_jobs().iter().filter_map(|j| ctx.curve(*j).and_then(|c| c.best())).collect();
         let Some(median) = stats::median(&bests) else {
             return JobDecision::Continue;
         };

@@ -17,9 +17,8 @@ fn main() {
     // Start from a modest 40% accuracy target and raise it by 5 points
     // every time a configuration reaches it.
     let experiment = ExperimentWorkload::from_workload(&workload, 60, 2).with_target(0.40);
-    let spec = ExperimentSpec::new(4)
-        .with_tmax(SimTime::from_hours(24.0))
-        .with_dynamic_target(0.05);
+    let spec =
+        ExperimentSpec::new(4).with_tmax(SimTime::from_hours(24.0)).with_dynamic_target(0.05);
 
     let mut pop = PopPolicy::new();
     let result = run_sim(&mut pop, &experiment, spec);

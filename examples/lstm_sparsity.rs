@@ -31,23 +31,18 @@ fn main() {
     let experiment = ExperimentWorkload::from_workload(&workload, 150, 12)
         .with_target(LstmWorkload::normalize_perplexity(150.0));
     // Disable the plain single-metric stop: the global criterion decides.
-    let spec = ExperimentSpec::new(8)
-        .with_tmax(SimTime::from_hours(48.0))
-        .with_stop_on_target(false);
+    let spec =
+        ExperimentSpec::new(8).with_tmax(SimTime::from_hours(48.0)).with_stop_on_target(false);
 
     let ppl_bound = LstmWorkload::normalize_perplexity(150.0);
     let sparsity_bound = 0.35;
-    let mut policy = GlobalCriterionPolicy::new(
-        PopPolicy::with_config(PopConfig::default()),
-        move |view| {
+    let mut policy =
+        GlobalCriterionPolicy::new(PopPolicy::with_config(PopConfig::default()), move |view| {
             let ppl_ok = view.primary.last_value().is_some_and(|v| v >= ppl_bound);
-            let sparse_ok = view
-                .secondary
-                .and_then(|s| s.last_value())
-                .is_some_and(|s| s >= sparsity_bound);
+            let sparse_ok =
+                view.secondary.and_then(|s| s.last_value()).is_some_and(|s| s >= sparsity_bound);
             ppl_ok && sparse_ok
-        },
-    );
+        });
 
     let result = run_sim(&mut policy, &experiment, spec);
     match policy.satisfied_by() {

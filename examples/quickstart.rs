@@ -29,7 +29,10 @@ fn main() {
     match result.time_to_target {
         Some(t) => {
             let winner = result.winner.expect("a winner accompanies time-to-target");
-            println!("reached {:.0}% accuracy in {t} (winner: {winner})", experiment.target * 100.0);
+            println!(
+                "reached {:.0}% accuracy in {t} (winner: {winner})",
+                experiment.target * 100.0
+            );
         }
         None => println!("no configuration reached the target within Tmax"),
     }

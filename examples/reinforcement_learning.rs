@@ -18,11 +18,7 @@ fn main() {
     let norm = DomainKnowledge::lunar_lander().normalizer;
 
     println!("LunarLander domain knowledge:");
-    println!(
-        "  rewards min-max normalized from [{}, {}] (Eq. 4)",
-        norm.min(),
-        norm.max()
-    );
+    println!("  rewards min-max normalized from [{}, {}] (Eq. 4)", norm.min(), norm.max());
     println!(
         "  kill threshold: raw reward {} (normalized {:.3})",
         norm.denormalize(dk.kill_threshold),
@@ -54,10 +50,6 @@ fn main() {
     println!(
         "CRIU-style suspensions: {} (max latency {:.1}s)",
         result.suspend_events.len(),
-        result
-            .suspend_events
-            .iter()
-            .map(|e| e.cost.latency.as_secs())
-            .fold(0.0f64, f64::max)
+        result.suspend_events.iter().map(|e| e.cost.latency.as_secs()).fold(0.0f64, f64::max)
     );
 }

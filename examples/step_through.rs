@@ -25,7 +25,12 @@ fn main() {
     let mut total_events = 0usize;
     while !sim.stopped() {
         total_events += sim.run_until(horizon);
-        println!("{:>10} {:>10} {:>12}", format!("{}", sim.now()), total_events, sim.pending_events());
+        println!(
+            "{:>10} {:>10} {:>12}",
+            format!("{}", sim.now()),
+            total_events,
+            sim.pending_events()
+        );
         // Advance the inspection cadence; break manually once quiet.
         horizon += SimTime::from_mins(15.0);
         if sim.pending_events() == 0 {
@@ -35,9 +40,7 @@ fn main() {
     let result = sim.finish();
     println!(
         "\nfinished: target {} | {} epochs | {} scheduler events",
-        result
-            .time_to_target
-            .map_or("not reached".into(), |t| format!("reached in {t}")),
+        result.time_to_target.map_or("not reached".into(), |t| format!("reached in {t}")),
         result.total_epochs,
         result.events.len()
     );

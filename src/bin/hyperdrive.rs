@@ -12,8 +12,7 @@ use std::process::ExitCode;
 
 use hyperdrive::curve::PredictorConfig;
 use hyperdrive::framework::{
-    run_live, DefaultPolicy, ExperimentResult, ExperimentSpec, ExperimentWorkload,
-    SchedulingPolicy,
+    run_live, DefaultPolicy, ExperimentResult, ExperimentSpec, ExperimentWorkload, SchedulingPolicy,
 };
 use hyperdrive::policies::{BanditPolicy, EarlyTermConfig, EarlyTermPolicy, HyperbandPolicy};
 use hyperdrive::pop::{PopConfig, PopPolicy};
@@ -68,8 +67,7 @@ impl Args {
                 values.push((key.clone(), None));
                 i += 1;
             } else {
-                let value =
-                    raw.get(i + 1).ok_or_else(|| format!("{key} needs a value"))?.clone();
+                let value = raw.get(i + 1).ok_or_else(|| format!("{key} needs a value"))?.clone();
                 values.push((key.clone(), Some(value)));
                 i += 2;
             }
@@ -78,10 +76,7 @@ impl Args {
     }
 
     fn get(&self, key: &str) -> Option<&str> {
-        self.values
-            .iter()
-            .find(|(k, _)| k == key)
-            .and_then(|(_, v)| v.as_deref())
+        self.values.iter().find(|(k, _)| k == key).and_then(|(_, v)| v.as_deref())
     }
 
     fn has(&self, key: &str) -> bool {
@@ -122,9 +117,7 @@ fn make_policy(name: &str, seed: u64) -> Result<Box<dyn SchedulingPolicy>, Strin
         }))),
         "hyperband" => Ok(Box::new(HyperbandPolicy::new())),
         "default" => Ok(Box::new(DefaultPolicy::new())),
-        other => {
-            Err(format!("unknown policy {other:?} (pop|bandit|earlyterm|hyperband|default)"))
-        }
+        other => Err(format!("unknown policy {other:?} (pop|bandit|earlyterm|hyperband|default)")),
     }
 }
 
@@ -152,7 +145,13 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let workload = make_workload(args.get("--workload").unwrap_or("cifar10"))?;
     let seed: u64 = args.parse_num("--seed", 42)?;
     let n_configs: usize = args.parse_num("--configs", 100)?;
+    if n_configs == 0 {
+        return Err("--configs: need at least one configuration".into());
+    }
     let machines: usize = args.parse_num("--machines", 4)?;
+    if machines == 0 {
+        return Err("--machines: a cluster needs at least one machine".into());
+    }
     let tmax: f64 = args.parse_num("--tmax-hours", 24.0)?;
 
     let mut experiment = ExperimentWorkload::from_workload(workload.as_ref(), n_configs, seed);
@@ -204,6 +203,9 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
     let workload = make_workload(args.get("--workload").unwrap_or(&traces.workload_name))?;
     let seed: u64 = args.parse_num("--seed", 42)?;
     let machines: usize = args.parse_num("--machines", 4)?;
+    if machines == 0 {
+        return Err("--machines: a cluster needs at least one machine".into());
+    }
     let tmax: f64 = args.parse_num("--tmax-hours", 24.0)?;
 
     let experiment = ExperimentWorkload::from_traces(
@@ -217,6 +219,9 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
         .with_tmax(SimTime::from_hours(tmax))
         .with_seed(seed)
         .with_stop_on_target(!args.has("--run-all"));
+    if experiment.is_empty() {
+        return Err(format!("{file}: trace file contains no traces"));
+    }
     let mut policy = make_policy(args.get("--policy").unwrap_or("pop"), seed)?;
     println!("replaying {} traces from {file}…", experiment.len());
     let result = run_sim(policy.as_mut(), &experiment, spec);

@@ -18,6 +18,6 @@ pub use hyperdrive_workload as workload;
 
 pub use hyperdrive_types::{
     ConfigId, Configuration, DomainKnowledge, Error, ExperimentId, HyperParamSpace, JobId,
-    LearningCurve, LearningDomain, MachineId, MetricKind, MetricNormalizer, ParamRange,
-    ParamValue, Result, SimTime, SolvedCondition,
+    LearningCurve, LearningDomain, MachineId, MetricKind, MetricNormalizer, ParamRange, ParamValue,
+    Result, SimTime, SolvedCondition,
 };

@@ -12,10 +12,7 @@ use hyperdrive::workload::{CifarWorkload, LunarWorkload, Workload};
 use hyperdrive::SimTime;
 
 fn pop() -> PopPolicy {
-    PopPolicy::with_config(PopConfig {
-        predictor: PredictorConfig::test(),
-        ..Default::default()
-    })
+    PopPolicy::with_config(PopConfig { predictor: PredictorConfig::test(), ..Default::default() })
 }
 
 fn early_term() -> EarlyTermPolicy {
@@ -29,9 +26,8 @@ fn early_term() -> EarlyTermPolicy {
 fn all_policies_complete_a_supervised_experiment() {
     let workload = CifarWorkload::new().with_max_epochs(50);
     let experiment = ExperimentWorkload::from_workload(&workload, 20, 3);
-    let spec = ExperimentSpec::new(4)
-        .with_tmax(SimTime::from_hours(48.0))
-        .with_stop_on_target(false);
+    let spec =
+        ExperimentSpec::new(4).with_tmax(SimTime::from_hours(48.0)).with_stop_on_target(false);
 
     let mut policies: Vec<Box<dyn SchedulingPolicy>> = vec![
         Box::new(pop()),
@@ -51,10 +47,7 @@ fn all_policies_complete_a_supervised_experiment() {
         // Everything ends in a definite state when running to completion
         // with a generous Tmax.
         assert!(
-            result
-                .outcomes
-                .iter()
-                .all(|o| matches!(o.end, JobEnd::Completed | JobEnd::Terminated)),
+            result.outcomes.iter().all(|o| matches!(o.end, JobEnd::Completed | JobEnd::Terminated)),
             "{} left unfinished jobs",
             result.policy
         );
@@ -65,9 +58,8 @@ fn all_policies_complete_a_supervised_experiment() {
 fn pruning_policies_do_less_work_than_default() {
     let workload = CifarWorkload::new().with_max_epochs(60);
     let experiment = ExperimentWorkload::from_workload(&workload, 24, 9);
-    let spec = ExperimentSpec::new(4)
-        .with_tmax(SimTime::from_hours(60.0))
-        .with_stop_on_target(false);
+    let spec =
+        ExperimentSpec::new(4).with_tmax(SimTime::from_hours(60.0)).with_stop_on_target(false);
 
     let mut default = DefaultPolicy::new();
     let baseline = run_sim(&mut default, &experiment, spec).total_epochs;
@@ -101,8 +93,7 @@ fn pop_beats_default_to_the_target_across_seeds() {
         let pop_result = run_sim(&mut p, &experiment, spec);
         let mut d = DefaultPolicy::new();
         let default_result = run_sim(&mut d, &experiment, spec);
-        if let (Some(tp), Some(td)) = (pop_result.time_to_target, default_result.time_to_target)
-        {
+        if let (Some(tp), Some(td)) = (pop_result.time_to_target, default_result.time_to_target) {
             pop_total += tp.as_hours();
             default_total += td.as_hours();
             compared += 1;
@@ -140,9 +131,8 @@ fn reinforcement_learning_end_to_end() {
 fn suspend_events_only_occur_for_suspending_policies() {
     let workload = CifarWorkload::new().with_max_epochs(40);
     let experiment = ExperimentWorkload::from_workload(&workload, 16, 3);
-    let spec = ExperimentSpec::new(2)
-        .with_tmax(SimTime::from_hours(48.0))
-        .with_stop_on_target(false);
+    let spec =
+        ExperimentSpec::new(2).with_tmax(SimTime::from_hours(48.0)).with_stop_on_target(false);
 
     let mut d = DefaultPolicy::new();
     let default_result = run_sim(&mut d, &experiment, spec);
@@ -193,9 +183,7 @@ fn lstm_workload_runs_through_the_full_stack() {
     let result = run_sim(&mut p, &experiment, spec);
     assert!(result.total_epochs > 0);
     if let Some(winner) = result.winner {
-        let ppl = LstmWorkload::denormalize_perplexity(
-            experiment.profile(winner).best_value(),
-        );
+        let ppl = LstmWorkload::denormalize_perplexity(experiment.profile(winner).best_value());
         assert!(ppl <= 200.0, "winner perplexity {ppl}");
     }
 }
@@ -211,8 +199,7 @@ fn imagenet_workload_runs_through_the_full_stack() {
     let mut p = pop();
     let result = run_sim(&mut p, &experiment, spec);
     // Hours-long epochs: total busy time lands in machine-days territory.
-    let busy_days: f64 =
-        result.outcomes.iter().map(|o| o.busy_time.as_hours() / 24.0).sum();
+    let busy_days: f64 = result.outcomes.iter().map(|o| o.busy_time.as_hours() / 24.0).sum();
     assert!(busy_days > 1.0, "imagenet jobs consume machine-days: {busy_days}");
     assert!(p.predictions_made() > 0, "predictions happen at the 5-epoch boundary");
 }

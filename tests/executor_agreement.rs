@@ -3,9 +3,7 @@
 //! virtual end times on both executors.
 
 use hyperdrive::curve::PredictorConfig;
-use hyperdrive::framework::{
-    run_live, DefaultPolicy, ExperimentSpec, ExperimentWorkload,
-};
+use hyperdrive::framework::{run_live, DefaultPolicy, ExperimentSpec, ExperimentWorkload};
 use hyperdrive::pop::{PopConfig, PopPolicy};
 use hyperdrive::sim::run_sim;
 use hyperdrive::workload::{CifarWorkload, LunarWorkload};

@@ -29,9 +29,8 @@ fn bandit_wastes_epochs_on_learning_crashes() {
         .collect();
     assert!(crashed.iter().filter(|c| **c).count() >= 5, "seed provides crashers");
 
-    let spec = ExperimentSpec::new(8)
-        .with_tmax(SimTime::from_hours(24.0))
-        .with_stop_on_target(false);
+    let spec =
+        ExperimentSpec::new(8).with_tmax(SimTime::from_hours(24.0)).with_stop_on_target(false);
 
     let crashed_epochs = |result: &hyperdrive::framework::ExperimentResult| -> u64 {
         result
@@ -76,9 +75,8 @@ fn bandit_wastes_epochs_on_learning_crashes() {
 fn curve_model_predicts_overtakes_that_instantaneous_comparison_misses() {
     let workload = CifarWorkload::new();
     let mut rng = StdRng::seed_from_u64(2024);
-    let profiles: Vec<_> = (0..60)
-        .map(|i| workload.profile(&workload.space().sample(&mut rng), 100 + i))
-        .collect();
+    let profiles: Vec<_> =
+        (0..60).map(|i| workload.profile(&workload.space().sample(&mut rng), 100 + i)).collect();
 
     // Collect distinct overtake pairs (A ahead at epoch 20, B wins
     // finally).
@@ -154,9 +152,8 @@ fn pop_kills_non_learners_early() {
         .collect();
     assert!(non_learners.len() >= 5, "seed provides non-learners");
 
-    let spec = ExperimentSpec::new(4)
-        .with_tmax(SimTime::from_hours(48.0))
-        .with_stop_on_target(false);
+    let spec =
+        ExperimentSpec::new(4).with_tmax(SimTime::from_hours(48.0)).with_stop_on_target(false);
     let mut pop = PopPolicy::with_config(PopConfig {
         predictor: PredictorConfig::test(),
         ..Default::default()
@@ -182,9 +179,8 @@ fn pop_kills_non_learners_early() {
 fn pop_exploitation_share_rises_over_time() {
     let workload = CifarWorkload::new();
     let experiment = ExperimentWorkload::from_workload(&workload, 40, 2);
-    let spec = ExperimentSpec::new(8)
-        .with_tmax(SimTime::from_hours(48.0))
-        .with_stop_on_target(false);
+    let spec =
+        ExperimentSpec::new(8).with_tmax(SimTime::from_hours(48.0)).with_stop_on_target(false);
     let mut pop = PopPolicy::with_config(PopConfig {
         predictor: PredictorConfig::test(),
         ..Default::default()
@@ -203,8 +199,5 @@ fn pop_exploitation_share_rises_over_time() {
     };
     let early = ratio(&timeline[..timeline.len() / 3]);
     let late = ratio(&timeline[timeline.len() * 2 / 3..]);
-    assert!(
-        late > early,
-        "exploitation share should rise: early {early:.3} vs late {late:.3}"
-    );
+    assert!(late > early, "exploitation share should rise: early {early:.3} vs late {late:.3}");
 }

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 
 use hyperdrive::framework::{
-    DefaultPolicy, ExperimentSpec, ExperimentWorkload, JobDecision, JobEvent, JobEnd,
+    DefaultPolicy, ExperimentSpec, ExperimentWorkload, JobDecision, JobEnd, JobEvent,
     SchedulerContext, SchedulingPolicy,
 };
 use hyperdrive::sim::run_sim;
