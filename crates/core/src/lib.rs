@@ -41,7 +41,7 @@ pub mod pop;
 
 pub use allocation::{allocate_slots, AllocationPoint, SlotAllocation};
 pub use ert::{estimate_remaining_time, ErtEstimate};
-pub use pop::{AllocationSnapshot, JobAssessment, KillRule, PopConfig, PopPolicy};
+pub use pop::{AllocationSnapshot, FitCostModel, JobAssessment, KillRule, PopConfig, PopPolicy};
 
 #[cfg(test)]
 mod integration {
@@ -77,59 +77,45 @@ mod integration {
         assert!(!pop.timeline().is_empty(), "instrumentation recorded");
     }
 
-    #[test]
-    fn async_prediction_mode_matches_sync_pruning_behaviour() {
-        // §5.2 overlapped prediction: same experiment under sync and async
-        // POP. Decisions differ only by one boundary of posterior
-        // staleness, so both must prune heavily and reach the target.
-        let w = CifarWorkload::new().with_max_epochs(120);
-        let ew = ExperimentWorkload::from_workload(&w, 24, 4);
-        let spec = ExperimentSpec::new(4).with_tmax(hyperdrive_types::SimTime::from_hours(48.0));
-
-        let mut sync_pop = PopPolicy::with_config(PopConfig {
-            predictor: PredictorConfig::test(),
-            ..Default::default()
-        });
-        let sync = run_sim(&mut sync_pop, &ew, spec);
-
-        let mut async_pop = PopPolicy::with_config(PopConfig {
-            predictor: PredictorConfig::test(),
-            async_prediction: true,
-            prediction_workers: 2,
-            ..Default::default()
-        });
-        let asyn = run_sim(&mut async_pop, &ew, spec);
-
-        assert!(sync.reached_target() && asyn.reached_target());
-        assert!(async_pop.predictions_made() > 0);
-        // One boundary of staleness delays decisions slightly but must not
-        // change the outcome class.
-        let (ts, ta) =
-            (sync.time_to_target.unwrap().as_hours(), asyn.time_to_target.unwrap().as_hours());
-        assert!(
-            (ts - ta).abs() / ts < 0.8,
-            "async {ta:.2}h should be in the same regime as sync {ts:.2}h"
-        );
-    }
-
-    #[test]
-    fn async_prediction_is_deterministic() {
+    /// Runs one experiment under POP with an explicit fit-pool width and
+    /// returns everything observable: scalar results plus the full event
+    /// log serialized to CSV bytes.
+    fn run_with_threads(threads: usize) -> (String, u64, usize, Vec<u8>) {
         let w = CifarWorkload::new().with_max_epochs(40);
         let ew = ExperimentWorkload::from_workload(&w, 10, 3);
         let spec = ExperimentSpec::new(2)
             .with_stop_on_target(false)
             .with_tmax(hyperdrive_types::SimTime::from_hours(48.0));
-        let run = || {
-            let mut pop = PopPolicy::with_config(PopConfig {
-                predictor: PredictorConfig::test(),
-                async_prediction: true,
-                prediction_workers: 2,
-                ..Default::default()
-            });
-            let r = run_sim(&mut pop, &ew, spec);
-            (r.end_time, r.total_epochs, r.terminated_early())
-        };
-        assert_eq!(run(), run(), "one-boundary-stale decisions are timing-independent");
+        let mut pop = PopPolicy::with_config(PopConfig {
+            predictor: PredictorConfig::test(),
+            fit_threads: threads,
+            ..Default::default()
+        });
+        let r = run_sim(&mut pop, &ew, spec);
+        assert!(pop.predictions_made() > 0, "POP fitted curves");
+        let mut csv = Vec::new();
+        r.events.write_csv(&mut csv).expect("event log serializes");
+        (format!("{}", r.end_time), r.total_epochs, r.terminated_early(), csv)
+    }
+
+    #[test]
+    fn parallel_fitting_is_byte_identical_across_thread_counts() {
+        // §5.2 parallel prediction, the determinism contract: per-config
+        // seed derivation makes the posterior draws a pure function of
+        // (experiment seed, config, epoch), so the entire scheduling
+        // trace — not just aggregate outcomes — must be byte-identical
+        // whether the fit pool has 1 or 4 workers.
+        let single = run_with_threads(1);
+        let quad = run_with_threads(4);
+        assert_eq!(single, quad, "fit-pool width leaked into scheduling decisions");
+    }
+
+    #[test]
+    fn repeated_runs_are_deterministic() {
+        // Same pool width, fresh policy/service each run: every source of
+        // nondeterminism (hash-map iteration, thread completion order,
+        // cache state) must be invisible in the trace.
+        assert_eq!(run_with_threads(2), run_with_threads(2));
     }
 
     #[test]

@@ -17,9 +17,9 @@
 //!    opportunistic we suspend it and start a new job"), implementing
 //!    round-robin sharing of the opportunistic pool.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
-use hyperdrive_curve::{CurvePredictor, PredictionService, PredictorConfig};
+use hyperdrive_curve::{FitRequest, FitService, PredictorConfig};
 use hyperdrive_framework::{JobDecision, JobEvent, SchedulerContext, SchedulingPolicy};
 use hyperdrive_types::{JobId, SimTime};
 
@@ -43,6 +43,54 @@ pub enum KillRule {
     Disabled,
 }
 
+/// Deterministic virtual-time model of curve-fitting overhead.
+///
+/// The simulator has no business measuring wall-clock — that would make
+/// virtual timelines depend on host load and physical worker count. This
+/// model instead prices each fit from its likelihood-evaluation count and
+/// schedules the batch onto `modeled_workers` *virtual* workers (greedy
+/// least-loaded assignment, in request order), charging the resulting
+/// makespan to the decision. `modeled_workers` is a model parameter,
+/// deliberately decoupled from the physical `fit_threads` pool size, so
+/// results stay byte-identical across physical thread counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitCostModel {
+    /// Modeled seconds per 1000 ensemble likelihood evaluations.
+    pub secs_per_kiloeval: f64,
+    /// Virtual worker count the batch is scheduled onto.
+    pub modeled_workers: usize,
+}
+
+impl FitCostModel {
+    /// Modeled cost (seconds) of one fit at `config` fidelity over
+    /// `n_obs` observations.
+    #[must_use]
+    pub fn fit_secs(&self, config: &PredictorConfig, n_obs: usize) -> f64 {
+        let evals = config.walkers * config.steps * n_obs.clamp(1, config.max_obs);
+        evals as f64 / 1000.0 * self.secs_per_kiloeval
+    }
+
+    /// Makespan of scheduling `costs` (in request order) onto the modeled
+    /// workers: each fit goes to the least-loaded worker, and the batch
+    /// takes as long as the busiest worker. With one modeled worker this
+    /// degenerates to the serial sum.
+    #[must_use]
+    pub fn makespan_secs(&self, costs: &[f64]) -> f64 {
+        let workers = self.modeled_workers.max(1);
+        let mut load = vec![0.0f64; workers];
+        for c in costs {
+            let min = load
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("loads are finite"))
+                .map(|(i, _)| i)
+                .expect("at least one worker");
+            load[min] += c;
+        }
+        load.into_iter().fold(0.0, f64::max)
+    }
+}
+
 /// Configuration for [`PopPolicy`].
 #[derive(Debug, Clone, Copy)]
 pub struct PopConfig {
@@ -61,14 +109,15 @@ pub struct PopConfig {
     /// Ablation: replace the dynamic `p*` with a static threshold
     /// (§2.2c's strawman).
     pub static_threshold: Option<f64>,
-    /// §5.2's overlapped prediction: fits run on a worker pool concurrently
-    /// with scheduling, and each boundary decision uses the fit submitted
-    /// at the job's *previous* boundary (one boundary of staleness instead
-    /// of blocking). Decisions remain deterministic — the posterior used
-    /// at boundary N is always the boundary-(N−1) fit.
-    pub async_prediction: bool,
-    /// Worker threads for async prediction (0 = one per CPU).
-    pub prediction_workers: usize,
+    /// Physical worker threads for the parallel fit service (0 =
+    /// `HYPERDRIVE_FIT_THREADS`, falling back to one per core). Results
+    /// are byte-identical whatever this is set to; it only changes how
+    /// fast they arrive.
+    pub fit_threads: usize,
+    /// Optional virtual-time accounting of prediction overhead: when set,
+    /// each boundary decision reports the modeled makespan of its fit
+    /// batch, which the engine charges to the decided job.
+    pub fit_cost: Option<FitCostModel>,
     /// Base seed for prediction determinism.
     pub seed: u64,
 }
@@ -82,8 +131,8 @@ impl Default for PopConfig {
             kill_rule: KillRule::DomainDefault,
             boundary: None,
             static_threshold: None,
-            async_prediction: false,
-            prediction_workers: 0,
+            fit_threads: 0,
+            fit_cost: None,
             seed: 0,
         }
     }
@@ -128,12 +177,12 @@ pub struct PopPolicy {
     config: PopConfig,
     assessments: HashMap<JobId, JobAssessment>,
     timeline: Vec<AllocationSnapshot>,
-    predictions_made: u64,
-    /// Async-prediction state: the worker pool and the set of fits
-    /// submitted so far (so stale-fit lookups never wait on a fit that was
-    /// never enqueued).
-    service: Option<PredictionService>,
-    submitted: HashSet<(JobId, u32)>,
+    /// The deterministic parallel fit pool; all curve predictions flow
+    /// through it so unchanged prefixes are never re-fit.
+    service: FitService,
+    /// Modeled prediction overhead accrued since the engine last drained
+    /// it via `take_decision_overhead` (zero unless `fit_cost` is set).
+    pending_overhead: SimTime,
 }
 
 impl PopPolicy {
@@ -154,23 +203,13 @@ impl PopPolicy {
             (0.0..=1.0).contains(&config.lower_bound_confidence),
             "lower bound must be a probability"
         );
-        let service = if config.async_prediction {
-            let workers = if config.prediction_workers == 0 {
-                std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(2)
-            } else {
-                config.prediction_workers
-            };
-            Some(PredictionService::new(config.predictor.with_seed(config.seed), workers))
-        } else {
-            None
-        };
+        let service = FitService::new(config.predictor, config.seed, config.fit_threads);
         PopPolicy {
             config,
             assessments: HashMap::new(),
             timeline: Vec::new(),
-            predictions_made: 0,
             service,
-            submitted: HashSet::new(),
+            pending_overhead: SimTime::ZERO,
         }
     }
 
@@ -180,9 +219,14 @@ impl PopPolicy {
     }
 
     /// Number of curve-model fits performed (diagnostic; §5.2 overhead
-    /// accounting).
+    /// accounting). Cache hits are not fits.
     pub fn predictions_made(&self) -> u64 {
-        self.predictions_made
+        self.service.stats().fits
+    }
+
+    /// Cumulative fit-service counters (fits, cache hits, batches).
+    pub fn fit_stats(&self) -> hyperdrive_curve::FitStats {
+        self.service.stats()
     }
 
     /// POP's latest assessment of a job, if it has one.
@@ -193,10 +237,90 @@ impl PopPolicy {
     /// Drops all state for a terminated job.
     fn forget(&mut self, job: JobId) {
         self.assessments.remove(&job);
-        if let Some(service) = &self.service {
-            service.forget(job);
+        self.service.forget(job);
+    }
+
+    /// Refreshes assessments for every active job whose fit point advanced,
+    /// fitting all stale curve prefixes as one parallel batch. The event
+    /// job's fit point is its just-finished epoch; other jobs are fitted at
+    /// their most recent evaluation boundary, so between boundaries their
+    /// `(config, epochs)` entry is a cache hit and nothing re-fits.
+    fn refresh_assessments(&mut self, event: &JobEvent, b: u32, ctx: &mut dyn SchedulerContext) {
+        let budget = ctx.tmax().saturating_sub(event.now);
+        if budget <= SimTime::ZERO {
+            return; // Tmax imminent; the engine stops anyway.
         }
-        self.submitted.retain(|(j, _)| *j != job);
+        let max_epochs = ctx.max_epochs();
+        let target = ctx.target();
+
+        struct Meta {
+            job: JobId,
+            fit_epoch: u32,
+            max_future: u32,
+            epoch_duration: SimTime,
+        }
+        let mut requests: Vec<FitRequest> = Vec::new();
+        let mut meta: Vec<Meta> = Vec::new();
+        for (job, curve) in ctx.active_curves() {
+            let Some(last_epoch) = curve.last_epoch() else { continue };
+            // Fit points sit on evaluation boundaries; the reporting job is
+            // exactly at one (the caller checked).
+            let fit_epoch =
+                if job == event.job { event.epoch } else { last_epoch - last_epoch % b };
+            if fit_epoch == 0 {
+                continue;
+            }
+            if self.assessments.get(&job).is_some_and(|a| a.epoch >= fit_epoch) {
+                continue; // prefix unchanged since the last assessment
+            }
+            let prefix = if fit_epoch == last_epoch { curve } else { curve.prefix(fit_epoch) };
+            let epoch_duration = prefix.mean_epoch_duration().unwrap_or_else(|| {
+                SimTime::from_secs(event.now.as_secs() / f64::from(fit_epoch.max(1)))
+            });
+            if epoch_duration <= SimTime::ZERO {
+                continue;
+            }
+            let m_budget = (budget.as_secs() / epoch_duration.as_secs()).floor() as u32;
+            let max_future = m_budget.min(max_epochs.saturating_sub(fit_epoch));
+            if max_future < 1 {
+                continue;
+            }
+            requests.push(FitRequest { job, curve: prefix, horizon: fit_epoch + max_future });
+            meta.push(Meta { job, fit_epoch, max_future, epoch_duration });
+        }
+        if requests.is_empty() {
+            return;
+        }
+
+        let outcomes = self.service.fit_batch(&requests);
+
+        // Virtual-time accounting: price the batch's *fresh* fits and
+        // charge their modeled parallel makespan to this decision.
+        if let Some(model) = &self.config.fit_cost {
+            let costs: Vec<f64> = requests
+                .iter()
+                .zip(&outcomes)
+                .filter(|(_, o)| !o.cached)
+                .map(|(r, _)| model.fit_secs(&self.config.predictor, r.curve.len()))
+                .collect();
+            self.pending_overhead += SimTime::from_secs(model.makespan_secs(&costs));
+        }
+
+        for (m, outcome) in meta.iter().zip(&outcomes) {
+            if let Ok(posterior) = &outcome.result {
+                let est = estimate_remaining_time(
+                    posterior,
+                    target,
+                    m.max_future,
+                    m.epoch_duration,
+                    budget,
+                );
+                self.assessments.insert(
+                    m.job,
+                    JobAssessment { confidence: est.confidence, ert: est.ert, epoch: m.fit_epoch },
+                );
+            }
+        }
     }
 
     fn kill_params(&self, ctx: &dyn SchedulerContext) -> Option<(f64, u32)> {
@@ -222,6 +346,10 @@ impl SchedulingPolicy for PopPolicy {
         "pop"
     }
 
+    fn take_decision_overhead(&mut self) -> SimTime {
+        std::mem::replace(&mut self.pending_overhead, SimTime::ZERO)
+    }
+
     fn on_iteration_finish(
         &mut self,
         event: &JobEvent,
@@ -244,65 +372,19 @@ impl SchedulingPolicy for PopPolicy {
             }
         }
 
-        // Step 2: probabilistic assessment.
-        let budget = ctx.tmax().saturating_sub(event.now);
-        let epoch_duration = curve
-            .mean_epoch_duration()
-            .unwrap_or_else(|| SimTime::from_secs(event.now.as_secs() / f64::from(event.epoch)));
-        if budget <= SimTime::ZERO || epoch_duration <= SimTime::ZERO {
-            return JobDecision::Continue; // Tmax imminent; the engine stops anyway.
-        }
-        let m_budget = (budget.as_secs() / epoch_duration.as_secs()).floor() as u32;
-        let m_epochs = ctx.max_epochs().saturating_sub(event.epoch);
-        let max_future = m_budget.min(m_epochs);
-        if max_future >= 1 {
-            let posterior = match &self.service {
-                // §5.2 overlapped mode: enqueue a fit on the current prefix
-                // and decide with the fit from the previous boundary.
-                Some(service) => {
-                    if service.submit(event.job, &curve, event.epoch + max_future) {
-                        self.submitted.insert((event.job, event.epoch));
-                        self.predictions_made += 1;
-                    }
-                    let prev = event.epoch.saturating_sub(b);
-                    if prev >= 1 && self.submitted.contains(&(event.job, prev)) {
-                        service.wait(event.job, prev).ok()
-                    } else {
-                        None // first boundary: no completed fit yet
-                    }
-                }
-                None => {
-                    let seed = self
-                        .config
-                        .seed
-                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                        .wrapping_add(event.job.raw() << 24)
-                        .wrapping_add(u64::from(event.epoch));
-                    let predictor = CurvePredictor::new(self.config.predictor.with_seed(seed));
-                    let fit = predictor.fit(&curve, event.epoch + max_future).ok();
-                    if fit.is_some() {
-                        self.predictions_made += 1;
-                    }
-                    fit
-                }
-            };
-            if let Some(posterior) = posterior {
-                let est = estimate_remaining_time(
-                    &posterior,
-                    ctx.target(),
-                    max_future,
-                    epoch_duration,
-                    budget,
-                );
-                self.assessments.insert(
-                    event.job,
-                    JobAssessment { confidence: est.confidence, ert: est.ert, epoch: event.epoch },
-                );
-                // Step 3: prune jobs unlikely to ever reach the target.
-                if est.confidence < self.config.lower_bound_confidence && evals >= 2 {
-                    self.forget(event.job);
-                    return JobDecision::Terminate;
-                }
+        // Step 2: probabilistic assessment — one parallel fit batch
+        // refreshing every active job whose curve prefix grew past a
+        // boundary, the reporting job included.
+        self.refresh_assessments(event, b, ctx);
+
+        // Step 3: prune jobs unlikely to ever reach the target.
+        if let Some(a) = self.assessments.get(&event.job) {
+            if a.epoch == event.epoch
+                && a.confidence < self.config.lower_bound_confidence
+                && evals >= 2
+            {
+                self.forget(event.job);
+                return JobDecision::Terminate;
             }
         }
 
@@ -567,5 +649,49 @@ mod tests {
     #[should_panic(expected = "k must be positive")]
     fn zero_k_rejected() {
         let _ = PopPolicy::with_config(PopConfig { k: 0, ..Default::default() });
+    }
+
+    #[test]
+    fn fit_cost_prices_evals_and_clamps_observations() {
+        let model = FitCostModel { secs_per_kiloeval: 2.0, modeled_workers: 1 };
+        let config = PredictorConfig::test();
+        let base = model.fit_secs(&config, 1);
+        assert!(base > 0.0);
+        // Cost grows with observations up to the predictor's max_obs cap.
+        assert!(model.fit_secs(&config, 5) > base);
+        assert_eq!(
+            model.fit_secs(&config, config.max_obs),
+            model.fit_secs(&config, config.max_obs + 50),
+            "observations beyond max_obs are subsampled, not paid for"
+        );
+    }
+
+    #[test]
+    fn makespan_overlaps_fits_across_modeled_workers() {
+        let costs = [3.0, 3.0, 3.0, 3.0];
+        let serial = FitCostModel { secs_per_kiloeval: 1.0, modeled_workers: 1 };
+        let quad = FitCostModel { secs_per_kiloeval: 1.0, modeled_workers: 4 };
+        assert_eq!(serial.makespan_secs(&costs), 12.0, "one worker pays the sum");
+        assert_eq!(quad.makespan_secs(&costs), 3.0, "four workers fully overlap");
+        // Uneven batch: greedy least-loaded puts {5} alone and {3, 2} together.
+        let uneven = FitCostModel { secs_per_kiloeval: 1.0, modeled_workers: 2 };
+        assert_eq!(uneven.makespan_secs(&[5.0, 3.0, 2.0]), 5.0);
+        assert_eq!(serial.makespan_secs(&[]), 0.0, "all-cached batches are free");
+    }
+
+    #[test]
+    fn overhead_is_drained_not_accumulated() {
+        let mut ctx = MockContext::new(4);
+        ctx.push_curve(JobId::new(0), &saturating(0.85, 30), 60.0);
+        ctx.active = vec![JobId::new(0)];
+        let mut policy = PopPolicy::with_config(PopConfig {
+            predictor: PredictorConfig::test(),
+            fit_cost: Some(FitCostModel { secs_per_kiloeval: 1.0, modeled_workers: 1 }),
+            ..Default::default()
+        });
+        policy.on_iteration_finish(&event(0, 30, 0.8), &mut ctx);
+        let first = policy.take_decision_overhead();
+        assert!(first > SimTime::ZERO, "fresh fit was priced");
+        assert_eq!(policy.take_decision_overhead(), SimTime::ZERO, "drain resets the meter");
     }
 }

@@ -16,6 +16,9 @@
 //! * [`predictor`] — the public API: [`CurvePredictor`] fits a
 //!   [`CurvePosterior`] that answers `P(y(m) ≥ y | y(1:n))`, expected
 //!   performance, and prediction spread.
+//! * [`service`] — [`FitService`], the deterministic parallel fitting
+//!   pool with per-`(config, epochs)` memoization (§5.2's systems
+//!   optimizations as a reusable component).
 //!
 //! # Example
 //!
@@ -50,4 +53,7 @@ pub mod service;
 
 pub use models::{ModelFamily, ALL_FAMILIES};
 pub use predictor::{CurvePosterior, CurvePredictor, PredictorConfig};
-pub use service::PredictionService;
+pub use service::{
+    derive_fit_seed, resolve_fit_threads, sequential_fit, FitOutcome, FitRequest, FitService,
+    FitStats,
+};

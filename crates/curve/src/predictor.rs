@@ -240,6 +240,13 @@ impl CurvePosterior {
         self.draws.len()
     }
 
+    /// The retained posterior parameter draws. Exposed so equivalence
+    /// tests can assert *byte*-identity between fitting paths, not just
+    /// agreement of summary statistics.
+    pub fn draws(&self) -> &[Vec<f64>] {
+        &self.draws
+    }
+
     /// The last observed epoch the posterior conditions on.
     pub fn last_epoch(&self) -> u32 {
         self.last_epoch

@@ -1,18 +1,35 @@
-//! Asynchronous, cached curve prediction — the §5.2 optimizations as a
-//! reusable component.
+//! The deterministic parallel curve-fitting service.
 //!
 //! §5.2 describes two systems tricks around the expensive MCMC fit:
 //! *distributed curve prediction* ("we push the learning curve prediction
 //! to the Node Agents" with per-job history tracking) and *overlapping
-//! training and prediction* ("as soon as the Node Agent detects that
-//! prediction should be started it does so in parallel to training").
+//! training and prediction*. [`FitService`] provides both in-process: a
+//! fixed-size pool of worker threads fed over a crossbeam channel fits all
+//! pending configurations' ensembles concurrently, and completed posteriors
+//! are memoized per `(config, epochs observed)` so an unchanged curve is
+//! never re-fit.
 //!
-//! [`PredictionService`] provides both behaviours in-process: fits are
-//! submitted to a worker pool keyed by `(job, epoch)`, run concurrently
-//! with whatever the caller does next, and results are cached so repeated
-//! queries are free. A schedule-as-it-goes policy can submit a fit when a
-//! job passes its boundary and harvest the posterior at the *next*
-//! boundary, never blocking.
+//! # Determinism
+//!
+//! Every fit's RNG seed is derived from
+//! `(experiment seed, config id, last observed epoch)` by
+//! [`derive_fit_seed`] — never from worker identity, completion order, or
+//! wall-clock time. A batch therefore returns **byte-identical** posteriors
+//! whatever the worker count: `FitService::new(cfg, seed, 1)` and
+//! `FitService::new(cfg, seed, 8)` are observationally the same service,
+//! only faster. [`sequential_fit`] is the single-threaded reference
+//! definition each pooled fit must reproduce bit-for-bit; the crate's
+//! property tests pin the equivalence.
+//!
+//! # Cache keying
+//!
+//! Results are keyed by `(job, last observed epoch)` only — not by the
+//! extrapolation horizon. The scheduler derives the horizon from the
+//! remaining time budget at the moment a curve prefix *first* needs a fit,
+//! and reuses that posterior for as long as the prefix is unchanged, so one
+//! `(config, epochs)` pair maps to exactly one fit per experiment. Callers
+//! that want a different horizon for the same prefix must
+//! [`forget`](FitService::forget) the job first.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -20,7 +37,7 @@ use std::sync::Arc;
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
-use hyperdrive_types::{JobId, LearningCurve, Result};
+use hyperdrive_types::{Error, JobId, LearningCurve, Result};
 
 use crate::predictor::{CurvePosterior, CurvePredictor, PredictorConfig};
 
@@ -28,122 +45,238 @@ use crate::predictor::{CurvePosterior, CurvePredictor, PredictorConfig};
 /// conditions on.
 pub type FitKey = (JobId, u32);
 
+/// Derives the RNG seed for one fit from the experiment seed, the
+/// configuration (job) id, and the last observed epoch.
+///
+/// This is the single seed-splitting authority for the whole repo: both the
+/// pooled and the sequential fitting paths call it, which is what makes the
+/// parallel service byte-identical to serial fitting. The mixing is
+/// splitmix64-style so structurally close inputs (`job` vs `job + 1`,
+/// `epoch` vs `epoch + 1`) land on statistically unrelated streams.
+#[must_use]
+pub fn derive_fit_seed(experiment_seed: u64, config: u64, epoch: u32) -> u64 {
+    let mut z = experiment_seed
+        .wrapping_add(config.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(u64::from(epoch).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Resolves the worker-thread count: an explicit non-zero request wins,
+/// otherwise `HYPERDRIVE_FIT_THREADS`, otherwise one thread per core.
+#[must_use]
+pub fn resolve_fit_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Some(n) = std::env::var("HYPERDRIVE_FIT_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|n| *n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(2)
+}
+
+/// One curve-fitting request: fit `curve` for configuration `job`,
+/// extrapolating to `horizon`.
+#[derive(Debug, Clone)]
+pub struct FitRequest {
+    /// The configuration whose curve this is.
+    pub job: JobId,
+    /// The observed curve prefix to condition on.
+    pub curve: LearningCurve,
+    /// Extrapolation horizon (must exceed the last observed epoch).
+    pub horizon: u32,
+}
+
+/// The outcome of one request within a batch.
+#[derive(Debug, Clone)]
+pub struct FitOutcome {
+    /// The fitted posterior (or the deterministic fit error).
+    pub result: Result<CurvePosterior>,
+    /// True if the result came from the fit cache rather than a fresh fit.
+    pub cached: bool,
+}
+
+/// Cumulative service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FitStats {
+    /// Requests answered from the `(config, epochs)` cache.
+    pub cache_hits: u64,
+    /// Fresh ensemble fits executed by the pool.
+    pub fits: u64,
+    /// `fit_batch` calls served.
+    pub batches: u64,
+}
+
+impl FitStats {
+    /// Fraction of requests answered from the cache (0 when idle).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.fits;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
 enum WorkerMsg {
-    Fit { key: FitKey, curve: LearningCurve, horizon: u32, seed: u64 },
+    Fit {
+        key: FitKey,
+        curve: LearningCurve,
+        horizon: u32,
+        seed: u64,
+        reply: Sender<(FitKey, Result<CurvePosterior>)>,
+    },
     Shutdown,
 }
 
 struct Shared {
-    done: Mutex<HashMap<FitKey, Result<CurvePosterior>>>,
-    in_flight: Mutex<HashMap<FitKey, ()>>,
+    cache: Mutex<HashMap<FitKey, Result<CurvePosterior>>>,
+    stats: Mutex<FitStats>,
 }
 
-/// A worker pool computing curve posteriors off the caller's thread.
-pub struct PredictionService {
-    // (workers and channels are deliberately opaque in Debug output)
+/// A fixed-size worker pool fitting curve ensembles concurrently and
+/// deterministically (see the module docs).
+pub struct FitService {
     config: PredictorConfig,
+    experiment_seed: u64,
     shared: Arc<Shared>,
     tx: Sender<WorkerMsg>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
-impl std::fmt::Debug for PredictionService {
+impl std::fmt::Debug for FitService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PredictionService")
-            .field("workers", &self.workers.len())
-            .field("completed", &self.completed())
+        f.debug_struct("FitService")
+            .field("threads", &self.workers.len())
+            .field("cached", &self.cache_len())
+            .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
 }
 
-impl PredictionService {
-    /// Starts a service with `workers` threads using `config` fidelity.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `workers` is zero.
-    pub fn new(config: PredictorConfig, workers: usize) -> Self {
-        assert!(workers > 0, "need at least one prediction worker");
+impl FitService {
+    /// Starts a service with `threads` workers (`0` = environment /
+    /// hardware default, see [`resolve_fit_threads`]) using `config`
+    /// fidelity. `experiment_seed` is the root of every per-fit seed.
+    pub fn new(config: PredictorConfig, experiment_seed: u64, threads: usize) -> Self {
+        let threads = resolve_fit_threads(threads);
         let shared = Arc::new(Shared {
-            done: Mutex::new(HashMap::new()),
-            in_flight: Mutex::new(HashMap::new()),
+            cache: Mutex::new(HashMap::new()),
+            stats: Mutex::new(FitStats::default()),
         });
         let (tx, rx): (Sender<WorkerMsg>, Receiver<WorkerMsg>) = unbounded();
-        let workers = (0..workers)
+        let workers = (0..threads)
             .map(|_| {
                 let rx = rx.clone();
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(rx, shared, config))
+                std::thread::spawn(move || worker_loop(&rx, config))
             })
             .collect();
-        PredictionService { config, shared, tx, workers }
+        FitService { config, experiment_seed, shared, tx, workers }
     }
 
-    /// Submits a fit for `(job, last epoch)` unless one is already cached
-    /// or in flight. Returns `true` if a new fit was enqueued.
-    pub fn submit(&self, job: JobId, curve: &LearningCurve, horizon: u32) -> bool {
-        let Some(last_epoch) = curve.last_epoch() else {
-            return false;
-        };
-        let key = (job, last_epoch);
-        if self.shared.done.lock().contains_key(&key) {
-            return false;
+    /// Number of worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The predictor fidelity the pool fits with.
+    pub fn config(&self) -> &PredictorConfig {
+        &self.config
+    }
+
+    /// Fits every request in `requests`, returning outcomes in request
+    /// order. Cached prefixes are answered without refitting; the rest run
+    /// concurrently on the pool, and the call blocks until all complete.
+    ///
+    /// Duplicate `(job, last epoch)` keys within one batch are fitted once
+    /// and share the result.
+    pub fn fit_batch(&self, requests: &[FitRequest]) -> Vec<FitOutcome> {
+        let mut out: Vec<Option<FitOutcome>> = vec![None; requests.len()];
+        // Indices waiting on each in-flight key, in submission order.
+        let mut waiting: HashMap<FitKey, Vec<usize>> = HashMap::new();
+        let (reply_tx, reply_rx) = unbounded();
+        let mut enqueued = 0usize;
+        let mut hits = 0u64;
+
+        for (i, req) in requests.iter().enumerate() {
+            let Some(last_epoch) = req.curve.last_epoch() else {
+                out[i] = Some(FitOutcome {
+                    result: Err(Error::CurveFit("cannot fit an empty curve".into())),
+                    cached: false,
+                });
+                continue;
+            };
+            let key = (req.job, last_epoch);
+            if let Some(hit) = self.shared.cache.lock().get(&key) {
+                hits += 1;
+                out[i] = Some(FitOutcome { result: hit.clone(), cached: true });
+                continue;
+            }
+            match waiting.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(i),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(vec![i]);
+                    let seed = derive_fit_seed(self.experiment_seed, req.job.raw(), last_epoch);
+                    self.tx
+                        .send(WorkerMsg::Fit {
+                            key,
+                            curve: req.curve.clone(),
+                            horizon: req.horizon,
+                            seed,
+                            reply: reply_tx.clone(),
+                        })
+                        .expect("workers alive");
+                    enqueued += 1;
+                }
+            }
         }
+
+        for _ in 0..enqueued {
+            let (key, result) = reply_rx.recv().expect("workers alive");
+            self.shared.cache.lock().insert(key, result.clone());
+            for &i in &waiting[&key] {
+                out[i] = Some(FitOutcome { result: result.clone(), cached: false });
+            }
+        }
+
         {
-            let mut in_flight = self.shared.in_flight.lock();
-            if in_flight.contains_key(&key) {
-                return false;
-            }
-            in_flight.insert(key, ());
+            let mut stats = self.shared.stats.lock();
+            stats.cache_hits += hits;
+            stats.fits += enqueued as u64;
+            stats.batches += 1;
         }
-        // Per-(job, epoch) deterministic seed, as POP computes it.
-        let seed = self
-            .config
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(job.raw() << 24)
-            .wrapping_add(u64::from(last_epoch));
-        self.tx
-            .send(WorkerMsg::Fit { key, curve: curve.clone(), horizon, seed })
-            .expect("workers alive");
-        true
+        out.into_iter().map(|o| o.expect("every request answered")).collect()
     }
 
-    /// Returns the cached posterior for `(job, epoch)` if the fit has
-    /// completed. Non-blocking.
-    pub fn poll(&self, job: JobId, epoch: u32) -> Option<Result<CurvePosterior>> {
-        self.shared.done.lock().get(&(job, epoch)).cloned()
+    /// The cached posterior for `(job, epoch)`, if one exists.
+    pub fn cached(&self, job: JobId, epoch: u32) -> Option<Result<CurvePosterior>> {
+        self.shared.cache.lock().get(&(job, epoch)).cloned()
     }
 
-    /// The most recent completed posterior for `job` at or before `epoch`.
-    pub fn latest(&self, job: JobId, epoch: u32) -> Option<(u32, Result<CurvePosterior>)> {
-        let done = self.shared.done.lock();
-        (0..=epoch).rev().find_map(|e| done.get(&(job, e)).map(|r| (e, r.clone())))
+    /// Number of memoized fits.
+    pub fn cache_len(&self) -> usize {
+        self.shared.cache.lock().len()
     }
 
-    /// Blocks until the fit for `(job, epoch)` completes (spin-waits on
-    /// the cache; intended for tests and synchronous callers).
-    pub fn wait(&self, job: JobId, epoch: u32) -> Result<CurvePosterior> {
-        loop {
-            if let Some(result) = self.poll(job, epoch) {
-                return result;
-            }
-            std::thread::yield_now();
-        }
-    }
-
-    /// Number of completed fits currently cached.
-    pub fn completed(&self) -> usize {
-        self.shared.done.lock().len()
+    /// Cumulative hit/fit counters.
+    pub fn stats(&self) -> FitStats {
+        *self.shared.stats.lock()
     }
 
     /// Drops cached results for a job (e.g. after termination).
     pub fn forget(&self, job: JobId) {
-        self.shared.done.lock().retain(|(j, _), _| *j != job);
+        self.shared.cache.lock().retain(|(j, _), _| *j != job);
     }
 }
 
-impl Drop for PredictionService {
+impl Drop for FitService {
     fn drop(&mut self) {
         for _ in &self.workers {
             let _ = self.tx.send(WorkerMsg::Shutdown);
@@ -154,18 +287,39 @@ impl Drop for PredictionService {
     }
 }
 
-fn worker_loop(rx: Receiver<WorkerMsg>, shared: Arc<Shared>, config: PredictorConfig) {
+fn worker_loop(rx: &Receiver<WorkerMsg>, config: PredictorConfig) {
     while let Ok(msg) = rx.recv() {
         match msg {
-            WorkerMsg::Fit { key, curve, horizon, seed } => {
+            WorkerMsg::Fit { key, curve, horizon, seed, reply } => {
                 let predictor = CurvePredictor::new(config.with_seed(seed));
                 let result = predictor.fit(&curve, horizon);
-                shared.done.lock().insert(key, result);
-                shared.in_flight.lock().remove(&key);
+                // The batch owner may have given up (dropped receiver) if a
+                // sibling fit panicked; nothing useful to do then.
+                let _ = reply.send((key, result));
             }
             WorkerMsg::Shutdown => return,
         }
     }
+}
+
+/// The single-threaded reference definition of one fit: what any
+/// [`FitService`] worker must reproduce bit-for-bit for the same request.
+///
+/// # Errors
+///
+/// Propagates [`Error::CurveFit`] for empty/short curves and non-future
+/// horizons, exactly as the pooled path does.
+pub fn sequential_fit(
+    config: PredictorConfig,
+    experiment_seed: u64,
+    req: &FitRequest,
+) -> Result<CurvePosterior> {
+    let last_epoch = req
+        .curve
+        .last_epoch()
+        .ok_or_else(|| Error::CurveFit("cannot fit an empty curve".into()))?;
+    let seed = derive_fit_seed(experiment_seed, req.job.raw(), last_epoch);
+    CurvePredictor::new(config.with_seed(seed)).fit(&req.curve, req.horizon)
 }
 
 #[cfg(test)]
@@ -182,93 +336,119 @@ mod tests {
         c
     }
 
-    #[test]
-    fn fits_complete_asynchronously() {
-        let service = PredictionService::new(PredictorConfig::test(), 2);
-        let job = JobId::new(1);
-        assert!(service.submit(job, &curve(10), 100));
-        let posterior = service.wait(job, 10).expect("fit succeeds");
-        assert!(posterior.prob_at_least(100, 0.5) > 0.0);
-        assert_eq!(service.completed(), 1);
+    fn req(job: u64, n: u32) -> FitRequest {
+        FitRequest { job: JobId::new(job), curve: curve(n), horizon: 100 }
     }
 
     #[test]
-    fn duplicate_submissions_are_deduplicated() {
-        let service = PredictionService::new(PredictorConfig::test(), 2);
-        let job = JobId::new(2);
-        let c = curve(10);
-        assert!(service.submit(job, &c, 100));
-        // In-flight or cached: either way, no second fit is enqueued.
-        let resubmitted = service.submit(job, &c, 100);
-        let _ = service.wait(job, 10);
-        assert!(!service.submit(job, &c, 100), "cached result blocks resubmission");
-        let _ = resubmitted; // may race the first fit; both answers legal
-        assert_eq!(service.completed(), 1);
-    }
-
-    #[test]
-    fn latest_returns_most_recent_epoch() {
-        let service = PredictionService::new(PredictorConfig::test(), 2);
-        let job = JobId::new(3);
-        service.submit(job, &curve(8), 100);
-        service.submit(job, &curve(12), 100);
-        let _ = service.wait(job, 8);
-        let _ = service.wait(job, 12);
-        let (epoch, result) = service.latest(job, 20).expect("fits exist");
-        assert_eq!(epoch, 12);
-        assert!(result.is_ok());
-        let (epoch, _) = service.latest(job, 10).expect("older fit exists");
-        assert_eq!(epoch, 8);
-        assert!(service.latest(JobId::new(99), 100).is_none());
-    }
-
-    #[test]
-    fn results_match_synchronous_fits() {
-        // Determinism: the async service must produce exactly what a
-        // synchronous predictor with the same derived seed produces.
+    fn batch_results_match_sequential_reference_bitwise() {
         let config = PredictorConfig::test();
-        let service = PredictionService::new(config, 1);
-        let job = JobId::new(4);
-        let c = curve(10);
-        service.submit(job, &c, 100);
-        let async_posterior = service.wait(job, 10).unwrap();
-
-        let seed = config
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(job.raw() << 24)
-            .wrapping_add(10);
-        let sync_posterior = CurvePredictor::new(config.with_seed(seed)).fit(&c, 100).unwrap();
-        assert_eq!(async_posterior.expected(100).to_bits(), sync_posterior.expected(100).to_bits());
-    }
-
-    #[test]
-    fn forget_clears_job_cache() {
-        let service = PredictionService::new(PredictorConfig::test(), 1);
-        let job = JobId::new(5);
-        service.submit(job, &curve(8), 100);
-        let _ = service.wait(job, 8);
-        service.forget(job);
-        assert_eq!(service.completed(), 0);
-        assert!(service.poll(job, 8).is_none());
-    }
-
-    #[test]
-    fn parallel_fits_across_jobs() {
-        let service = PredictionService::new(PredictorConfig::test(), 4);
-        for j in 0..8u64 {
-            service.submit(JobId::new(j), &curve(10), 100);
+        for threads in [1, 4] {
+            let service = FitService::new(config, 7, threads);
+            let requests: Vec<FitRequest> = (0..6).map(|j| req(j, 10 + j as u32)).collect();
+            let outcomes = service.fit_batch(&requests);
+            for (r, o) in requests.iter().zip(&outcomes) {
+                let reference = sequential_fit(config, 7, r).expect("reference fits");
+                let pooled = o.result.as_ref().expect("pooled fit succeeds");
+                assert!(!o.cached);
+                assert_eq!(
+                    pooled.expected(100).to_bits(),
+                    reference.expected(100).to_bits(),
+                    "thread-count-dependent result at {threads} threads"
+                );
+                assert_eq!(pooled.draws(), reference.draws());
+            }
         }
-        for j in 0..8u64 {
-            assert!(service.wait(JobId::new(j), 10).is_ok());
-        }
-        assert_eq!(service.completed(), 8);
     }
 
     #[test]
-    fn empty_curve_is_rejected() {
-        let service = PredictionService::new(PredictorConfig::test(), 1);
-        let empty = LearningCurve::new(MetricKind::Accuracy);
-        assert!(!service.submit(JobId::new(6), &empty, 100));
+    fn cache_answers_repeat_batches_without_refitting() {
+        let service = FitService::new(PredictorConfig::test(), 3, 2);
+        let requests = vec![req(0, 10), req(1, 12)];
+        let cold = service.fit_batch(&requests);
+        let warm = service.fit_batch(&requests);
+        assert!(cold.iter().all(|o| !o.cached));
+        assert!(warm.iter().all(|o| o.cached));
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(
+                c.result.as_ref().unwrap().draws(),
+                w.result.as_ref().unwrap().draws(),
+                "cache must return the identical posterior"
+            );
+        }
+        let stats = service.stats();
+        assert_eq!(stats.fits, 2);
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.batches, 2);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_keys_in_one_batch_fit_once() {
+        let service = FitService::new(PredictorConfig::test(), 11, 3);
+        let requests = vec![req(5, 10), req(5, 10), req(5, 10)];
+        let outcomes = service.fit_batch(&requests);
+        assert_eq!(service.stats().fits, 1, "one fit shared by all duplicates");
+        let first = outcomes[0].result.as_ref().unwrap();
+        for o in &outcomes[1..] {
+            assert_eq!(o.result.as_ref().unwrap().draws(), first.draws());
+        }
+    }
+
+    #[test]
+    fn grown_curve_is_a_cache_miss() {
+        let service = FitService::new(PredictorConfig::test(), 1, 2);
+        service.fit_batch(&[req(0, 10)]);
+        let outcomes = service.fit_batch(&[req(0, 14)]);
+        assert!(!outcomes[0].cached, "new observations demand a new fit");
+        assert_eq!(service.cache_len(), 2, "both prefixes stay memoized");
+    }
+
+    #[test]
+    fn forget_clears_only_that_job() {
+        let service = FitService::new(PredictorConfig::test(), 1, 2);
+        service.fit_batch(&[req(0, 10), req(1, 10)]);
+        service.forget(JobId::new(0));
+        assert!(service.cached(JobId::new(0), 10).is_none());
+        assert!(service.cached(JobId::new(1), 10).is_some());
+    }
+
+    #[test]
+    fn empty_curves_error_without_poisoning_the_batch() {
+        let service = FitService::new(PredictorConfig::test(), 1, 2);
+        let empty = FitRequest {
+            job: JobId::new(9),
+            curve: LearningCurve::new(MetricKind::Accuracy),
+            horizon: 100,
+        };
+        let outcomes = service.fit_batch(&[empty, req(1, 10)]);
+        assert!(outcomes[0].result.is_err());
+        assert!(outcomes[1].result.is_ok());
+    }
+
+    #[test]
+    fn seed_derivation_separates_neighbouring_inputs() {
+        let base = derive_fit_seed(0, 0, 0);
+        assert_ne!(base, derive_fit_seed(1, 0, 0));
+        assert_ne!(base, derive_fit_seed(0, 1, 0));
+        assert_ne!(base, derive_fit_seed(0, 0, 1));
+        assert_ne!(derive_fit_seed(0, 1, 0), derive_fit_seed(0, 0, 1));
+        assert_eq!(derive_fit_seed(42, 3, 20), derive_fit_seed(42, 3, 20));
+    }
+
+    #[test]
+    fn explicit_thread_request_beats_environment() {
+        assert_eq!(resolve_fit_threads(3), 3);
+        assert!(resolve_fit_threads(0) >= 1);
+    }
+
+    #[test]
+    fn large_batches_complete_on_small_pools() {
+        let service = FitService::new(PredictorConfig::test(), 5, 2);
+        let requests: Vec<FitRequest> = (0..16).map(|j| req(j, 10)).collect();
+        let outcomes = service.fit_batch(&requests);
+        assert_eq!(outcomes.len(), 16);
+        assert!(outcomes.iter().all(|o| o.result.is_ok()));
+        assert_eq!(service.stats().fits, 16);
     }
 }

@@ -102,3 +102,95 @@ fn sigma_index_is_consistent() {
     assert_eq!(SIGMA_INDEX, 11);
     assert_eq!(dimension(), 48);
 }
+
+mod service_equivalence {
+    use super::*;
+    use hyperdrive_curve::{sequential_fit, FitRequest, FitService};
+    use hyperdrive_types::JobId;
+
+    fn synthetic_curve(limit: f64, rate: f64, n: u32) -> LearningCurve {
+        let mut c = LearningCurve::new(MetricKind::Accuracy);
+        for e in 1..=n {
+            let x = f64::from(e);
+            c.push(e, SimTime::from_secs(60.0 * x), limit - (limit - 0.05) * x.powf(-rate));
+        }
+        c
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The pooled service is observationally equal to the sequential
+        /// reference: for arbitrary experiment seeds and curve shapes,
+        /// every posterior's draws match bit-for-bit at both 1 and 4
+        /// workers. This is the determinism contract the scheduler's
+        /// byte-identical traces rest on.
+        #[test]
+        fn parallel_service_equals_sequential_reference(
+            seed in 0u64..u64::MAX,
+            shapes in proptest::collection::vec((0.3f64..0.9, 0.3f64..1.2, 6u32..12), 1..5),
+        ) {
+            let config = PredictorConfig::test();
+            let requests: Vec<FitRequest> = shapes
+                .iter()
+                .enumerate()
+                .map(|(j, (limit, rate, n))| FitRequest {
+                    job: JobId::new(j as u64),
+                    curve: synthetic_curve(*limit, *rate, *n),
+                    horizon: 60,
+                })
+                .collect();
+            for threads in [1usize, 4] {
+                let service = FitService::new(config, seed, threads);
+                let outcomes = service.fit_batch(&requests);
+                for (r, o) in requests.iter().zip(&outcomes) {
+                    prop_assert!(!o.cached, "fresh service must cold-fit");
+                    let reference = sequential_fit(config, seed, r);
+                    match (&o.result, &reference) {
+                        (Ok(pooled), Ok(seq)) => {
+                            prop_assert_eq!(pooled.draws(), seq.draws());
+                            prop_assert_eq!(
+                                pooled.expected(60).to_bits(),
+                                seq.expected(60).to_bits()
+                            );
+                        }
+                        (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+                        (a, b) => prop_assert!(
+                            false,
+                            "pooled ok={} but sequential ok={}",
+                            a.is_ok(),
+                            b.is_ok()
+                        ),
+                    }
+                }
+            }
+        }
+
+        /// A cache hit is indistinguishable from the cold fit it memoized:
+        /// identical draws, identical derived statistics.
+        #[test]
+        fn cache_hit_equals_cold_fit(
+            seed in 0u64..u64::MAX,
+            limit in 0.3f64..0.9,
+            rate in 0.3f64..1.2,
+            n in 6u32..12,
+        ) {
+            let config = PredictorConfig::test();
+            let request = FitRequest {
+                job: JobId::new(0),
+                curve: synthetic_curve(limit, rate, n),
+                horizon: 60,
+            };
+            let service = FitService::new(config, seed, 2);
+            let cold = service.fit_batch(std::slice::from_ref(&request));
+            let warm = service.fit_batch(std::slice::from_ref(&request));
+            prop_assert!(!cold[0].cached);
+            prop_assert!(warm[0].cached);
+            let c = cold[0].result.as_ref().expect("cold fit succeeds");
+            let w = warm[0].result.as_ref().expect("warm fit succeeds");
+            prop_assert_eq!(c.draws(), w.draws());
+            prop_assert_eq!(c.expected(60).to_bits(), w.expected(60).to_bits());
+            prop_assert_eq!(c.prob_at_least(60, 0.5).to_bits(), w.prob_at_least(60, 0.5).to_bits());
+        }
+    }
+}

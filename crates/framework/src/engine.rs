@@ -604,9 +604,15 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
             self.core.rm.release_machine(machine).expect("held machine releases");
             self.core.log.record(SchedulerEvent::Completed { job, machine, time: now });
         } else {
-            match self.policy.on_iteration_finish(&event, &mut self.core) {
+            let decision = self.policy.on_iteration_finish(&event, &mut self.core);
+            // Modeled prediction cost of the decision (zero for policies
+            // without a fit-cost model): the machine sits occupied while
+            // the scheduler thinks, so the overhead delays whatever the
+            // decision issues next.
+            let overhead = self.policy.take_decision_overhead();
+            match decision {
                 JobDecision::Continue => {
-                    self.core.issue_epoch(job, machine, SimTime::ZERO);
+                    self.core.issue_epoch(job, machine, overhead);
                 }
                 JobDecision::Suspend => {
                     // Injected suspend failure: the snapshot capture dies
@@ -619,7 +625,9 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
                         self.core.interrupt(job, machine, true);
                     } else {
                         self.core.jm.begin_suspend(job).expect("running job suspends");
-                        let cost = self.core.workload.suspend.sample_suspend(&mut self.core.rng);
+                        let mut cost =
+                            self.core.workload.suspend.sample_suspend(&mut self.core.rng);
+                        cost.latency += overhead;
                         self.core.charge(job, cost.latency);
                         self.core.db.record_suspend(SuspendEvent { job, requested_at: now, cost });
                         // Serialize the job's real training state (§5.1),

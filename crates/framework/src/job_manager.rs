@@ -166,25 +166,35 @@ impl JobManager {
         idle.into_iter().map(|(id, _)| *id).collect()
     }
 
-    /// All running jobs (unsorted).
+    /// All running jobs, sorted by job id. The fixed order matters:
+    /// policies iterate these lists when building batch fit requests, and
+    /// hash-map iteration order would leak into scheduling decisions.
     pub fn running_jobs(&self) -> Vec<JobId> {
-        self.jobs
+        let mut jobs: Vec<JobId> = self
+            .jobs
             .iter()
             .filter(|(_, e)| matches!(e.state, JobState::Running(_)))
             .map(|(id, _)| *id)
-            .collect()
+            .collect();
+        jobs.sort_unstable();
+        jobs
     }
 
-    /// All active jobs: running, suspending, or idle-but-not-finished.
-    /// (The paper's "non-terminated" set used for the tail distribution.)
+    /// All active jobs — running, suspending, or idle-but-not-finished —
+    /// sorted by job id (see [`running_jobs`](Self::running_jobs) for why
+    /// the order is fixed). The paper's "non-terminated" set used for the
+    /// tail distribution.
     pub fn active_jobs(&self) -> Vec<JobId> {
-        self.jobs
+        let mut jobs: Vec<JobId> = self
+            .jobs
             .iter()
             .filter(|(_, e)| {
                 matches!(e.state, JobState::Running(_) | JobState::Suspending(_) | JobState::Idle)
             })
             .map(|(id, _)| *id)
-            .collect()
+            .collect();
+        jobs.sort_unstable();
+        jobs
     }
 
     /// Starts (or resumes) an idle job on a machine. Returns `true` if this

@@ -86,6 +86,17 @@ pub trait SchedulerContext {
     /// report).
     fn curve(&self, job: JobId) -> Option<LearningCurve>;
 
+    /// The observed curves of all active jobs in one batch, **sorted by
+    /// job id**. Batch-fitting policies iterate this instead of issuing
+    /// per-job [`curve`](Self::curve) calls; the fixed ordering is part of
+    /// the determinism contract (request order must not depend on hash-map
+    /// iteration or executor timing).
+    fn active_curves(&self) -> Vec<(JobId, LearningCurve)> {
+        let mut jobs = self.active_jobs();
+        jobs.sort_unstable();
+        jobs.into_iter().filter_map(|j| self.curve(j).map(|c| (j, c))).collect()
+    }
+
     /// The observed secondary-metric history of a job (§9's additional
     /// metrics, e.g. sparsity). `None` for workloads without a secondary
     /// metric. The default returns `None`, so single-metric contexts need
@@ -141,6 +152,20 @@ pub trait SchedulingPolicy: Send {
     ) -> JobDecision {
         let _ = (event, ctx);
         JobDecision::Continue
+    }
+
+    /// Drains the *modeled* computation cost of the decisions made since
+    /// the last drain. The engine calls this after each
+    /// [`on_iteration_finish`](Self::on_iteration_finish) and charges the
+    /// returned time to the decided job (delaying its next epoch or its
+    /// suspend), so prediction overhead shows up on the virtual clock.
+    ///
+    /// Implementations must return a *modeled* cost — a deterministic
+    /// function of scheduler state, never a wall-clock measurement — or
+    /// virtual timelines stop being reproducible. The default reports
+    /// zero (decisions are free).
+    fn take_decision_overhead(&mut self) -> SimTime {
+        SimTime::ZERO
     }
 }
 

@@ -175,12 +175,21 @@ mod tests {
         let spec = ExperimentSpec::new(2).with_stop_on_target(false);
         let mut p_sim = DefaultPolicy::new();
         let sim = run_sim(&mut p_sim, &ew, spec);
-        let mut p_live = DefaultPolicy::new();
         // 10000x (6ms epochs, not 1ms) keeps sleep overshoot small
-        // relative to epoch length even on a loaded test machine.
-        let live = hyperdrive_framework::run_live(&mut p_live, &ew, spec, 10_000.0);
-        assert_eq!(sim.total_epochs, live.total_epochs);
-        let err = (sim.end_time.as_secs() - live.end_time.as_secs()).abs() / sim.end_time.as_secs();
-        assert!(err < 0.25, "sim {} vs live {} ({err})", sim.end_time, live.end_time);
+        // relative to epoch length even on a loaded test machine. A burst
+        // of host load (e.g. the rest of the workspace's test binaries)
+        // can still push overshoot past the bound, so retry once before
+        // declaring divergence: a real sim/live mismatch fails both times.
+        let mut err = f64::INFINITY;
+        for _attempt in 0..2 {
+            let mut p_live = DefaultPolicy::new();
+            let live = hyperdrive_framework::run_live(&mut p_live, &ew, spec, 10_000.0);
+            assert_eq!(sim.total_epochs, live.total_epochs);
+            err = (sim.end_time.as_secs() - live.end_time.as_secs()).abs() / sim.end_time.as_secs();
+            if err < 0.25 {
+                return;
+            }
+        }
+        panic!("sim/live end times diverged twice (relative error {err})");
     }
 }

@@ -67,6 +67,27 @@ impl<S: Strategy> Strategy for Vec<S> {
     }
 }
 
+/// Tuples of strategies are strategies producing tuples, element-wise in
+/// order (mirrors upstream's tuple `Strategy` impls).
+macro_rules! tuple_strategies {
+    ($(($($S:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategies!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+);
+
 macro_rules! range_strategies {
     ($($t:ty),* $(,)?) => {$(
         impl Strategy for std::ops::Range<$t> {

@@ -1,0 +1,118 @@
+//! Golden-trace regression tests for POP scheduling decisions.
+//!
+//! Two canonical experiments — a CIFAR accuracy surface and a Lunar Lander
+//! reward surface — run under POP in the simulator, and their complete
+//! scheduling traces (every start/resume, suspend, kill, completion, plus
+//! the per-boundary classification snapshots) are compared **byte for
+//! byte** against committed golden files, at both 1 and 4 fit-service
+//! worker threads.
+//!
+//! These traces lock in the whole deterministic stack at once: curve-fit
+//! seed derivation, fit caching, batch request ordering, slot allocation,
+//! and engine event ordering. Any change that moves a single decision or
+//! reorders a single event shows up as a diff here.
+//!
+//! To regenerate after an *intentional* behaviour change:
+//!
+//! ```text
+//! HYPERDRIVE_UPDATE_GOLDEN=1 cargo test --test golden_traces
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use hyperdrive_core::{PopConfig, PopPolicy};
+use hyperdrive_curve::PredictorConfig;
+use hyperdrive_framework::{ExperimentSpec, ExperimentWorkload};
+use hyperdrive_sim::run_sim;
+use hyperdrive_types::SimTime;
+use hyperdrive_workload::{CifarWorkload, LunarWorkload, Workload};
+
+/// Runs one canonical experiment and renders its full decision trace.
+fn trace(
+    workload: &dyn Workload,
+    configs: usize,
+    seed: u64,
+    machines: usize,
+    tmax: SimTime,
+    fit_threads: usize,
+) -> String {
+    let ew = ExperimentWorkload::from_workload(workload, configs, seed);
+    let spec = ExperimentSpec::new(machines).with_stop_on_target(false).with_tmax(tmax);
+    let mut pop = PopPolicy::with_config(PopConfig {
+        predictor: PredictorConfig::test(),
+        fit_threads,
+        seed,
+        ..Default::default()
+    });
+    let result = run_sim(&mut pop, &ew, spec);
+
+    let mut csv = Vec::new();
+    result.events.write_csv(&mut csv).expect("event log serializes");
+    let mut out = String::from_utf8(csv).expect("csv is utf-8");
+    out.push_str("decision,now_s,active,promising,running,promising_running,p_star,slots\n");
+    for s in pop.timeline() {
+        writeln!(
+            out,
+            "decision,{:.3},{},{},{},{},{:.6},{}",
+            s.now.as_secs(),
+            s.active_jobs,
+            s.promising_jobs,
+            s.running_jobs,
+            s.promising_running,
+            s.p_threshold,
+            s.promising_slots,
+        )
+        .expect("string write");
+    }
+    writeln!(
+        out,
+        "end,{:.3},total_epochs={},terminated_early={}",
+        result.end_time.as_secs(),
+        result.total_epochs,
+        result.terminated_early(),
+    )
+    .expect("string write");
+    out
+}
+
+/// Asserts thread-count invariance, then compares against the committed
+/// golden file (or rewrites it under `HYPERDRIVE_UPDATE_GOLDEN=1`).
+fn check_golden(name: &str, build: impl Fn(usize) -> String) {
+    let single = build(1);
+    let quad = build(4);
+    assert_eq!(single, quad, "{name}: fit-pool width leaked into the scheduling trace");
+
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name].iter().collect();
+    if std::env::var("HYPERDRIVE_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&path, &single).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {path:?} ({e}); generate it with \
+             HYPERDRIVE_UPDATE_GOLDEN=1 cargo test --test golden_traces"
+        )
+    });
+    assert_eq!(
+        single, expected,
+        "{name}: trace diverged from the committed golden; if the behaviour \
+         change is intentional, regenerate with HYPERDRIVE_UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn cifar_surface_trace_is_golden() {
+    let workload = CifarWorkload::new().with_max_epochs(40);
+    check_golden("cifar_trace.csv", |threads| {
+        trace(&workload, 12, 7, 4, SimTime::from_hours(48.0), threads)
+    });
+}
+
+#[test]
+fn lunar_surface_trace_is_golden() {
+    let workload = LunarWorkload::new().with_max_blocks(60);
+    check_golden("lunar_trace.csv", |threads| {
+        trace(&workload, 10, 11, 3, SimTime::from_hours(200.0), threads)
+    });
+}
