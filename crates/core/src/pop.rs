@@ -70,6 +70,15 @@ impl FitCostModel {
         evals as f64 / 1000.0 * self.secs_per_kiloeval
     }
 
+    /// Modeled cost (seconds) of one **warm-started** fit: same
+    /// per-kiloeval price, but the sampler runs the shorter `warm_steps`
+    /// schedule, so warm refits are proportionally cheaper.
+    #[must_use]
+    pub fn warm_fit_secs(&self, config: &PredictorConfig, n_obs: usize) -> f64 {
+        let evals = config.walkers * config.warm_steps * n_obs.clamp(1, config.max_obs);
+        evals as f64 / 1000.0 * self.secs_per_kiloeval
+    }
+
     /// Makespan of scheduling `costs` (in request order) onto the modeled
     /// workers: each fit goes to the least-loaded worker, and the batch
     /// takes as long as the busiest worker. With one modeled worker this
@@ -301,7 +310,14 @@ impl PopPolicy {
                 .iter()
                 .zip(&outcomes)
                 .filter(|(_, o)| !o.cached)
-                .map(|(r, _)| model.fit_secs(&self.config.predictor, r.curve.len()))
+                .map(|(r, o)| {
+                    let warm = o.result.as_ref().map(|p| p.warm_started()).unwrap_or(false);
+                    if warm {
+                        model.warm_fit_secs(&self.config.predictor, r.curve.len())
+                    } else {
+                        model.fit_secs(&self.config.predictor, r.curve.len())
+                    }
+                })
                 .collect();
             self.pending_overhead += SimTime::from_secs(model.makespan_secs(&costs));
         }
@@ -390,6 +406,7 @@ impl SchedulingPolicy for PopPolicy {
 
         // Step 4: dynamic classification across all active jobs.
         let active = ctx.active_jobs();
+        let n_active = active.len();
         let confidences: Vec<f64> =
             active.iter().map(|j| self.assessments.get(j).map_or(0.0, |a| a.confidence)).collect();
         let alloc = allocate_slots(&confidences, ctx.total_slots(), self.config.k);
@@ -423,7 +440,7 @@ impl SchedulingPolicy for PopPolicy {
         let promising_running = running.iter().filter(|j| promising.contains(j)).count();
         self.timeline.push(AllocationSnapshot {
             now: event.now,
-            active_jobs: active.len(),
+            active_jobs: n_active,
             promising_jobs: promising.len(),
             running_jobs: running.len(),
             promising_running,
@@ -663,6 +680,20 @@ mod tests {
             model.fit_secs(&config, config.max_obs),
             model.fit_secs(&config, config.max_obs + 50),
             "observations beyond max_obs are subsampled, not paid for"
+        );
+    }
+
+    #[test]
+    fn warm_fits_are_priced_by_their_shorter_schedule() {
+        let model = FitCostModel { secs_per_kiloeval: 2.0, modeled_workers: 1 };
+        let config = PredictorConfig::test();
+        let cold = model.fit_secs(&config, 5);
+        let warm = model.warm_fit_secs(&config, 5);
+        assert!(warm < cold, "warm refits run fewer steps and must cost less");
+        assert_eq!(
+            warm / cold,
+            config.warm_steps as f64 / config.steps as f64,
+            "cost scales with the step schedule"
         );
     }
 

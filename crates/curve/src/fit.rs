@@ -9,9 +9,9 @@
 use rand::Rng;
 
 use crate::ensemble::{dimension, SIGMA_BOUNDS, SIGMA_INDEX};
-use crate::models::{ModelFamily, ALL_FAMILIES};
+use crate::models::{GridPoint, ModelFamily, ALL_FAMILIES};
 
-use crate::nelder_mead::{minimize, NelderMeadOptions};
+use crate::nelder_mead::{minimize, minimize_into, NelderMeadOptions, NmScratch};
 
 /// Result of fitting a single family.
 #[derive(Debug, Clone)]
@@ -105,6 +105,180 @@ pub fn fit_family<R: Rng + ?Sized>(
 /// Fits all 11 families.
 pub fn fit_all_families<R: Rng + ?Sized>(obs: &[(f64, f64)], rng: &mut R) -> Vec<FamilyFit> {
     ALL_FAMILIES.iter().map(|&f| fit_family(f, obs, rng)).collect()
+}
+
+/// Reusable buffers for the allocation-free family-fit path.
+#[derive(Debug, Default)]
+pub struct FamilyFitBuf {
+    /// Clamped-parameter buffer for the penalized objective (the per-call
+    /// `Vec` allocation of the reference objective, hoisted out).
+    clamped: Vec<f64>,
+    /// The two random multi-start points, drawn up front in the same RNG
+    /// order as the reference path.
+    rand_starts: Vec<f64>,
+    /// Candidate returned by one Nelder–Mead run.
+    cand: Vec<f64>,
+    /// Best candidate across starts.
+    best: Vec<f64>,
+}
+
+/// The penalized least-squares objective of [`fit_family`], evaluated over
+/// a memoized grid with a reusable clamp buffer. Bitwise-identical values:
+/// same penalty arithmetic, same clamping, same residual accumulation
+/// order; the only differences are where the clamped copy lives and the
+/// per-call hoisting of the family's parameter-only term.
+#[inline]
+fn family_objective(
+    family: ModelFamily,
+    pts: &[GridPoint],
+    ys: &[f64],
+    params: &[f64],
+    clamped: &mut Vec<f64>,
+) -> f64 {
+    let bounds = family.bounds();
+    // Quadratic penalty outside the box keeps the simplex pointed home.
+    let mut penalty = 0.0;
+    for (p, (lo, hi)) in params.iter().zip(bounds) {
+        if !p.is_finite() {
+            return f64::INFINITY;
+        }
+        if *p < *lo {
+            penalty += (lo - p) * (lo - p) * 100.0;
+        } else if *p > *hi {
+            penalty += (p - hi) * (p - hi) * 100.0;
+        }
+    }
+    clamped.clear();
+    clamped.extend_from_slice(params);
+    clamp_into_box(family, clamped);
+    let hoist = family.hoist(clamped);
+    let mut sse = 0.0;
+    for (pt, y) in pts.iter().zip(ys) {
+        let m = family.eval_pt(*pt, clamped, hoist);
+        if !m.is_finite() {
+            return f64::INFINITY;
+        }
+        sse += (y - m) * (y - m);
+    }
+    sse / ys.len().max(1) as f64 + penalty
+}
+
+/// Allocation-free variant of [`fit_family`]: same multi-start schedule,
+/// same RNG call order, same Nelder–Mead trajectory (via
+/// [`minimize_into`]) — bitwise-identical fitted parameters — with all
+/// intermediate state in `nm`/`buf`. `pts`/`ys` are the memoized
+/// observation grid.
+pub fn fit_family_with<R: Rng + ?Sized>(
+    family: ModelFamily,
+    pts: &[GridPoint],
+    ys: &[f64],
+    rng: &mut R,
+    nm: &mut NmScratch,
+    buf: &mut FamilyFitBuf,
+) -> FamilyFit {
+    let bounds = family.bounds();
+    let pc = family.param_count();
+
+    // Multi-start: the default start plus a couple of random points in the
+    // box, drawn before any minimization exactly like the reference.
+    let default_start = family.default_params();
+    buf.rand_starts.clear();
+    for _ in 0..2 {
+        for (lo, hi) in bounds {
+            buf.rand_starts.push(rng.gen_range(*lo..*hi));
+        }
+    }
+
+    let mut best_f = f64::INFINITY;
+    let mut have_best = false;
+    for s in 0..3 {
+        let fx = {
+            let start: &[f64] =
+                if s == 0 { &default_start } else { &buf.rand_starts[(s - 1) * pc..s * pc] };
+            let clamped = &mut buf.clamped;
+            minimize_into(
+                |p| family_objective(family, pts, ys, p, clamped),
+                start,
+                NelderMeadOptions { max_evals: 300, ..Default::default() },
+                nm,
+                &mut buf.cand,
+            )
+        };
+        if !have_best || fx < best_f {
+            best_f = fx;
+            have_best = true;
+            std::mem::swap(&mut buf.best, &mut buf.cand);
+        }
+    }
+    clamp_into_box(family, &mut buf.best);
+    let hoist = family.hoist(&buf.best);
+    let mse = {
+        let mut sse = 0.0;
+        for (pt, y) in pts.iter().zip(ys) {
+            let m = family.eval_pt(*pt, &buf.best, hoist);
+            sse += (y - m) * (y - m);
+        }
+        sse / ys.len().max(1) as f64
+    };
+    FamilyFit { family, params: buf.best.clone(), mse }
+}
+
+/// Allocation-free [`fit_all_families`]: one [`fit_family_with`] per
+/// family, in canonical order.
+pub fn fit_all_families_with<R: Rng + ?Sized>(
+    pts: &[GridPoint],
+    ys: &[f64],
+    rng: &mut R,
+    nm: &mut NmScratch,
+    buf: &mut FamilyFitBuf,
+) -> Vec<FamilyFit> {
+    ALL_FAMILIES.iter().map(|&f| fit_family_with(f, pts, ys, rng, nm, buf)).collect()
+}
+
+/// Warm-seeded single-start family fit: one reduced-budget Nelder–Mead run
+/// starting from `seed_params` (a previous posterior's family block,
+/// clamped into the box). Consumes no RNG — the warm path's determinism
+/// depends only on the seed draw and the fit's own seeded RNG stream.
+pub fn fit_family_seeded(
+    family: ModelFamily,
+    seed_params: &[f64],
+    pts: &[GridPoint],
+    ys: &[f64],
+    nm: &mut NmScratch,
+    buf: &mut FamilyFitBuf,
+) -> FamilyFit {
+    buf.best.clear();
+    buf.best.extend_from_slice(seed_params);
+    clamp_into_box(family, &mut buf.best);
+    let start = std::mem::take(&mut buf.best);
+    let fx = {
+        let clamped = &mut buf.clamped;
+        minimize_into(
+            |p| family_objective(family, pts, ys, p, clamped),
+            &start,
+            NelderMeadOptions { max_evals: 120, ..Default::default() },
+            nm,
+            &mut buf.cand,
+        )
+    };
+    buf.best = start;
+    // Keep the seed itself if the reduced run somehow did worse (it can,
+    // when the budget runs out mid-shrink on a pathological objective).
+    let seed_f = family_objective(family, pts, ys, &buf.best, &mut buf.clamped);
+    if fx <= seed_f {
+        std::mem::swap(&mut buf.best, &mut buf.cand);
+    }
+    clamp_into_box(family, &mut buf.best);
+    let hoist = family.hoist(&buf.best);
+    let mse = {
+        let mut sse = 0.0;
+        for (pt, y) in pts.iter().zip(ys) {
+            let m = family.eval_pt(*pt, &buf.best, hoist);
+            sse += (y - m) * (y - m);
+        }
+        sse / ys.len().max(1) as f64
+    };
+    FamilyFit { family, params: buf.best.clone(), mse }
 }
 
 /// Builds `n_walkers` initial positions for the ensemble sampler from the

@@ -16,9 +16,12 @@
 //! * [`predictor`] — the public API: [`CurvePredictor`] fits a
 //!   [`CurvePosterior`] that answers `P(y(m) ≥ y | y(1:n))`, expected
 //!   performance, and prediction spread.
+//! * [`scratch`] — [`FitScratch`], the reusable per-fit working memory
+//!   that makes the optimized fitting path allocation-free per MCMC step.
 //! * [`service`] — [`FitService`], the deterministic parallel fitting
 //!   pool with per-`(config, epochs)` memoization (§5.2's systems
-//!   optimizations as a reusable component).
+//!   optimizations as a reusable component) and opt-in warm-started
+//!   refits.
 //!
 //! # Example
 //!
@@ -49,10 +52,12 @@ pub mod mcmc;
 pub mod models;
 pub mod nelder_mead;
 pub mod predictor;
+pub mod scratch;
 pub mod service;
 
-pub use models::{ModelFamily, ALL_FAMILIES};
+pub use models::{GridPoint, ModelFamily, ALL_FAMILIES};
 pub use predictor::{CurvePosterior, CurvePredictor, PredictorConfig};
+pub use scratch::FitScratch;
 pub use service::{
     derive_fit_seed, resolve_fit_threads, sequential_fit, FitOutcome, FitRequest, FitService,
     FitStats,

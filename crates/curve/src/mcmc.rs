@@ -149,6 +149,166 @@ where
     }
 }
 
+/// Reusable buffers for [`sample_into`]. Sized on first use and reused
+/// across fits, so steady-state sampling performs zero heap allocations —
+/// including for the retained draws, which live flattened in `draws`.
+#[derive(Debug, Default)]
+pub struct McmcScratch {
+    /// Current walker positions, flattened `n_walkers × dim`.
+    positions: Vec<f64>,
+    /// Current per-walker log-probabilities.
+    lps: Vec<f64>,
+    /// Proposal buffer for the stretch move.
+    proposal: Vec<f64>,
+    /// Retained draws, flattened `n_retained × dim`.
+    draws: Vec<f64>,
+    /// Log-probabilities of the retained draws.
+    draw_lps: Vec<f64>,
+}
+
+/// A borrowed view over a chain whose draws live flattened in a
+/// [`McmcScratch`]; the zero-copy counterpart of [`Chain`].
+#[derive(Debug)]
+pub struct FlatChain<'a> {
+    draws: &'a [f64],
+    log_probs: &'a [f64],
+    dim: usize,
+    /// Fraction of proposed moves accepted.
+    pub acceptance_rate: f64,
+}
+
+impl FlatChain<'_> {
+    /// Number of retained draws.
+    #[must_use]
+    pub fn n_draws(&self) -> usize {
+        self.draws.len() / self.dim
+    }
+
+    /// The `i`-th retained draw.
+    #[must_use]
+    pub fn draw(&self, i: usize) -> &[f64] {
+        &self.draws[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Log-probabilities of the retained draws.
+    #[must_use]
+    pub fn log_probs(&self) -> &[f64] {
+        self.log_probs
+    }
+}
+
+/// Allocation-free variant of [`sample`]: identical proposal arithmetic,
+/// identical RNG call sequence, identical accept/reject logic — bitwise
+/// the same retained draws — with walker state and retained draws living
+/// in `scratch`. The draw buffer is reserved up front from the retention
+/// schedule, so the sampling loop itself never touches the allocator.
+///
+/// # Panics
+///
+/// Same contract as [`sample`]: at least 4 walkers of equal dimension, at
+/// least one with finite log-probability.
+pub fn sample_into<'s, F, R>(
+    mut log_prob: F,
+    init: &[Vec<f64>],
+    opts: SamplerOptions,
+    rng: &mut R,
+    s: &'s mut McmcScratch,
+) -> FlatChain<'s>
+where
+    F: FnMut(&[f64]) -> f64,
+    R: Rng + ?Sized,
+{
+    let n_walkers = init.len();
+    assert!(n_walkers >= 4, "need at least 4 walkers, got {n_walkers}");
+    let dim = init[0].len();
+    assert!(init.iter().all(|w| w.len() == dim), "walkers must share dimension");
+
+    s.positions.clear();
+    s.positions.reserve(n_walkers * dim);
+    s.lps.clear();
+    s.lps.reserve(n_walkers);
+    for w in init {
+        s.positions.extend_from_slice(w);
+        s.lps.push(log_prob(w));
+    }
+    assert!(
+        s.lps.iter().any(|lp| lp.is_finite()),
+        "no initial walker position has finite log-probability"
+    );
+    // Walkers that start at -inf are snapped to the best initial position so
+    // the ensemble does not carry dead weight.
+    let lps = &s.lps;
+    let best0 = (0..n_walkers)
+        .max_by(|&a, &b| lps[a].partial_cmp(&lps[b]).expect("log probs comparable"))
+        .expect("non-empty ensemble");
+    let best_lp = s.lps[best0];
+    for i in 0..n_walkers {
+        if !s.lps[i].is_finite() {
+            s.positions.copy_within(best0 * dim..(best0 + 1) * dim, i * dim);
+            s.lps[i] = best_lp;
+        }
+    }
+
+    let burn_in = ((opts.steps as f64) * opts.burn_in_frac).floor() as usize;
+    let thin = opts.thin.max(1);
+    let a = opts.stretch.max(1.0 + 1e-6);
+
+    // Exact retention schedule: one snapshot per post-burn-in step that
+    // lands on the thinning stride.
+    let retained_steps =
+        if opts.steps > burn_in { (opts.steps - burn_in).div_ceil(thin) } else { 0 };
+    s.draws.clear();
+    s.draws.reserve(retained_steps * n_walkers * dim);
+    s.draw_lps.clear();
+    s.draw_lps.reserve(retained_steps * n_walkers);
+    s.proposal.clear();
+    s.proposal.resize(dim, 0.0);
+
+    let mut accepted = 0usize;
+    let mut proposed = 0usize;
+
+    let half = n_walkers / 2;
+    for step in 0..opts.steps {
+        // Update each half by stretching toward the complementary half.
+        for (start, end, comp_start, comp_end) in
+            [(0, half, half, n_walkers), (half, n_walkers, 0, half)]
+        {
+            for i in start..end {
+                let j = rng.gen_range(comp_start..comp_end);
+                // z ~ g(z) ∝ 1/sqrt(z) on [1/a, a].
+                let u: f64 = rng.gen();
+                let z = {
+                    let s = u * (a.sqrt() - 1.0 / a.sqrt()) + 1.0 / a.sqrt();
+                    s * s
+                };
+                for d in 0..dim {
+                    let pj = s.positions[j * dim + d];
+                    s.proposal[d] = pj + z * (s.positions[i * dim + d] - pj);
+                }
+                let lp_new = log_prob(&s.proposal);
+                proposed += 1;
+                let log_accept = (dim as f64 - 1.0) * z.ln() + lp_new - s.lps[i];
+                if lp_new.is_finite() && log_accept >= 0.0 || rng.gen::<f64>().ln() < log_accept {
+                    s.positions[i * dim..(i + 1) * dim].copy_from_slice(&s.proposal);
+                    s.lps[i] = lp_new;
+                    accepted += 1;
+                }
+            }
+        }
+        if step >= burn_in && (step - burn_in).is_multiple_of(thin) {
+            s.draws.extend_from_slice(&s.positions);
+            s.draw_lps.extend_from_slice(&s.lps);
+        }
+    }
+
+    FlatChain {
+        draws: &s.draws,
+        log_probs: &s.draw_lps,
+        dim,
+        acceptance_rate: if proposed == 0 { 0.0 } else { accepted as f64 / proposed as f64 },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +409,47 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let lp = |_: &[f64]| f64::NEG_INFINITY;
         let _ = sample(lp, vec![vec![0.0]; 8], SamplerOptions::default(), &mut rng);
+    }
+
+    #[test]
+    fn sample_into_is_bitwise_identical_to_sample() {
+        let mut scratch = McmcScratch::default();
+        for (steps, burn_in_frac, thin) in [(40, 0.3, 2), (24, 0.5, 1), (7, 0.9, 3)] {
+            let opts = SamplerOptions { steps, burn_in_frac, thin, stretch: 2.0 };
+            let mut rng_a = StdRng::seed_from_u64(23);
+            let init = init_walkers(&mut rng_a, 16, 3, 0.5);
+            let reference = sample(gaussian_lp, init.clone(), opts, &mut rng_a);
+
+            let mut rng_b = StdRng::seed_from_u64(23);
+            let init_b = init_walkers(&mut rng_b, 16, 3, 0.5);
+            let flat = sample_into(gaussian_lp, &init_b, opts, &mut rng_b, &mut scratch);
+
+            assert_eq!(reference.draws.len(), flat.n_draws());
+            for (i, d) in reference.draws.iter().enumerate() {
+                assert_eq!(d.as_slice(), flat.draw(i), "draw {i} diverged");
+            }
+            assert_eq!(reference.log_probs, flat.log_probs());
+            assert_eq!(reference.acceptance_rate.to_bits(), flat.acceptance_rate.to_bits());
+        }
+    }
+
+    #[test]
+    fn sample_into_revives_dead_walkers() {
+        let lp = |x: &[f64]| {
+            if x[0].abs() < 5.0 {
+                -x[0] * x[0]
+            } else {
+                f64::NEG_INFINITY
+            }
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let init: Vec<Vec<f64>> =
+            (0..8).map(|i| if i % 2 == 0 { vec![100.0] } else { vec![0.1 * i as f64] }).collect();
+        let mut scratch = McmcScratch::default();
+        let flat = sample_into(lp, &init, SamplerOptions::default(), &mut rng, &mut scratch);
+        for i in 0..flat.n_draws() {
+            assert!(flat.draw(i)[0].abs() < 5.0);
+        }
     }
 
     #[test]

@@ -132,6 +132,175 @@ where
     (simplex[best].clone(), fvals[best])
 }
 
+/// Reusable buffers for [`minimize_into`]. One instance serves any problem
+/// dimension; buffers grow to the largest dimension seen and are reused
+/// across calls, so steady-state minimization allocates nothing.
+#[derive(Debug, Default)]
+pub struct NmScratch {
+    /// Flattened simplex, `(n + 1)` rows of `n` coordinates.
+    simplex: Vec<f64>,
+    /// Double buffer for the sort-reorder step.
+    simplex_tmp: Vec<f64>,
+    fvals: Vec<f64>,
+    fvals_tmp: Vec<f64>,
+    idx: Vec<usize>,
+    centroid: Vec<f64>,
+    reflected: Vec<f64>,
+    trial: Vec<f64>,
+    best: Vec<f64>,
+}
+
+/// Writes `a + t * (b - a)` elementwise into `out` — the same lerp the
+/// reference `minimize` builds as a fresh `Vec`.
+#[inline]
+fn lerp_into(a: &[f64], b: &[f64], t: f64, out: &mut [f64]) {
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x + t * (y - x);
+    }
+}
+
+/// Allocation-free variant of [`minimize`]: identical algorithm, identical
+/// objective-evaluation order, identical arithmetic — bitwise-equal results
+/// — with all intermediate state living in `scratch`. The best point is
+/// written into `out` (cleared first) and its objective value returned.
+///
+/// # Panics
+///
+/// Panics if `x0` is empty.
+pub fn minimize_into<F>(
+    mut f: F,
+    x0: &[f64],
+    opts: NelderMeadOptions,
+    s: &mut NmScratch,
+    out: &mut Vec<f64>,
+) -> f64
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    let n = x0.len();
+    assert!(n > 0, "cannot optimize zero-dimensional problem");
+    let clean = |v: f64| if v.is_finite() { v } else { f64::INFINITY };
+
+    // Build initial simplex: x0 plus a perturbation along each axis.
+    s.simplex.clear();
+    s.simplex.reserve((n + 1) * n);
+    s.simplex.extend_from_slice(x0);
+    for i in 0..n {
+        let base = s.simplex.len();
+        s.simplex.extend_from_slice(x0);
+        let step = if x0[i].abs() > 1e-8 {
+            x0[i].abs() * opts.initial_step
+        } else {
+            opts.initial_step * 0.1
+        };
+        s.simplex[base + i] += step;
+    }
+    s.fvals.clear();
+    for r in 0..=n {
+        let v = clean(f(&s.simplex[r * n..(r + 1) * n]));
+        s.fvals.push(v);
+    }
+    let mut evals = n + 1;
+
+    s.simplex_tmp.resize((n + 1) * n, 0.0);
+    s.fvals_tmp.resize(n + 1, 0.0);
+    s.centroid.resize(n, 0.0);
+    s.reflected.resize(n, 0.0);
+    s.trial.resize(n, 0.0);
+    s.best.resize(n, 0.0);
+
+    const ALPHA: f64 = 1.0; // reflection
+    const GAMMA: f64 = 2.0; // expansion
+    const RHO: f64 = 0.5; // contraction
+    const SIGMA: f64 = 0.5; // shrink
+
+    while evals < opts.max_evals {
+        // Order simplex by objective (same stable sort as the reference).
+        s.idx.clear();
+        s.idx.extend(0..=n);
+        let fvals = &s.fvals;
+        s.idx.sort_by(|&a, &b| fvals[a].partial_cmp(&fvals[b]).expect("cleaned values"));
+        for (new_i, &old_i) in s.idx.iter().enumerate() {
+            s.simplex_tmp[new_i * n..(new_i + 1) * n]
+                .copy_from_slice(&s.simplex[old_i * n..(old_i + 1) * n]);
+            s.fvals_tmp[new_i] = s.fvals[old_i];
+        }
+        std::mem::swap(&mut s.simplex, &mut s.simplex_tmp);
+        std::mem::swap(&mut s.fvals, &mut s.fvals_tmp);
+
+        if (s.fvals[n] - s.fvals[0]).abs() < opts.f_tol {
+            break;
+        }
+
+        // Centroid of all but worst.
+        for c in s.centroid.iter_mut() {
+            *c = 0.0;
+        }
+        for r in 0..n {
+            for (c, v) in s.centroid.iter_mut().zip(&s.simplex[r * n..(r + 1) * n]) {
+                *c += v / n as f64;
+            }
+        }
+
+        // Reflection.
+        lerp_into(&s.centroid, &s.simplex[n * n..], -ALPHA, &mut s.reflected);
+        let f_ref = clean(f(&s.reflected));
+        evals += 1;
+
+        if f_ref < s.fvals[0] {
+            // Expansion.
+            lerp_into(&s.centroid, &s.simplex[n * n..], -GAMMA, &mut s.trial);
+            let f_exp = clean(f(&s.trial));
+            evals += 1;
+            if f_exp < f_ref {
+                s.simplex[n * n..].copy_from_slice(&s.trial);
+                s.fvals[n] = f_exp;
+            } else {
+                s.simplex[n * n..].copy_from_slice(&s.reflected);
+                s.fvals[n] = f_ref;
+            }
+        } else if f_ref < s.fvals[n - 1] {
+            s.simplex[n * n..].copy_from_slice(&s.reflected);
+            s.fvals[n] = f_ref;
+        } else {
+            // Contraction toward the better of worst/reflected.
+            let (toward, f_toward) = if f_ref < s.fvals[n] {
+                (&s.reflected[..], f_ref)
+            } else {
+                (&s.simplex[n * n..], s.fvals[n])
+            };
+            lerp_into(&s.centroid, toward, RHO, &mut s.trial);
+            let f_con = clean(f(&s.trial));
+            evals += 1;
+            if f_con < f_toward {
+                s.simplex[n * n..].copy_from_slice(&s.trial);
+                s.fvals[n] = f_con;
+            } else {
+                // Shrink everything toward the best point.
+                s.best.copy_from_slice(&s.simplex[..n]);
+                for i in 1..=n {
+                    for k in 0..n {
+                        let v = s.simplex[i * n + k];
+                        s.simplex[i * n + k] = s.best[k] + SIGMA * (v - s.best[k]);
+                    }
+                    s.fvals[i] = clean(f(&s.simplex[i * n..(i + 1) * n]));
+                    evals += 1;
+                }
+            }
+        }
+    }
+
+    let mut best = 0;
+    for i in 1..=n {
+        if s.fvals[i] < s.fvals[best] {
+            best = i;
+        }
+    }
+    out.clear();
+    out.extend_from_slice(&s.simplex[best * n..(best + 1) * n]);
+    s.fvals[best]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,5 +358,37 @@ mod tests {
     #[should_panic(expected = "zero-dimensional")]
     fn zero_dims_panics() {
         let _ = minimize(|_| 0.0, &[], NelderMeadOptions::default());
+    }
+
+    #[test]
+    fn minimize_into_is_bitwise_identical_to_minimize() {
+        let rosen = |p: &[f64]| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2);
+        let quad = |p: &[f64]| (p[0] - 3.0).powi(2) + (p[1] + 1.0).powi(2) + p[2].powi(2);
+        let spiky = |p: &[f64]| if p[0] < 1.0 { f64::NAN } else { (p[0] - 2.0).powi(2) };
+
+        let mut scratch = NmScratch::default();
+        let mut out = Vec::new();
+        // Interleave problems of different dimension to exercise buffer
+        // reuse across shapes.
+        for opts in [
+            NelderMeadOptions::default(),
+            NelderMeadOptions { max_evals: 50, ..Default::default() },
+            NelderMeadOptions { max_evals: 5000, f_tol: 1e-12, initial_step: 0.5 },
+        ] {
+            let (rx, rf) = minimize(rosen, &[-1.0, 1.0], opts);
+            let sf = minimize_into(rosen, &[-1.0, 1.0], opts, &mut scratch, &mut out);
+            assert_eq!(rf.to_bits(), sf.to_bits());
+            assert_eq!(rx, out);
+
+            let (qx, qf) = minimize(quad, &[0.0, 0.0, 10.0], opts);
+            let sf = minimize_into(quad, &[0.0, 0.0, 10.0], opts, &mut scratch, &mut out);
+            assert_eq!(qf.to_bits(), sf.to_bits());
+            assert_eq!(qx, out);
+
+            let (px, pf) = minimize(spiky, &[3.0], opts);
+            let sf = minimize_into(spiky, &[3.0], opts, &mut scratch, &mut out);
+            assert_eq!(pf.to_bits(), sf.to_bits());
+            assert_eq!(px, out);
+        }
     }
 }

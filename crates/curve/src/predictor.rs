@@ -2,14 +2,20 @@
 //! a partial learning curve.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use hyperdrive_types::{stats, Error, LearningCurve, Result};
 
-use crate::ensemble::{log_posterior, ParamView};
+use crate::ensemble::{dimension, log_posterior, ParamView, PosteriorEval};
+use crate::ensemble::{FAMILY_OFFSETS, SIGMA_BOUNDS, SIGMA_INDEX};
 use crate::fit;
-use crate::fit::{build_initial_walkers, fit_all_families};
-use crate::mcmc::{sample, SamplerOptions};
+use crate::fit::{
+    build_initial_walkers, fit_all_families, fit_all_families_with, fit_family_seeded, FamilyFitBuf,
+};
+use crate::mcmc::{sample, sample_into, FlatChain, McmcScratch, SamplerOptions};
+use crate::models::{GridPoint, ALL_FAMILIES};
+use crate::nelder_mead::NmScratch;
+use crate::scratch::FitScratch;
 
 /// Fidelity and determinism knobs for [`CurvePredictor`].
 ///
@@ -40,6 +46,20 @@ pub struct PredictorConfig {
     pub seed: u64,
     /// Minimum number of observations required before fitting.
     pub min_observations: usize,
+    /// Opt-in warm starting: when a previous-epoch posterior for the same
+    /// job is available (see [`crate::FitService`]), seed the MCMC
+    /// ensemble and the Nelder–Mead starts from it and run the reduced
+    /// `warm_steps` schedule instead of `steps`. **Changes numerics** —
+    /// warm-started posteriors are not bit-comparable to cold fits — so it
+    /// ships default-off and carries its own golden traces. Determinism is
+    /// unaffected: a warm fit depends only on the seed, the curve, and the
+    /// warm-source posterior (itself deterministic), never on thread
+    /// count or timing.
+    pub warm_start: bool,
+    /// Steps per walker when a warm start is applied (burn-in mostly
+    /// re-localizes an already-converged ensemble, so far fewer steps are
+    /// needed).
+    pub warm_steps: usize,
 }
 
 impl PredictorConfig {
@@ -55,6 +75,8 @@ impl PredictorConfig {
             max_obs: 60,
             seed: 0,
             min_observations: 4,
+            warm_start: false,
+            warm_steps: 250,
         }
     }
 
@@ -62,7 +84,7 @@ impl PredictorConfig {
     /// = 250k samples. Used by the `curve_prediction` bench to reproduce the
     /// §5.2 ">2× faster" claim.
     pub fn reference() -> Self {
-        PredictorConfig { steps: 2500, ..Self::paper() }
+        PredictorConfig { steps: 2500, warm_steps: 900, ..Self::paper() }
     }
 
     /// Reduced-fidelity preset for experiment sweeps: same walker count
@@ -76,6 +98,7 @@ impl PredictorConfig {
             thin: 1,
             max_draws: 400,
             max_obs: 30,
+            warm_steps: 30,
             ..Self::paper()
         }
     }
@@ -88,6 +111,7 @@ impl PredictorConfig {
             thin: 1,
             max_draws: 200,
             max_obs: 25,
+            warm_steps: 12,
             ..Self::paper()
         }
     }
@@ -95,6 +119,11 @@ impl PredictorConfig {
     /// Returns this config with a different seed.
     pub fn with_seed(self, seed: u64) -> Self {
         PredictorConfig { seed, ..self }
+    }
+
+    /// Returns this config with warm starting switched on or off.
+    pub fn with_warm_start(self, warm_start: bool) -> Self {
+        PredictorConfig { warm_start, ..self }
     }
 }
 
@@ -143,12 +172,231 @@ impl CurvePredictor {
 
     /// Fits the posterior to `curve`, extrapolating up to epoch `horizon`.
     ///
+    /// Convenience wrapper over [`Self::fit_with`] with a fresh
+    /// [`FitScratch`] and no warm source; long-lived callers (the
+    /// [`crate::FitService`] workers) hold a scratch across fits to make
+    /// the inner loop allocation-free.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::CurveFit`] if the curve has fewer than
     /// `min_observations` points or the horizon does not exceed the last
     /// observed epoch.
     pub fn fit(&self, curve: &LearningCurve, horizon: u32) -> Result<CurvePosterior> {
+        let mut scratch = FitScratch::default();
+        self.fit_with(curve, horizon, None, &mut scratch)
+    }
+
+    /// Fits the posterior through the optimized hot path, reusing
+    /// `scratch` buffers and optionally warm-starting from a previous
+    /// posterior of the same job.
+    ///
+    /// With `warm_start` disabled (or `warm` absent, or the warm attempt
+    /// not viable) the result is **bit-identical** to
+    /// [`Self::fit_reference`] — the optimizations preserve floating-point
+    /// operation order exactly, and the crate's property tests pin the
+    /// equivalence.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::fit`].
+    pub fn fit_with(
+        &self,
+        curve: &LearningCurve,
+        horizon: u32,
+        warm: Option<&CurvePosterior>,
+        scratch: &mut FitScratch,
+    ) -> Result<CurvePosterior> {
+        let n = curve.len();
+        if n < self.config.min_observations {
+            return Err(Error::CurveFit(format!(
+                "need at least {} observations, got {n}",
+                self.config.min_observations
+            )));
+        }
+        let last_epoch = curve.last_epoch().expect("non-empty curve");
+        if horizon <= last_epoch {
+            return Err(Error::CurveFit(format!(
+                "horizon {horizon} must exceed last observed epoch {last_epoch}"
+            )));
+        }
+
+        let all_obs: Vec<(f64, f64)> =
+            curve.points().iter().map(|p| (f64::from(p.epoch), p.value)).collect();
+        // Thin long curves: likelihood cost is linear in observations, and
+        // a strided subsample preserves the trajectory shape.
+        let obs: Vec<(f64, f64)> = if all_obs.len() > self.config.max_obs.max(2) {
+            let keep = self.config.max_obs.max(2);
+            let stride = (all_obs.len() - 1) as f64 / (keep - 1) as f64;
+            (0..keep).map(|i| all_obs[(i as f64 * stride).round() as usize]).collect()
+        } else {
+            all_obs
+        };
+        let horizon_f = f64::from(horizon);
+
+        // Memoize the epoch grid once per fit: the grid never changes
+        // mid-fit, so every pure-x basis term is computed exactly once.
+        let FitScratch { pts, ys, means, nm, fam, mcmc } = scratch;
+        pts.clear();
+        ys.clear();
+        for &(x, y) in &obs {
+            pts.push(GridPoint::new(x));
+            ys.push(y);
+        }
+        let last_x = obs.last().map_or(1.0, |&(x, _)| x);
+        pts.push(GridPoint::new(horizon_f.max(last_x)));
+        means.clear();
+        means.resize(ys.len(), 0.0);
+        let n_obs = obs.len();
+
+        if self.config.warm_start {
+            if let Some(prev) = warm {
+                if let Some(posterior) =
+                    self.warm_fit(prev, last_epoch, horizon, pts, ys, means, nm, fam, mcmc)
+                {
+                    return Ok(posterior);
+                }
+            }
+        }
+
+        // Cold path — the reference algorithm on the memoized grid.
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let fits = fit_all_families_with(&pts[..n_obs], ys, &mut rng, nm, fam);
+        let mut init = build_initial_walkers(&fits, self.config.walkers, &mut rng);
+        // The growth/ceiling prior can reject every least-squares-derived
+        // walker (e.g. a decreasing observed curve); fall back to
+        // prior-safe default walkers rather than fail.
+        let mut eval = PosteriorEval::new(pts, ys, means);
+        if !init.iter().any(|w| eval.log_posterior(w).is_finite()) {
+            init = fit::build_default_walkers(self.config.walkers, &mut rng);
+        }
+        if !init.iter().any(|w| eval.log_posterior(w).is_finite()) {
+            return Err(Error::CurveFit("no valid initialization found".into()));
+        }
+
+        let chain = sample_into(
+            |theta| eval.log_posterior(theta),
+            &init,
+            SamplerOptions {
+                steps: self.config.steps,
+                burn_in_frac: self.config.burn_in_frac,
+                thin: self.config.thin,
+                stretch: 2.0,
+            },
+            &mut rng,
+            mcmc,
+        );
+        self.collect_posterior(&chain, last_epoch, horizon, false)
+    }
+
+    /// Attempts a warm-started fit from `prev`; `None` falls back to the
+    /// cold path (no surviving previous draw, or the warm ensemble left
+    /// the prior support entirely).
+    #[allow(clippy::too_many_arguments)]
+    fn warm_fit(
+        &self,
+        prev: &CurvePosterior,
+        last_epoch: u32,
+        horizon: u32,
+        pts: &[GridPoint],
+        ys: &[f64],
+        means: &mut [f64],
+        nm: &mut NmScratch,
+        fam: &mut FamilyFitBuf,
+        mcmc: &mut McmcScratch,
+    ) -> Option<CurvePosterior> {
+        if prev.n_draws() == 0 || prev.draws[0].len() != dimension() {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let n_obs = ys.len();
+        let mut eval = PosteriorEval::new(pts, ys, means);
+
+        // Rescore the previous posterior under the new observations; the
+        // best surviving draw seeds the reduced Nelder–Mead pass.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, d) in prev.draws.iter().enumerate() {
+            let lp = eval.log_posterior(d);
+            if lp.is_finite() && best.is_none_or(|(_, b)| lp > b) {
+                best = Some((i, lp));
+            }
+        }
+        let (best_i, _) = best?;
+
+        let mut fits = Vec::with_capacity(ALL_FAMILIES.len());
+        for (k, &family) in ALL_FAMILIES.iter().enumerate() {
+            let off = FAMILY_OFFSETS[k];
+            let seed_params = &prev.draws[best_i][off..off + family.param_count()];
+            fits.push(fit_family_seeded(family, seed_params, &pts[..n_obs], ys, nm, fam));
+        }
+        let n_walkers = self.config.walkers;
+        let mut init = build_initial_walkers(&fits, n_walkers, &mut rng);
+        // Seed the back half of the ensemble directly from the previous
+        // posterior (strided, so the whole posterior is represented),
+        // jittered to keep walkers distinct.
+        let n_prev = prev.n_draws();
+        for (slot, walker) in init.iter_mut().enumerate().skip(n_walkers / 2) {
+            let src = &prev.draws[(slot * n_prev) / n_walkers];
+            warm_walker_from_draw(src, walker, &mut rng);
+        }
+        if !init.iter().any(|w| eval.log_posterior(w).is_finite()) {
+            return None;
+        }
+
+        let chain = sample_into(
+            |theta| eval.log_posterior(theta),
+            &init,
+            SamplerOptions {
+                steps: self.config.warm_steps,
+                burn_in_frac: self.config.burn_in_frac,
+                thin: self.config.thin,
+                stretch: 2.0,
+            },
+            &mut rng,
+            mcmc,
+        );
+        self.collect_posterior(&chain, last_epoch, horizon, true).ok()
+    }
+
+    /// Subsamples a chain's retained draws into a posterior.
+    fn collect_posterior(
+        &self,
+        chain: &FlatChain<'_>,
+        last_epoch: u32,
+        horizon: u32,
+        warm: bool,
+    ) -> Result<CurvePosterior> {
+        let total = chain.n_draws();
+        if total == 0 {
+            return Err(Error::CurveFit("sampler produced no draws".into()));
+        }
+        // Uniform subsample down to max_draws to keep queries cheap.
+        let draws: Vec<Vec<f64>> = if total > self.config.max_draws {
+            let stride = total as f64 / self.config.max_draws as f64;
+            (0..self.config.max_draws)
+                .map(|i| chain.draw((i as f64 * stride) as usize).to_vec())
+                .collect()
+        } else {
+            (0..total).map(|i| chain.draw(i).to_vec()).collect()
+        };
+        Ok(CurvePosterior {
+            draws,
+            last_epoch,
+            horizon,
+            acceptance_rate: chain.acceptance_rate,
+            warm,
+        })
+    }
+
+    /// The retained pre-optimization fitting path: per-call allocations,
+    /// no grid memoization, no warm starting. Kept as the executable
+    /// bit-identity reference for [`Self::fit_with`] (property-test-pinned)
+    /// and as the cold baseline of the `fit_hotpath` bench.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::fit`].
+    pub fn fit_reference(&self, curve: &LearningCurve, horizon: u32) -> Result<CurvePosterior> {
         let n = curve.len();
         if n < self.config.min_observations {
             return Err(Error::CurveFit(format!(
@@ -215,7 +463,37 @@ impl CurvePredictor {
             chain.draws
         };
 
-        Ok(CurvePosterior { draws, last_epoch, horizon, acceptance_rate: chain.acceptance_rate })
+        Ok(CurvePosterior {
+            draws,
+            last_epoch,
+            horizon,
+            acceptance_rate: chain.acceptance_rate,
+            warm: false,
+        })
+    }
+}
+
+/// Builds one warm walker from a previous posterior draw: a small jitter
+/// per coordinate, clamped strictly inside the prior box (asymptotes held
+/// below the ceiling, like cold initialization does).
+fn warm_walker_from_draw<R: Rng + ?Sized>(src: &[f64], dst: &mut [f64], rng: &mut R) {
+    for k in 0..11 {
+        dst[k] = (src[k] + rng.gen_range(-0.01..0.01)).clamp(1e-3, 1.0);
+    }
+    dst[SIGMA_INDEX] = (src[SIGMA_INDEX] + rng.gen_range(-0.005..0.005))
+        .clamp(SIGMA_BOUNDS.0 * 1.01, SIGMA_BOUNDS.1 * 0.99);
+    for (k, family) in ALL_FAMILIES.iter().enumerate() {
+        let off = FAMILY_OFFSETS[k];
+        let asymptote = family.asymptote_param_index();
+        for (j, (lo, hi)) in family.bounds().iter().enumerate() {
+            let width = hi - lo;
+            let jittered = src[off + j] + rng.gen_range(-0.005..0.005) * width;
+            let mut v = jittered.clamp(lo + width * 1e-6, hi - width * 1e-6);
+            if asymptote == Some(j) {
+                v = v.min(0.985);
+            }
+            dst[off + j] = v;
+        }
     }
 }
 
@@ -232,12 +510,19 @@ pub struct CurvePosterior {
     last_epoch: u32,
     horizon: u32,
     acceptance_rate: f64,
+    warm: bool,
 }
 
 impl CurvePosterior {
     /// Number of retained posterior draws.
     pub fn n_draws(&self) -> usize {
         self.draws.len()
+    }
+
+    /// Whether this posterior was produced by a warm-started fit (seeded
+    /// from a previous-epoch posterior of the same job).
+    pub fn warm_started(&self) -> bool {
+        self.warm
     }
 
     /// The retained posterior parameter draws. Exposed so equivalence

@@ -1,0 +1,42 @@
+//! Reusable per-fit working memory.
+//!
+//! One [`FitScratch`] holds every buffer the optimized fitting path needs:
+//! the memoized epoch grid, the posterior mean buffer, the Nelder–Mead
+//! simplex workspace, the family-fit buffers, and the MCMC walker/draw
+//! storage. A long-lived owner (a [`crate::FitService`] worker thread, a
+//! benchmark loop) constructs one and threads it through every fit; after
+//! the first fit sizes the buffers, subsequent fits of similar shape
+//! perform **zero heap allocations per MCMC step** — the property the
+//! `fit_hotpath` bench pins with a counting allocator.
+
+use crate::fit::FamilyFitBuf;
+use crate::mcmc::McmcScratch;
+use crate::models::GridPoint;
+use crate::nelder_mead::NmScratch;
+
+/// All reusable buffers for one in-flight curve fit. `Default` starts
+/// empty; buffers grow on first use and are retained across fits.
+#[derive(Debug, Default)]
+pub struct FitScratch {
+    /// Memoized epoch grid: one point per (possibly thinned) observation,
+    /// then the horizon point `max(horizon, last_x)`.
+    pub(crate) pts: Vec<GridPoint>,
+    /// Observed values, parallel to `pts` minus the horizon point.
+    pub(crate) ys: Vec<f64>,
+    /// Posterior mean buffer, one slot per observation.
+    pub(crate) means: Vec<f64>,
+    /// Nelder–Mead simplex workspace.
+    pub(crate) nm: NmScratch,
+    /// Family least-squares buffers.
+    pub(crate) fam: FamilyFitBuf,
+    /// Ensemble-sampler walker and draw storage.
+    pub(crate) mcmc: McmcScratch,
+}
+
+impl FitScratch {
+    /// A fresh, empty scratch. Equivalent to `FitScratch::default()`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

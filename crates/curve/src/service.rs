@@ -30,6 +30,18 @@
 //! `(config, epochs)` pair maps to exactly one fit per experiment. Callers
 //! that want a different horizon for the same prefix must
 //! [`forget`](FitService::forget) the job first.
+//!
+//! # Warm starting
+//!
+//! When the predictor config enables `warm_start`, each uncached request is
+//! paired with the cached posterior for the *same job at the greatest
+//! earlier epoch* (if any) at enqueue time, and the worker seeds its
+//! chains from it ([`CurvePredictor::fit_with`]). Determinism is
+//! preserved: the cache is only written in the collection loop, after all
+//! of a batch's requests are enqueued, so the warm source for a request
+//! depends only on *prior batches* — never on sibling requests racing
+//! within the same batch or on the worker count. [`sequential_fit`] stays
+//! cold on purpose: it is the reference definition of an unassisted fit.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -40,6 +52,7 @@ use parking_lot::Mutex;
 use hyperdrive_types::{Error, JobId, LearningCurve, Result};
 
 use crate::predictor::{CurvePosterior, CurvePredictor, PredictorConfig};
+use crate::scratch::FitScratch;
 
 /// Key identifying one fit: the job and the last observed epoch the fit
 /// conditions on.
@@ -108,6 +121,9 @@ pub struct FitStats {
     pub cache_hits: u64,
     /// Fresh ensemble fits executed by the pool.
     pub fits: u64,
+    /// Fits (subset of `fits`) that were warm-started from a cached
+    /// previous-epoch posterior of the same job.
+    pub warm_fits: u64,
     /// `fit_batch` calls served.
     pub batches: u64,
 }
@@ -131,9 +147,24 @@ enum WorkerMsg {
         curve: LearningCurve,
         horizon: u32,
         seed: u64,
+        warm: Option<CurvePosterior>,
         reply: Sender<(FitKey, Result<CurvePosterior>)>,
     },
     Shutdown,
+}
+
+/// The warm source for a fit of `job` at `epoch`: the cached successful
+/// posterior for the same job with the greatest earlier epoch, if any.
+fn warm_source(
+    cache: &HashMap<FitKey, Result<CurvePosterior>>,
+    job: JobId,
+    epoch: u32,
+) -> Option<CurvePosterior> {
+    cache
+        .iter()
+        .filter(|((j, e), r)| *j == job && *e < epoch && r.is_ok())
+        .max_by_key(|((_, e), _)| *e)
+        .and_then(|(_, r)| r.as_ref().ok().cloned())
 }
 
 struct Shared {
@@ -224,12 +255,21 @@ impl FitService {
                 std::collections::hash_map::Entry::Vacant(e) => {
                     e.insert(vec![i]);
                     let seed = derive_fit_seed(self.experiment_seed, req.job.raw(), last_epoch);
+                    // Resolved before any of this batch's results land in
+                    // the cache, so the warm source is a stable snapshot of
+                    // prior batches — independent of worker scheduling.
+                    let warm = if self.config.warm_start {
+                        warm_source(&self.shared.cache.lock(), req.job, last_epoch)
+                    } else {
+                        None
+                    };
                     self.tx
                         .send(WorkerMsg::Fit {
                             key,
                             curve: req.curve.clone(),
                             horizon: req.horizon,
                             seed,
+                            warm,
                             reply: reply_tx.clone(),
                         })
                         .expect("workers alive");
@@ -238,8 +278,12 @@ impl FitService {
             }
         }
 
+        let mut warm_fits = 0u64;
         for _ in 0..enqueued {
             let (key, result) = reply_rx.recv().expect("workers alive");
+            if result.as_ref().map(CurvePosterior::warm_started).unwrap_or(false) {
+                warm_fits += 1;
+            }
             self.shared.cache.lock().insert(key, result.clone());
             for &i in &waiting[&key] {
                 out[i] = Some(FitOutcome { result: result.clone(), cached: false });
@@ -250,6 +294,7 @@ impl FitService {
             let mut stats = self.shared.stats.lock();
             stats.cache_hits += hits;
             stats.fits += enqueued as u64;
+            stats.warm_fits += warm_fits;
             stats.batches += 1;
         }
         out.into_iter().map(|o| o.expect("every request answered")).collect()
@@ -288,11 +333,15 @@ impl Drop for FitService {
 }
 
 fn worker_loop(rx: &Receiver<WorkerMsg>, config: PredictorConfig) {
+    // One scratch per worker thread, reused across every fit this worker
+    // performs: after the first fit sizes the buffers, the MCMC inner loop
+    // runs allocation-free.
+    let mut scratch = FitScratch::default();
     while let Ok(msg) = rx.recv() {
         match msg {
-            WorkerMsg::Fit { key, curve, horizon, seed, reply } => {
+            WorkerMsg::Fit { key, curve, horizon, seed, warm, reply } => {
                 let predictor = CurvePredictor::new(config.with_seed(seed));
-                let result = predictor.fit(&curve, horizon);
+                let result = predictor.fit_with(&curve, horizon, warm.as_ref(), &mut scratch);
                 // The batch owner may have given up (dropped receiver) if a
                 // sibling fit panicked; nothing useful to do then.
                 let _ = reply.send((key, result));
@@ -302,8 +351,9 @@ fn worker_loop(rx: &Receiver<WorkerMsg>, config: PredictorConfig) {
     }
 }
 
-/// The single-threaded reference definition of one fit: what any
-/// [`FitService`] worker must reproduce bit-for-bit for the same request.
+/// The single-threaded reference definition of one **cold** fit: what any
+/// [`FitService`] worker must reproduce bit-for-bit for the same request
+/// when no warm source applies (always, with `warm_start` disabled).
 ///
 /// # Errors
 ///
@@ -440,6 +490,54 @@ mod tests {
     fn explicit_thread_request_beats_environment() {
         assert_eq!(resolve_fit_threads(3), 3);
         assert!(resolve_fit_threads(0) >= 1);
+    }
+
+    #[test]
+    fn warm_start_uses_previous_epoch_posterior() {
+        let config = PredictorConfig::test().with_warm_start(true);
+        let service = FitService::new(config, 13, 2);
+        let cold = service.fit_batch(&[req(0, 10)]);
+        assert!(!cold[0].result.as_ref().unwrap().warm_started(), "no prior epoch to warm from");
+        let warm = service.fit_batch(&[req(0, 14)]);
+        assert!(warm[0].result.as_ref().unwrap().warm_started());
+        let stats = service.stats();
+        assert_eq!(stats.fits, 2);
+        assert_eq!(stats.warm_fits, 1);
+    }
+
+    #[test]
+    fn warm_start_results_are_thread_count_invariant() {
+        let config = PredictorConfig::test().with_warm_start(true);
+        let run = |threads: usize| {
+            let service = FitService::new(config, 21, threads);
+            // Two epochs of growth for several jobs: the second batch
+            // warm-starts every job from the first batch's posterior.
+            let first: Vec<FitRequest> = (0..4).map(|j| req(j, 10)).collect();
+            service.fit_batch(&first);
+            let second: Vec<FitRequest> = (0..4).map(|j| req(j, 14)).collect();
+            service.fit_batch(&second)
+        };
+        let one = run(1);
+        let four = run(4);
+        for (a, b) in one.iter().zip(&four) {
+            let a = a.result.as_ref().unwrap();
+            let b = b.result.as_ref().unwrap();
+            assert!(a.warm_started() && b.warm_started());
+            assert_eq!(a.draws(), b.draws(), "warm fits must not depend on thread count");
+        }
+    }
+
+    #[test]
+    fn warm_source_within_a_batch_is_invisible() {
+        // Both epochs of the same job submitted in ONE batch: the later
+        // epoch must NOT see the earlier one (cache writes happen after
+        // enqueue), so both fits are cold regardless of completion order.
+        let config = PredictorConfig::test().with_warm_start(true);
+        let service = FitService::new(config, 17, 4);
+        let outcomes = service.fit_batch(&[req(0, 10), req(0, 14)]);
+        for o in &outcomes {
+            assert!(!o.result.as_ref().unwrap().warm_started());
+        }
     }
 
     #[test]

@@ -103,6 +103,94 @@ fn sigma_index_is_consistent() {
     assert_eq!(dimension(), 48);
 }
 
+mod hot_path_equivalence {
+    use super::*;
+    use hyperdrive_curve::ensemble::PosteriorEval;
+    use hyperdrive_curve::models::GridPoint;
+    use hyperdrive_curve::FitScratch;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The scratch-buffer likelihood path ([`PosteriorEval`], with
+        /// memoized grid transcendentals and hoisted parameter terms) is
+        /// bit-identical to the reference [`ensemble::log_posterior`] for
+        /// arbitrary parameter vectors, observation sets, and horizons —
+        /// including reused-buffer evaluation, which is how the MCMC loop
+        /// drives it.
+        #[test]
+        fn scratch_likelihood_is_bitwise_identical_to_reference(
+            thetas in proptest::collection::vec(theta_in_box(), 1..4),
+            values in proptest::collection::vec(0.0f64..=1.0, 2..20),
+            horizon in 1.0f64..500.0,
+        ) {
+            let obs: Vec<(f64, f64)> =
+                values.iter().enumerate().map(|(i, v)| (i as f64 + 1.0, *v)).collect();
+            let last_x = obs.last().unwrap().0;
+            let mut pts: Vec<GridPoint> = obs.iter().map(|&(x, _)| GridPoint::new(x)).collect();
+            pts.push(GridPoint::new(horizon.max(last_x)));
+            let ys: Vec<f64> = obs.iter().map(|&(_, y)| y).collect();
+            let mut means = vec![0.0; ys.len()];
+            let mut eval = PosteriorEval::new(&pts, &ys, &mut means);
+            for theta in &thetas {
+                let reference = ensemble::log_posterior(theta, &obs, horizon.max(last_x));
+                let optimized = eval.log_posterior(theta);
+                prop_assert_eq!(
+                    optimized.to_bits(),
+                    reference.to_bits(),
+                    "optimized {} != reference {}",
+                    optimized,
+                    reference
+                );
+            }
+        }
+
+        /// The optimized end-to-end fit (scratch buffers, memoized grid,
+        /// in-place Nelder–Mead and sampler) returns **bit-identical**
+        /// posteriors to the retained reference path for arbitrary curve
+        /// shapes and seeds — including back-to-back fits through one
+        /// reused scratch.
+        #[test]
+        fn optimized_fit_is_bitwise_identical_to_reference(
+            seed in 0u64..u64::MAX,
+            shapes in proptest::collection::vec((0.2f64..0.9, 0.3f64..1.2, 6u32..14), 1..3),
+        ) {
+            let mut scratch = FitScratch::new();
+            for (i, (limit, rate, n)) in shapes.iter().enumerate() {
+                let mut curve = LearningCurve::new(MetricKind::Accuracy);
+                for e in 1..=*n {
+                    let x = f64::from(e);
+                    curve.push(
+                        e,
+                        SimTime::from_secs(60.0 * x),
+                        limit - (limit - 0.1) * x.powf(-rate),
+                    );
+                }
+                let predictor = CurvePredictor::new(
+                    PredictorConfig::test().with_seed(seed.wrapping_add(i as u64)),
+                );
+                let reference = predictor.fit_reference(&curve, 100);
+                let optimized = predictor.fit_with(&curve, 100, None, &mut scratch);
+                match (&optimized, &reference) {
+                    (Ok(o), Ok(r)) => {
+                        prop_assert_eq!(o.draws(), r.draws());
+                        prop_assert_eq!(o.acceptance_rate().to_bits(), r.acceptance_rate().to_bits());
+                        prop_assert_eq!(o.expected(100).to_bits(), r.expected(100).to_bits());
+                        prop_assert!(!o.warm_started());
+                    }
+                    (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+                    (a, b) => prop_assert!(
+                        false,
+                        "optimized ok={} but reference ok={}",
+                        a.is_ok(),
+                        b.is_ok()
+                    ),
+                }
+            }
+        }
+    }
+}
+
 mod service_equivalence {
     use super::*;
     use hyperdrive_curve::{sequential_fit, FitRequest, FitService};

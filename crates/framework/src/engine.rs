@@ -265,11 +265,11 @@ impl SchedulerContext for EngineCore<'_> {
         self.workload.eval_boundary
     }
 
-    fn active_jobs(&self) -> Vec<JobId> {
+    fn active_jobs(&self) -> &[JobId] {
         self.jm.active_jobs()
     }
 
-    fn running_jobs(&self) -> Vec<JobId> {
+    fn running_jobs(&self) -> &[JobId] {
         self.jm.running_jobs()
     }
 
@@ -530,7 +530,8 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
         self.core
             .jm
             .active_jobs()
-            .into_iter()
+            .iter()
+            .copied()
             .find(|j| self.core.jm.state(*j).ok().and_then(|s| s.machine()) == Some(machine))
     }
 

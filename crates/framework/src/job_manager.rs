@@ -54,10 +54,35 @@ struct JobEntry {
 }
 
 /// Tracks every job's state and orders the idle queue.
+///
+/// The three listing sets — idle, running, active — are maintained as
+/// eagerly sorted indexes updated on every state transition, so the
+/// listing accessors return slices without allocating or sorting per call
+/// (policies query them at every scheduling boundary).
 #[derive(Debug, Default)]
 pub struct JobManager {
     jobs: HashMap<JobId, JobEntry>,
     arrival_counter: u64,
+    /// Idle jobs in queue order: priority desc, arrival asc, id asc.
+    idle_sorted: Vec<JobId>,
+    /// Running jobs sorted by id.
+    running_sorted: Vec<JobId>,
+    /// Active (running, suspending, or idle) jobs sorted by id.
+    active_sorted: Vec<JobId>,
+}
+
+/// Inserts `job` into an id-sorted vector (no-op if already present).
+fn insert_by_id(v: &mut Vec<JobId>, job: JobId) {
+    if let Err(pos) = v.binary_search(&job) {
+        v.insert(pos, job);
+    }
+}
+
+/// Removes `job` from an id-sorted vector (no-op if absent).
+fn remove_by_id(v: &mut Vec<JobId>, job: JobId) {
+    if let Ok(pos) = v.binary_search(&job) {
+        v.remove(pos);
+    }
 }
 
 impl JobManager {
@@ -84,6 +109,36 @@ impl JobManager {
             },
         );
         assert!(prev.is_none(), "job {job} registered twice");
+        insert_by_id(&mut self.active_sorted, job);
+        self.enqueue_idle(job);
+    }
+
+    /// Queue ordering: priority descending, then FIFO arrival, then id.
+    fn idle_cmp(jobs: &HashMap<JobId, JobEntry>, a: JobId, b: JobId) -> std::cmp::Ordering {
+        let ea = &jobs[&a];
+        let eb = &jobs[&b];
+        eb.priority
+            .partial_cmp(&ea.priority)
+            .expect("priorities are never NaN")
+            .then(ea.arrival.cmp(&eb.arrival))
+            .then(a.cmp(&b))
+    }
+
+    /// Inserts `job` into the idle queue at its sorted position.
+    fn enqueue_idle(&mut self, job: JobId) {
+        let jobs = &self.jobs;
+        let pos = self
+            .idle_sorted
+            .binary_search_by(|&other| Self::idle_cmp(jobs, other, job))
+            .unwrap_or_else(|p| p);
+        self.idle_sorted.insert(pos, job);
+    }
+
+    /// Removes `job` from the idle queue (no-op if absent).
+    fn dequeue_idle(&mut self, job: JobId) {
+        if let Some(pos) = self.idle_sorted.iter().position(|&j| j == job) {
+            self.idle_sorted.remove(pos);
+        }
     }
 
     fn next_arrival(&mut self) -> u64 {
@@ -139,62 +194,31 @@ impl JobManager {
     /// The highest-priority idle job (`getIdleJob`), without removing it.
     /// Ordering: priority descending, then FIFO arrival.
     pub fn peek_idle_job(&self) -> Option<JobId> {
-        self.jobs
-            .iter()
-            .filter(|(_, e)| e.state == JobState::Idle)
-            .min_by(|(ia, a), (ib, b)| {
-                b.priority
-                    .partial_cmp(&a.priority)
-                    .expect("priorities are never NaN")
-                    .then(a.arrival.cmp(&b.arrival))
-                    .then(ia.cmp(ib))
-            })
-            .map(|(id, _)| *id)
+        self.idle_sorted.first().copied()
     }
 
-    /// All idle jobs in queue order.
-    pub fn idle_jobs(&self) -> Vec<JobId> {
-        let mut idle: Vec<(&JobId, &JobEntry)> =
-            self.jobs.iter().filter(|(_, e)| e.state == JobState::Idle).collect();
-        idle.sort_by(|(ia, a), (ib, b)| {
-            b.priority
-                .partial_cmp(&a.priority)
-                .expect("priorities are never NaN")
-                .then(a.arrival.cmp(&b.arrival))
-                .then(ia.cmp(ib))
-        });
-        idle.into_iter().map(|(id, _)| *id).collect()
+    /// All idle jobs in queue order. Served from the maintained index —
+    /// no allocation or sorting per call.
+    pub fn idle_jobs(&self) -> &[JobId] {
+        &self.idle_sorted
     }
 
     /// All running jobs, sorted by job id. The fixed order matters:
     /// policies iterate these lists when building batch fit requests, and
     /// hash-map iteration order would leak into scheduling decisions.
-    pub fn running_jobs(&self) -> Vec<JobId> {
-        let mut jobs: Vec<JobId> = self
-            .jobs
-            .iter()
-            .filter(|(_, e)| matches!(e.state, JobState::Running(_)))
-            .map(|(id, _)| *id)
-            .collect();
-        jobs.sort_unstable();
-        jobs
+    /// Served from the maintained index — no allocation or sorting per
+    /// call.
+    pub fn running_jobs(&self) -> &[JobId] {
+        &self.running_sorted
     }
 
     /// All active jobs — running, suspending, or idle-but-not-finished —
     /// sorted by job id (see [`running_jobs`](Self::running_jobs) for why
     /// the order is fixed). The paper's "non-terminated" set used for the
-    /// tail distribution.
-    pub fn active_jobs(&self) -> Vec<JobId> {
-        let mut jobs: Vec<JobId> = self
-            .jobs
-            .iter()
-            .filter(|(_, e)| {
-                matches!(e.state, JobState::Running(_) | JobState::Suspending(_) | JobState::Idle)
-            })
-            .map(|(id, _)| *id)
-            .collect();
-        jobs.sort_unstable();
-        jobs
+    /// tail distribution. Served from the maintained index — no
+    /// allocation or sorting per call.
+    pub fn active_jobs(&self) -> &[JobId] {
+        &self.active_sorted
     }
 
     /// Starts (or resumes) an idle job on a machine. Returns `true` if this
@@ -214,6 +238,8 @@ impl JobManager {
         e.state = JobState::Running(machine);
         let resumed = e.started_before;
         e.started_before = true;
+        self.dequeue_idle(job);
+        insert_by_id(&mut self.running_sorted, job);
         Ok(resumed)
     }
 
@@ -227,6 +253,7 @@ impl JobManager {
         match e.state {
             JobState::Running(m) => {
                 e.state = JobState::Suspending(m);
+                remove_by_id(&mut self.running_sorted, job);
                 Ok(m)
             }
             other => Err(Error::InvalidJobState {
@@ -249,6 +276,7 @@ impl JobManager {
             JobState::Suspending(m) => {
                 e.state = JobState::Idle;
                 e.arrival = arrival;
+                self.enqueue_idle(job);
                 Ok(m)
             }
             other => Err(Error::InvalidJobState {
@@ -275,9 +303,21 @@ impl JobManager {
             }
             state => {
                 e.state = JobState::Terminated;
+                self.retire(job, state);
                 Ok(state.machine())
             }
         }
+    }
+
+    /// Drops a finished job from the listing indexes, given its previous
+    /// live state.
+    fn retire(&mut self, job: JobId, was: JobState) {
+        match was {
+            JobState::Idle => self.dequeue_idle(job),
+            JobState::Running(_) => remove_by_id(&mut self.running_sorted, job),
+            _ => {}
+        }
+        remove_by_id(&mut self.active_sorted, job);
     }
 
     /// Marks a running job as completed (reached its max epoch). Returns
@@ -291,6 +331,7 @@ impl JobManager {
         match e.state {
             JobState::Running(m) => {
                 e.state = JobState::Completed;
+                self.retire(job, JobState::Running(m));
                 Ok(m)
             }
             other => Err(Error::InvalidJobState {
@@ -321,10 +362,15 @@ impl JobManager {
         let e = self.entry_mut(job)?;
         match e.state {
             JobState::Running(m) | JobState::Suspending(m) => {
+                let was_running = matches!(e.state, JobState::Running(_));
                 e.state = JobState::Idle;
                 e.arrival = arrival;
                 e.epochs_done = epochs;
                 e.started_before = has_snapshot;
+                if was_running {
+                    remove_by_id(&mut self.running_sorted, job);
+                }
+                self.enqueue_idle(job);
                 Ok(m)
             }
             other => Err(Error::InvalidJobState {
@@ -349,6 +395,7 @@ impl JobManager {
             }
             state => {
                 e.state = JobState::Failed;
+                self.retire(job, state);
                 Ok(state.machine())
             }
         }
@@ -382,7 +429,14 @@ impl JobManager {
         if priority.is_nan() {
             return Err(Error::InvalidParameter("priority cannot be NaN".into()));
         }
-        self.entry_mut(job)?.priority = priority;
+        let e = self.entry_mut(job)?;
+        e.priority = priority;
+        let idle = e.state == JobState::Idle;
+        // Re-labeling an idle job moves it to its new queue position.
+        if idle {
+            self.dequeue_idle(job);
+            self.enqueue_idle(job);
+        }
         Ok(())
     }
 
@@ -560,6 +614,69 @@ mod tests {
         assert!(jm.terminate_job(j).is_err(), "terminate after fail rejected");
         assert_eq!(jm.active_jobs(), vec![JobId::new(1)]);
         assert!(!jm.idle_jobs().contains(&j));
+    }
+
+    /// Exhaustively checks the maintained listing indexes against a
+    /// from-scratch recomputation over the entries.
+    fn assert_indexes_consistent(jm: &JobManager) {
+        let mut idle: Vec<JobId> =
+            jm.jobs.iter().filter(|(_, e)| e.state == JobState::Idle).map(|(id, _)| *id).collect();
+        idle.sort_by(|&a, &b| JobManager::idle_cmp(&jm.jobs, a, b));
+        assert_eq!(jm.idle_jobs(), idle, "idle index drifted");
+        let mut running: Vec<JobId> = jm
+            .jobs
+            .iter()
+            .filter(|(_, e)| matches!(e.state, JobState::Running(_)))
+            .map(|(id, _)| *id)
+            .collect();
+        running.sort_unstable();
+        assert_eq!(jm.running_jobs(), running, "running index drifted");
+        let mut active: Vec<JobId> = jm
+            .jobs
+            .iter()
+            .filter(|(_, e)| {
+                matches!(e.state, JobState::Running(_) | JobState::Suspending(_) | JobState::Idle)
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        active.sort_unstable();
+        assert_eq!(jm.active_jobs(), active, "active index drifted");
+    }
+
+    #[test]
+    fn listing_indexes_survive_every_transition() {
+        let mut jm = jm_with(6);
+        let m = MachineId::new(0);
+        assert_indexes_consistent(&jm);
+        jm.label_job(JobId::new(4), 0.8).unwrap();
+        assert_indexes_consistent(&jm);
+        jm.start_job(JobId::new(4), m).unwrap();
+        assert_indexes_consistent(&jm);
+        jm.begin_suspend(JobId::new(4)).unwrap();
+        assert_indexes_consistent(&jm);
+        jm.finish_suspend(JobId::new(4)).unwrap();
+        assert_indexes_consistent(&jm);
+        jm.start_job(JobId::new(0), MachineId::new(1)).unwrap();
+        jm.record_epoch(JobId::new(0)).unwrap();
+        jm.complete_job(JobId::new(0)).unwrap();
+        assert_indexes_consistent(&jm);
+        jm.start_job(JobId::new(1), MachineId::new(2)).unwrap();
+        jm.interrupt_job(JobId::new(1), 0, false).unwrap();
+        assert_indexes_consistent(&jm);
+        jm.terminate_job(JobId::new(2)).unwrap();
+        assert_indexes_consistent(&jm);
+        jm.start_job(JobId::new(3), MachineId::new(3)).unwrap();
+        jm.fail_job(JobId::new(3)).unwrap();
+        assert_indexes_consistent(&jm);
+        // Relabeling while running must not touch the idle queue; the new
+        // priority applies once the job re-queues.
+        jm.start_job(JobId::new(5), MachineId::new(4)).unwrap();
+        jm.label_job(JobId::new(5), 0.9).unwrap();
+        assert_indexes_consistent(&jm);
+        jm.begin_suspend(JobId::new(5)).unwrap();
+        jm.finish_suspend(JobId::new(5)).unwrap();
+        assert_indexes_consistent(&jm);
+        assert_eq!(jm.peek_idle_job(), Some(JobId::new(5)), "highest priority leads the queue");
     }
 
     #[test]

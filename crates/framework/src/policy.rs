@@ -73,11 +73,15 @@ pub trait SchedulerContext {
     fn eval_boundary(&self) -> u32;
 
     /// Jobs that are not terminated or completed (running, suspending, or
-    /// idle).
-    fn active_jobs(&self) -> Vec<JobId>;
+    /// idle), sorted by job id. Borrowed from the context's maintained
+    /// index — listing is free; callers that need ownership copy
+    /// explicitly with `.to_vec()`.
+    fn active_jobs(&self) -> &[JobId];
 
-    /// Jobs currently executing on a machine.
-    fn running_jobs(&self) -> Vec<JobId>;
+    /// Jobs currently executing on a machine, sorted by job id. Borrowed
+    /// from the context's maintained index, like
+    /// [`active_jobs`](Self::active_jobs).
+    fn running_jobs(&self) -> &[JobId];
 
     /// Number of jobs waiting in the idle queue.
     fn idle_job_count(&self) -> usize;
@@ -92,7 +96,9 @@ pub trait SchedulerContext {
     /// the determinism contract (request order must not depend on hash-map
     /// iteration or executor timing).
     fn active_curves(&self) -> Vec<(JobId, LearningCurve)> {
-        let mut jobs = self.active_jobs();
+        let mut jobs = self.active_jobs().to_vec();
+        // The engine's index is already id-sorted; this is a no-op there
+        // but keeps the ordering contract for contexts that are not.
         jobs.sort_unstable();
         jobs.into_iter().filter_map(|j| self.curve(j).map(|c| (j, c))).collect()
     }
@@ -279,11 +285,11 @@ pub mod testing {
         fn eval_boundary(&self) -> u32 {
             self.eval_boundary
         }
-        fn active_jobs(&self) -> Vec<JobId> {
-            self.active.clone()
+        fn active_jobs(&self) -> &[JobId] {
+            &self.active
         }
-        fn running_jobs(&self) -> Vec<JobId> {
-            self.running.clone()
+        fn running_jobs(&self) -> &[JobId] {
+            &self.running
         }
         fn idle_job_count(&self) -> usize {
             self.idle_jobs.len()

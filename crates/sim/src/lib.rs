@@ -56,7 +56,10 @@ pub fn run_sim(
     spec: ExperimentSpec,
 ) -> ExperimentResult {
     let mut engine = ExperimentEngine::new(policy, workload, spec);
-    let mut queue: EventQueue<EngineEvent> = EventQueue::new();
+    // Each job has at most one in-flight event, so sizing the heap to the
+    // job count (plus the stop sentinel) makes steady-state scheduling
+    // allocation-free.
+    let mut queue: EventQueue<EngineEvent> = EventQueue::with_capacity(workload.len() + 1);
     let mut now = SimTime::ZERO;
 
     let mut stopping = stepper::schedule(engine.start(), now, &mut queue);

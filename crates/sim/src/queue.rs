@@ -46,7 +46,20 @@ impl<E> Ord for Entry<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty queue with room for `capacity` pending events
+    /// before the backing heap reallocates. The stepper sizes its queue
+    /// from the job count up front so steady-state scheduling never grows
+    /// the heap.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(capacity), seq: 0 }
+    }
+
+    /// Number of events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
     }
 
     /// Schedules `event` at absolute time `at`.
@@ -125,6 +138,15 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let q: EventQueue<()> = EventQueue::with_capacity(64);
+        assert!(q.capacity() >= 64);
+        assert!(q.is_empty());
+        let fresh: EventQueue<()> = EventQueue::new();
+        assert!(fresh.is_empty());
     }
 
     #[test]

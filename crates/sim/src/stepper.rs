@@ -62,7 +62,10 @@ impl<'w, 'p> Simulation<'w, 'p> {
         spec: ExperimentSpec,
     ) -> Self {
         let mut engine = ExperimentEngine::new(policy, workload, spec);
-        let mut queue = EventQueue::new();
+        // Each job has at most one in-flight event, so sizing the heap to
+        // the job count (plus the stop sentinel) makes steady-state
+        // scheduling allocation-free.
+        let mut queue = EventQueue::with_capacity(workload.len() + 1);
         let now = SimTime::ZERO;
         let stopping = schedule(engine.start(), now, &mut queue);
         Simulation { engine, queue, now, stopping }

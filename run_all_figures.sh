@@ -1,17 +1,56 @@
 #!/bin/sh
 # Regenerates every paper figure/table at full scale. CSVs land in results/,
 # terminal tables in results/logs/.
+#
+# Usage: ./run_all_figures.sh [-j N]
+#   -j N   run N figure bins concurrently (default: number of CPUs).
+#
+# The workspace is built once up front; the figure bins then run from the
+# prebuilt binaries in parallel. The script fails fast: the first failing
+# bin aborts the run and its name is printed.
 set -e
-mkdir -p results/logs
-for bin in fig01_cifar_curves fig02_distribution_overtake fig03_prediction_over_time \
-           fig04_slot_allocation fig08_lunar_curves fig10_criu_overhead \
-           fig12a_sim_validation fig06_job_durations tab01_suspend_overhead \
-           fig09_time_to_target_lunar fig07_time_to_target_cifar \
-           fig12b_capacity_sweep fig12c_order_sensitivity \
-           tab02_lstm_frontier ablation_pop gantt_export scale_imagenet; do
-  echo "=== $bin ==="
-  cargo run -q --release -p hyperdrive-bench --bin "$bin" 2>&1 | tee "results/logs/$bin.log"
+
+JOBS=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 2)
+while getopts "j:" opt; do
+  case "$opt" in
+    j) JOBS="$OPTARG" ;;
+    *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+  esac
 done
+
+BINS="fig01_cifar_curves fig02_distribution_overtake fig03_prediction_over_time \
+fig04_slot_allocation fig08_lunar_curves fig10_criu_overhead \
+fig12a_sim_validation fig06_job_durations tab01_suspend_overhead \
+fig09_time_to_target_lunar fig07_time_to_target_cifar \
+fig12b_capacity_sweep fig12c_order_sensitivity \
+tab02_lstm_frontier ablation_pop gantt_export scale_imagenet"
+
+mkdir -p results/logs
+
+# Build every figure bin once; the parallel stage below only executes.
+echo "=== build (once, release) ==="
+# shellcheck disable=SC2086  # word-splitting BINS into repeated --bin flags is intended
+cargo build -q --release -p hyperdrive-bench $(for b in $BINS; do printf -- '--bin %s ' "$b"; done)
+
+BIN_DIR="$(dirname "$0")/target/release"
+
+# Run the independent figure bins JOBS at a time. A bin exiting 255 makes
+# xargs abort the whole run (fail fast), and the failing bin's name is
+# printed.
+export BIN_DIR
+# shellcheck disable=SC2086
+echo $BINS | tr ' ' '\n' | xargs -P "$JOBS" -I {} sh -c '
+  echo "=== {} ==="
+  if ! "$BIN_DIR/{}" > "results/logs/{}.log" 2>&1; then
+    echo "FAILED: {} (see results/logs/{}.log)" >&2
+    exit 255
+  fi
+'
+
 echo "=== fig12b_capacity_sweep (reinforcement learning, section 7.3) ==="
-cargo run -q --release -p hyperdrive-bench --bin fig12b_capacity_sweep -- --domain rl 2>&1 \
-  | tee results/logs/fig12b_capacity_sweep_rl.log
+if ! "$BIN_DIR/fig12b_capacity_sweep" --domain rl > results/logs/fig12b_capacity_sweep_rl.log 2>&1; then
+  echo "FAILED: fig12b_capacity_sweep --domain rl (see results/logs/fig12b_capacity_sweep_rl.log)" >&2
+  exit 1
+fi
+
+echo "all figures regenerated; logs in results/logs/"

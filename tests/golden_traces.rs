@@ -37,10 +37,24 @@ fn trace(
     tmax: SimTime,
     fit_threads: usize,
 ) -> String {
+    trace_with(workload, configs, seed, machines, tmax, fit_threads, false)
+}
+
+/// [`trace`] with an explicit warm-start switch.
+#[allow(clippy::too_many_arguments)]
+fn trace_with(
+    workload: &dyn Workload,
+    configs: usize,
+    seed: u64,
+    machines: usize,
+    tmax: SimTime,
+    fit_threads: usize,
+    warm_start: bool,
+) -> String {
     let ew = ExperimentWorkload::from_workload(workload, configs, seed);
     let spec = ExperimentSpec::new(machines).with_stop_on_target(false).with_tmax(tmax);
     let mut pop = PopPolicy::with_config(PopConfig {
-        predictor: PredictorConfig::test(),
+        predictor: PredictorConfig::test().with_warm_start(warm_start),
         fit_threads,
         seed,
         ..Default::default()
@@ -114,5 +128,26 @@ fn lunar_surface_trace_is_golden() {
     let workload = LunarWorkload::new().with_max_blocks(60);
     check_golden("lunar_trace.csv", |threads| {
         trace(&workload, 10, 11, 3, SimTime::from_hours(200.0), threads)
+    });
+}
+
+// Warm-started posteriors change the numerics on purpose (shorter,
+// seeded chains), so the warm path gets its *own* golden traces — also
+// locked at 1 and 4 fit threads, pinning that the warm source resolution
+// never depends on worker scheduling.
+
+#[test]
+fn cifar_surface_warm_trace_is_golden() {
+    let workload = CifarWorkload::new().with_max_epochs(40);
+    check_golden("cifar_warm_trace.csv", |threads| {
+        trace_with(&workload, 12, 7, 4, SimTime::from_hours(48.0), threads, true)
+    });
+}
+
+#[test]
+fn lunar_surface_warm_trace_is_golden() {
+    let workload = LunarWorkload::new().with_max_blocks(60);
+    check_golden("lunar_warm_trace.csv", |threads| {
+        trace_with(&workload, 10, 11, 3, SimTime::from_hours(200.0), threads, true)
     });
 }
