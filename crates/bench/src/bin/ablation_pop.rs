@@ -11,7 +11,7 @@
 //! random configuration orders on a small cluster: classification quality
 //! shows up in the median and the unlucky tail.
 
-use hyperdrive_bench::{print_table, quick_mode, write_csv};
+use hyperdrive_bench::{par_map, print_table, quick_mode, write_csv};
 use hyperdrive_core::{KillRule, PopConfig, PopPolicy};
 use hyperdrive_curve::PredictorConfig;
 use hyperdrive_framework::{ExperimentSpec, ExperimentWorkload};
@@ -57,30 +57,44 @@ fn main() {
         ),
     ];
 
-    let mut rows = Vec::new();
-    let mut csv_rows = Vec::new();
-    for (name, config) in &variants {
-        let mut times = Vec::new();
-        let mut epochs = Vec::new();
-        let mut failures = 0usize;
-        for order in 0..n_orders {
-            let permuted = traces.permuted(order as u64);
-            let experiment = ExperimentWorkload::from_traces(
+    // The permuted experiments are shared read-only across every variant;
+    // build each once instead of once per variant.
+    let experiments: Vec<ExperimentWorkload> = (0..n_orders as u64)
+        .map(|order| {
+            let permuted = traces.permuted(order);
+            ExperimentWorkload::from_traces(
                 &permuted,
                 workload.domain_knowledge(),
                 workload.eval_boundary(),
                 workload.default_target(),
                 workload.suspend_model(),
-            );
-            let spec =
-                ExperimentSpec::new(5).with_tmax(SimTime::from_hours(48.0)).with_seed(order as u64);
-            let mut policy = PopPolicy::with_config(PopConfig { seed: order as u64, ..*config });
-            let result = run_sim(&mut policy, &experiment, spec);
-            match result.time_to_target {
-                Some(t) => times.push(t.as_hours()),
+            )
+        })
+        .collect();
+    // Parallel grid over variant × order; results return in task order, so
+    // the per-variant accumulation below is identical to the old loop.
+    let tasks: Vec<(usize, u64)> = (0..variants.len())
+        .flat_map(|v| (0..n_orders as u64).map(move |order| (v, order)))
+        .collect();
+    let outcomes = par_map(&tasks, |&(v, order)| {
+        let spec = ExperimentSpec::new(5).with_tmax(SimTime::from_hours(48.0)).with_seed(order);
+        let mut policy = PopPolicy::with_config(PopConfig { seed: order, ..variants[v].1 });
+        let result = run_sim(&mut policy, &experiments[order as usize], spec);
+        (result.time_to_target.map(|t| t.as_hours()), result.total_epochs as f64)
+    });
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for ((name, _), chunk) in variants.iter().zip(outcomes.chunks(n_orders)) {
+        let mut times = Vec::new();
+        let mut epochs = Vec::new();
+        let mut failures = 0usize;
+        for (time, total_epochs) in chunk {
+            match time {
+                Some(t) => times.push(*t),
                 None => failures += 1,
             }
-            epochs.push(result.total_epochs as f64);
+            epochs.push(*total_epochs);
         }
         let median = stats::median(&times);
         let worst = times.iter().cloned().fold(f64::NAN, f64::max);
@@ -154,9 +168,8 @@ fn main() {
             },
         ),
     ];
-    let mut waste_rows = Vec::new();
-    for (name, config) in waste_variants {
-        let mut policy = PopPolicy::with_config(PopConfig { seed: 1, ..config });
+    let waste_rows = par_map(&waste_variants, |(name, config)| {
+        let mut policy = PopPolicy::with_config(PopConfig { seed: 1, ..*config });
         let result = run_sim(&mut policy, &experiment, spec);
         let wasted: u64 = result
             .outcomes
@@ -164,13 +177,13 @@ fn main() {
             .filter(|o| non_learner[o.job.raw() as usize])
             .map(|o| u64::from(o.epochs))
             .sum();
-        waste_rows.push(vec![
+        vec![
             name.to_string(),
             wasted.to_string(),
             result.terminated_early().to_string(),
             result.total_epochs.to_string(),
-        ]);
-    }
+        ]
+    });
     print_table(
         "Early-termination ablation: epochs wasted on non-learners (12h budget, run-all)",
         &["variant", "non-learner epochs", "terminated", "total epochs"],

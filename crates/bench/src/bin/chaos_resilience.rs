@@ -14,7 +14,7 @@
 //! SAP only as a shrunken machine pool and re-queued jobs, so POP and the
 //! baselines degrade gracefully or not at all on their own merits.
 
-use hyperdrive_bench::{print_table, quick_mode, write_csv, PolicyKind};
+use hyperdrive_bench::{par_map, print_table, quick_mode, write_csv, PolicyKind};
 use hyperdrive_curve::PredictorConfig;
 use hyperdrive_framework::{
     ExperimentResult, ExperimentSpec, ExperimentWorkload, FaultConfig, FaultPlan, JobEnd,
@@ -71,26 +71,78 @@ fn main() {
     let workload = CifarWorkload::new();
     let fidelity = if quick_mode() { PredictorConfig::test() } else { PredictorConfig::fast() };
 
-    let mut csv_rows: Vec<String> = Vec::new();
-    let mut table_rows: Vec<Vec<String>> = Vec::new();
+    let policies = PolicyKind::headline();
 
-    for kind in PolicyKind::headline() {
-        // Fault-free baselines, one per repeat, for inflation ratios and
-        // the exact rate-0 reproduction check.
-        let mut baseline_ttt: Vec<Option<SimTime>> = Vec::new();
-        let mut baselines: Vec<ExperimentResult> = Vec::new();
-        for repeat in 0..s.repeats {
+    // Fault-free baselines, one per (policy, repeat), for inflation ratios
+    // and the exact rate-0 reproduction check. Every run is seeded and
+    // independent; par_map returns them in task order.
+    let base_tasks: Vec<(usize, usize)> =
+        (0..policies.len()).flat_map(|p| (0..s.repeats).map(move |repeat| (p, repeat))).collect();
+    let baselines: Vec<ExperimentResult> = par_map(&base_tasks, |&(p, repeat)| {
+        let noise_seed = 7u64.wrapping_add(1_000 * (repeat as u64 + 1));
+        let ew =
+            ExperimentWorkload::from_workload_with_noise(&workload, s.n_configs, 7, noise_seed);
+        let spec = ExperimentSpec::new(s.machines).with_tmax(horizon).with_seed(noise_seed);
+        let mut policy = policies[p].build(fidelity, noise_seed);
+        run_sim(policy.as_mut(), &ew, spec)
+    });
+    let baseline = |p: usize, repeat: usize| &baselines[p * s.repeats + repeat];
+
+    // The faulted grid: each (policy, intensity, repeat) cell runs the
+    // target race and the run-to-completion audit.
+    let fault_tasks: Vec<(usize, usize, usize)> = (0..policies.len())
+        .flat_map(|p| {
+            (0..intensities.len())
+                .flat_map(move |ii| (0..s.repeats).map(move |repeat| (p, ii, repeat)))
+        })
+        .collect();
+    let fault_runs: Vec<(Option<SimTime>, ExperimentResult)> =
+        par_map(&fault_tasks, |&(p, ii, repeat)| {
+            let kind = policies[p];
+            let (intensity, rate_label) = intensities[ii];
             let noise_seed = 7u64.wrapping_add(1_000 * (repeat as u64 + 1));
+            let fault_seed = 31u64.wrapping_add(repeat as u64);
             let ew =
                 ExperimentWorkload::from_workload_with_noise(&workload, s.n_configs, 7, noise_seed);
+            let plan = FaultPlan::generate(
+                s.machines,
+                &FaultConfig::with_intensity(fault_seed, horizon, intensity),
+            );
+
+            // Race to the target: time-to-target inflation.
             let spec = ExperimentSpec::new(s.machines).with_tmax(horizon).with_seed(noise_seed);
             let mut policy = kind.build(fidelity, noise_seed);
-            let result = run_sim(policy.as_mut(), &ew, spec);
-            baseline_ttt.push(result.time_to_target);
-            baselines.push(result);
-        }
+            let result = run_sim_with_faults(policy.as_mut(), &ew, spec, &plan);
+            check_run(&result, false, &format!("{} {} target", kind.label(), rate_label));
+            if intensity == 0.0 {
+                let base = baseline(p, repeat);
+                assert_eq!(
+                    result.end_time, base.end_time,
+                    "rate 0 must reproduce the fault-free clock exactly"
+                );
+                assert_eq!(result.total_epochs, base.total_epochs);
+                assert_eq!(result.time_to_target, base.time_to_target);
+            }
 
-        for &(intensity, rate_label) in &intensities {
+            // Run everything to completion: work-lost accounting.
+            // The generous Tmax guarantees the run ends by finishing
+            // its jobs, not by exhausting the clock (faults are still
+            // confined to the first `horizon` hours).
+            let spec = ExperimentSpec::new(s.machines)
+                .with_tmax(SimTime::from_hours(1_000.0))
+                .with_seed(noise_seed)
+                .with_stop_on_target(false);
+            let mut policy = kind.build(fidelity, noise_seed);
+            let full = run_sim_with_faults(policy.as_mut(), &ew, spec, &plan);
+            check_run(&full, true, &format!("{} {} completion", kind.label(), rate_label));
+            (result.time_to_target, full)
+        });
+
+    let mut csv_rows: Vec<String> = Vec::new();
+    let mut table_rows: Vec<Vec<String>> = Vec::new();
+    let mut cells = fault_runs.iter();
+    for (p, kind) in policies.iter().enumerate() {
+        for &(_, rate_label) in &intensities {
             let mut ttt_hours: Vec<f64> = Vec::new();
             let mut inflations: Vec<f64> = Vec::new();
             let mut lost_epochs: u64 = 0;
@@ -101,34 +153,8 @@ fn main() {
             let mut misses = 0usize;
 
             for repeat in 0..s.repeats {
-                let noise_seed = 7u64.wrapping_add(1_000 * (repeat as u64 + 1));
-                let fault_seed = 31u64.wrapping_add(repeat as u64);
-                let ew = ExperimentWorkload::from_workload_with_noise(
-                    &workload,
-                    s.n_configs,
-                    7,
-                    noise_seed,
-                );
-                let plan = FaultPlan::generate(
-                    s.machines,
-                    &FaultConfig::with_intensity(fault_seed, horizon, intensity),
-                );
-
-                // Race to the target: time-to-target inflation.
-                let spec = ExperimentSpec::new(s.machines).with_tmax(horizon).with_seed(noise_seed);
-                let mut policy = kind.build(fidelity, noise_seed);
-                let result = run_sim_with_faults(policy.as_mut(), &ew, spec, &plan);
-                check_run(&result, false, &format!("{} {} target", kind.label(), rate_label));
-                if intensity == 0.0 {
-                    let base = &baselines[repeat];
-                    assert_eq!(
-                        result.end_time, base.end_time,
-                        "rate 0 must reproduce the fault-free clock exactly"
-                    );
-                    assert_eq!(result.total_epochs, base.total_epochs);
-                    assert_eq!(result.time_to_target, base.time_to_target);
-                }
-                match (result.time_to_target, baseline_ttt[repeat]) {
+                let (ttt, full) = cells.next().expect("one cell per task");
+                match (*ttt, baseline(p, repeat).time_to_target) {
                     (Some(t), Some(b)) if b > SimTime::ZERO => {
                         ttt_hours.push(t.as_hours());
                         inflations.push(t.as_secs() / b.as_secs());
@@ -136,32 +162,20 @@ fn main() {
                     (Some(t), _) => ttt_hours.push(t.as_hours()),
                     (None, _) => misses += 1,
                 }
-
-                // Run everything to completion: work-lost accounting.
-                // The generous Tmax guarantees the run ends by finishing
-                // its jobs, not by exhausting the clock (faults are still
-                // confined to the first `horizon` hours).
-                let spec = ExperimentSpec::new(s.machines)
-                    .with_tmax(SimTime::from_hours(1_000.0))
-                    .with_seed(noise_seed)
-                    .with_stop_on_target(false);
-                let mut policy = kind.build(fidelity, noise_seed);
-                let full = run_sim_with_faults(policy.as_mut(), &ew, spec, &plan);
-                check_run(&full, true, &format!("{} {} completion", kind.label(), rate_label));
                 lost_epochs += full.faults.lost_epochs;
                 total_epochs += full.total_epochs;
                 crashes += full.faults.machine_crashes;
                 stalls += full.faults.agent_stalls;
                 failed += full.faults.failed_jobs;
 
+                // Missing values use the repo-wide `NaN` convention (see
+                // `crates/bench/src/report.rs`).
                 csv_rows.push(format!(
                     "{},{},{},{},{},{},{},{},{}",
                     kind.label(),
                     rate_label,
                     repeat,
-                    result
-                        .time_to_target
-                        .map_or_else(|| "-".into(), |t| format!("{:.4}", t.as_hours())),
+                    ttt.map_or_else(|| "NaN".into(), |t| format!("{:.4}", t.as_hours())),
                     full.faults.lost_epochs,
                     full.total_epochs,
                     full.faults.machine_crashes,

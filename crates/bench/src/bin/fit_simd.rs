@@ -1,0 +1,326 @@
+//! Benchmarks the vectorized likelihood kernel (`fast_math`): cold per-fit
+//! latency of the reference path vs the batched structure-of-arrays path,
+//! heap allocations per MCMC step on the fast path, forced-scalar vs
+//! dispatched bit-identity of both the raw kernels and the full fast
+//! log-posterior, and warm+fast refit speedup through the [`FitService`].
+//! Emits `BENCH_fit_simd.json` into the results directory.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use hyperdrive_bench::{print_table, quick_mode, results_dir};
+use hyperdrive_curve::fastpath::{FastGrid, PosteriorEvalFast};
+use hyperdrive_curve::fit::{build_initial_walkers, fit_all_families_fast, FamilyFitBuf};
+use hyperdrive_curve::mcmc::{sample_into, McmcScratch, SamplerOptions};
+use hyperdrive_curve::nelder_mead::NmScratch;
+use hyperdrive_curve::vmath::{self, Backend};
+use hyperdrive_curve::{CurvePredictor, FitRequest, FitScratch, FitService, PredictorConfig};
+use hyperdrive_types::{JobId, LearningCurve, MetricKind, SimTime};
+use hyperdrive_workload::{CifarWorkload, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Counts heap allocation events (alloc + realloc) so the bench can pin
+/// the zero-allocations-per-MCMC-step property on the fast path too.
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn alloc_events() -> u64 {
+    ALLOC_EVENTS.load(Ordering::Relaxed)
+}
+
+/// Observed prefixes of real CIFAR surface configurations.
+fn cifar_curves(n: usize, epochs: u32) -> Vec<LearningCurve> {
+    let workload = CifarWorkload::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    (0..n)
+        .map(|i| {
+            let config = workload.space().sample(&mut rng);
+            let profile = workload.profile(&config, 100 + i as u64);
+            let mut curve = LearningCurve::new(MetricKind::Accuracy);
+            let mut elapsed = 0.0;
+            for e in 1..=epochs.min(profile.max_epochs()) {
+                elapsed += profile.epoch_duration(e).as_secs();
+                curve.push(e, SimTime::from_secs(elapsed), profile.value_at(e));
+            }
+            curve
+        })
+        .collect()
+}
+
+/// Asserts two slices are bitwise equal (NaN-safe), returning the count of
+/// compared lanes.
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) -> usize {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: lane {i} diverged ({x:e} vs {y:e})");
+    }
+    a.len()
+}
+
+fn main() {
+    let quick = quick_mode();
+    let n_curves = if quick { 8 } else { 24 };
+    let reps = if quick { 2 } else { 3 };
+    let config = if quick { PredictorConfig::test() } else { PredictorConfig::fast() };
+    let horizon = 120u32;
+    let curves = cifar_curves(n_curves, 20);
+    let dispatched = vmath::active_backend();
+
+    // ---- Kernel-level bit identity: the forced-scalar loop and the
+    // autovectorized dispatch target must produce identical bit patterns on
+    // every input, including NaN / negatives / denormal-adjacent values.
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut kernel_lanes = 0usize;
+    for len in [1usize, 7, 64, 1023] {
+        let base: Vec<f64> = (0..len)
+            .map(|i| match i % 5 {
+                0 => rng.gen_range(-720.0..720.0),
+                1 => rng.gen_range(1e-12..1e12),
+                2 => -rng.gen_range(0.0..10.0),
+                3 => f64::NAN,
+                _ => rng.gen_range(0.0..1.5),
+            })
+            .collect();
+        let mut s = base.clone();
+        let mut v = base.clone();
+        vmath::vexp_with(Backend::Scalar, &mut s);
+        vmath::vexp_with(Backend::Simd, &mut v);
+        kernel_lanes += assert_bits_eq(&s, &v, "vexp");
+        let mut s = base.clone();
+        let mut v = base.clone();
+        vmath::vln_with(Backend::Scalar, &mut s);
+        vmath::vln_with(Backend::Simd, &mut v);
+        kernel_lanes += assert_bits_eq(&s, &v, "vln");
+        let mut s = base.clone();
+        let mut v = base.clone();
+        vmath::vpow_with(Backend::Scalar, &mut s, 1.37);
+        vmath::vpow_with(Backend::Simd, &mut v, 1.37);
+        kernel_lanes += assert_bits_eq(&s, &v, "vpow");
+    }
+
+    // ---- Full-posterior bit identity: forced-scalar vs dispatched
+    // evaluation of the fast log-posterior over realistic walker positions.
+    let obs: Vec<(f64, f64)> =
+        curves[0].points().iter().map(|p| (f64::from(p.epoch), p.value)).collect();
+    let mut grid = FastGrid::new();
+    for &(x, _) in &obs {
+        grid.push(x);
+    }
+    grid.push(f64::from(horizon));
+    let ys: Vec<f64> = obs.iter().map(|&(_, y)| y).collect();
+    let mut means_a = vec![0.0; ys.len()];
+    let mut means_b = vec![0.0; ys.len()];
+    let mut t_a = vec![0.0; ys.len()];
+    let mut t_b = vec![0.0; ys.len()];
+    let mut nm = NmScratch::default();
+    let mut fam = FamilyFitBuf::default();
+    let mut rng = StdRng::seed_from_u64(7);
+    let fits = fit_all_families_fast(&grid, &ys, &mut rng, &mut nm, &mut fam, dispatched);
+    let init = build_initial_walkers(&fits, config.walkers, &mut rng);
+    let mut posterior_evals = 0usize;
+    {
+        let mut scalar_eval =
+            PosteriorEvalFast::new(&grid, &ys, &mut means_a, &mut t_a, Backend::Scalar);
+        let mut simd_eval =
+            PosteriorEvalFast::new(&grid, &ys, &mut means_b, &mut t_b, Backend::Simd);
+        for theta in &init {
+            let lp_s = scalar_eval.log_posterior(theta);
+            let lp_v = simd_eval.log_posterior(theta);
+            assert_eq!(
+                lp_s.to_bits(),
+                lp_v.to_bits(),
+                "fast log-posterior diverged between backends: {lp_s:e} vs {lp_v:e}"
+            );
+            posterior_evals += 1;
+        }
+    }
+
+    // ---- Cold per-fit latency: reference vs optimized-scalar vs fast_math,
+    // interleaved per curve with the per-path total taken as the minimum
+    // over repetitions so load drift cannot skew the ratios.
+    let reference = CurvePredictor::new(config.with_seed(7));
+    let fast = CurvePredictor::new(config.with_fast_math(true).with_seed(7));
+    let mut scratch_opt = FitScratch::new();
+    let mut scratch_fast = FitScratch::new();
+    // Untimed warm-up sizes both scratches and faults code in.
+    let _ = reference.fit_with(&curves[0], horizon, None, &mut scratch_opt);
+    let _ = fast.fit_with(&curves[0], horizon, None, &mut scratch_fast);
+
+    let mut ref_secs = f64::INFINITY;
+    let mut opt_secs = f64::INFINITY;
+    let mut fast_secs = f64::INFINITY;
+    for rep in 0..reps {
+        let mut rep_ref = 0.0;
+        let mut rep_opt = 0.0;
+        let mut rep_fast = 0.0;
+        for c in &curves {
+            let t = Instant::now();
+            let _ = reference.fit_reference(c, horizon).expect("fit ok");
+            rep_ref += t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            let _ = reference.fit_with(c, horizon, None, &mut scratch_opt).expect("fit ok");
+            rep_opt += t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            let a = fast.fit_with(c, horizon, None, &mut scratch_fast).expect("fit ok");
+            rep_fast += t.elapsed().as_secs_f64();
+            if rep == 0 {
+                // Determinism (not reference-equality): a second fast fit
+                // must reproduce the first draw-for-draw.
+                let mut check = FitScratch::new();
+                let b = fast.fit_with(c, horizon, None, &mut check).expect("fit ok");
+                assert_eq!(a.draws(), b.draws(), "fast path is nondeterministic");
+            }
+        }
+        ref_secs = ref_secs.min(rep_ref);
+        opt_secs = opt_secs.min(rep_opt);
+        fast_secs = fast_secs.min(rep_fast);
+    }
+    let ref_ms = ref_secs * 1e3 / n_curves as f64;
+    let opt_ms = opt_secs * 1e3 / n_curves as f64;
+    let fast_ms = fast_secs * 1e3 / n_curves as f64;
+    let fast_speedup = ref_secs / fast_secs.max(1e-12);
+    let fast_vs_opt = opt_secs / fast_secs.max(1e-12);
+
+    // ---- Allocations per MCMC step on the fast path, measured around
+    // sample_into with warmed buffers (exactly how fit_with drives it).
+    let mut means = vec![0.0; ys.len()];
+    let mut tbuf = vec![0.0; ys.len()];
+    let mut mcmc = McmcScratch::default();
+    let opts = SamplerOptions {
+        steps: config.steps,
+        burn_in_frac: config.burn_in_frac,
+        thin: config.thin,
+        stretch: 2.0,
+    };
+    let mut eval = PosteriorEvalFast::new(&grid, &ys, &mut means, &mut tbuf, dispatched);
+    let mut rng_a = StdRng::seed_from_u64(11);
+    let _ = sample_into(|t| eval.log_posterior(t), &init, opts, &mut rng_a, &mut mcmc);
+    let mut rng_b = StdRng::seed_from_u64(11);
+    let before = alloc_events();
+    let _chain = sample_into(|t| eval.log_posterior(t), &init, opts, &mut rng_b, &mut mcmc);
+    let alloc_delta = alloc_events() - before;
+    let proposals = (config.steps * config.walkers) as u64;
+    let allocs_per_step = alloc_delta as f64 / proposals as f64;
+    assert_eq!(alloc_delta, 0, "fast MCMC inner loop allocated {alloc_delta} times");
+
+    // ---- Warm + fast refit speedup through the FitService: epoch-20
+    // posteriors seed the epoch-24 refits, all on the fast path. Fresh
+    // service pairs per repetition (the fit cache would otherwise answer
+    // the second rep), minimum over repetitions.
+    let grown = cifar_curves(n_curves, 24);
+    let batch = |cs: &[LearningCurve]| -> Vec<FitRequest> {
+        cs.iter()
+            .enumerate()
+            .map(|(j, c)| FitRequest { job: JobId::new(j as u64), curve: c.clone(), horizon })
+            .collect()
+    };
+    let fast_config = config.with_fast_math(true);
+    let mut cold_refit_secs = f64::INFINITY;
+    let mut warm_refit_secs = f64::INFINITY;
+    for _ in 0..reps.min(2) {
+        let cold_service = FitService::new(fast_config, 7, 1);
+        cold_service.fit_batch(&batch(&curves));
+        let t = Instant::now();
+        cold_service.fit_batch(&batch(&grown));
+        cold_refit_secs = cold_refit_secs.min(t.elapsed().as_secs_f64());
+
+        let warm_service = FitService::new(fast_config.with_warm_start(true), 7, 1);
+        warm_service.fit_batch(&batch(&curves));
+        let t = Instant::now();
+        warm_service.fit_batch(&batch(&grown));
+        warm_refit_secs = warm_refit_secs.min(t.elapsed().as_secs_f64());
+        let warm_stats = warm_service.stats();
+        assert_eq!(warm_stats.warm_fits, n_curves as u64, "every refit should warm-start");
+    }
+    let warm_fast_ms = warm_refit_secs * 1e3 / n_curves as f64;
+    let warm_fast_speedup = cold_refit_secs / warm_refit_secs.max(1e-12);
+    let warm_fast_vs_reference = ref_ms / warm_fast_ms.max(1e-12);
+
+    print_table(
+        "vectorized likelihood kernel",
+        &[
+            "curves",
+            "backend",
+            "ref_ms/fit",
+            "opt_ms/fit",
+            "fast_ms/fit",
+            "fast_speedup",
+            "fast_vs_opt",
+            "allocs/step",
+            "warmfast_ms",
+            "warmfast_vs_ref",
+        ],
+        &[vec![
+            n_curves.to_string(),
+            format!("{dispatched:?}"),
+            format!("{ref_ms:.2}"),
+            format!("{opt_ms:.2}"),
+            format!("{fast_ms:.2}"),
+            format!("{fast_speedup:.2}x"),
+            format!("{fast_vs_opt:.2}x"),
+            format!("{allocs_per_step:.3}"),
+            format!("{warm_fast_ms:.2}"),
+            format!("{warm_fast_vs_reference:.2}x"),
+        ]],
+    );
+    println!(
+        "bit-identity: {kernel_lanes} kernel lanes + {posterior_evals} posterior evals, \
+         scalar == {dispatched:?}"
+    );
+
+    let path = results_dir().join("BENCH_fit_simd.json");
+    let mut f = std::fs::File::create(&path).expect("json file creatable");
+    write!(
+        f,
+        r#"{{
+  "curves": {n_curves},
+  "quick": {quick},
+  "timing": "interleaved per curve, min over {reps} repetitions",
+  "dispatched_backend": "{dispatched:?}",
+  "per_fit_reference_ms": {ref_ms:.4},
+  "per_fit_optimized_ms": {opt_ms:.4},
+  "per_fit_fast_ms": {fast_ms:.4},
+  "fast_cold_speedup_vs_reference": {fast_speedup:.3},
+  "fast_cold_speedup_vs_optimized": {fast_vs_opt:.3},
+  "mcmc_proposals_measured": {proposals},
+  "mcmc_alloc_events": {alloc_delta},
+  "allocs_per_mcmc_step": {allocs_per_step:.6},
+  "bit_identity_kernel_lanes": {kernel_lanes},
+  "bit_identity_posterior_evals": {posterior_evals},
+  "bit_identical_scalar_vs_dispatched": true,
+  "warm_fast_refit_batch_s": {warm_refit_secs:.4},
+  "cold_fast_refit_batch_s": {cold_refit_secs:.4},
+  "per_fit_warm_fast_ms": {warm_fast_ms:.4},
+  "warm_fast_speedup": {warm_fast_speedup:.3},
+  "warm_fast_vs_reference_speedup": {warm_fast_vs_reference:.3}
+}}
+"#,
+    )
+    .expect("json write");
+    println!("wrote {}", path.display());
+}

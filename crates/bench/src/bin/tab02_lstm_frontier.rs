@@ -10,7 +10,7 @@
 //!    (perplexity ≤ 150 AND sparsity ≥ 35%), reporting the "significantly
 //!    reduced training time" vs exploring without the criterion.
 
-use hyperdrive_bench::{print_table, quick_mode, write_csv};
+use hyperdrive_bench::{par_map, print_table, quick_mode, write_csv};
 use hyperdrive_core::{PopConfig, PopPolicy};
 use hyperdrive_curve::PredictorConfig;
 use hyperdrive_framework::{ExperimentSpec, ExperimentWorkload};
@@ -34,12 +34,16 @@ fn main() {
     base.set("seq_len", ParamValue::Int(35));
     base.set("grad_clip", ParamValue::Float(5.0));
 
-    let mut frontier_rows = Vec::new();
-    let mut csv_rows = Vec::new();
-    for exp in [-6.0f64, -5.0, -4.5, -4.0, -3.6, -3.2, -2.8, -2.4, -2.0] {
+    let exponents = [-6.0f64, -5.0, -4.5, -4.0, -3.6, -3.2, -2.8, -2.4, -2.0];
+    let frontier = par_map(&exponents, |&exp| {
         let mut c = base.clone();
         c.set("lambda", ParamValue::Float(10f64.powf(exp)));
         let (_, ppl, sparsity) = workload.outcome(&c);
+        (exp, ppl, sparsity)
+    });
+    let mut frontier_rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for &(exp, ppl, sparsity) in &frontier {
         frontier_rows.push(vec![
             format!("1e{exp:.1}"),
             format!("{ppl:.1}"),
@@ -70,11 +74,18 @@ fn main() {
                 && view.secondary.and_then(|s| s.last_value()).is_some_and(|s| s >= 0.35)
         },
     );
-    let stopped = run_sim(&mut with_criterion, &experiment, spec);
-
-    let mut without =
-        PopPolicy::with_config(PopConfig { predictor: fidelity, ..Default::default() });
-    let exhaustive = run_sim(&mut without, &experiment, spec);
+    // The with/without-criterion runs are independent deterministic sims;
+    // overlap them (the criterion policy stays owned here so
+    // `satisfied_by` works below).
+    let (stopped, exhaustive) = std::thread::scope(|scope| {
+        let handle = scope.spawn(|| {
+            let mut without =
+                PopPolicy::with_config(PopConfig { predictor: fidelity, ..Default::default() });
+            run_sim(&mut without, &experiment, spec)
+        });
+        let stopped = run_sim(&mut with_criterion, &experiment, spec);
+        (stopped, handle.join().expect("exhaustive sim finished"))
+    });
 
     let mut rows = vec![
         vec![

@@ -28,6 +28,44 @@ pub enum PolicyKind {
     Hyperband,
 }
 
+/// Fit-pool width used for every POP instance built by the harness.
+///
+/// [`run_comparison`] already parallelizes across replicates with one
+/// worker per hardware thread. A `PopConfig` default of `fit_threads: 0`
+/// would make *each* replicate spawn its own hardware-sized fit pool —
+/// O(cores²) threads on a big host, which oversubscribes the machine and
+/// slows the sweep down. Each simulation is deterministic regardless of
+/// pool width, so the harness caps per-replicate pools at one thread and
+/// keeps the parallelism at the replicate level where it scales cleanly.
+/// Override with `HYPERDRIVE_BENCH_FIT_THREADS` to study other splits.
+pub fn harness_fit_threads() -> usize {
+    std::env::var("HYPERDRIVE_BENCH_FIT_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+/// Records the harness fit-pool decision once per process so bench runs
+/// are auditable: writes `BENCH_harness.json` into the results directory.
+fn record_fit_thread_choice(threads: usize, workers: usize) {
+    use std::io::Write as _;
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let from_env = std::env::var_os("HYPERDRIVE_BENCH_FIT_THREADS").is_some();
+        let path = crate::results_dir().join("BENCH_harness.json");
+        if let Ok(mut f) = std::fs::File::create(path) {
+            let _ = write!(
+                f,
+                "{{\n  \"per_replicate_fit_threads\": {threads},\n  \
+                 \"source\": \"{}\",\n  \"replicate_workers\": {workers}\n}}\n",
+                if from_env { "HYPERDRIVE_BENCH_FIT_THREADS" } else { "default" },
+            );
+        }
+    });
+}
+
 impl PolicyKind {
     /// Display label.
     pub fn label(self) -> &'static str {
@@ -58,6 +96,7 @@ impl PolicyKind {
             PolicyKind::Pop => Box::new(PopPolicy::with_config(PopConfig {
                 predictor: fidelity,
                 seed,
+                fit_threads: harness_fit_threads(),
                 ..Default::default()
             })),
             PolicyKind::Bandit => Box::new(BanditPolicy::new()),
@@ -201,6 +240,7 @@ pub fn run_comparison(
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
         .min(n_tasks.max(1));
+    record_fit_thread_choice(harness_fit_threads(), workers);
 
     std::thread::scope(|scope| {
         for _ in 0..workers {

@@ -18,9 +18,12 @@
 #![warn(rust_2018_idioms)]
 
 pub mod harness;
+pub mod par;
 pub mod report;
 
 pub use harness::{
-    run_comparison, summarize, ComparisonRun, ComparisonSettings, PolicyKind, PolicySummary,
+    harness_fit_threads, run_comparison, summarize, ComparisonRun, ComparisonSettings, PolicyKind,
+    PolicySummary,
 };
+pub use par::par_map;
 pub use report::{hours, mins, print_table, quick_mode, results_dir, write_csv};

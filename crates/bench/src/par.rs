@@ -1,0 +1,84 @@
+//! Deterministic parallel map for figure binaries.
+//!
+//! Most figure binaries run a grid of independent, deterministic
+//! simulations (policy × sweep-point × repeat) and then emit one CSV in a
+//! fixed order. [`par_map`] runs that grid on a scoped worker pool while
+//! keeping the *output* order identical to the input order, so a migrated
+//! binary produces byte-identical CSVs — only the wall clock changes.
+//!
+//! Workers pull the next task index from a shared atomic counter (cheap
+//! work stealing — long simulations don't convoy behind short ones) and
+//! write each result into its input slot. No dependencies, no channels,
+//! no executor: `std::thread::scope` joins everything before return.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maps `f` over `items` on a worker pool, returning results in input
+/// order. `f` must be deterministic per item for reproducible output
+/// (every caller in this crate satisfies that: simulations are seeded).
+///
+/// Worker count is `available_parallelism` capped at `items.len()`; on a
+/// single-core host this degrades to a plain sequential map.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope unwinds).
+pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(4).min(n);
+    let results: Mutex<Vec<Option<U>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(&items[i]);
+                results.lock().expect("no panics hold the lock")[i] = Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("workers finished")
+        .into_iter()
+        .map(|r| r.expect("every task ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let out = par_map(&items, |&i| i * 3);
+        assert_eq!(out, items.iter().map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u32> = Vec::new();
+        assert!(par_map(&none, |x| *x).is_empty());
+        assert_eq!(par_map(&[41], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn matches_sequential_map_with_uneven_work() {
+        let items: Vec<u64> = (0..40).collect();
+        let slow = |&i: &u64| {
+            // Uneven task sizes exercise the stealing order.
+            let spins = if i % 7 == 0 { 10_000 } else { 10 };
+            (0..spins).fold(i, |acc, _| acc.wrapping_mul(6364136223846793005).wrapping_add(1))
+        };
+        assert_eq!(par_map(&items, slow), items.iter().map(slow).collect::<Vec<_>>());
+    }
+}

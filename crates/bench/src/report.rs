@@ -1,5 +1,15 @@
 //! Result output: CSV series for plotting and aligned text tables for the
 //! terminal / EXPERIMENTS.md.
+//!
+//! # Missing-value convention
+//!
+//! Figure CSVs encode a missing measurement (e.g. a run that never reached
+//! the target) as the literal string `NaN` — never `-`, an empty field, or
+//! a sentinel number — so every numeric column parses with a stock float
+//! parser in pandas/numpy/gnuplot. Binaries whose rows are meaningless
+//! without the measurement may instead omit the row entirely (the
+//! per-repeat fig07/fig09 series do this). The `-` placeholder is for
+//! human-facing [`print_table`] output only and must not appear in CSVs.
 
 use std::fs::File;
 use std::io::{BufWriter, Write};

@@ -59,15 +59,30 @@ pub struct FitCostModel {
     pub secs_per_kiloeval: f64,
     /// Virtual worker count the batch is scheduled onto.
     pub modeled_workers: usize,
+    /// Modeled throughput multiplier applied when the priced
+    /// [`PredictorConfig`] has `fast_math` enabled (the batched-kernel
+    /// likelihood path). `1.0` prices fast-math fits the same as libm
+    /// fits; the `fit_simd` bench measures the real ratio (its JSON
+    /// reports the measured cold speedup). Must be positive.
+    pub fast_math_speedup: f64,
 }
 
 impl FitCostModel {
+    /// The per-kiloeval price adjusted for `config`'s likelihood path.
+    fn kiloeval_price(&self, config: &PredictorConfig) -> f64 {
+        if config.fast_math {
+            self.secs_per_kiloeval / self.fast_math_speedup
+        } else {
+            self.secs_per_kiloeval
+        }
+    }
+
     /// Modeled cost (seconds) of one fit at `config` fidelity over
     /// `n_obs` observations.
     #[must_use]
     pub fn fit_secs(&self, config: &PredictorConfig, n_obs: usize) -> f64 {
         let evals = config.walkers * config.steps * n_obs.clamp(1, config.max_obs);
-        evals as f64 / 1000.0 * self.secs_per_kiloeval
+        evals as f64 / 1000.0 * self.kiloeval_price(config)
     }
 
     /// Modeled cost (seconds) of one **warm-started** fit: same
@@ -76,7 +91,7 @@ impl FitCostModel {
     #[must_use]
     pub fn warm_fit_secs(&self, config: &PredictorConfig, n_obs: usize) -> f64 {
         let evals = config.walkers * config.warm_steps * n_obs.clamp(1, config.max_obs);
-        evals as f64 / 1000.0 * self.secs_per_kiloeval
+        evals as f64 / 1000.0 * self.kiloeval_price(config)
     }
 
     /// Makespan of scheduling `costs` (in request order) onto the modeled
@@ -670,7 +685,8 @@ mod tests {
 
     #[test]
     fn fit_cost_prices_evals_and_clamps_observations() {
-        let model = FitCostModel { secs_per_kiloeval: 2.0, modeled_workers: 1 };
+        let model =
+            FitCostModel { secs_per_kiloeval: 2.0, modeled_workers: 1, fast_math_speedup: 1.0 };
         let config = PredictorConfig::test();
         let base = model.fit_secs(&config, 1);
         assert!(base > 0.0);
@@ -685,7 +701,8 @@ mod tests {
 
     #[test]
     fn warm_fits_are_priced_by_their_shorter_schedule() {
-        let model = FitCostModel { secs_per_kiloeval: 2.0, modeled_workers: 1 };
+        let model =
+            FitCostModel { secs_per_kiloeval: 2.0, modeled_workers: 1, fast_math_speedup: 1.0 };
         let config = PredictorConfig::test();
         let cold = model.fit_secs(&config, 5);
         let warm = model.warm_fit_secs(&config, 5);
@@ -700,12 +717,15 @@ mod tests {
     #[test]
     fn makespan_overlaps_fits_across_modeled_workers() {
         let costs = [3.0, 3.0, 3.0, 3.0];
-        let serial = FitCostModel { secs_per_kiloeval: 1.0, modeled_workers: 1 };
-        let quad = FitCostModel { secs_per_kiloeval: 1.0, modeled_workers: 4 };
+        let serial =
+            FitCostModel { secs_per_kiloeval: 1.0, modeled_workers: 1, fast_math_speedup: 1.0 };
+        let quad =
+            FitCostModel { secs_per_kiloeval: 1.0, modeled_workers: 4, fast_math_speedup: 1.0 };
         assert_eq!(serial.makespan_secs(&costs), 12.0, "one worker pays the sum");
         assert_eq!(quad.makespan_secs(&costs), 3.0, "four workers fully overlap");
         // Uneven batch: greedy least-loaded puts {5} alone and {3, 2} together.
-        let uneven = FitCostModel { secs_per_kiloeval: 1.0, modeled_workers: 2 };
+        let uneven =
+            FitCostModel { secs_per_kiloeval: 1.0, modeled_workers: 2, fast_math_speedup: 1.0 };
         assert_eq!(uneven.makespan_secs(&[5.0, 3.0, 2.0]), 5.0);
         assert_eq!(serial.makespan_secs(&[]), 0.0, "all-cached batches are free");
     }
@@ -717,7 +737,11 @@ mod tests {
         ctx.active = vec![JobId::new(0)];
         let mut policy = PopPolicy::with_config(PopConfig {
             predictor: PredictorConfig::test(),
-            fit_cost: Some(FitCostModel { secs_per_kiloeval: 1.0, modeled_workers: 1 }),
+            fit_cost: Some(FitCostModel {
+                secs_per_kiloeval: 1.0,
+                modeled_workers: 1,
+                fast_math_speedup: 1.0,
+            }),
             ..Default::default()
         });
         policy.on_iteration_finish(&event(0, 30, 0.8), &mut ctx);

@@ -39,15 +39,15 @@ pub const SIGMA_BOUNDS: (f64, f64) = (1e-4, 0.30);
 
 /// Minimum allowed weight sum before normalization (guards the degenerate
 /// all-zero-weights corner).
-const MIN_WEIGHT_SUM: f64 = 1e-3;
+pub(crate) const MIN_WEIGHT_SUM: f64 = 1e-3;
 
 /// Slack allowed for a non-increasing extrapolation before the prior
 /// rejects it.
-const MONOTONE_SLACK: f64 = 0.02;
+pub(crate) const MONOTONE_SLACK: f64 = 0.02;
 
 /// Headroom above 1.0 allowed at the horizon (accounts for observation
 /// noise in normalized metrics).
-const CEILING: f64 = 1.0 + 1e-6;
+pub(crate) const CEILING: f64 = 1.0 + 1e-6;
 
 /// A view over a flattened parameter vector, offering structured access.
 #[derive(Debug, Clone, Copy)]
@@ -172,7 +172,7 @@ pub fn log_posterior(theta: &[f64], obs: &[(f64, f64)], horizon: f64) -> f64 {
 /// short-circuit order — but indexing families through [`FAMILY_OFFSETS`]
 /// instead of re-deriving offsets per access.
 #[inline]
-fn in_prior_box_fast(theta: &[f64]) -> bool {
+pub(crate) fn in_prior_box_fast(theta: &[f64]) -> bool {
     debug_assert_eq!(theta.len(), dimension());
     for w in &theta[..11] {
         if !(w.is_finite() && *w >= 0.0 && *w <= 1.0) {

@@ -1,0 +1,573 @@
+//! Structure-of-arrays likelihood evaluation on the [`crate::vmath`]
+//! kernels (the opt-in `fast_math` fit path).
+//!
+//! The reference hot path ([`crate::ensemble::PosteriorEval`]) is already
+//! allocation-free and grid-memoized, but every likelihood call still pays
+//! 8 scalar `powf` + 4 `exp` + 1 `ln` per grid point through libm. This
+//! module regroups the same per-family formulas so all grid points of one
+//! family are evaluated per call: powers are decomposed as
+//! `x^p = exp(p * ln x)` against the memoized `ln x` columns of
+//! [`FastGrid`], and the resulting exponentials run through the batched,
+//! SIMD-dispatched [`crate::vmath::vexp`]/[`crate::vmath::vln`].
+//!
+//! Numerics contract (see DESIGN.md §9):
+//!
+//! - The fast path is **not** bit-identical to the reference path — it uses
+//!   different (more accurate than ±1e-12) kernel approximations and a
+//!   different factoring of the same formulas. `fast_math` therefore gets
+//!   its own golden traces rather than reusing the reference goldens.
+//! - It **is** deterministic: every transcendental routes through `vmath`
+//!   kernels that produce identical bit patterns on every host and backend,
+//!   so fast-path results are reproducible across machines, thread counts
+//!   (the `FitService` guarantees), and SIMD capabilities.
+//! - The scalar single-point evaluator used for the two-point prior
+//!   pre-pass performs the identical operations in the identical order as
+//!   the batched sweep, so reusing its result for the last observation is
+//!   bitwise-safe (mirroring the reference path's structure).
+//! - Walkers are *not* batched across a proposal round: each walker carries
+//!   its own `theta`, so cross-walker batching would have to regroup
+//!   per-family parameter loads per lane and lose the family-major hoists;
+//!   the 25–60-point grid batches already amortize kernel overhead.
+
+use crate::ensemble::{
+    dimension, in_prior_box_fast, CEILING, FAMILY_OFFSETS, MIN_WEIGHT_SUM, MONOTONE_SLACK,
+    SIGMA_INDEX,
+};
+use crate::models::{ModelFamily, ALL_FAMILIES};
+use crate::vmath::{exp_s, ln_s, pow_s, vexp_with, vln_with, Backend};
+
+/// `ln(2π)`, hardcoded so the Gaussian normalization constant does not
+/// depend on the host libm.
+const LN_2PI: f64 = 1.8378770664093453;
+
+/// Structure-of-arrays epoch grid: the same memoized columns as
+/// [`crate::models::GridPoint`], laid out one column per basis term so the
+/// batched kernels can sweep them. Logs are computed by [`ln_s`] (not libm)
+/// to keep the fast path host-independent end to end.
+#[derive(Debug, Default)]
+pub struct FastGrid {
+    /// Epoch indices `x`.
+    pub(crate) xs: Vec<f64>,
+    /// `ln x` per point.
+    pub(crate) ln_xs: Vec<f64>,
+    /// `ln (x + 1)` per point.
+    pub(crate) ln_x1s: Vec<f64>,
+    /// `ln (x + 2)` per point.
+    pub(crate) ln_x2s: Vec<f64>,
+}
+
+impl FastGrid {
+    /// An empty grid.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Removes all points, retaining capacity.
+    pub fn clear(&mut self) {
+        self.xs.clear();
+        self.ln_xs.clear();
+        self.ln_x1s.clear();
+        self.ln_x2s.clear();
+    }
+
+    /// Appends epoch `x`, memoizing its log columns through the vmath
+    /// scalar kernel.
+    pub fn push(&mut self, x: f64) {
+        self.xs.push(x);
+        self.ln_xs.push(ln_s(x));
+        self.ln_x1s.push(ln_s(x + 1.0));
+        self.ln_x2s.push(ln_s(x + 2.0));
+    }
+
+    /// Number of grid points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// True when the grid holds no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+}
+
+/// The parameter-only hoisted term of `family` in the fast factoring:
+/// `b` itself for log power (consumed as `ln e^b`), `ln κ` for
+/// Weibull/MMF, `κ^η` for Hill3, `0.0` otherwise. All through vmath
+/// scalar kernels.
+#[inline]
+pub(crate) fn fast_hoist(family: ModelFamily, fp: &[f64]) -> f64 {
+    match family {
+        ModelFamily::LogPower => fp[1],
+        ModelFamily::Weibull | ModelFamily::Mmf => ln_s(fp[2]),
+        ModelFamily::Hill3 => pow_s(fp[2], fp[1]),
+        _ => 0.0,
+    }
+}
+
+/// Fills `hoists[k]` for every family with positive weight (slots of
+/// inactive families are left untouched, exactly like the reference path).
+#[inline]
+fn family_hoists_fast(theta: &[f64], hoists: &mut [f64; 11]) {
+    let w = &theta[..11];
+    for (k, &family) in ALL_FAMILIES.iter().enumerate() {
+        if w[k] > 0.0 {
+            let off = FAMILY_OFFSETS[k];
+            hoists[k] = fast_hoist(family, &theta[off..off + family.param_count()]);
+        }
+    }
+}
+
+/// Evaluates `family` at grid point `i` with the vmath scalar kernels,
+/// performing the identical operations in the identical order as
+/// [`family_values`] does for that lane.
+#[inline]
+pub(crate) fn family_value_at(
+    family: ModelFamily,
+    fp: &[f64],
+    hoist: f64,
+    grid: &FastGrid,
+    i: usize,
+) -> f64 {
+    match family {
+        ModelFamily::Pow3 => {
+            let (c, a, alpha) = (fp[0], fp[1], fp[2]);
+            c - a * exp_s(-alpha * grid.ln_xs[i])
+        }
+        ModelFamily::Pow4 => {
+            let (c, a, b, alpha) = (fp[0], fp[1], fp[2], fp[3]);
+            c - exp_s(-alpha * ln_s(a * grid.xs[i] + b))
+        }
+        ModelFamily::LogLogLinear => {
+            let (a, b) = (fp[0], fp[1]);
+            ln_s(a * grid.ln_x1s[i] + b)
+        }
+        ModelFamily::LogPower => {
+            let (a, c) = (fp[0], fp[2]);
+            a / (1.0 + exp_s(c * (grid.ln_xs[i] - hoist)))
+        }
+        ModelFamily::Weibull => {
+            let (alpha, beta, delta) = (fp[0], fp[1], fp[3]);
+            alpha - (alpha - beta) * exp_s(-exp_s(delta * (hoist + grid.ln_xs[i])))
+        }
+        ModelFamily::Mmf => {
+            let (alpha, beta, delta) = (fp[0], fp[1], fp[3]);
+            alpha - (alpha - beta) / (1.0 + exp_s(delta * (hoist + grid.ln_xs[i])))
+        }
+        ModelFamily::Janoschek => {
+            let (alpha, beta, kappa, delta) = (fp[0], fp[1], fp[2], fp[3]);
+            alpha - (alpha - beta) * exp_s(-kappa * exp_s(delta * grid.ln_xs[i]))
+        }
+        ModelFamily::Exp4 => {
+            let (c, a, alpha, b) = (fp[0], fp[1], fp[2], fp[3]);
+            c - exp_s(-a * exp_s(alpha * grid.ln_xs[i]) + b)
+        }
+        ModelFamily::Ilog2 => {
+            let (c, a) = (fp[0], fp[1]);
+            c - a / grid.ln_x2s[i]
+        }
+        ModelFamily::VaporPressure => {
+            let (a, b, c) = (fp[0], fp[1], fp[2]);
+            exp_s(a + b / grid.xs[i] + c * grid.ln_xs[i])
+        }
+        ModelFamily::Hill3 => {
+            let (ymax, eta) = (fp[0], fp[1]);
+            let xe = exp_s(eta * grid.ln_xs[i]);
+            ymax * xe / (hoist + xe)
+        }
+    }
+}
+
+/// Evaluates `family` at the first `m` grid points into `t[..m]`, batching
+/// every transcendental through the slice kernels on `backend`. Per lane,
+/// bit-identical to [`family_value_at`].
+pub(crate) fn family_values(
+    family: ModelFamily,
+    fp: &[f64],
+    hoist: f64,
+    grid: &FastGrid,
+    m: usize,
+    t: &mut [f64],
+    backend: Backend,
+) {
+    let t = &mut t[..m];
+    match family {
+        ModelFamily::Pow3 => {
+            let (c, a, alpha) = (fp[0], fp[1], fp[2]);
+            for (v, lx) in t.iter_mut().zip(&grid.ln_xs[..m]) {
+                *v = -alpha * lx;
+            }
+            vexp_with(backend, t);
+            for v in t.iter_mut() {
+                *v = c - a * *v;
+            }
+        }
+        ModelFamily::Pow4 => {
+            let (c, a, b, alpha) = (fp[0], fp[1], fp[2], fp[3]);
+            for (v, x) in t.iter_mut().zip(&grid.xs[..m]) {
+                *v = a * x + b;
+            }
+            vln_with(backend, t);
+            for v in t.iter_mut() {
+                *v *= -alpha;
+            }
+            vexp_with(backend, t);
+            for v in t.iter_mut() {
+                *v = c - *v;
+            }
+        }
+        ModelFamily::LogLogLinear => {
+            let (a, b) = (fp[0], fp[1]);
+            for (v, lx1) in t.iter_mut().zip(&grid.ln_x1s[..m]) {
+                *v = a * lx1 + b;
+            }
+            vln_with(backend, t);
+        }
+        ModelFamily::LogPower => {
+            let (a, c) = (fp[0], fp[2]);
+            for (v, lx) in t.iter_mut().zip(&grid.ln_xs[..m]) {
+                *v = c * (lx - hoist);
+            }
+            vexp_with(backend, t);
+            for v in t.iter_mut() {
+                *v = a / (1.0 + *v);
+            }
+        }
+        ModelFamily::Weibull => {
+            let (alpha, beta, delta) = (fp[0], fp[1], fp[3]);
+            for (v, lx) in t.iter_mut().zip(&grid.ln_xs[..m]) {
+                *v = delta * (hoist + lx);
+            }
+            vexp_with(backend, t);
+            for v in t.iter_mut() {
+                *v = -*v;
+            }
+            vexp_with(backend, t);
+            for v in t.iter_mut() {
+                *v = alpha - (alpha - beta) * *v;
+            }
+        }
+        ModelFamily::Mmf => {
+            let (alpha, beta, delta) = (fp[0], fp[1], fp[3]);
+            for (v, lx) in t.iter_mut().zip(&grid.ln_xs[..m]) {
+                *v = delta * (hoist + lx);
+            }
+            vexp_with(backend, t);
+            for v in t.iter_mut() {
+                *v = alpha - (alpha - beta) / (1.0 + *v);
+            }
+        }
+        ModelFamily::Janoschek => {
+            let (alpha, beta, kappa, delta) = (fp[0], fp[1], fp[2], fp[3]);
+            for (v, lx) in t.iter_mut().zip(&grid.ln_xs[..m]) {
+                *v = delta * lx;
+            }
+            vexp_with(backend, t);
+            for v in t.iter_mut() {
+                *v *= -kappa;
+            }
+            vexp_with(backend, t);
+            for v in t.iter_mut() {
+                *v = alpha - (alpha - beta) * *v;
+            }
+        }
+        ModelFamily::Exp4 => {
+            let (c, a, alpha, b) = (fp[0], fp[1], fp[2], fp[3]);
+            for (v, lx) in t.iter_mut().zip(&grid.ln_xs[..m]) {
+                *v = alpha * lx;
+            }
+            vexp_with(backend, t);
+            for v in t.iter_mut() {
+                *v = -a * *v + b;
+            }
+            vexp_with(backend, t);
+            for v in t.iter_mut() {
+                *v = c - *v;
+            }
+        }
+        ModelFamily::Ilog2 => {
+            let (c, a) = (fp[0], fp[1]);
+            for (v, lx2) in t.iter_mut().zip(&grid.ln_x2s[..m]) {
+                *v = c - a / lx2;
+            }
+        }
+        ModelFamily::VaporPressure => {
+            let (a, b, c) = (fp[0], fp[1], fp[2]);
+            for ((v, x), lx) in t.iter_mut().zip(&grid.xs[..m]).zip(&grid.ln_xs[..m]) {
+                *v = a + b / x + c * lx;
+            }
+            vexp_with(backend, t);
+        }
+        ModelFamily::Hill3 => {
+            let (ymax, eta) = (fp[0], fp[1]);
+            for (v, lx) in t.iter_mut().zip(&grid.ln_xs[..m]) {
+                *v = eta * lx;
+            }
+            vexp_with(backend, t);
+            for v in t.iter_mut() {
+                *v = ymax * *v / (hoist + *v);
+            }
+        }
+    }
+}
+
+/// The weighted-combination mean at grid point `i` through the scalar fast
+/// kernels (same accumulation order as the batched sweep).
+#[inline]
+fn fast_mean_at(theta: &[f64], grid: &FastGrid, i: usize, hoists: &[f64; 11], wsum: f64) -> f64 {
+    let w = &theta[..11];
+    let mut acc = 0.0;
+    for (k, &family) in ALL_FAMILIES.iter().enumerate() {
+        let wk = w[k];
+        if wk <= 0.0 {
+            continue;
+        }
+        let off = FAMILY_OFFSETS[k];
+        let fp = &theta[off..off + family.param_count()];
+        acc += wk * family_value_at(family, fp, hoists[k], grid, i);
+    }
+    acc / wsum
+}
+
+/// Accumulates the weighted means over the first `m` grid points into
+/// `out[..m]`, family-major with batched kernels. Per point, bitwise equal
+/// to [`fast_mean_at`].
+#[allow(clippy::too_many_arguments)]
+fn fast_weighted_means(
+    theta: &[f64],
+    grid: &FastGrid,
+    m: usize,
+    out: &mut [f64],
+    t: &mut [f64],
+    hoists: &[f64; 11],
+    wsum: f64,
+    backend: Backend,
+) {
+    let w = &theta[..11];
+    let out = &mut out[..m];
+    for o in out.iter_mut() {
+        *o = 0.0;
+    }
+    for (k, &family) in ALL_FAMILIES.iter().enumerate() {
+        let wk = w[k];
+        if wk <= 0.0 {
+            continue;
+        }
+        let off = FAMILY_OFFSETS[k];
+        let fp = &theta[off..off + family.param_count()];
+        family_values(family, fp, hoists[k], grid, m, t, backend);
+        for (o, v) in out.iter_mut().zip(&t[..m]) {
+            *o += wk * *v;
+        }
+    }
+    for o in out.iter_mut() {
+        *o /= wsum;
+    }
+}
+
+/// Allocation-free SoA evaluator for the log-posterior: the `fast_math`
+/// counterpart of [`crate::ensemble::PosteriorEval`]. Same prior structure,
+/// same rejection semantics, but every transcendental is batched through
+/// [`crate::vmath`].
+#[derive(Debug)]
+pub struct PosteriorEvalFast<'a> {
+    grid: &'a FastGrid,
+    ys: &'a [f64],
+    means: &'a mut [f64],
+    t: &'a mut [f64],
+    backend: Backend,
+}
+
+impl<'a> PosteriorEvalFast<'a> {
+    /// Wraps a memoized SoA grid. `grid` must hold one point per
+    /// observation followed by the horizon point `max(horizon, last_x)`;
+    /// `ys` the observed values; `means` and `t` scratch slices of at
+    /// least `ys.len()` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths are inconsistent or there are no observations.
+    pub fn new(
+        grid: &'a FastGrid,
+        ys: &'a [f64],
+        means: &'a mut [f64],
+        t: &'a mut [f64],
+        backend: Backend,
+    ) -> Self {
+        assert!(!ys.is_empty(), "need at least one observation");
+        assert_eq!(grid.len(), ys.len() + 1, "grid must be observations + horizon");
+        assert!(means.len() >= ys.len(), "mean buffer must cover observations");
+        assert!(t.len() >= ys.len(), "temp buffer must cover observations");
+        PosteriorEvalFast { grid, ys, means, t, backend }
+    }
+
+    /// The log-posterior of `theta` over the memoized grid: the same prior
+    /// support and Gaussian likelihood as the reference
+    /// [`crate::ensemble::log_posterior`], evaluated through the batched
+    /// kernels. Deterministic across hosts and backends, but *not* bitwise
+    /// equal to the reference (see the module docs).
+    pub fn log_posterior(&mut self, theta: &[f64]) -> f64 {
+        debug_assert_eq!(theta.len(), dimension());
+        if !in_prior_box_fast(theta) {
+            return f64::NEG_INFINITY;
+        }
+        let sigma = theta[SIGMA_INDEX];
+        let n = self.ys.len();
+        let wsum: f64 = theta[..11].iter().sum();
+        if wsum < MIN_WEIGHT_SUM {
+            return f64::NEG_INFINITY;
+        }
+        let mut hoists = [0.0f64; 11];
+        family_hoists_fast(theta, &mut hoists);
+
+        // Prior structure first (cheap scalar 2-point pass): reject
+        // decreasing or above-ceiling extrapolations before paying for the
+        // full batched grid.
+        let mean_last = fast_mean_at(theta, self.grid, n - 1, &hoists, wsum);
+        let mean_horizon = fast_mean_at(theta, self.grid, n, &hoists, wsum);
+        if !mean_last.is_finite() || !mean_horizon.is_finite() {
+            return f64::NEG_INFINITY;
+        }
+        if mean_horizon < mean_last - MONOTONE_SLACK || mean_horizon > CEILING {
+            return f64::NEG_INFINITY;
+        }
+
+        fast_weighted_means(
+            theta,
+            self.grid,
+            n - 1,
+            self.means,
+            self.t,
+            &hoists,
+            wsum,
+            self.backend,
+        );
+        // The scalar pre-pass ran the identical operation sequence for the
+        // last observation — reuse it.
+        self.means[n - 1] = mean_last;
+
+        let mut loglik = 0.0;
+        let sln = ln_s(sigma);
+        let inv2s2 = 1.0 / (2.0 * sigma * sigma);
+        let norm = -sln - 0.5 * LN_2PI;
+        for (y, m) in self.ys.iter().zip(self.means[..n].iter()) {
+            if !m.is_finite() {
+                return f64::NEG_INFINITY;
+            }
+            let r = y - m;
+            loglik += norm - r * r * inv2s2;
+        }
+        loglik -= sln;
+        loglik
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ensemble::{log_posterior, SIGMA_INDEX};
+    use crate::models::GridPoint;
+
+    fn default_theta() -> Vec<f64> {
+        let mut theta = Vec::with_capacity(dimension());
+        theta.extend(std::iter::repeat_n(1.0 / 11.0, 11));
+        theta.push(0.05);
+        for f in ALL_FAMILIES {
+            theta.extend(f.default_params());
+        }
+        theta
+    }
+
+    fn grid_from(obs: &[(f64, f64)], horizon: f64) -> (FastGrid, Vec<f64>) {
+        let mut grid = FastGrid::new();
+        let mut ys = Vec::new();
+        for &(x, y) in obs {
+            grid.push(x);
+            ys.push(y);
+        }
+        let last_x = obs.last().map_or(1.0, |&(x, _)| x);
+        grid.push(horizon.max(last_x));
+        (grid, ys)
+    }
+
+    /// The fast posterior is a different factoring, so it only needs to
+    /// agree with the reference to kernel accuracy — but support decisions
+    /// (±inf vs finite) must match exactly on clearly-in/out vectors.
+    #[test]
+    fn fast_posterior_tracks_reference() {
+        let obs: Vec<(f64, f64)> =
+            (1..=20).map(|x| (x as f64, 0.8 - 0.7 * (x as f64).powf(-1.0))).collect();
+        let (grid, ys) = grid_from(&obs, 100.0);
+        let mut means = vec![0.0; ys.len()];
+        let mut t = vec![0.0; ys.len()];
+        let mut eval = PosteriorEvalFast::new(&grid, &ys, &mut means, &mut t, Backend::Scalar);
+
+        let theta = default_theta();
+        let fast = eval.log_posterior(&theta);
+        let reference = log_posterior(&theta, &obs, 100.0);
+        assert!(fast.is_finite() && reference.is_finite());
+        assert!(
+            (fast - reference).abs() <= 1e-9 * (1.0 + reference.abs()),
+            "fast {fast} vs reference {reference}"
+        );
+
+        let mut out_of_box = default_theta();
+        out_of_box[SIGMA_INDEX] = 10.0;
+        assert_eq!(eval.log_posterior(&out_of_box), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn fast_grid_matches_grid_point_to_kernel_accuracy() {
+        let mut grid = FastGrid::new();
+        for x in [1.0, 2.0, 17.0, 400.0] {
+            grid.push(x);
+        }
+        for (i, x) in [1.0, 2.0, 17.0, 400.0].iter().enumerate() {
+            let gp = GridPoint::new(*x);
+            assert!((grid.ln_xs[i] - gp.ln_x).abs() <= 1e-13 * (1.0 + gp.ln_x.abs()));
+            assert!((grid.ln_x1s[i] - gp.ln_x1).abs() <= 1e-13 * (1.0 + gp.ln_x1.abs()));
+            assert!((grid.ln_x2s[i] - gp.ln_x2).abs() <= 1e-13 * (1.0 + gp.ln_x2.abs()));
+        }
+    }
+
+    #[test]
+    fn batched_values_match_scalar_values_bitwise() {
+        let (grid, _ys) = grid_from(&(1..=30).map(|x| (x as f64, 0.5)).collect::<Vec<_>>(), 500.0);
+        let m = grid.len();
+        let mut t = vec![0.0; m];
+        for backend in [Backend::Scalar, Backend::Simd] {
+            for family in ALL_FAMILIES {
+                let fp = family.default_params();
+                let hoist = fast_hoist(family, &fp);
+                family_values(family, &fp, hoist, &grid, m, &mut t, backend);
+                for (i, lane) in t.iter().enumerate() {
+                    let scalar = family_value_at(family, &fp, hoist, &grid, i);
+                    assert_eq!(
+                        scalar.to_bits(),
+                        lane.to_bits(),
+                        "{} lane {i} backend {backend:?}",
+                        family.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_eval_is_backend_invariant() {
+        let obs: Vec<(f64, f64)> =
+            (1..=25).map(|x| (x as f64, 0.7 - 0.6 * (x as f64).powf(-0.7))).collect();
+        let (grid, ys) = grid_from(&obs, 200.0);
+        let theta = default_theta();
+        let mut lp = [0.0f64; 2];
+        for (slot, backend) in [Backend::Scalar, Backend::Simd].into_iter().enumerate() {
+            let mut means = vec![0.0; ys.len()];
+            let mut t = vec![0.0; ys.len()];
+            let mut eval = PosteriorEvalFast::new(&grid, &ys, &mut means, &mut t, backend);
+            lp[slot] = eval.log_posterior(&theta);
+        }
+        assert_eq!(lp[0].to_bits(), lp[1].to_bits());
+    }
+}

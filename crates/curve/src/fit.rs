@@ -9,7 +9,9 @@
 use rand::Rng;
 
 use crate::ensemble::{dimension, SIGMA_BOUNDS, SIGMA_INDEX};
+use crate::fastpath::{family_value_at, family_values, fast_hoist, FastGrid};
 use crate::models::{GridPoint, ModelFamily, ALL_FAMILIES};
+use crate::vmath::Backend;
 
 use crate::nelder_mead::{minimize, minimize_into, NelderMeadOptions, NmScratch};
 
@@ -120,6 +122,8 @@ pub struct FamilyFitBuf {
     cand: Vec<f64>,
     /// Best candidate across starts.
     best: Vec<f64>,
+    /// Lane buffer for the batched `fast_math` objective.
+    t: Vec<f64>,
 }
 
 /// The penalized least-squares objective of [`fit_family`], evaluated over
@@ -278,6 +282,164 @@ pub fn fit_family_seeded(
         }
         sse / ys.len().max(1) as f64
     };
+    FamilyFit { family, params: buf.best.clone(), mse }
+}
+
+/// The penalized least-squares objective on the structure-of-arrays fast
+/// path: same penalty arithmetic and clamping as [`fit_family_with`]'s
+/// objective, but the family is evaluated over all observation lanes per
+/// call through the batched [`crate::vmath`] kernels. Not bitwise equal to
+/// the libm objective (different factoring, see `fastpath`), but
+/// deterministic across hosts and backends.
+#[inline]
+fn family_objective_fast(
+    family: ModelFamily,
+    grid: &FastGrid,
+    ys: &[f64],
+    params: &[f64],
+    clamped: &mut Vec<f64>,
+    t: &mut Vec<f64>,
+    backend: Backend,
+) -> f64 {
+    let bounds = family.bounds();
+    let mut penalty = 0.0;
+    for (p, (lo, hi)) in params.iter().zip(bounds) {
+        if !p.is_finite() {
+            return f64::INFINITY;
+        }
+        if *p < *lo {
+            penalty += (lo - p) * (lo - p) * 100.0;
+        } else if *p > *hi {
+            penalty += (p - hi) * (p - hi) * 100.0;
+        }
+    }
+    clamped.clear();
+    clamped.extend_from_slice(params);
+    clamp_into_box(family, clamped);
+    let hoist = fast_hoist(family, clamped);
+    let m = ys.len();
+    t.resize(m.max(t.len()), 0.0);
+    family_values(family, clamped, hoist, grid, m, t, backend);
+    let mut sse = 0.0;
+    for (v, y) in t[..m].iter().zip(ys) {
+        if !v.is_finite() {
+            return f64::INFINITY;
+        }
+        sse += (y - v) * (y - v);
+    }
+    sse / m.max(1) as f64 + penalty
+}
+
+/// Residual MSE of `params` over the observation lanes of `grid`, through
+/// the scalar fast kernels.
+fn fast_mse(family: ModelFamily, params: &[f64], grid: &FastGrid, ys: &[f64]) -> f64 {
+    let hoist = fast_hoist(family, params);
+    let mut sse = 0.0;
+    for (i, y) in ys.iter().enumerate() {
+        let m = family_value_at(family, params, hoist, grid, i);
+        sse += (y - m) * (y - m);
+    }
+    sse / ys.len().max(1) as f64
+}
+
+/// [`fit_family_with`] on the fast objective: same multi-start schedule and
+/// RNG call order, same Nelder–Mead budget, batched likelihood.
+pub fn fit_family_fast<R: Rng + ?Sized>(
+    family: ModelFamily,
+    grid: &FastGrid,
+    ys: &[f64],
+    rng: &mut R,
+    nm: &mut NmScratch,
+    buf: &mut FamilyFitBuf,
+    backend: Backend,
+) -> FamilyFit {
+    let bounds = family.bounds();
+    let pc = family.param_count();
+
+    let default_start = family.default_params();
+    buf.rand_starts.clear();
+    for _ in 0..2 {
+        for (lo, hi) in bounds {
+            buf.rand_starts.push(rng.gen_range(*lo..*hi));
+        }
+    }
+
+    let mut best_f = f64::INFINITY;
+    let mut have_best = false;
+    for s in 0..3 {
+        let fx = {
+            let start: &[f64] =
+                if s == 0 { &default_start } else { &buf.rand_starts[(s - 1) * pc..s * pc] };
+            let clamped = &mut buf.clamped;
+            let t = &mut buf.t;
+            minimize_into(
+                |p| family_objective_fast(family, grid, ys, p, clamped, t, backend),
+                start,
+                NelderMeadOptions { max_evals: 300, ..Default::default() },
+                nm,
+                &mut buf.cand,
+            )
+        };
+        if !have_best || fx < best_f {
+            best_f = fx;
+            have_best = true;
+            std::mem::swap(&mut buf.best, &mut buf.cand);
+        }
+    }
+    clamp_into_box(family, &mut buf.best);
+    let mse = fast_mse(family, &buf.best, grid, ys);
+    FamilyFit { family, params: buf.best.clone(), mse }
+}
+
+/// [`fit_all_families_with`] on the fast objective, in canonical order.
+pub fn fit_all_families_fast<R: Rng + ?Sized>(
+    grid: &FastGrid,
+    ys: &[f64],
+    rng: &mut R,
+    nm: &mut NmScratch,
+    buf: &mut FamilyFitBuf,
+    backend: Backend,
+) -> Vec<FamilyFit> {
+    ALL_FAMILIES.iter().map(|&f| fit_family_fast(f, grid, ys, rng, nm, buf, backend)).collect()
+}
+
+/// [`fit_family_seeded`] on the fast objective: one reduced-budget run from
+/// the warm seed, no RNG consumed.
+pub fn fit_family_seeded_fast(
+    family: ModelFamily,
+    seed_params: &[f64],
+    grid: &FastGrid,
+    ys: &[f64],
+    nm: &mut NmScratch,
+    buf: &mut FamilyFitBuf,
+    backend: Backend,
+) -> FamilyFit {
+    buf.best.clear();
+    buf.best.extend_from_slice(seed_params);
+    clamp_into_box(family, &mut buf.best);
+    let start = std::mem::take(&mut buf.best);
+    let fx = {
+        let clamped = &mut buf.clamped;
+        let t = &mut buf.t;
+        minimize_into(
+            |p| family_objective_fast(family, grid, ys, p, clamped, t, backend),
+            &start,
+            NelderMeadOptions { max_evals: 120, ..Default::default() },
+            nm,
+            &mut buf.cand,
+        )
+    };
+    buf.best = start;
+    let seed_f = {
+        let clamped = &mut buf.clamped;
+        let t = &mut buf.t;
+        family_objective_fast(family, grid, ys, &buf.best, clamped, t, backend)
+    };
+    if fx <= seed_f {
+        std::mem::swap(&mut buf.best, &mut buf.cand);
+    }
+    clamp_into_box(family, &mut buf.best);
+    let mse = fast_mse(family, &buf.best, grid, ys);
     FamilyFit { family, params: buf.best.clone(), mse }
 }
 

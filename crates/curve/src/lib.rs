@@ -22,6 +22,10 @@
 //!   pool with per-`(config, epochs)` memoization (§5.2's systems
 //!   optimizations as a reusable component) and opt-in warm-started
 //!   refits.
+//! * [`vmath`] — batched `exp`/`ln`/`pow` kernels with bit-identical
+//!   SIMD/scalar paths, and [`fastpath`] — the structure-of-arrays
+//!   likelihood built on them (opt-in via
+//!   [`PredictorConfig`]`::fast_math`).
 //!
 //! # Example
 //!
@@ -47,6 +51,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ensemble;
+pub mod fastpath;
 pub mod fit;
 pub mod mcmc;
 pub mod models;
@@ -54,6 +59,7 @@ pub mod nelder_mead;
 pub mod predictor;
 pub mod scratch;
 pub mod service;
+pub mod vmath;
 
 pub use models::{GridPoint, ModelFamily, ALL_FAMILIES};
 pub use predictor::{CurvePosterior, CurvePredictor, PredictorConfig};

@@ -8,14 +8,17 @@ use hyperdrive_types::{stats, Error, LearningCurve, Result};
 
 use crate::ensemble::{dimension, log_posterior, ParamView, PosteriorEval};
 use crate::ensemble::{FAMILY_OFFSETS, SIGMA_BOUNDS, SIGMA_INDEX};
+use crate::fastpath::{FastGrid, PosteriorEvalFast};
 use crate::fit;
 use crate::fit::{
-    build_initial_walkers, fit_all_families, fit_all_families_with, fit_family_seeded, FamilyFitBuf,
+    build_initial_walkers, fit_all_families, fit_all_families_fast, fit_all_families_with,
+    fit_family_seeded, fit_family_seeded_fast, FamilyFitBuf,
 };
 use crate::mcmc::{sample, sample_into, FlatChain, McmcScratch, SamplerOptions};
 use crate::models::{GridPoint, ALL_FAMILIES};
 use crate::nelder_mead::NmScratch;
 use crate::scratch::FitScratch;
+use crate::vmath::{self, Backend};
 
 /// Fidelity and determinism knobs for [`CurvePredictor`].
 ///
@@ -60,6 +63,15 @@ pub struct PredictorConfig {
     /// re-localizes an already-converged ensemble, so far fewer steps are
     /// needed).
     pub warm_steps: usize,
+    /// Opt-in batched-kernel fitting: route every transcendental in the
+    /// fit through the SIMD-dispatched [`crate::vmath`] kernels over
+    /// structure-of-arrays grid batches (see [`crate::fastpath`]).
+    /// **Changes numerics** relative to the libm reference path (like
+    /// `warm_start`), so it ships default-off and carries its own golden
+    /// traces. Results stay deterministic across hosts, SIMD capabilities
+    /// (the kernels are bit-identical scalar vs vectorized), and fit-thread
+    /// counts; composes with `warm_start`.
+    pub fast_math: bool,
 }
 
 impl PredictorConfig {
@@ -77,6 +89,7 @@ impl PredictorConfig {
             min_observations: 4,
             warm_start: false,
             warm_steps: 250,
+            fast_math: false,
         }
     }
 
@@ -124,6 +137,12 @@ impl PredictorConfig {
     /// Returns this config with warm starting switched on or off.
     pub fn with_warm_start(self, warm_start: bool) -> Self {
         PredictorConfig { warm_start, ..self }
+    }
+
+    /// Returns this config with the batched-kernel fast path switched on
+    /// or off.
+    pub fn with_fast_math(self, fast_math: bool) -> Self {
+        PredictorConfig { fast_math, ..self }
     }
 }
 
@@ -191,11 +210,13 @@ impl CurvePredictor {
     /// `scratch` buffers and optionally warm-starting from a previous
     /// posterior of the same job.
     ///
-    /// With `warm_start` disabled (or `warm` absent, or the warm attempt
-    /// not viable) the result is **bit-identical** to
+    /// With `warm_start` and `fast_math` disabled (or `warm` absent, or
+    /// the warm attempt not viable) the result is **bit-identical** to
     /// [`Self::fit_reference`] — the optimizations preserve floating-point
     /// operation order exactly, and the crate's property tests pin the
-    /// equivalence.
+    /// equivalence. With `fast_math` enabled the batched-kernel SoA path
+    /// runs instead: not bit-comparable to the reference, but deterministic
+    /// across hosts, backends, and thread counts (own golden traces).
     ///
     /// # Errors
     ///
@@ -236,7 +257,7 @@ impl CurvePredictor {
 
         // Memoize the epoch grid once per fit: the grid never changes
         // mid-fit, so every pure-x basis term is computed exactly once.
-        let FitScratch { pts, ys, means, nm, fam, mcmc } = scratch;
+        let FitScratch { pts, ys, means, nm, fam, mcmc, fast_grid, fast_t } = scratch;
         pts.clear();
         ys.clear();
         for &(x, y) in &obs {
@@ -248,6 +269,55 @@ impl CurvePredictor {
         means.clear();
         means.resize(ys.len(), 0.0);
         let n_obs = obs.len();
+
+        if self.config.fast_math {
+            // SoA grid for the batched kernels (vmath logs, so the whole
+            // fast path is host-independent end to end).
+            fast_grid.clear();
+            for &(x, _) in &obs {
+                fast_grid.push(x);
+            }
+            fast_grid.push(horizon_f.max(last_x));
+            fast_t.clear();
+            fast_t.resize(n_obs, 0.0);
+            let backend = vmath::active_backend();
+
+            if self.config.warm_start {
+                if let Some(prev) = warm {
+                    if let Some(posterior) = self.warm_fit_fast(
+                        prev, last_epoch, horizon, fast_grid, ys, means, fast_t, nm, fam, mcmc,
+                        backend,
+                    ) {
+                        return Ok(posterior);
+                    }
+                }
+            }
+
+            let mut rng = StdRng::seed_from_u64(self.config.seed);
+            let fits = fit_all_families_fast(fast_grid, ys, &mut rng, nm, fam, backend);
+            let mut init = build_initial_walkers(&fits, self.config.walkers, &mut rng);
+            let mut eval = PosteriorEvalFast::new(fast_grid, ys, means, fast_t, backend);
+            if !init.iter().any(|w| eval.log_posterior(w).is_finite()) {
+                init = fit::build_default_walkers(self.config.walkers, &mut rng);
+            }
+            if !init.iter().any(|w| eval.log_posterior(w).is_finite()) {
+                return Err(Error::CurveFit("no valid initialization found".into()));
+            }
+
+            let chain = sample_into(
+                |theta| eval.log_posterior(theta),
+                &init,
+                SamplerOptions {
+                    steps: self.config.steps,
+                    burn_in_frac: self.config.burn_in_frac,
+                    thin: self.config.thin,
+                    stretch: 2.0,
+                },
+                &mut rng,
+                mcmc,
+            );
+            return self.collect_posterior(&chain, last_epoch, horizon, false);
+        }
 
         if self.config.warm_start {
             if let Some(prev) = warm {
@@ -328,6 +398,77 @@ impl CurvePredictor {
             let off = FAMILY_OFFSETS[k];
             let seed_params = &prev.draws[best_i][off..off + family.param_count()];
             fits.push(fit_family_seeded(family, seed_params, &pts[..n_obs], ys, nm, fam));
+        }
+        let n_walkers = self.config.walkers;
+        let mut init = build_initial_walkers(&fits, n_walkers, &mut rng);
+        // Seed the back half of the ensemble directly from the previous
+        // posterior (strided, so the whole posterior is represented),
+        // jittered to keep walkers distinct.
+        let n_prev = prev.n_draws();
+        for (slot, walker) in init.iter_mut().enumerate().skip(n_walkers / 2) {
+            let src = &prev.draws[(slot * n_prev) / n_walkers];
+            warm_walker_from_draw(src, walker, &mut rng);
+        }
+        if !init.iter().any(|w| eval.log_posterior(w).is_finite()) {
+            return None;
+        }
+
+        let chain = sample_into(
+            |theta| eval.log_posterior(theta),
+            &init,
+            SamplerOptions {
+                steps: self.config.warm_steps,
+                burn_in_frac: self.config.burn_in_frac,
+                thin: self.config.thin,
+                stretch: 2.0,
+            },
+            &mut rng,
+            mcmc,
+        );
+        self.collect_posterior(&chain, last_epoch, horizon, true).ok()
+    }
+
+    /// [`Self::warm_fit`] on the batched-kernel fast path: identical warm
+    /// schedule (rescore → seeded family fits → half-warm ensemble), with
+    /// the likelihood and family objectives routed through
+    /// [`crate::fastpath`].
+    #[allow(clippy::too_many_arguments)]
+    fn warm_fit_fast(
+        &self,
+        prev: &CurvePosterior,
+        last_epoch: u32,
+        horizon: u32,
+        grid: &FastGrid,
+        ys: &[f64],
+        means: &mut [f64],
+        t: &mut [f64],
+        nm: &mut NmScratch,
+        fam: &mut FamilyFitBuf,
+        mcmc: &mut McmcScratch,
+        backend: Backend,
+    ) -> Option<CurvePosterior> {
+        if prev.n_draws() == 0 || prev.draws[0].len() != dimension() {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut eval = PosteriorEvalFast::new(grid, ys, means, t, backend);
+
+        // Rescore the previous posterior under the new observations; the
+        // best surviving draw seeds the reduced Nelder–Mead pass.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, d) in prev.draws.iter().enumerate() {
+            let lp = eval.log_posterior(d);
+            if lp.is_finite() && best.is_none_or(|(_, b)| lp > b) {
+                best = Some((i, lp));
+            }
+        }
+        let (best_i, _) = best?;
+
+        let mut fits = Vec::with_capacity(ALL_FAMILIES.len());
+        for (k, &family) in ALL_FAMILIES.iter().enumerate() {
+            let off = FAMILY_OFFSETS[k];
+            let seed_params = &prev.draws[best_i][off..off + family.param_count()];
+            fits.push(fit_family_seeded_fast(family, seed_params, grid, ys, nm, fam, backend));
         }
         let n_walkers = self.config.walkers;
         let mut init = build_initial_walkers(&fits, n_walkers, &mut rng);

@@ -9,6 +9,7 @@
 //! perform **zero heap allocations per MCMC step** — the property the
 //! `fit_hotpath` bench pins with a counting allocator.
 
+use crate::fastpath::FastGrid;
 use crate::fit::FamilyFitBuf;
 use crate::mcmc::McmcScratch;
 use crate::models::GridPoint;
@@ -31,6 +32,12 @@ pub struct FitScratch {
     pub(crate) fam: FamilyFitBuf,
     /// Ensemble-sampler walker and draw storage.
     pub(crate) mcmc: McmcScratch,
+    /// Structure-of-arrays epoch grid for the `fast_math` path (same
+    /// points as `pts`, one column per memoized basis term).
+    pub(crate) fast_grid: FastGrid,
+    /// Temp lane buffer for the batched per-family sweeps of the
+    /// `fast_math` path.
+    pub(crate) fast_t: Vec<f64>,
 }
 
 impl FitScratch {

@@ -39,7 +39,10 @@ const COST: f64 = 0.8; // modeled seconds per kiloeval: hefty enough to see
 #[test]
 fn modeled_overhead_extends_the_virtual_clock() {
     let free = run(None, 2);
-    let serial = run(Some(FitCostModel { secs_per_kiloeval: COST, modeled_workers: 1 }), 2);
+    let serial = run(
+        Some(FitCostModel { secs_per_kiloeval: COST, modeled_workers: 1, fast_math_speedup: 1.0 }),
+        2,
+    );
     assert!(serial.0 > free.0, "charged fits must lengthen the run: {} vs {}", serial.0, free.0);
     assert_eq!(
         (serial.1, serial.2),
@@ -50,8 +53,18 @@ fn modeled_overhead_extends_the_virtual_clock() {
 
 #[test]
 fn overhead_scales_with_modeled_cost() {
-    let cheap = run(Some(FitCostModel { secs_per_kiloeval: COST, modeled_workers: 1 }), 2);
-    let dear = run(Some(FitCostModel { secs_per_kiloeval: 2.0 * COST, modeled_workers: 1 }), 2);
+    let cheap = run(
+        Some(FitCostModel { secs_per_kiloeval: COST, modeled_workers: 1, fast_math_speedup: 1.0 }),
+        2,
+    );
+    let dear = run(
+        Some(FitCostModel {
+            secs_per_kiloeval: 2.0 * COST,
+            modeled_workers: 1,
+            fast_math_speedup: 1.0,
+        }),
+        2,
+    );
     assert!(
         dear.0 > cheap.0,
         "doubling the per-eval price must lengthen the run: {} vs {}",
@@ -68,8 +81,14 @@ fn modeled_workers_never_lengthen_the_run() {
     // change nothing — but they must never make a batch *slower*. The
     // multi-fit makespan math itself is pinned by FitCostModel's unit
     // tests in hyperdrive-core.
-    let serial = run(Some(FitCostModel { secs_per_kiloeval: COST, modeled_workers: 1 }), 2);
-    let pooled = run(Some(FitCostModel { secs_per_kiloeval: COST, modeled_workers: 4 }), 2);
+    let serial = run(
+        Some(FitCostModel { secs_per_kiloeval: COST, modeled_workers: 1, fast_math_speedup: 1.0 }),
+        2,
+    );
+    let pooled = run(
+        Some(FitCostModel { secs_per_kiloeval: COST, modeled_workers: 4, fast_math_speedup: 1.0 }),
+        2,
+    );
     assert!(
         pooled.0 <= serial.0,
         "modeled workers lengthened the run: {} vs {}",
@@ -84,6 +103,7 @@ fn modeled_cost_is_invariant_to_physical_thread_count() {
     // The whole point of splitting `modeled_workers` from `fit_threads`:
     // the virtual timeline is a function of the model, never of how many
     // OS threads actually ran the fits.
-    let model = Some(FitCostModel { secs_per_kiloeval: COST, modeled_workers: 2 });
+    let model =
+        Some(FitCostModel { secs_per_kiloeval: COST, modeled_workers: 2, fast_math_speedup: 1.0 });
     assert_eq!(run(model, 1), run(model, 4));
 }

@@ -37,10 +37,10 @@ fn trace(
     tmax: SimTime,
     fit_threads: usize,
 ) -> String {
-    trace_with(workload, configs, seed, machines, tmax, fit_threads, false)
+    trace_with(workload, configs, seed, machines, tmax, fit_threads, false, false)
 }
 
-/// [`trace`] with an explicit warm-start switch.
+/// [`trace`] with explicit warm-start and fast-math switches.
 #[allow(clippy::too_many_arguments)]
 fn trace_with(
     workload: &dyn Workload,
@@ -50,11 +50,12 @@ fn trace_with(
     tmax: SimTime,
     fit_threads: usize,
     warm_start: bool,
+    fast_math: bool,
 ) -> String {
     let ew = ExperimentWorkload::from_workload(workload, configs, seed);
     let spec = ExperimentSpec::new(machines).with_stop_on_target(false).with_tmax(tmax);
     let mut pop = PopPolicy::with_config(PopConfig {
-        predictor: PredictorConfig::test().with_warm_start(warm_start),
+        predictor: PredictorConfig::test().with_warm_start(warm_start).with_fast_math(fast_math),
         fit_threads,
         seed,
         ..Default::default()
@@ -140,7 +141,7 @@ fn lunar_surface_trace_is_golden() {
 fn cifar_surface_warm_trace_is_golden() {
     let workload = CifarWorkload::new().with_max_epochs(40);
     check_golden("cifar_warm_trace.csv", |threads| {
-        trace_with(&workload, 12, 7, 4, SimTime::from_hours(48.0), threads, true)
+        trace_with(&workload, 12, 7, 4, SimTime::from_hours(48.0), threads, true, false)
     });
 }
 
@@ -148,6 +149,48 @@ fn cifar_surface_warm_trace_is_golden() {
 fn lunar_surface_warm_trace_is_golden() {
     let workload = LunarWorkload::new().with_max_blocks(60);
     check_golden("lunar_warm_trace.csv", |threads| {
-        trace_with(&workload, 10, 11, 3, SimTime::from_hours(200.0), threads, true)
+        trace_with(&workload, 10, 11, 3, SimTime::from_hours(200.0), threads, true, false)
+    });
+}
+
+// The vectorized likelihood path (`fast_math`) evaluates the same model
+// through batched kernels with a different (deterministic) floating-point
+// factoring, so like warm start it gets its own goldens — again at 1 and
+// 4 fit threads, and regardless of `HYPERDRIVE_VMATH` (the backends are
+// bit-identical, which these traces re-pin end to end).
+
+#[test]
+fn cifar_surface_fast_trace_is_golden() {
+    let workload = CifarWorkload::new().with_max_epochs(40);
+    check_golden("cifar_fast_trace.csv", |threads| {
+        trace_with(&workload, 12, 7, 4, SimTime::from_hours(48.0), threads, false, true)
+    });
+}
+
+#[test]
+fn lunar_surface_fast_trace_is_golden() {
+    let workload = LunarWorkload::new().with_max_blocks(60);
+    check_golden("lunar_fast_trace.csv", |threads| {
+        trace_with(&workload, 10, 11, 3, SimTime::from_hours(200.0), threads, false, true)
+    });
+}
+
+// fast_math composes with warm start: warm refits rescore previous draws
+// and reseed family fits through the batched kernels. The combination is
+// its own numeric regime, so it is pinned separately too.
+
+#[test]
+fn cifar_surface_fast_warm_trace_is_golden() {
+    let workload = CifarWorkload::new().with_max_epochs(40);
+    check_golden("cifar_fast_warm_trace.csv", |threads| {
+        trace_with(&workload, 12, 7, 4, SimTime::from_hours(48.0), threads, true, true)
+    });
+}
+
+#[test]
+fn lunar_surface_fast_warm_trace_is_golden() {
+    let workload = LunarWorkload::new().with_max_blocks(60);
+    check_golden("lunar_fast_warm_trace.csv", |threads| {
+        trace_with(&workload, 10, 11, 3, SimTime::from_hours(200.0), threads, true, true)
     });
 }
