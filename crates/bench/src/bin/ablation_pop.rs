@@ -11,22 +11,25 @@
 //! random configuration orders on a small cluster: classification quality
 //! shows up in the median and the unlucky tail.
 
-use hyperdrive_bench::{par_map, print_table, quick_mode, write_csv};
+use hyperdrive_bench::{
+    cached_traces, init_fit_cache, par_map, print_table, quick_mode, report_fit_cache, write_csv,
+};
 use hyperdrive_core::{KillRule, PopConfig, PopPolicy};
 use hyperdrive_curve::PredictorConfig;
 use hyperdrive_framework::{ExperimentSpec, ExperimentWorkload};
 use hyperdrive_sim::run_sim;
 use hyperdrive_types::{stats, SimTime};
-use hyperdrive_workload::{CifarWorkload, TraceSet, Workload};
+use hyperdrive_workload::{CifarWorkload, Workload};
 
 fn main() {
+    init_fit_cache();
     let (n_configs, n_orders, fidelity) = if quick_mode() {
         (30, 4, PredictorConfig::test())
     } else {
         (100, 12, PredictorConfig::fast())
     };
     let workload = CifarWorkload::new();
-    let traces = TraceSet::generate(&workload, n_configs, 7);
+    let traces = cached_traces(&workload, n_configs, 7);
 
     let variants: Vec<(&str, PopConfig)> = vec![
         ("POP (full)", PopConfig { predictor: fidelity, ..Default::default() }),
@@ -133,7 +136,7 @@ fn main() {
     // early-termination components do fire. POP's round-robin only
     // revisits a job once the queue wraps around, so this part uses fewer
     // configurations and a budget spanning many rounds.
-    let waste_traces = TraceSet::generate(&workload, if quick_mode() { 20 } else { 40 }, 7);
+    let waste_traces = cached_traces(&workload, if quick_mode() { 20 } else { 40 }, 7);
     let experiment = ExperimentWorkload::from_traces(
         &waste_traces,
         workload.domain_knowledge(),
@@ -191,4 +194,5 @@ fn main() {
     );
     println!("\nexpected: removing the kill threshold and the p < 0.05 prune inflates the");
     println!("epochs burned on configurations that never escape random accuracy");
+    report_fit_cache("ablation_pop");
 }

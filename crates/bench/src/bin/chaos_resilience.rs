@@ -65,6 +65,7 @@ fn check_run(result: &ExperimentResult, ran_to_completion: bool, label: &str) {
 }
 
 fn main() {
+    hyperdrive_bench::init_fit_cache();
     let s = scale();
     let intensities: [(f64, &str); 3] = [(0.0, "none"), (2.0, "low"), (10.0, "high")];
     let horizon = SimTime::from_hours(24.0);
@@ -235,4 +236,5 @@ fn main() {
         &table_rows,
     );
     println!("\nAll runs terminated cleanly; rate-0 runs matched fault-free execution exactly.");
+    hyperdrive_bench::report_fit_cache("chaos_resilience");
 }

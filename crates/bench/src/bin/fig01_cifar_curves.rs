@@ -11,6 +11,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    hyperdrive_bench::init_fit_cache();
     let n_configs = if quick_mode() { 10 } else { 50 };
     let workload = CifarWorkload::new();
     let mut rng = StdRng::seed_from_u64(1);
@@ -62,4 +63,5 @@ fn main() {
         ],
     );
     println!("\nseries written to {}", path.display());
+    hyperdrive_bench::report_fit_cache("fig01_cifar_curves");
 }

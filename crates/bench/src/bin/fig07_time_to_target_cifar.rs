@@ -13,6 +13,7 @@ use hyperdrive_bench::{
 use hyperdrive_workload::CifarWorkload;
 
 fn main() {
+    hyperdrive_bench::init_fit_cache();
     let mut settings = ComparisonSettings::cifar_paper(7);
     if quick_mode() {
         settings = settings.quick();
@@ -87,4 +88,5 @@ fn main() {
             ],
         );
     }
+    hyperdrive_bench::report_fit_cache("fig07_time_to_target_cifar");
 }

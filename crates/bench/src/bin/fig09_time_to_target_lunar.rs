@@ -11,6 +11,7 @@ use hyperdrive_bench::{
 use hyperdrive_workload::LunarWorkload;
 
 fn main() {
+    hyperdrive_bench::init_fit_cache();
     // Config seed 9: three solvers, all beyond the initial 15-machine batch
     // (positions 33, 38, 78) — the regime where scheduling matters.
     let mut settings = ComparisonSettings::lunar_paper(9);
@@ -97,4 +98,5 @@ fn main() {
             );
         }
     }
+    hyperdrive_bench::report_fit_cache("fig09_time_to_target_lunar");
 }

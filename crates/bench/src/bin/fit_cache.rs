@@ -1,0 +1,179 @@
+//! Measures the shared content-addressed fit cache end to end and emits
+//! `BENCH_fit_cache.json`.
+//!
+//! The workload is a capacity-sweep-style grid (the §7.2 shape: one trace
+//! set replayed under several cluster sizes by both curve-fitting
+//! policies, POP and EarlyTerm). The grid runs
+//!
+//! 1. with no cache (baseline wall clock),
+//! 2. against a fresh in-memory cache (cold pass, populating),
+//! 3. against the same cache again (warm pass — the "second run of a
+//!    capacity-sweep bin", which must hit ≥ 90%),
+//! 4. against a reopened disk store (a later process reloading shards).
+//!
+//! Every pass must produce byte-identical event logs — the cache is pure
+//! speed — and the bin fails loudly if outputs diverge or the warm hit
+//! rate falls short.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hyperdrive_bench::{cached_traces, print_table, quick_mode, results_dir};
+use hyperdrive_core::{PopConfig, PopPolicy};
+use hyperdrive_curve::{PredictorConfig, SharedFitCache};
+use hyperdrive_framework::{ExperimentSpec, ExperimentWorkload, SchedulingPolicy};
+use hyperdrive_policies::{EarlyTermConfig, EarlyTermPolicy};
+use hyperdrive_sim::run_sim;
+use hyperdrive_types::SimTime;
+use hyperdrive_workload::{CifarWorkload, Workload};
+
+/// One simulated run: time-to-target plus the full serialized event log
+/// (the byte-identity witness).
+struct RunOut {
+    hours: Option<f64>,
+    events: Vec<u8>,
+}
+
+fn run_grid(
+    experiment: &ExperimentWorkload,
+    capacities: &[usize],
+    fidelity: PredictorConfig,
+    cache: Option<&Arc<SharedFitCache>>,
+) -> Vec<RunOut> {
+    let tasks: Vec<(usize, bool)> =
+        capacities.iter().flat_map(|&machines| [(machines, true), (machines, false)]).collect();
+    hyperdrive_bench::par_map(&tasks, |&(machines, pop)| {
+        let spec = ExperimentSpec::new(machines).with_tmax(SimTime::from_hours(48.0)).with_seed(3);
+        let mut policy: Box<dyn SchedulingPolicy> = if pop {
+            Box::new(PopPolicy::with_config_and_cache(
+                PopConfig { predictor: fidelity, seed: 3, fit_threads: 1, ..Default::default() },
+                cache.cloned(),
+            ))
+        } else {
+            Box::new(EarlyTermPolicy::with_config_and_cache(
+                EarlyTermConfig { predictor: fidelity, seed: 3, ..Default::default() },
+                cache.cloned(),
+            ))
+        };
+        let r = run_sim(policy.as_mut(), experiment, spec);
+        let mut events = Vec::new();
+        r.events.write_csv(&mut events).expect("event log serializes");
+        RunOut { hours: r.time_to_target.map(|t| t.as_hours()), events }
+    })
+}
+
+fn assert_identical(name: &str, baseline: &[RunOut], pass: &[RunOut]) {
+    assert_eq!(baseline.len(), pass.len());
+    for (i, (b, p)) in baseline.iter().zip(pass).enumerate() {
+        assert_eq!(b.hours, p.hours, "{name}: run {i} time-to-target diverged");
+        assert!(b.events == p.events, "{name}: run {i} event log diverged");
+    }
+}
+
+fn main() {
+    let (n_configs, capacities, fidelity): (usize, &[usize], PredictorConfig) = if quick_mode() {
+        (30, &[4, 8], PredictorConfig::test())
+    } else {
+        (60, &[4, 8, 16], PredictorConfig::fast())
+    };
+    let traces = cached_traces(&CifarWorkload::new(), n_configs, 7);
+    let workload = CifarWorkload::new();
+    let experiment = ExperimentWorkload::from_traces(
+        &traces,
+        workload.domain_knowledge(),
+        workload.eval_boundary(),
+        workload.default_target(),
+        workload.suspend_model(),
+    );
+    let grid_runs = capacities.len() * 2;
+
+    let t = Instant::now();
+    let baseline = run_grid(&experiment, capacities, fidelity, None);
+    let baseline_secs = t.elapsed().as_secs_f64();
+
+    // Cold pass: same grid, fresh shared cache — identical outputs, and
+    // every distinct (prefix, config, seed, horizon) fit lands in the map.
+    let mem = SharedFitCache::in_memory();
+    let t = Instant::now();
+    let cold = run_grid(&experiment, capacities, fidelity, Some(&mem));
+    let cold_secs = t.elapsed().as_secs_f64();
+    assert_identical("mem-cold", &baseline, &cold);
+
+    // Warm pass: the acceptance-criteria "second run" — nearly all
+    // lookups must be answered from the shared layer.
+    let before = mem.stats();
+    let t = Instant::now();
+    let warm = run_grid(&experiment, capacities, fidelity, Some(&mem));
+    let warm_secs = t.elapsed().as_secs_f64();
+    assert_identical("mem-warm", &baseline, &warm);
+    let after = mem.stats();
+    let warm_lookups = after.lookups() - before.lookups();
+    let warm_hits = after.hits - before.hits;
+    let warm_hit_rate = warm_hits as f64 / (warm_lookups.max(1)) as f64;
+    assert!(
+        warm_hit_rate >= 0.90,
+        "second-run hit rate {warm_hit_rate:.3} below the 90% acceptance bar \
+         ({warm_hits}/{warm_lookups})"
+    );
+
+    // Disk pass: populate `results/fitcache/` in this process, then
+    // reopen it the way a later figure bin (or a rerun of the whole
+    // suite) would and replay the grid from the shards.
+    let disk_dir = results_dir().join("fitcache");
+    let writer = SharedFitCache::with_disk(&disk_dir).expect("disk cache opens");
+    let preloaded = writer.stats().disk_loaded;
+    run_grid(&experiment, capacities, fidelity, Some(&writer));
+    drop(writer);
+    let reader = SharedFitCache::with_disk(&disk_dir).expect("disk cache reopens");
+    let disk_loaded = reader.stats().disk_loaded;
+    assert!(disk_loaded > 0, "reopening the disk store loaded nothing");
+    let t = Instant::now();
+    let replay = run_grid(&experiment, capacities, fidelity, Some(&reader));
+    let disk_secs = t.elapsed().as_secs_f64();
+    assert_identical("disk-replay", &baseline, &replay);
+    let disk_stats = reader.stats();
+    let disk_hit_rate = disk_stats.hit_rate();
+
+    let warm_speedup = baseline_secs / warm_secs.max(1e-9);
+    let disk_speedup = baseline_secs / disk_secs.max(1e-9);
+    print_table(
+        "shared fit cache: capacity-sweep grid, cold vs warm vs disk",
+        &["runs", "baseline_s", "cold_s", "warm_s", "warm_hit", "warm_x", "disk_s", "disk_x"],
+        &[vec![
+            grid_runs.to_string(),
+            format!("{baseline_secs:.2}"),
+            format!("{cold_secs:.2}"),
+            format!("{warm_secs:.2}"),
+            format!("{:.1}%", 100.0 * warm_hit_rate),
+            format!("{warm_speedup:.1}x"),
+            format!("{disk_secs:.2}"),
+            format!("{disk_speedup:.1}x"),
+        ]],
+    );
+    println!(
+        "disk store: {} entries loaded on reopen ({} pre-existing before populate)",
+        disk_loaded, preloaded
+    );
+
+    let path = results_dir().join("BENCH_fit_cache.json");
+    std::fs::write(
+        &path,
+        format!(
+            "{{\n  \"grid_runs\": {grid_runs},\n  \"configs\": {n_configs},\n  \
+             \"baseline_secs\": {baseline_secs:.4},\n  \
+             \"mem_cold_secs\": {cold_secs:.4},\n  \
+             \"mem_warm_secs\": {warm_secs:.4},\n  \
+             \"warm_speedup\": {warm_speedup:.3},\n  \
+             \"second_run_hit_rate\": {warm_hit_rate:.4},\n  \
+             \"mem_entries\": {},\n  \
+             \"disk_replay_secs\": {disk_secs:.4},\n  \
+             \"disk_speedup\": {disk_speedup:.3},\n  \
+             \"disk_loaded\": {disk_loaded},\n  \
+             \"disk_hit_rate\": {disk_hit_rate:.4},\n  \
+             \"outputs_identical\": true\n}}\n",
+            mem.len(),
+        ),
+    )
+    .expect("json write");
+    println!("wrote {}", path.display());
+}

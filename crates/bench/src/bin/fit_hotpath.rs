@@ -267,9 +267,11 @@ fn main() {
   "warm_fits": {warm_fits},
   "pop_decision_jobs": {n_jobs},
   "pop_decision_cold_ms": {decision_ms:.3},
-  "pop_decision_cached_ms": {decision_cached_ms:.4}
+  "pop_decision_cached_ms": {decision_cached_ms:.4},
+  {fit_cache_fragment}
 }}
 "#,
+        fit_cache_fragment = hyperdrive_bench::fit_cache_json(),
     )
     .expect("json write");
     println!("wrote {}", path.display());

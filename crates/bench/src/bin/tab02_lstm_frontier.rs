@@ -22,6 +22,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    hyperdrive_bench::init_fit_cache();
     let workload = LstmWorkload::new();
 
     // Part 1: λ frontier on a healthy base configuration.
@@ -120,4 +121,5 @@ fn main() {
     println!(
         "\nglobal termination criterion cut exploration time by {speedup:.1}x (paper: \"significantly reduced training times\")"
     );
+    hyperdrive_bench::report_fit_cache("tab02_lstm_frontier");
 }

@@ -1,0 +1,121 @@
+//! Process-wide caches for the figure bins: the shared content-addressed
+//! fit cache (installed once per process, reported per bin) and the
+//! on-disk workload trace cache.
+//!
+//! Every figure bin calls [`init_fit_cache`] first thing in `main` and
+//! [`report_fit_cache`] last, so each bin both reuses fits and leaves an
+//! auditable `BENCH_<bin>.json` behind. Bins that replay generated
+//! workload traces fetch them through [`cached_traces`] instead of
+//! regenerating per process.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hyperdrive_curve::{
+    cache_for_mode, cache_mode_from_env, global_fit_cache, install_global_fit_cache, CacheMode,
+    SharedFitCache,
+};
+use hyperdrive_workload::{TraceSet, Workload};
+
+/// Resolves `HYPERDRIVE_FIT_CACHE` and installs the result as the
+/// process-global shared fit cache, returning the installed handle.
+///
+/// Bench bins default to `mem` when the variable is unset — unlike the
+/// library default of `off` — because a figure bin *is* a batch of
+/// replicates that deliberately re-fit the same curves, which is exactly
+/// the shared layer's win condition. Installation is first-wins, so
+/// calling this from both a bin's `main` and the harness is safe.
+pub fn init_fit_cache() -> Option<Arc<SharedFitCache>> {
+    let mode = cache_mode_from_env().unwrap_or(CacheMode::Mem);
+    install_global_fit_cache(cache_for_mode(mode));
+    global_fit_cache()
+}
+
+/// The process-global fit-cache statistics as a JSON object fragment
+/// (`"fit_cache": {...}`) for embedding in `BENCH_*.json` files.
+#[must_use]
+pub fn fit_cache_json() -> String {
+    match global_fit_cache() {
+        None => "\"fit_cache\": { \"mode\": \"off\" }".to_string(),
+        Some(cache) => {
+            let s = cache.stats();
+            format!(
+                "\"fit_cache\": {{ \"mode\": \"{}\", \"entries\": {}, \"hits\": {}, \
+                 \"misses\": {}, \"hit_rate\": {:.4}, \"disk_loaded\": {}, \
+                 \"disk_skipped\": {} }}",
+                if cache.is_disk_backed() { "disk" } else { "mem" },
+                cache.len(),
+                s.hits,
+                s.misses,
+                s.hit_rate(),
+                s.disk_loaded,
+                s.disk_skipped,
+            )
+        }
+    }
+}
+
+/// Writes `BENCH_<bin>.json` with the bin's fit-cache statistics and
+/// prints the one-line summary every figure bin ends with.
+pub fn report_fit_cache(bin: &str) {
+    let path = crate::results_dir().join(format!("BENCH_{bin}.json"));
+    let body = format!("{{\n  \"bin\": \"{bin}\",\n  {}\n}}\n", fit_cache_json());
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("fit cache: writing {path:?} failed ({e})");
+    }
+    match global_fit_cache() {
+        None => println!("fit cache: off"),
+        Some(cache) => {
+            let s = cache.stats();
+            println!(
+                "fit cache [{}]: {} lookups, {} hits ({:.1}%), {} entries, \
+                 {} loaded from disk",
+                if cache.is_disk_backed() { "disk" } else { "mem" },
+                s.lookups(),
+                s.hits,
+                100.0 * s.hit_rate(),
+                cache.len(),
+                s.disk_loaded,
+            );
+        }
+    }
+}
+
+/// [`TraceSet::generate_cached`] rooted at `results/tracecache/`, with the
+/// hit/miss and timing logged — quick-mode suites regenerate identical
+/// traces per bin otherwise, and this line records the saving.
+#[must_use]
+pub fn cached_traces(workload: &dyn Workload, n_configs: usize, base_seed: u64) -> TraceSet {
+    let dir = crate::results_dir().join("tracecache");
+    let t = Instant::now();
+    let (set, hit) = TraceSet::generate_cached(workload, n_configs, base_seed, dir);
+    println!(
+        "trace cache {}: {} x{n_configs} seed {base_seed} in {:.2}s",
+        if hit { "hit" } else { "miss" },
+        set.workload_name,
+        t.elapsed().as_secs_f64(),
+    );
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_cache_json_reports_the_installed_cache() {
+        // Robust under any ambient HYPERDRIVE_FIT_CACHE: whatever mode
+        // resolves, the fragment names it and stays embeddable.
+        let cache = init_fit_cache();
+        let json = fit_cache_json();
+        assert!(json.starts_with("\"fit_cache\": {"));
+        match cache {
+            None => assert!(json.contains("\"mode\": \"off\"")),
+            Some(c) => {
+                let mode = if c.is_disk_backed() { "disk" } else { "mem" };
+                assert!(json.contains(&format!("\"mode\": \"{mode}\"")));
+                assert!(json.contains("\"hit_rate\""));
+            }
+        }
+    }
+}

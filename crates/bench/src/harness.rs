@@ -59,8 +59,11 @@ fn record_fit_thread_choice(threads: usize, workers: usize) {
             let _ = write!(
                 f,
                 "{{\n  \"per_replicate_fit_threads\": {threads},\n  \
-                 \"source\": \"{}\",\n  \"replicate_workers\": {workers}\n}}\n",
+                 \"source\": \"{}\",\n  \"replicate_workers\": {workers},\n  {}\n}}\n",
                 if from_env { "HYPERDRIVE_BENCH_FIT_THREADS" } else { "default" },
+                // Written before the first comparison runs: counters are
+                // ~zero here, the useful datum is the resolved mode.
+                crate::cache::fit_cache_json(),
             );
         }
     });
@@ -240,6 +243,12 @@ pub fn run_comparison(
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
         .min(n_tasks.max(1));
+    // Every replicate's policies resolve the process-global shared fit
+    // cache at construction; install it (first-wins, and before anything
+    // reads — and thereby locks — the global) so the whole repeats ×
+    // policies grid shares one content-addressed layer even if the
+    // calling bin forgot to.
+    crate::cache::init_fit_cache();
     record_fit_thread_choice(harness_fit_threads(), workers);
 
     std::thread::scope(|scope| {

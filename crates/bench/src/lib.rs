@@ -10,17 +10,23 @@
 //!   set, varying training noise).
 //! * [`report`] — CSV emission into `results/` and aligned terminal
 //!   tables.
+//! * [`cache`] — the process-wide shared fit cache every bin installs
+//!   and reports, plus the on-disk workload trace cache.
 //!
 //! Set `HYPERDRIVE_QUICK=1` to shrink all experiment binaries to smoke
-//! scale; set `HYPERDRIVE_RESULTS=<dir>` to redirect CSV output.
+//! scale; set `HYPERDRIVE_RESULTS=<dir>` to redirect CSV output; set
+//! `HYPERDRIVE_FIT_CACHE=off|mem|disk` to override the fit-cache layer
+//! (bench bins default to `mem`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod harness;
 pub mod par;
 pub mod report;
 
+pub use cache::{cached_traces, fit_cache_json, init_fit_cache, report_fit_cache};
 pub use harness::{
     harness_fit_threads, run_comparison, summarize, ComparisonRun, ComparisonSettings, PolicyKind,
     PolicySummary,

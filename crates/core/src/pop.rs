@@ -237,15 +237,48 @@ impl PopPolicy {
         }
     }
 
+    /// [`PopPolicy::with_config`] with an explicit shared
+    /// content-addressed fit cache (`None` = never share fits across
+    /// runs, whatever the environment says). `PopConfig` stays `Copy`, so
+    /// the handle is a separate argument rather than a field; the default
+    /// constructor resolves the process-global cache instead.
+    ///
+    /// # Panics
+    ///
+    /// As [`PopPolicy::with_config`].
+    pub fn with_config_and_cache(
+        config: PopConfig,
+        cache: Option<std::sync::Arc<hyperdrive_curve::SharedFitCache>>,
+    ) -> Self {
+        assert!(config.k > 0, "k must be positive");
+        assert!(
+            (0.0..=1.0).contains(&config.lower_bound_confidence),
+            "lower bound must be a probability"
+        );
+        let service =
+            FitService::with_shared_cache(config.predictor, config.seed, config.fit_threads, cache);
+        PopPolicy {
+            config,
+            assessments: HashMap::new(),
+            timeline: Vec::new(),
+            service,
+            pending_overhead: SimTime::ZERO,
+        }
+    }
+
     /// The allocation decisions recorded so far (Fig. 4 instrumentation).
     pub fn timeline(&self) -> &[AllocationSnapshot] {
         &self.timeline
     }
 
-    /// Number of curve-model fits performed (diagnostic; §5.2 overhead
-    /// accounting). Cache hits are not fits.
+    /// Number of curve-model predictions produced (diagnostic; §5.2
+    /// overhead accounting): executed fits plus requests the shared
+    /// content-addressed layer answered in a fit's stead. Per-run cache
+    /// hits are not predictions. The sum is invariant between a cold run
+    /// and the same run replayed against a warmed shared cache.
     pub fn predictions_made(&self) -> u64 {
-        self.service.stats().fits
+        let s = self.service.stats();
+        s.fits + s.shared_hits
     }
 
     /// Cumulative fit-service counters (fits, cache hits, batches).
@@ -375,6 +408,16 @@ impl Default for PopPolicy {
 impl SchedulingPolicy for PopPolicy {
     fn name(&self) -> &str {
         "pop"
+    }
+
+    fn fit_cache_snapshot(&self) -> Option<hyperdrive_framework::FitCacheSnapshot> {
+        let s = self.service.stats();
+        Some(hyperdrive_framework::FitCacheSnapshot {
+            fits: s.fits,
+            local_hits: s.cache_hits,
+            shared_hits: s.shared_hits,
+            batches: s.batches,
+        })
     }
 
     fn take_decision_overhead(&mut self) -> SimTime {

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod ensemble;
 pub mod fastpath;
 pub mod fit;
@@ -61,6 +62,11 @@ pub mod scratch;
 pub mod service;
 pub mod vmath;
 
+pub use cache::{
+    cache_for_mode, cache_mode_from_env, default_disk_dir, fit_fingerprint, global_fit_cache,
+    install_global_fit_cache, posterior_hash, CacheMode, CurveFingerprint, SharedCacheStats,
+    SharedFitCache, FINGERPRINT_VERSION,
+};
 pub use models::{GridPoint, ModelFamily, ALL_FAMILIES};
 pub use predictor::{CurvePosterior, CurvePredictor, PredictorConfig};
 pub use scratch::FitScratch;

@@ -655,6 +655,22 @@ pub struct CurvePosterior {
 }
 
 impl CurvePosterior {
+    /// Reassembles a posterior from its stored parts — the decode half of
+    /// the disk fit cache (`crate::cache`). The parts must have come from
+    /// a fitted posterior's accessors; nothing here re-derives or
+    /// validates numerics, which is exactly what makes a decoded entry
+    /// bitwise-identical to the fit that produced it.
+    #[must_use]
+    pub fn from_parts(
+        draws: Vec<Vec<f64>>,
+        last_epoch: u32,
+        horizon: u32,
+        acceptance_rate: f64,
+        warm: bool,
+    ) -> Self {
+        CurvePosterior { draws, last_epoch, horizon, acceptance_rate, warm }
+    }
+
     /// Number of retained posterior draws.
     pub fn n_draws(&self) -> usize {
         self.draws.len()

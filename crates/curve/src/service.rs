@@ -42,6 +42,23 @@
 //! depends only on *prior batches* — never on sibling requests racing
 //! within the same batch or on the worker count. [`sequential_fit`] stays
 //! cold on purpose: it is the reference definition of an unassisted fit.
+//!
+//! # The shared content-addressed layer
+//!
+//! Above the per-run `(job, epochs)` cache sits an optional process-wide
+//! [`SharedFitCache`] keyed by [`CurveFingerprint`] (see [`crate::cache`]):
+//! when a request misses the per-run cache, its structural fingerprint —
+//! curve prefix, full fidelity, derived seed, horizon, warm-source hash —
+//! is looked up there before any worker fits. A shared hit is bitwise the
+//! posterior a cold fit would have produced, so it is reported with
+//! `cached: false` and folded into the per-run cache *after* the enqueue
+//! scan, exactly like a fresh fit: callers (including the `FitCostModel`
+//! virtual pricing in `hyperdrive-core`, which prices only `!cached`
+//! outcomes) cannot distinguish a shared hit from the fit it replaced,
+//! which keeps scheduling traces byte-identical with the layer off, in memory,
+//! or on disk. The layer is resolved from [`global_fit_cache`] by
+//! [`FitService::new`] (default off) or injected explicitly via
+//! [`FitService::with_shared_cache`].
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -51,6 +68,7 @@ use parking_lot::Mutex;
 
 use hyperdrive_types::{Error, JobId, LearningCurve, Result};
 
+use crate::cache::{fit_fingerprint, global_fit_cache, CurveFingerprint, SharedFitCache};
 use crate::predictor::{CurvePosterior, CurvePredictor, PredictorConfig};
 use crate::scratch::FitScratch;
 
@@ -124,6 +142,12 @@ pub struct FitStats {
     /// Fits (subset of `fits`) that were warm-started from a cached
     /// previous-epoch posterior of the same job.
     pub warm_fits: u64,
+    /// Requests answered from the shared content-addressed layer instead
+    /// of executing a fit (counted once per distinct key per batch, like
+    /// `fits`; **not** a subset of `fits` — a shared hit executes
+    /// nothing). `fits + shared_hits` is therefore invariant between a
+    /// cold run and a replay against a warmed shared cache.
+    pub shared_hits: u64,
     /// `fit_batch` calls served.
     pub batches: u64,
 }
@@ -178,6 +202,7 @@ pub struct FitService {
     config: PredictorConfig,
     experiment_seed: u64,
     shared: Arc<Shared>,
+    shared_layer: Option<Arc<SharedFitCache>>,
     tx: Sender<WorkerMsg>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
@@ -196,7 +221,23 @@ impl FitService {
     /// Starts a service with `threads` workers (`0` = environment /
     /// hardware default, see [`resolve_fit_threads`]) using `config`
     /// fidelity. `experiment_seed` is the root of every per-fit seed.
+    /// Consults the process-global shared cache ([`global_fit_cache`]),
+    /// which is off unless installed or enabled via
+    /// `HYPERDRIVE_FIT_CACHE`.
     pub fn new(config: PredictorConfig, experiment_seed: u64, threads: usize) -> Self {
+        Self::with_shared_cache(config, experiment_seed, threads, global_fit_cache())
+    }
+
+    /// [`FitService::new`] with an explicit shared content-addressed
+    /// layer (`None` = this service never shares fits across runs).
+    /// Tests asserting exact fit counts use `None` for isolation; the
+    /// bench harness passes one cache to every replicate.
+    pub fn with_shared_cache(
+        config: PredictorConfig,
+        experiment_seed: u64,
+        threads: usize,
+        shared_layer: Option<Arc<SharedFitCache>>,
+    ) -> Self {
         let threads = resolve_fit_threads(threads);
         let shared = Arc::new(Shared {
             cache: Mutex::new(HashMap::new()),
@@ -209,7 +250,7 @@ impl FitService {
                 std::thread::spawn(move || worker_loop(&rx, config))
             })
             .collect();
-        FitService { config, experiment_seed, shared, tx, workers }
+        FitService { config, experiment_seed, shared, shared_layer, tx, workers }
     }
 
     /// Number of worker threads in the pool.
@@ -232,9 +273,18 @@ impl FitService {
         let mut out: Vec<Option<FitOutcome>> = vec![None; requests.len()];
         // Indices waiting on each in-flight key, in submission order.
         let mut waiting: HashMap<FitKey, Vec<usize>> = HashMap::new();
+        // Fingerprint of each enqueued key, so the collection loop can
+        // publish the fresh posterior to the shared layer.
+        let mut enqueued_fp: HashMap<FitKey, CurveFingerprint> = HashMap::new();
+        // Keys this batch resolved from the shared layer. Their per-run
+        // cache insertion is deferred until after the enqueue scan so
+        // same-batch visibility (warm sources!) matches a cold run, where
+        // results only land in the collection loop.
+        let mut shared_found: HashMap<FitKey, CurvePosterior> = HashMap::new();
         let (reply_tx, reply_rx) = unbounded();
         let mut enqueued = 0usize;
         let mut hits = 0u64;
+        let mut shared_hits = 0u64;
 
         for (i, req) in requests.iter().enumerate() {
             let Some(last_epoch) = req.curve.last_epoch() else {
@@ -250,10 +300,16 @@ impl FitService {
                 out[i] = Some(FitOutcome { result: hit.clone(), cached: true });
                 continue;
             }
+            if let Some(p) = shared_found.get(&key) {
+                // A sibling request already resolved this key from the
+                // shared layer; share that resolution exactly like
+                // `waiting` duplicates share one fit.
+                out[i] = Some(FitOutcome { result: Ok(p.clone()), cached: false });
+                continue;
+            }
             match waiting.entry(key) {
                 std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(i),
                 std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(vec![i]);
                     let seed = derive_fit_seed(self.experiment_seed, req.job.raw(), last_epoch);
                     // Resolved before any of this batch's results land in
                     // the cache, so the warm source is a stable snapshot of
@@ -263,6 +319,26 @@ impl FitService {
                     } else {
                         None
                     };
+                    if let Some(layer) = &self.shared_layer {
+                        let fp = fit_fingerprint(
+                            &req.curve,
+                            &self.config,
+                            seed,
+                            req.horizon,
+                            warm.as_ref(),
+                        );
+                        if let Some(p) = layer.get(&fp) {
+                            // Bitwise the posterior this fit would have
+                            // produced; reported as `cached: false` so the
+                            // outcome is indistinguishable from running it.
+                            shared_hits += 1;
+                            out[i] = Some(FitOutcome { result: Ok(p.clone()), cached: false });
+                            shared_found.insert(key, p);
+                            continue;
+                        }
+                        enqueued_fp.insert(key, fp);
+                    }
+                    e.insert(vec![i]);
                     self.tx
                         .send(WorkerMsg::Fit {
                             key,
@@ -278,11 +354,25 @@ impl FitService {
             }
         }
 
+        // Shared-layer hits become visible to *future* batches only, just
+        // like fresh fits.
+        if !shared_found.is_empty() {
+            let mut cache = self.shared.cache.lock();
+            for (key, p) in &shared_found {
+                cache.insert(*key, Ok(p.clone()));
+            }
+        }
+
         let mut warm_fits = 0u64;
         for _ in 0..enqueued {
             let (key, result) = reply_rx.recv().expect("workers alive");
             if result.as_ref().map(CurvePosterior::warm_started).unwrap_or(false) {
                 warm_fits += 1;
+            }
+            if let (Some(layer), Some(fp), Ok(p)) =
+                (self.shared_layer.as_ref(), enqueued_fp.get(&key), &result)
+            {
+                layer.insert(*fp, p);
             }
             self.shared.cache.lock().insert(key, result.clone());
             for &i in &waiting[&key] {
@@ -295,6 +385,7 @@ impl FitService {
             stats.cache_hits += hits;
             stats.fits += enqueued as u64;
             stats.warm_fits += warm_fits;
+            stats.shared_hits += shared_hits;
             stats.batches += 1;
         }
         out.into_iter().map(|o| o.expect("every request answered")).collect()
@@ -313,6 +404,11 @@ impl FitService {
     /// Cumulative hit/fit counters.
     pub fn stats(&self) -> FitStats {
         *self.shared.stats.lock()
+    }
+
+    /// The shared content-addressed layer this service consults, if any.
+    pub fn shared_cache(&self) -> Option<&Arc<SharedFitCache>> {
+        self.shared_layer.as_ref()
     }
 
     /// Drops cached results for a job (e.g. after termination).
@@ -390,6 +486,14 @@ mod tests {
         FitRequest { job: JobId::new(job), curve: curve(n), horizon: 100 }
     }
 
+    /// A service guaranteed to have **no** shared layer, whatever
+    /// `HYPERDRIVE_FIT_CACHE` says: tests asserting exact fit counts must
+    /// not be perturbed by a warmed process-global cache (the CI disk-
+    /// cache pass runs this suite against one).
+    fn isolated(config: PredictorConfig, seed: u64, threads: usize) -> FitService {
+        FitService::with_shared_cache(config, seed, threads, None)
+    }
+
     #[test]
     fn batch_results_match_sequential_reference_bitwise() {
         let config = PredictorConfig::test();
@@ -413,7 +517,7 @@ mod tests {
 
     #[test]
     fn cache_answers_repeat_batches_without_refitting() {
-        let service = FitService::new(PredictorConfig::test(), 3, 2);
+        let service = isolated(PredictorConfig::test(), 3, 2);
         let requests = vec![req(0, 10), req(1, 12)];
         let cold = service.fit_batch(&requests);
         let warm = service.fit_batch(&requests);
@@ -435,7 +539,7 @@ mod tests {
 
     #[test]
     fn duplicate_keys_in_one_batch_fit_once() {
-        let service = FitService::new(PredictorConfig::test(), 11, 3);
+        let service = isolated(PredictorConfig::test(), 11, 3);
         let requests = vec![req(5, 10), req(5, 10), req(5, 10)];
         let outcomes = service.fit_batch(&requests);
         assert_eq!(service.stats().fits, 1, "one fit shared by all duplicates");
@@ -495,7 +599,7 @@ mod tests {
     #[test]
     fn warm_start_uses_previous_epoch_posterior() {
         let config = PredictorConfig::test().with_warm_start(true);
-        let service = FitService::new(config, 13, 2);
+        let service = isolated(config, 13, 2);
         let cold = service.fit_batch(&[req(0, 10)]);
         assert!(!cold[0].result.as_ref().unwrap().warm_started(), "no prior epoch to warm from");
         let warm = service.fit_batch(&[req(0, 14)]);
@@ -542,11 +646,115 @@ mod tests {
 
     #[test]
     fn large_batches_complete_on_small_pools() {
-        let service = FitService::new(PredictorConfig::test(), 5, 2);
+        let service = isolated(PredictorConfig::test(), 5, 2);
         let requests: Vec<FitRequest> = (0..16).map(|j| req(j, 10)).collect();
         let outcomes = service.fit_batch(&requests);
         assert_eq!(outcomes.len(), 16);
         assert!(outcomes.iter().all(|o| o.result.is_ok()));
         assert_eq!(service.stats().fits, 16);
+    }
+
+    #[test]
+    fn shared_hit_is_bitwise_identical_and_reported_uncached() {
+        let config = PredictorConfig::test();
+        let cache = SharedFitCache::in_memory();
+        let writer = FitService::with_shared_cache(config, 7, 2, Some(cache.clone()));
+        let cold = writer.fit_batch(&[req(0, 10)]);
+        assert_eq!(writer.stats().fits, 1);
+        assert_eq!(cache.len(), 1);
+
+        // A *different service instance* (fresh per-run cache) replaying
+        // the same request: answered from the shared layer, no fit
+        // executed, outcome indistinguishable from a cold fit.
+        let reader = FitService::with_shared_cache(config, 7, 2, Some(cache.clone()));
+        let replay = reader.fit_batch(&[req(0, 10)]);
+        let stats = reader.stats();
+        assert_eq!((stats.fits, stats.shared_hits, stats.cache_hits), (0, 1, 0));
+        assert!(!replay[0].cached, "a shared hit must look like a fresh fit to callers");
+        assert_eq!(
+            replay[0].result.as_ref().unwrap().draws(),
+            cold[0].result.as_ref().unwrap().draws(),
+            "shared hit must be bitwise the cold posterior"
+        );
+        let reference = sequential_fit(config, 7, &req(0, 10)).expect("reference fits");
+        assert_eq!(replay[0].result.as_ref().unwrap().draws(), reference.draws());
+    }
+
+    #[test]
+    fn shared_hit_lands_in_the_per_run_cache_for_later_batches() {
+        let config = PredictorConfig::test();
+        let cache = SharedFitCache::in_memory();
+        FitService::with_shared_cache(config, 7, 2, Some(cache.clone())).fit_batch(&[req(0, 10)]);
+        let reader = FitService::with_shared_cache(config, 7, 2, Some(cache));
+        assert!(!reader.fit_batch(&[req(0, 10)])[0].cached);
+        assert!(reader.fit_batch(&[req(0, 10)])[0].cached, "second batch hits the per-run cache");
+        assert_eq!(reader.stats().shared_hits, 1, "the shared layer was consulted only once");
+    }
+
+    #[test]
+    fn shared_duplicates_within_one_batch_resolve_once() {
+        let config = PredictorConfig::test();
+        let cache = SharedFitCache::in_memory();
+        FitService::with_shared_cache(config, 7, 2, Some(cache.clone())).fit_batch(&[req(5, 10)]);
+        let reader = FitService::with_shared_cache(config, 7, 2, Some(cache.clone()));
+        let outcomes = reader.fit_batch(&[req(5, 10), req(5, 10), req(5, 10)]);
+        let stats = reader.stats();
+        assert_eq!((stats.fits, stats.shared_hits), (0, 1));
+        assert!(outcomes.iter().all(|o| !o.cached));
+        let first = outcomes[0].result.as_ref().unwrap();
+        for o in &outcomes[1..] {
+            assert_eq!(o.result.as_ref().unwrap().draws(), first.draws());
+        }
+        assert_eq!(cache.stats().hits, 1, "one lookup served all three duplicates");
+    }
+
+    #[test]
+    fn different_experiment_seeds_never_share_fits() {
+        let config = PredictorConfig::test();
+        let cache = SharedFitCache::in_memory();
+        let a = FitService::with_shared_cache(config, 1, 2, Some(cache.clone()));
+        a.fit_batch(&[req(0, 10)]);
+        let b = FitService::with_shared_cache(config, 2, 2, Some(cache.clone()));
+        b.fit_batch(&[req(0, 10)]);
+        assert_eq!(b.stats().fits, 1, "different derived seed ⇒ different fingerprint");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn fit_errors_are_not_published_to_the_shared_layer() {
+        // One observation < min_observations: a deterministic fit error.
+        let config = PredictorConfig::test();
+        let cache = SharedFitCache::in_memory();
+        let service = FitService::with_shared_cache(config, 1, 2, Some(cache.clone()));
+        let short = FitRequest { job: JobId::new(0), curve: curve(1), horizon: 100 };
+        assert!(service.fit_batch(&[short])[0].result.is_err());
+        assert!(cache.is_empty(), "errors recompute; only posteriors are shared");
+    }
+
+    #[test]
+    fn warm_fits_key_on_their_warm_source() {
+        let config = PredictorConfig::test().with_warm_start(true);
+        let cache = SharedFitCache::in_memory();
+        let writer = FitService::with_shared_cache(config, 13, 2, Some(cache.clone()));
+        writer.fit_batch(&[req(0, 10)]);
+        let warm = writer.fit_batch(&[req(0, 14)]);
+        assert!(warm[0].result.as_ref().unwrap().warm_started());
+        assert_eq!(cache.len(), 2, "cold and warm fits both published");
+
+        // Replaying the same two batches resolves the cold fit first, so
+        // the warm fingerprint (which folds in the warm-source posterior
+        // hash) recomputes identically and hits.
+        let reader = FitService::with_shared_cache(config, 13, 2, Some(cache.clone()));
+        let r1 = reader.fit_batch(&[req(0, 10)]);
+        let r2 = reader.fit_batch(&[req(0, 14)]);
+        let stats = reader.stats();
+        assert_eq!((stats.fits, stats.shared_hits), (0, 2));
+        let original_cold = writer.cached(JobId::new(0), 10).unwrap().unwrap();
+        assert_eq!(r1[0].result.as_ref().unwrap().draws(), original_cold.draws());
+        assert_eq!(
+            r2[0].result.as_ref().unwrap().draws(),
+            warm[0].result.as_ref().unwrap().draws(),
+            "replayed warm fit must be bitwise the original warm fit"
+        );
     }
 }

@@ -280,5 +280,50 @@ mod service_equivalence {
             prop_assert_eq!(c.expected(60).to_bits(), w.expected(60).to_bits());
             prop_assert_eq!(c.prob_at_least(60, 0.5).to_bits(), w.prob_at_least(60, 0.5).to_bits());
         }
+
+        /// The shared content-addressed layer's guarantee: a shared-cache
+        /// hit in a *different service instance* (fresh per-run cache,
+        /// arbitrary seed and curve shape, any worker count) is bitwise
+        /// the posterior the cold sequential reference produces, and the
+        /// hit is reported `cached: false` so callers price it like the
+        /// fit it replaced.
+        #[test]
+        fn shared_cache_hit_equals_cold_fit_bitwise(
+            seed in 0u64..u64::MAX,
+            shapes in proptest::collection::vec((0.3f64..0.9, 0.3f64..1.2, 6u32..12), 1..4),
+        ) {
+            let config = PredictorConfig::test();
+            let requests: Vec<FitRequest> = shapes
+                .iter()
+                .enumerate()
+                .map(|(j, (limit, rate, n))| FitRequest {
+                    job: JobId::new(j as u64),
+                    curve: synthetic_curve(*limit, *rate, *n),
+                    horizon: 60,
+                })
+                .collect();
+            let cache = hyperdrive_curve::SharedFitCache::in_memory();
+            let writer = FitService::with_shared_cache(config, seed, 1, Some(cache.clone()));
+            writer.fit_batch(&requests);
+            for threads in [1usize, 4] {
+                let reader =
+                    FitService::with_shared_cache(config, seed, threads, Some(cache.clone()));
+                let outcomes = reader.fit_batch(&requests);
+                let stats = reader.stats();
+                prop_assert_eq!(stats.fits, 0, "a warmed replay must execute no fits");
+                prop_assert_eq!(stats.shared_hits, requests.len() as u64);
+                for (r, o) in requests.iter().zip(&outcomes) {
+                    prop_assert!(!o.cached, "shared hits must look like fresh fits");
+                    let reference = sequential_fit(config, seed, r).expect("reference fits");
+                    let hit = o.result.as_ref().expect("shared hit is a posterior");
+                    prop_assert_eq!(hit.draws(), reference.draws());
+                    prop_assert_eq!(hit.expected(60).to_bits(), reference.expected(60).to_bits());
+                    prop_assert_eq!(
+                        hit.acceptance_rate().to_bits(),
+                        reference.acceptance_rate().to_bits()
+                    );
+                }
+            }
+        }
     }
 }

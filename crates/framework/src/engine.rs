@@ -716,6 +716,7 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
             .collect();
         ExperimentResult {
             policy: self.policy.name().to_string(),
+            fit_cache: self.policy.fit_cache_snapshot(),
             time_to_target: core.time_to_target,
             winner: core.winner,
             end_time,

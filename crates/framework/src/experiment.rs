@@ -297,6 +297,12 @@ pub struct ExperimentResult {
     pub total_epochs: u64,
     /// Fault-injection accounting; all-zero for fault-free runs.
     pub faults: crate::fault::FaultStats,
+    /// The policy's curve-fit cache counters at run end
+    /// ([`SchedulingPolicy::fit_cache_snapshot`](crate::SchedulingPolicy));
+    /// `None` for policies that fit no curves. Diagnostics only — the
+    /// counters never feed back into scheduling, so traces stay identical
+    /// whatever they read.
+    pub fit_cache: Option<crate::policy::FitCacheSnapshot>,
 }
 
 impl ExperimentResult {
@@ -415,6 +421,7 @@ mod tests {
             events: EventLog::new(),
             total_epochs: 10,
             faults: crate::fault::FaultStats::default(),
+            fit_cache: None,
         };
         assert!(result.reached_target());
         assert_eq!(result.job_durations_mins(), vec![10.0]);

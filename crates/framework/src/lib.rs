@@ -69,7 +69,8 @@ pub use generator::{AdaptiveGenerator, GridGenerator, HyperparameterGenerator, R
 pub use job_manager::{JobManager, JobState};
 pub use live::{run_live, run_live_with_faults, LiveFaultPlan};
 pub use policy::{
-    testing, DefaultPolicy, JobDecision, JobEvent, SchedulerContext, SchedulingPolicy,
+    testing, DefaultPolicy, FitCacheSnapshot, JobDecision, JobEvent, SchedulerContext,
+    SchedulingPolicy,
 };
 pub use resource::ResourceManager;
 pub use snapshot::JobSnapshot;

@@ -173,6 +173,33 @@ pub trait SchedulingPolicy: Send {
     fn take_decision_overhead(&mut self) -> SimTime {
         SimTime::ZERO
     }
+
+    /// A snapshot of the policy's curve-fit cache counters, filled into
+    /// [`ExperimentResult::fit_cache`](crate::ExperimentResult) when the
+    /// run finalizes so harnesses can aggregate fit/hit statistics
+    /// without reaching into policy internals. Diagnostics only — never
+    /// an input to scheduling. The default (`None`) is for policies that
+    /// fit no curves.
+    fn fit_cache_snapshot(&self) -> Option<FitCacheSnapshot> {
+        None
+    }
+}
+
+/// Point-in-time curve-fit cache counters reported by a policy through
+/// [`SchedulingPolicy::fit_cache_snapshot`]. Mirrors the fit-service
+/// stats: `fits` executed, per-run (`local`) cache hits, and hits served
+/// by the process-wide content-addressed layer. `fits + shared_hits` is
+/// invariant between a cold run and a shared-cache replay of it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FitCacheSnapshot {
+    /// Fresh ensemble fits executed.
+    pub fits: u64,
+    /// Requests answered by the per-run `(job, epochs)` cache.
+    pub local_hits: u64,
+    /// Requests answered by the shared content-addressed cache.
+    pub shared_hits: u64,
+    /// Fit batches served.
+    pub batches: u64,
 }
 
 /// The paper's Default SAP: greedy allocation, run to completion (§4.2,

@@ -17,8 +17,14 @@
 //! curve model but never computes confidence-weighted resource division —
 //! every surviving job keeps equal resources, and nothing is suspended.
 
-use hyperdrive_curve::{CurvePredictor, PredictorConfig};
-use hyperdrive_framework::{JobDecision, JobEvent, SchedulerContext, SchedulingPolicy};
+use std::sync::Arc;
+
+use hyperdrive_curve::{
+    fit_fingerprint, global_fit_cache, CurvePredictor, PredictorConfig, SharedFitCache,
+};
+use hyperdrive_framework::{
+    FitCacheSnapshot, JobDecision, JobEvent, SchedulerContext, SchedulingPolicy,
+};
 
 /// Configuration for [`EarlyTermPolicy`].
 #[derive(Debug, Clone, Copy)]
@@ -45,7 +51,12 @@ impl Default for EarlyTermConfig {
 #[derive(Debug)]
 pub struct EarlyTermPolicy {
     config: EarlyTermConfig,
-    predictions_made: u64,
+    /// Ensemble fits executed by this policy instance.
+    fits: u64,
+    /// Predictions answered by the shared content-addressed fit cache
+    /// (bitwise the fit each replaced, so decisions are unchanged).
+    shared_hits: u64,
+    shared: Option<Arc<SharedFitCache>>,
 }
 
 impl EarlyTermPolicy {
@@ -55,14 +66,27 @@ impl EarlyTermPolicy {
         Self::with_config(EarlyTermConfig::default())
     }
 
-    /// Creates the policy with explicit configuration.
+    /// Creates the policy with explicit configuration, consulting the
+    /// process-global shared fit cache (off unless installed or enabled
+    /// via `HYPERDRIVE_FIT_CACHE`).
     pub fn with_config(config: EarlyTermConfig) -> Self {
-        EarlyTermPolicy { config, predictions_made: 0 }
+        Self::with_config_and_cache(config, global_fit_cache())
     }
 
-    /// Number of curve-model fits performed so far (diagnostic).
+    /// [`EarlyTermPolicy::with_config`] with an explicit shared fit cache
+    /// (`None` = every prediction fits cold).
+    pub fn with_config_and_cache(
+        config: EarlyTermConfig,
+        cache: Option<Arc<SharedFitCache>>,
+    ) -> Self {
+        EarlyTermPolicy { config, fits: 0, shared_hits: 0, shared: cache }
+    }
+
+    /// Number of curve-model predictions produced so far (diagnostic):
+    /// executed fits plus shared-cache answers. Invariant between a cold
+    /// run and a replay against a warmed shared cache.
     pub fn predictions_made(&self) -> u64 {
-        self.predictions_made
+        self.fits + self.shared_hits
     }
 
     fn boundary(&self, ctx: &dyn SchedulerContext) -> u32 {
@@ -82,6 +106,15 @@ impl Default for EarlyTermPolicy {
 impl SchedulingPolicy for EarlyTermPolicy {
     fn name(&self) -> &str {
         "earlyterm"
+    }
+
+    fn fit_cache_snapshot(&self) -> Option<FitCacheSnapshot> {
+        Some(FitCacheSnapshot {
+            fits: self.fits,
+            local_hits: 0, // boundary events are unique per (job, epoch)
+            shared_hits: self.shared_hits,
+            batches: self.fits + self.shared_hits,
+        })
     }
 
     fn on_iteration_finish(
@@ -113,11 +146,31 @@ impl SchedulingPolicy for EarlyTermPolicy {
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(event.job.raw() << 20)
             .wrapping_add(u64::from(event.epoch));
-        let predictor = CurvePredictor::new(self.config.predictor.with_seed(seed));
-        let Ok(posterior) = predictor.fit(&curve, m) else {
-            return JobDecision::Continue; // too little history: keep training
+        // Consult the shared content-addressed layer first: EarlyTerm fits
+        // cold (no warm source), so the fingerprint is just (prefix,
+        // fidelity, derived seed, horizon) and a hit is bitwise the fit it
+        // replaces — the decision below cannot tell the difference.
+        let fp = self
+            .shared
+            .as_ref()
+            .map(|_| fit_fingerprint(&curve, &self.config.predictor, seed, m, None));
+        let posterior = match fp.and_then(|fp| self.shared.as_ref().unwrap().get(&fp)) {
+            Some(hit) => {
+                self.shared_hits += 1;
+                hit
+            }
+            None => {
+                let predictor = CurvePredictor::new(self.config.predictor.with_seed(seed));
+                let Ok(posterior) = predictor.fit(&curve, m) else {
+                    return JobDecision::Continue; // too little history: keep training
+                };
+                self.fits += 1;
+                if let (Some(cache), Some(fp)) = (&self.shared, fp) {
+                    cache.insert(fp, &posterior);
+                }
+                posterior
+            }
         };
-        self.predictions_made += 1;
         let pval = posterior.prob_at_least(m, y_hat);
         if pval < self.config.delta {
             JobDecision::Terminate
@@ -199,6 +252,28 @@ mod tests {
             policy.on_iteration_finish(&event(0, 30, 0.78), &mut ctx),
             JobDecision::Continue
         );
+    }
+
+    #[test]
+    fn shared_cache_replay_matches_cold_decisions_without_refitting() {
+        let build_ctx = || {
+            let mut ctx = MockContext::new(2);
+            ctx.push_curve(JobId::new(0), &saturating(0.82, 40), 60.0);
+            ctx.push_curve(JobId::new(1), &saturating(0.30, 30), 60.0);
+            ctx
+        };
+        let cache = hyperdrive_curve::SharedFitCache::in_memory();
+        let config = EarlyTermConfig { predictor: PredictorConfig::test(), ..Default::default() };
+        let mut cold = EarlyTermPolicy::with_config_and_cache(config, Some(cache.clone()));
+        let cold_decision = cold.on_iteration_finish(&event(1, 30, 0.29), &mut build_ctx());
+        assert_eq!(cold.fit_cache_snapshot().unwrap().fits, 1);
+
+        let mut replay = EarlyTermPolicy::with_config_and_cache(config, Some(cache));
+        let replay_decision = replay.on_iteration_finish(&event(1, 30, 0.29), &mut build_ctx());
+        assert_eq!(replay_decision, cold_decision, "a shared hit cannot move a decision");
+        let snap = replay.fit_cache_snapshot().unwrap();
+        assert_eq!((snap.fits, snap.shared_hits), (0, 1), "replay must not refit");
+        assert_eq!(replay.predictions_made(), cold.predictions_made());
     }
 
     #[test]

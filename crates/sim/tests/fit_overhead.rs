@@ -107,3 +107,61 @@ fn modeled_cost_is_invariant_to_physical_thread_count() {
         Some(FitCostModel { secs_per_kiloeval: COST, modeled_workers: 2, fast_math_speedup: 1.0 });
     assert_eq!(run(model, 1), run(model, 4));
 }
+
+#[test]
+fn shared_fit_cache_is_invisible_to_the_virtual_timeline() {
+    // The shared content-addressed cache reports its hits as `cached:
+    // false`, so FitCostModel prices a replayed batch exactly like the
+    // cold batch it memoized: end times, epochs, kills, and the full
+    // event log must be byte-identical with the cache absent, freshly
+    // attached, or fully warmed — even though the warmed run executes
+    // zero fits.
+    let run_with = |cache: Option<std::sync::Arc<hyperdrive_curve::SharedFitCache>>| {
+        let w = CifarWorkload::new().with_max_epochs(40);
+        let ew = ExperimentWorkload::from_workload(&w, 8, 5);
+        let spec =
+            ExperimentSpec::new(2).with_stop_on_target(false).with_tmax(SimTime::from_hours(200.0));
+        let mut pop = PopPolicy::with_config_and_cache(
+            PopConfig {
+                predictor: PredictorConfig::test(),
+                fit_threads: 2,
+                fit_cost: Some(FitCostModel {
+                    secs_per_kiloeval: COST,
+                    modeled_workers: 2,
+                    fast_math_speedup: 1.0,
+                }),
+                ..Default::default()
+            },
+            cache,
+        );
+        let r = run_sim(&mut pop, &ew, spec);
+        let mut csv = Vec::new();
+        r.events.write_csv(&mut csv).expect("event log serializes");
+        (r.end_time, r.total_epochs, r.terminated_early(), csv, r.fit_cache)
+    };
+
+    let cache = hyperdrive_curve::SharedFitCache::in_memory();
+    let uncached = run_with(None);
+    let cold = run_with(Some(cache.clone()));
+    let warmed = run_with(Some(cache));
+    assert_eq!(
+        (&uncached.0, &uncached.1, &uncached.2, &uncached.3),
+        (&cold.0, &cold.1, &cold.2, &cold.3),
+        "attaching the cache must not move the timeline"
+    );
+    assert_eq!(
+        (&cold.0, &cold.1, &cold.2, &cold.3),
+        (&warmed.0, &warmed.1, &warmed.2, &warmed.3),
+        "a fully warmed replay must be byte-identical"
+    );
+
+    let cold_snap = cold.4.expect("POP reports fit-cache counters");
+    let warm_snap = warmed.4.expect("POP reports fit-cache counters");
+    assert!(cold_snap.fits > 0, "the cold run actually fit curves");
+    assert_eq!(warm_snap.fits, 0, "the warmed replay must not fit anything");
+    assert_eq!(
+        warm_snap.shared_hits,
+        cold_snap.fits + cold_snap.shared_hits,
+        "every prediction in the replay came from the shared cache"
+    );
+}

@@ -20,9 +20,10 @@
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use hyperdrive_core::{PopConfig, PopPolicy};
-use hyperdrive_curve::PredictorConfig;
+use hyperdrive_curve::{PredictorConfig, SharedFitCache};
 use hyperdrive_framework::{ExperimentSpec, ExperimentWorkload};
 use hyperdrive_sim::run_sim;
 use hyperdrive_types::SimTime;
@@ -52,14 +53,35 @@ fn trace_with(
     warm_start: bool,
     fast_math: bool,
 ) -> String {
+    trace_cached(workload, configs, seed, machines, tmax, fit_threads, warm_start, fast_math, None)
+}
+
+/// [`trace_with`] against an explicit shared content-addressed fit cache
+/// (`None` = the default process-global resolution).
+#[allow(clippy::too_many_arguments)]
+fn trace_cached(
+    workload: &dyn Workload,
+    configs: usize,
+    seed: u64,
+    machines: usize,
+    tmax: SimTime,
+    fit_threads: usize,
+    warm_start: bool,
+    fast_math: bool,
+    cache: Option<Arc<SharedFitCache>>,
+) -> String {
     let ew = ExperimentWorkload::from_workload(workload, configs, seed);
     let spec = ExperimentSpec::new(machines).with_stop_on_target(false).with_tmax(tmax);
-    let mut pop = PopPolicy::with_config(PopConfig {
+    let config = PopConfig {
         predictor: PredictorConfig::test().with_warm_start(warm_start).with_fast_math(fast_math),
         fit_threads,
         seed,
         ..Default::default()
-    });
+    };
+    let mut pop = match cache {
+        Some(c) => PopPolicy::with_config_and_cache(config, Some(c)),
+        None => PopPolicy::with_config(config),
+    };
     let result = run_sim(&mut pop, &ew, spec);
 
     let mut csv = Vec::new();
@@ -193,4 +215,64 @@ fn lunar_surface_fast_warm_trace_is_golden() {
     check_golden("lunar_fast_warm_trace.csv", |threads| {
         trace_with(&workload, 10, 11, 3, SimTime::from_hours(200.0), threads, true, true)
     });
+}
+
+// The shared content-addressed fit cache must be *pure speed*: every one
+// of the eight golden traces has to come out byte-identical whether fits
+// run cold (the tests above), replay from a warmed in-memory cache, or
+// replay from a pre-populated disk store — at 1 and 4 fit threads. This
+// is the end-to-end pin on the fingerprint closure: if the key missed
+// anything the scheduler can see, a stale posterior would move a decision
+// and diff against the committed golden here.
+
+#[test]
+fn golden_traces_are_invariant_under_shared_fit_cache_modes() {
+    if std::env::var("HYPERDRIVE_UPDATE_GOLDEN").is_ok() {
+        return; // the per-trace tests above own regeneration
+    }
+    let cifar = CifarWorkload::new().with_max_epochs(40);
+    let lunar = LunarWorkload::new().with_max_blocks(60);
+    let cifar_t = SimTime::from_hours(48.0);
+    let lunar_t = SimTime::from_hours(200.0);
+    type Case<'a> = (&'a str, &'a dyn Workload, usize, u64, usize, SimTime, bool, bool);
+    let cases: [Case; 8] = [
+        ("cifar_trace.csv", &cifar, 12, 7, 4, cifar_t, false, false),
+        ("cifar_warm_trace.csv", &cifar, 12, 7, 4, cifar_t, true, false),
+        ("cifar_fast_trace.csv", &cifar, 12, 7, 4, cifar_t, false, true),
+        ("cifar_fast_warm_trace.csv", &cifar, 12, 7, 4, cifar_t, true, true),
+        ("lunar_trace.csv", &lunar, 10, 11, 3, lunar_t, false, false),
+        ("lunar_warm_trace.csv", &lunar, 10, 11, 3, lunar_t, true, false),
+        ("lunar_fast_trace.csv", &lunar, 10, 11, 3, lunar_t, false, true),
+        ("lunar_fast_warm_trace.csv", &lunar, 10, 11, 3, lunar_t, true, true),
+    ];
+    let disk_root =
+        std::env::temp_dir().join(format!("hyperdrive-golden-fitcache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&disk_root);
+    for (name, w, configs, seed, machines, tmax, warm, fast) in cases {
+        let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name].iter().collect();
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden file {path:?} ({e})"));
+
+        // Cold run populating a fresh disk-backed cache at 1 thread, then
+        // a warmed replay at 4 threads served from the same cache object.
+        let dir = disk_root.join(name);
+        let writer = SharedFitCache::with_disk(&dir).expect("open disk-backed fit cache");
+        let cold =
+            trace_cached(w, configs, seed, machines, tmax, 1, warm, fast, Some(writer.clone()));
+        assert_eq!(cold, golden, "{name}: attaching the fit cache changed the cold trace");
+        let replay =
+            trace_cached(w, configs, seed, machines, tmax, 4, warm, fast, Some(writer.clone()));
+        assert_eq!(replay, golden, "{name}: warmed in-memory replay diverged");
+        assert!(writer.stats().hits > 0, "{name}: the warmed replay never hit the cache");
+
+        // Fresh process-like reload: a new cache object sees only what the
+        // shard files preserved, and the replay must still match.
+        let reader = SharedFitCache::with_disk(&dir).expect("reopen disk-backed fit cache");
+        assert!(reader.stats().disk_loaded > 0, "{name}: nothing was reloaded from disk");
+        let from_disk =
+            trace_cached(w, configs, seed, machines, tmax, 1, warm, fast, Some(reader.clone()));
+        assert_eq!(from_disk, golden, "{name}: pre-populated disk replay diverged");
+        assert!(reader.stats().hits > 0, "{name}: the disk replay never hit the cache");
+    }
+    let _ = std::fs::remove_dir_all(&disk_root);
 }
