@@ -14,13 +14,16 @@
 //! SAP only as a shrunken machine pool and re-queued jobs, so POP and the
 //! baselines degrade gracefully or not at all on their own merits.
 
-use hyperdrive_bench::{par_map, print_table, quick_mode, write_csv, PolicyKind};
+use std::io::Write as _;
+
+use hyperdrive_bench::{par_map, print_table, quick_mode, results_dir, write_csv, PolicyKind};
 use hyperdrive_curve::PredictorConfig;
 use hyperdrive_framework::{
-    ExperimentResult, ExperimentSpec, ExperimentWorkload, FaultConfig, FaultPlan, JobEnd,
+    ExperimentResult, ExperimentSpec, ExperimentWorkload, FaultConfig, FaultEvent, FaultKind,
+    FaultPlan, JobEnd,
 };
-use hyperdrive_sim::{run_sim, run_sim_with_faults};
-use hyperdrive_types::SimTime;
+use hyperdrive_sim::{run_sim, run_sim_with_faults, run_sim_with_recovery};
+use hyperdrive_types::{MachineId, SimTime};
 use hyperdrive_workload::CifarWorkload;
 
 struct Scale {
@@ -141,20 +144,45 @@ fn main() {
 
     let mut csv_rows: Vec<String> = Vec::new();
     let mut table_rows: Vec<Vec<String>> = Vec::new();
+    let mut json_cells: Vec<String> = Vec::new();
     let mut cells = fault_runs.iter();
     for (p, kind) in policies.iter().enumerate() {
-        for &(_, rate_label) in &intensities {
+        for &(intensity, rate_label) in &intensities {
             let mut ttt_hours: Vec<f64> = Vec::new();
             let mut inflations: Vec<f64> = Vec::new();
             let mut lost_epochs: u64 = 0;
             let mut total_epochs: u64 = 0;
             let mut crashes: u64 = 0;
+            let mut recoveries: u64 = 0;
             let mut stalls: u64 = 0;
+            let mut retries: u64 = 0;
+            let mut suspend_failures: u64 = 0;
+            let mut snapshot_corruptions: u64 = 0;
             let mut failed: u64 = 0;
             let mut misses = 0usize;
+            let mut injected = (0usize, 0usize, 0usize); // crashes, stalls, delays
 
             for repeat in 0..s.repeats {
                 let (ttt, full) = cells.next().expect("one cell per task");
+                // The plan is deterministic: recompute it to report what
+                // was *injected* next to what was *observed*.
+                let fault_seed = 31u64.wrapping_add(repeat as u64);
+                let plan = FaultPlan::generate(
+                    s.machines,
+                    &FaultConfig::with_intensity(fault_seed, horizon, intensity),
+                );
+                for e in &plan.events {
+                    match e.kind {
+                        FaultKind::MachineCrash => injected.0 += 1,
+                        FaultKind::AgentStall { .. } => injected.1 += 1,
+                        FaultKind::ReplyDelay { .. } => injected.2 += 1,
+                        FaultKind::MachineRecover | FaultKind::EngineCrash { .. } => {}
+                    }
+                }
+                recoveries += full.faults.machine_recoveries;
+                retries += full.faults.interruptions;
+                suspend_failures += full.faults.suspend_failures;
+                snapshot_corruptions += full.faults.snapshot_corruptions;
                 match (*ttt, baseline(p, repeat).time_to_target) {
                     (Some(t), Some(b)) if b > SimTime::ZERO => {
                         ttt_hours.push(t.as_hours());
@@ -197,6 +225,23 @@ fn main() {
             } else {
                 0.0
             };
+            let ttt_mean = mean(&ttt_hours);
+            json_cells.push(format!(
+                "{{\"policy\": \"{}\", \"rate\": \"{rate_label}\", \
+                 \"injected\": {{\"crashes\": {}, \"stalls\": {}, \"delays\": {}}}, \
+                 \"observed\": {{\"crashes\": {crashes}, \"recoveries\": {recoveries}, \
+                 \"stalls\": {stalls}, \"retries\": {retries}, \
+                 \"suspend_failures\": {suspend_failures}, \
+                 \"snapshot_corruptions\": {snapshot_corruptions}, \
+                 \"failed_jobs\": {failed}}}, \"lost_epochs\": {lost_epochs}, \
+                 \"total_epochs\": {total_epochs}, \"work_lost_pct\": {work_lost_pct:.3}, \
+                 \"ttt_mean_hours\": {}, \"target_misses\": {misses}}}",
+                kind.label(),
+                injected.0,
+                injected.1,
+                injected.2,
+                if ttt_mean.is_nan() { "null".into() } else { format!("{ttt_mean:.4}") },
+            ));
             table_rows.push(vec![
                 kind.label().to_string(),
                 rate_label.to_string(),
@@ -215,11 +260,72 @@ fn main() {
         }
     }
 
+    // Process-level chaos: kill and recover the scheduler itself at fixed
+    // journal positions, under the high-intensity machine-fault plan, for
+    // every policy. The recovered trace must be byte-identical to the
+    // same run without the process crashes.
+    let crash_positions: [u64; 3] = [5, 17, 41];
+    let engine_crash_tasks: Vec<usize> = (0..policies.len()).collect();
+    let engine_crash_cells: Vec<String> = par_map(&engine_crash_tasks, |&p| {
+        let kind = policies[p];
+        let noise_seed = 7u64.wrapping_add(1_000);
+        let ew =
+            ExperimentWorkload::from_workload_with_noise(&workload, s.n_configs, 7, noise_seed);
+        let spec = ExperimentSpec::new(s.machines).with_tmax(horizon).with_seed(noise_seed);
+        let mut plan =
+            FaultPlan::generate(s.machines, &FaultConfig::with_intensity(31, horizon, 10.0));
+        for &at_event in &crash_positions {
+            plan.events.push(FaultEvent {
+                at: SimTime::ZERO,
+                machine: MachineId::new(0),
+                kind: FaultKind::EngineCrash { at_event },
+            });
+        }
+        let mut baseline_policy = kind.build(fidelity, noise_seed);
+        let baseline = run_sim_with_faults(baseline_policy.as_mut(), &ew, spec, &plan);
+        let recovered =
+            run_sim_with_recovery(|| kind.build(fidelity, noise_seed), &ew, spec, &plan)
+                .expect("recovery replays cleanly");
+        let csv = |r: &ExperimentResult| {
+            let mut buf = Vec::new();
+            r.events.write_csv(&mut buf).expect("writing to a Vec cannot fail");
+            buf
+        };
+        let identical = csv(&baseline) == csv(&recovered)
+            && baseline.end_time == recovered.end_time
+            && baseline.total_epochs == recovered.total_epochs
+            && baseline.faults == recovered.faults;
+        assert!(
+            identical,
+            "{}: EngineCrash recovery diverged from the uninterrupted run",
+            kind.label()
+        );
+        format!(
+            "{{\"policy\": \"{}\", \"crash_positions\": [5, 17, 41], \
+             \"byte_identical\": true, \"total_epochs\": {}}}",
+            kind.label(),
+            recovered.total_epochs,
+        )
+    });
+
     write_csv(
         "chaos_resilience.csv",
         "policy,rate,repeat,ttt_hours,lost_epochs,total_epochs,crashes,stalls,failed_jobs",
         csv_rows,
     );
+    let path = results_dir().join("BENCH_chaos.json");
+    let mut f = std::fs::File::create(&path).expect("json file creatable");
+    write!(
+        f,
+        "{{\n  \"bench\": \"chaos_resilience\",\n  \"repeats\": {},\n  \
+         \"cells\": [\n    {}\n  ],\n  \"engine_crash\": [\n    {}\n  ],\n  {}\n}}\n",
+        s.repeats,
+        json_cells.join(",\n    "),
+        engine_crash_cells.join(",\n    "),
+        hyperdrive_bench::fit_cache_json(),
+    )
+    .expect("json write");
+    println!("wrote {}", path.display());
     print_table(
         "Chaos resilience: time-to-target and work lost under fault injection",
         &[

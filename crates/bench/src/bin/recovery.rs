@@ -1,0 +1,244 @@
+//! Crash-consistency benchmark: write-ahead-journal overhead on the
+//! fig07-style POP run, recovery latency as a function of journal length,
+//! and the kill-at-every-event sweep at 1 and 4 fit threads. Emits
+//! `BENCH_recovery.json` into the results directory and fails loudly if
+//! journal overhead reaches 5% or any crash position does not recover
+//! byte-identically.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use hyperdrive_bench::{print_table, quick_mode, results_dir};
+use hyperdrive_core::{PopConfig, PopPolicy};
+use hyperdrive_curve::PredictorConfig;
+use hyperdrive_framework::{
+    run_meta, DefaultPolicy, ExperimentEngine, ExperimentResult, ExperimentSpec,
+    ExperimentWorkload, FaultConfig, FaultPlan, Journal, SchedulingPolicy,
+};
+use hyperdrive_sim::{kill_at_every_event, run_sim_journaled};
+use hyperdrive_types::SimTime;
+use hyperdrive_workload::CifarWorkload;
+
+struct Scale {
+    n_configs: usize,
+    machines: usize,
+    repeats: usize,
+    kill_configs: usize,
+    kill_epochs: u32,
+}
+
+fn scale() -> Scale {
+    if quick_mode() {
+        Scale { n_configs: 12, machines: 3, repeats: 3, kill_configs: 4, kill_epochs: 3 }
+    } else {
+        Scale { n_configs: 30, machines: 4, repeats: 5, kill_configs: 5, kill_epochs: 4 }
+    }
+}
+
+fn pop_policy(fit_threads: usize, seed: u64) -> Box<dyn SchedulingPolicy> {
+    Box::new(PopPolicy::with_config(PopConfig {
+        predictor: PredictorConfig::test(),
+        seed,
+        fit_threads,
+        ..Default::default()
+    }))
+}
+
+fn event_csv(result: &ExperimentResult) -> Vec<u8> {
+    let mut buf = Vec::new();
+    result.events.write_csv(&mut buf).expect("writing to a Vec cannot fail");
+    buf
+}
+
+fn min_of(samples: &[f64]) -> f64 {
+    samples.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+type PolicyFactory = Box<dyn FnMut() -> Box<dyn SchedulingPolicy>>;
+
+fn main() {
+    hyperdrive_bench::init_fit_cache();
+    let s = scale();
+    let workload = CifarWorkload::new();
+    let seed = 7u64;
+    let ew = ExperimentWorkload::from_workload(&workload, s.n_configs, seed);
+    let spec = ExperimentSpec::new(s.machines).with_tmax(SimTime::from_hours(48.0)).with_seed(seed);
+    let plan = FaultPlan::none();
+
+    // --- Journal overhead on the fig07-style run ------------------------
+    // Interleaved repeats, best-of timing on each side (journaling cost is
+    // deterministic; best-of discards scheduler noise), byte-identical
+    // trace check on every pair.
+    let wal_path =
+        std::env::temp_dir().join(format!("hyperdrive-bench-recovery-{}.wal", std::process::id()));
+    let mut plain_secs = Vec::with_capacity(s.repeats);
+    let mut journaled_secs = Vec::with_capacity(s.repeats);
+    let mut inputs = 0u64;
+    let mut journal_bytes = 0u64;
+    for _ in 0..s.repeats {
+        let mut policy = pop_policy(1, seed);
+        let meta = run_meta(policy.name(), &ew, &spec, &plan);
+        let t = Instant::now();
+        let plain = run_sim_journaled(policy.as_mut(), &ew, spec, &plan, Journal::disabled(), None);
+        plain_secs.push(t.elapsed().as_secs_f64());
+
+        let _ = std::fs::remove_file(&wal_path);
+        let journal = Journal::create(&wal_path, meta).expect("temp journal creatable");
+        let mut policy = pop_policy(1, seed);
+        let t = Instant::now();
+        let journaled = run_sim_journaled(policy.as_mut(), &ew, spec, &plan, journal, None);
+        journaled_secs.push(t.elapsed().as_secs_f64());
+
+        let plain = plain.result.expect("no crash armed");
+        let full = journaled.result.expect("no crash armed");
+        assert_eq!(
+            event_csv(&plain),
+            event_csv(&full),
+            "journaling must be pure output: identical trace bytes"
+        );
+        assert_eq!(plain.end_time, full.end_time);
+        inputs = journaled.inputs;
+        journal_bytes = std::fs::metadata(&wal_path).map(|m| m.len()).unwrap_or(0);
+    }
+    let plain_best = min_of(&plain_secs);
+    let journaled_best = min_of(&journaled_secs);
+    let overhead_pct = 100.0 * (journaled_best - plain_best).max(0.0) / plain_best.max(1e-9);
+    assert!(
+        overhead_pct < 5.0,
+        "journal overhead {overhead_pct:.2}% breaches the 5% budget \
+         (plain {plain_best:.4}s, journaled {journaled_best:.4}s)"
+    );
+
+    // --- Recovery latency vs journal length -----------------------------
+    // Crash the journaled run at a ladder of positions and time the full
+    // recovery path: reopen (decode + verify frames) plus engine replay.
+    let mut latency_rows: Vec<(u64, f64)> = Vec::new();
+    for frac in [0.1, 0.25, 0.5, 0.75, 1.0] {
+        let k = ((inputs as f64 * frac) as u64).max(1);
+        let mut policy = pop_policy(1, seed);
+        let meta = run_meta(policy.name(), &ew, &spec, &plan);
+        let journal = Journal::in_memory(meta);
+        let crashed =
+            run_sim_journaled(policy.as_mut(), &ew, spec, &plan, journal.clone(), Some(k));
+        assert!(crashed.result.is_none(), "crash at {k} fired");
+        drop(policy);
+        let mut fresh = pop_policy(1, seed);
+        let t = Instant::now();
+        let recovered = journal.reopen().expect("journal reopens");
+        let (_engine, run) = ExperimentEngine::recover(fresh.as_mut(), &ew, spec, &plan, recovered)
+            .expect("replay verifies");
+        let secs = t.elapsed().as_secs_f64();
+        assert_eq!(run.replayed as u64, k, "recovery replayed the journaled prefix");
+        latency_rows.push((k, secs));
+    }
+
+    // --- Kill-at-every-event sweep --------------------------------------
+    // Small sims, every crash position, byte-identity required. POP runs
+    // at 1 and 4 fit threads (pool width must not leak into the trace);
+    // Default runs under an active machine-fault plan.
+    let kill_ew = {
+        let w = CifarWorkload::new().with_max_epochs(s.kill_epochs);
+        ExperimentWorkload::from_workload(&w, s.kill_configs, 13)
+    };
+    let kill_spec = ExperimentSpec::new(2).with_stop_on_target(false).with_seed(13);
+    let fault_plan =
+        FaultPlan::generate(2, &FaultConfig::with_intensity(11, SimTime::from_hours(8.0), 10.0));
+    let mut kill_rows: Vec<(String, usize, u64, u64, usize)> = Vec::new();
+    let sweeps: Vec<(String, usize, FaultPlan, PolicyFactory)> = vec![
+        (
+            "Default+faults".into(),
+            1,
+            fault_plan,
+            Box::new(|| Box::new(DefaultPolicy::new()) as Box<dyn SchedulingPolicy>),
+        ),
+        ("POP".into(), 1, FaultPlan::none(), Box::new(|| pop_policy(1, 13))),
+        ("POP".into(), 4, FaultPlan::none(), Box::new(|| pop_policy(4, 13))),
+    ];
+    for (label, fit_threads, sweep_plan, make) in sweeps {
+        let report = kill_at_every_event(make, &kill_ew, kill_spec, &sweep_plan)
+            .expect("kill-anywhere harness runs");
+        assert!(
+            report.failures.is_empty(),
+            "{label} (fit_threads {fit_threads}): {:?}",
+            report.failures
+        );
+        kill_rows.push((label, fit_threads, report.positions, report.passes, 0));
+    }
+
+    // --- Report ----------------------------------------------------------
+    print_table(
+        "journal overhead (fig07-style POP run)",
+        &["configs", "machines", "inputs", "bytes", "plain_s", "journaled_s", "overhead"],
+        &[vec![
+            s.n_configs.to_string(),
+            s.machines.to_string(),
+            inputs.to_string(),
+            journal_bytes.to_string(),
+            format!("{plain_best:.4}"),
+            format!("{journaled_best:.4}"),
+            format!("{overhead_pct:.2}%"),
+        ]],
+    );
+    print_table(
+        "recovery latency vs journal length",
+        &["replayed inputs", "recover_s"],
+        &latency_rows
+            .iter()
+            .map(|&(k, secs)| vec![k.to_string(), format!("{secs:.4}")])
+            .collect::<Vec<_>>(),
+    );
+    print_table(
+        "kill-at-every-event",
+        &["policy", "fit_threads", "positions", "passes", "failures"],
+        &kill_rows
+            .iter()
+            .map(|(label, ft, pos, pass, fail)| {
+                vec![
+                    label.clone(),
+                    ft.to_string(),
+                    pos.to_string(),
+                    pass.to_string(),
+                    fail.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let latency_json = latency_rows
+        .iter()
+        .map(|&(k, secs)| format!("{{\"inputs\": {k}, \"secs\": {secs:.6}}}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let kill_json = kill_rows
+        .iter()
+        .map(|(label, ft, pos, pass, fail)| {
+            format!(
+                "{{\"policy\": \"{label}\", \"fit_threads\": {ft}, \"positions\": {pos}, \
+                 \"passes\": {pass}, \"failures\": {fail}}}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let path = results_dir().join("BENCH_recovery.json");
+    let mut f = std::fs::File::create(&path).expect("json file creatable");
+    write!(
+        f,
+        "{{\n  \"bench\": \"recovery\",\n  \"overhead\": {{\"configs\": {}, \
+         \"machines\": {}, \"repeats\": {}, \"inputs\": {inputs}, \
+         \"journal_bytes\": {journal_bytes}, \"plain_secs\": {plain_best:.6}, \
+         \"journaled_secs\": {journaled_best:.6}, \"overhead_pct\": {overhead_pct:.3}, \
+         \"budget_pct\": 5.0}},\n  \"recovery_latency\": [{latency_json}],\n  \
+         \"kill_anywhere\": [{kill_json}],\n  {}\n}}\n",
+        s.n_configs,
+        s.machines,
+        s.repeats,
+        hyperdrive_bench::fit_cache_json(),
+    )
+    .expect("json write");
+    let _ = std::fs::remove_file(&wal_path);
+    println!("wrote {}", path.display());
+    println!(
+        "\nJournal overhead {overhead_pct:.2}% (<5%); every crash position recovered \
+         byte-identically."
+    );
+}

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use hyperdrive_types::{DomainKnowledge, JobId, LearningCurve, MachineId, SimTime};
+use hyperdrive_types::{DomainKnowledge, Error, JobId, LearningCurve, MachineId, Result, SimTime};
 
 use crate::appstat::{AppStatDb, SuspendEvent};
 use crate::events::{EventLog, SchedulerEvent};
@@ -27,6 +27,7 @@ use crate::experiment::{
 };
 use crate::fault::{FaultPlan, FaultStats, RetryPolicy};
 use crate::job_manager::{JobManager, JobState};
+use crate::journal::{self, Journal, RecoveredJournal, ReplayInput};
 use crate::policy::{JobDecision, JobEvent, SchedulerContext, SchedulingPolicy};
 use crate::resource::ResourceManager;
 use crate::snapshot::JobSnapshot;
@@ -103,6 +104,27 @@ pub enum EngineEvent {
     },
 }
 
+/// What [`ExperimentEngine::recover`] replayed out of a journal: the
+/// executor uses this to rebuild its delivery state and continue the run.
+#[derive(Debug)]
+pub struct RecoveredRun {
+    /// Number of journaled inputs replayed.
+    pub replayed: usize,
+    /// The replayed inputs, in original order (the simulator pops its
+    /// rebuilt queue against these to verify delivery order).
+    pub inputs: Vec<ReplayInput>,
+    /// The command batch each input produced, with the time it was
+    /// produced at. Identical to the batches of the original run.
+    pub batches: Vec<(SimTime, Vec<Command>)>,
+    /// Executor time of the last replayed input (zero if none).
+    pub now: SimTime,
+    /// True if the run had already stopped (goal reached or `Tmax`).
+    pub stopped: bool,
+    /// True if the journal was sealed (the original run ended or drained
+    /// on SIGTERM before the crash).
+    pub sealed: bool,
+}
+
 /// Executor-independent experiment state; implements [`SchedulerContext`]
 /// for policy up-calls.
 struct EngineCore<'w> {
@@ -142,11 +164,30 @@ struct EngineCore<'w> {
     /// Backoff penalty to charge the next start of an interrupted job.
     restart_penalty: HashMap<JobId, SimTime>,
     stats: FaultStats,
+    /// Write-ahead journal (no-op when disabled). Journaling is pure
+    /// output: nothing the engine does depends on it, so journal-on runs
+    /// stay byte-identical to journal-off runs.
+    journal: Journal,
+    /// Draws taken from `rng` so far — journaled as RNG checkpoints so
+    /// replay verifies stream positions, not just outcomes.
+    rng_draws: u64,
+    /// Draws taken from `fault_rng` so far.
+    fault_rng_draws: u64,
+    /// The fault plan's seed; deterministic retry jitter derives from it.
+    fault_seed: u64,
 }
 
 impl<'w> EngineCore<'w> {
     fn profile_of(&self, job: JobId) -> &hyperdrive_workload::JobProfile {
         self.workload.profile(job)
+    }
+
+    /// Records a scheduler event in the log *and* the journal (as a
+    /// verification record): every externally visible transition goes
+    /// through here.
+    fn record(&mut self, event: SchedulerEvent) {
+        self.journal.transition(&event);
+        self.log.record(event);
     }
 
     fn charge(&mut self, job: JobId, time: SimTime) {
@@ -184,7 +225,7 @@ impl<'w> EngineCore<'w> {
         let lost = epochs_done.saturating_sub(rollback_to);
         self.stats.interruptions += 1;
         self.stats.lost_epochs += u64::from(lost);
-        self.log.record(SchedulerEvent::Interrupted {
+        self.record(SchedulerEvent::Interrupted {
             job,
             machine,
             time: self.now,
@@ -200,11 +241,15 @@ impl<'w> EngineCore<'w> {
         let attempt = *retries;
         if attempt > self.retry.max_retries {
             self.jm.fail_job(job).expect("interrupted job fails");
-            self.log.record(SchedulerEvent::Failed { job, time: self.now });
+            self.record(SchedulerEvent::Failed { job, time: self.now });
             self.stats.failed_jobs += 1;
             self.restart_penalty.remove(&job);
         } else {
-            self.restart_penalty.insert(job, self.retry.penalty(attempt));
+            // Deterministic jitter (derived from the fault seed and job,
+            // no global RNG) de-synchronizes retry stampedes after a
+            // correlated fault while keeping runs replayable.
+            let penalty = self.retry.penalty_with_jitter(attempt, self.fault_seed, job.raw());
+            self.restart_penalty.insert(job, penalty);
         }
     }
 
@@ -319,11 +364,12 @@ impl SchedulerContext for EngineCore<'_> {
                 .and_then(|bytes| JobSnapshot::decode(bytes).ok())
                 .is_some_and(|s| s.job == job && s.epochs_done == believed_epochs);
             if valid {
+                self.rng_draws += 1;
                 self.workload.suspend.sample_resume(&mut self.rng)
             } else {
                 self.stats.snapshot_corruptions += 1;
                 self.stats.lost_epochs += u64::from(believed_epochs);
-                self.log.record(SchedulerEvent::SnapshotCorrupted { job, time: self.now });
+                self.record(SchedulerEvent::SnapshotCorrupted { job, time: self.now });
                 self.jm.reset_epochs(job, 0).expect("running job resets");
                 self.db.truncate_stats(job, 0);
                 self.snapshot_epochs.remove(&job);
@@ -335,7 +381,7 @@ impl SchedulerContext for EngineCore<'_> {
         if let Some(penalty) = self.restart_penalty.remove(&job) {
             extra += penalty;
         }
-        self.log.record(SchedulerEvent::Started { job, machine, time: self.now, resumed });
+        self.record(SchedulerEvent::Started { job, machine, time: self.now, resumed });
         self.issue_epoch(job, machine, extra);
         Some(job)
     }
@@ -382,6 +428,21 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
         spec: ExperimentSpec,
         plan: &FaultPlan,
     ) -> Self {
+        let journal = Journal::from_env(journal::run_meta(policy.name(), workload, &spec, plan));
+        Self::with_journal(policy, workload, spec, plan, journal)
+    }
+
+    /// Like [`with_fault_injection`](Self::with_fault_injection), but with
+    /// an explicit write-ahead [`Journal`] instead of the
+    /// `HYPERDRIVE_JOURNAL` environment wiring. Pass
+    /// [`Journal::disabled`] to journal nothing.
+    pub fn with_journal(
+        policy: &'p mut dyn SchedulingPolicy,
+        workload: &'w ExperimentWorkload,
+        spec: ExperimentSpec,
+        plan: &FaultPlan,
+        journal: Journal,
+    ) -> Self {
         assert!(!workload.is_empty(), "experiment needs at least one job");
         assert!(spec.machines > 0, "experiment needs at least one machine");
         let mut jm = JobManager::new();
@@ -417,16 +478,94 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
                 snapshot_epochs: HashMap::new(),
                 restart_penalty: HashMap::new(),
                 stats: FaultStats::default(),
+                journal,
+                rng_draws: 0,
+                fault_rng_draws: 0,
+                fault_seed: plan.seed,
             },
             policy,
         }
     }
 
+    /// Recovers an engine from a journal written by an identical run: the
+    /// journaled inputs are replayed through a fresh engine (regenerating
+    /// and verifying every record byte-for-byte), after which the engine
+    /// — and the journal, back in append mode — continue exactly where the
+    /// crashed process stopped. The caller must pass the *same* policy
+    /// construction, workload, spec, and plan as the original run.
+    ///
+    /// Returns the engine plus a [`RecoveredRun`] describing the replayed
+    /// prefix (the regenerated command batches let an executor rebuild its
+    /// delivery queue).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::JournalDiverged`] if replay regenerates different records
+    /// than the journal holds (non-deterministic policy, changed binary,
+    /// or wrong run parameters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload has no jobs or the spec has no machines.
+    pub fn recover(
+        policy: &'p mut dyn SchedulingPolicy,
+        workload: &'w ExperimentWorkload,
+        spec: ExperimentSpec,
+        plan: &FaultPlan,
+        recovered: RecoveredJournal,
+    ) -> Result<(Self, RecoveredRun)> {
+        let RecoveredJournal { journal, inputs, sealed } = recovered;
+        let mut engine = Self::with_journal(policy, workload, spec, plan, journal);
+        let mut batches = Vec::with_capacity(inputs.len());
+        for input in &inputs {
+            let (now, cmds) = match *input {
+                ReplayInput::Start => (SimTime::ZERO, engine.start()),
+                ReplayInput::Event { event, now } => (now, engine.handle(event, now)),
+                ReplayInput::MachineCrash { machine, now } => {
+                    (now, engine.inject_machine_crash(machine, now))
+                }
+                ReplayInput::MachineRecovery { machine, now } => {
+                    (now, engine.inject_machine_recovery(machine, now))
+                }
+                ReplayInput::AgentStall { machine, now } => {
+                    (now, engine.inject_agent_stall(machine, now))
+                }
+            };
+            batches.push((now, cmds));
+        }
+        if let Some(err) = engine.core.journal.take_divergence() {
+            return Err(err);
+        }
+        let leftover = engine.core.journal.replay_remaining();
+        if leftover > 0 {
+            return Err(Error::JournalDiverged {
+                record: engine.core.journal.records_appended(),
+                detail: format!("replay finished with {leftover} journal records unaccounted for"),
+            });
+        }
+        let now = inputs.iter().rev().find_map(ReplayInput::now).unwrap_or(SimTime::ZERO);
+        let stopped = engine.core.stopped;
+        let run = RecoveredRun { replayed: inputs.len(), inputs, batches, now, stopped, sealed };
+        Ok((engine, run))
+    }
+
     /// Starts the experiment: fires the initial `AllocateJobs` up-call and
     /// returns the first command batch.
     pub fn start(&mut self) -> Vec<Command> {
+        self.core.journal.input_start();
         self.policy.allocate_jobs(&mut self.core);
-        std::mem::take(&mut self.core.pending)
+        self.finish_turn()
+    }
+
+    /// Drains the pending command batch and journals its digest plus an
+    /// RNG checkpoint. Every engine entry point ends here, so each input
+    /// record is followed by its transitions and exactly one
+    /// commands/checkpoint pair.
+    fn finish_turn(&mut self) -> Vec<Command> {
+        let cmds = std::mem::take(&mut self.core.pending);
+        self.core.journal.commands(&cmds);
+        self.core.journal.rng_checkpoint(self.core.rng_draws, self.core.fault_rng_draws);
+        cmds
     }
 
     /// Feeds one completion event back at time `now`, returning follow-up
@@ -440,8 +579,12 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
     /// Panics on protocol violations (events for jobs in impossible
     /// states), which indicate an executor bug.
     pub fn handle(&mut self, event: EngineEvent, now: SimTime) -> Vec<Command> {
+        // Journaled before any state changes (write-ahead), including
+        // no-op deliveries, so journal positions correspond 1:1 to
+        // executor deliveries.
+        self.core.journal.input_event(event, now);
         if self.core.stopped {
-            return Vec::new();
+            return self.finish_turn();
         }
         let (job, token) = match event {
             EngineEvent::EpochDone { job, token } | EngineEvent::SuspendDone { job, token } => {
@@ -449,7 +592,7 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
             }
         };
         if self.core.outstanding.get(&job) != Some(&token) {
-            return Vec::new();
+            return self.finish_turn();
         }
         self.core.outstanding.remove(&job);
         self.core.now = self.core.now.max(now);
@@ -461,7 +604,7 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
         if self.core.now >= self.core.spec.tmax {
             self.core.stop();
         }
-        std::mem::take(&mut self.core.pending)
+        self.finish_turn()
     }
 
     /// Injects a machine crash at time `now`: the machine goes dead, any
@@ -469,12 +612,13 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
     /// the policy gets a chance to reallocate. Returns follow-up commands.
     /// Crashing an already-dead machine is a no-op.
     pub fn inject_machine_crash(&mut self, machine: MachineId, now: SimTime) -> Vec<Command> {
+        self.core.journal.input_machine_crash(machine, now);
         if self.core.stopped || self.core.rm.is_dead(machine) {
-            return Vec::new();
+            return self.finish_turn();
         }
         self.core.now = self.core.now.max(now);
         self.core.stats.machine_crashes += 1;
-        self.core.log.record(SchedulerEvent::MachineCrashed { machine, time: self.core.now });
+        self.core.record(SchedulerEvent::MachineCrashed { machine, time: self.core.now });
         let victim = self.job_on(machine);
         self.core.rm.mark_dead(machine).expect("alive machine crashes");
         if let Some(job) = victim {
@@ -485,22 +629,23 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
         if self.core.now >= self.core.spec.tmax {
             self.core.stop();
         }
-        std::mem::take(&mut self.core.pending)
+        self.finish_turn()
     }
 
     /// Injects a machine recovery at time `now`: the machine returns to
     /// the idle pool and the policy may immediately use it. Recovering an
     /// alive machine is a no-op.
     pub fn inject_machine_recovery(&mut self, machine: MachineId, now: SimTime) -> Vec<Command> {
+        self.core.journal.input_machine_recovery(machine, now);
         if self.core.stopped || !self.core.rm.is_dead(machine) {
-            return Vec::new();
+            return self.finish_turn();
         }
         self.core.now = self.core.now.max(now);
         self.core.rm.mark_recovered(machine).expect("dead machine recovers");
         self.core.stats.machine_recoveries += 1;
-        self.core.log.record(SchedulerEvent::MachineRecovered { machine, time: self.core.now });
+        self.core.record(SchedulerEvent::MachineRecovered { machine, time: self.core.now });
         self.policy.allocate_jobs(&mut self.core);
-        std::mem::take(&mut self.core.pending)
+        self.finish_turn()
     }
 
     /// Injects a detected node-agent stall at time `now`: the report for
@@ -509,11 +654,12 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
     /// survives, only its agent was restarted — returns to the pool.
     /// A stall on a machine hosting nothing is a no-op.
     pub fn inject_agent_stall(&mut self, machine: MachineId, now: SimTime) -> Vec<Command> {
+        self.core.journal.input_agent_stall(machine, now);
         if self.core.stopped || self.core.rm.is_dead(machine) {
-            return Vec::new();
+            return self.finish_turn();
         }
         let Some(job) = self.job_on(machine) else {
-            return Vec::new();
+            return self.finish_turn();
         };
         self.core.now = self.core.now.max(now);
         self.core.stats.agent_stalls += 1;
@@ -522,7 +668,7 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
         if self.core.now >= self.core.spec.tmax {
             self.core.stop();
         }
-        std::mem::take(&mut self.core.pending)
+        self.finish_turn()
     }
 
     /// The job currently occupying `machine`, if any.
@@ -563,7 +709,7 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
                     time: now,
                     job,
                 });
-                self.core.log.record(SchedulerEvent::TargetReached {
+                self.core.record(SchedulerEvent::TargetReached {
                     job,
                     target: self.core.current_target,
                     time: now,
@@ -603,7 +749,7 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
             // Ran to its cap.
             self.core.jm.complete_job(job).expect("running job completes");
             self.core.rm.release_machine(machine).expect("held machine releases");
-            self.core.log.record(SchedulerEvent::Completed { job, machine, time: now });
+            self.core.record(SchedulerEvent::Completed { job, machine, time: now });
         } else {
             let decision = self.policy.on_iteration_finish(&event, &mut self.core);
             // Modeled prediction cost of the decision (zero for policies
@@ -619,13 +765,16 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
                     // Injected suspend failure: the snapshot capture dies
                     // mid-flight, so no snapshot is stored and the job
                     // falls back to its previous one (or scratch).
-                    if self.core.suspend_fail_prob > 0.0
-                        && self.core.fault_rng.gen_range(0.0..1.0) < self.core.suspend_fail_prob
-                    {
+                    let suspend_fails = self.core.suspend_fail_prob > 0.0 && {
+                        self.core.fault_rng_draws += 1;
+                        self.core.fault_rng.gen_range(0.0..1.0) < self.core.suspend_fail_prob
+                    };
+                    if suspend_fails {
                         self.core.stats.suspend_failures += 1;
                         self.core.interrupt(job, machine, true);
                     } else {
                         self.core.jm.begin_suspend(job).expect("running job suspends");
+                        self.core.rng_draws += 1;
                         let mut cost =
                             self.core.workload.suspend.sample_suspend(&mut self.core.rng);
                         cost.latency += overhead;
@@ -646,10 +795,12 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
                         let mut bytes = snapshot.encode(cost.snapshot_bytes.min(PAD_CAP) as usize);
                         // Injected corruption: flip the magic so the damage
                         // stays latent until a resume tries to decode it.
-                        if self.core.snapshot_corrupt_prob > 0.0
-                            && self.core.fault_rng.gen_range(0.0..1.0)
+                        let corrupt = self.core.snapshot_corrupt_prob > 0.0 && {
+                            self.core.fault_rng_draws += 1;
+                            self.core.fault_rng.gen_range(0.0..1.0)
                                 < self.core.snapshot_corrupt_prob
-                        {
+                        };
+                        if corrupt {
                             bytes[0] ^= 0xFF;
                         }
                         self.core.db.store_snapshot(job, bytes);
@@ -667,7 +818,7 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
                     let held = self.core.jm.terminate_job(job).expect("running job terminates");
                     let m = held.expect("running job holds a machine");
                     self.core.rm.release_machine(m).expect("held machine releases");
-                    self.core.log.record(SchedulerEvent::Terminated { job, machine: m, time: now });
+                    self.core.record(SchedulerEvent::Terminated { job, machine: m, time: now });
                 }
             }
         }
@@ -678,7 +829,7 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
     fn on_suspend_done(&mut self, job: JobId) {
         let machine = self.core.jm.finish_suspend(job).expect("suspending job finishes");
         self.core.rm.release_machine(machine).expect("held machine releases");
-        self.core.log.record(SchedulerEvent::Suspended { job, machine, time: self.core.now });
+        self.core.record(SchedulerEvent::Suspended { job, machine, time: self.core.now });
         self.policy.allocate_jobs(&mut self.core);
     }
 
@@ -687,9 +838,29 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
         self.core.stopped
     }
 
+    /// Input records journaled so far (the crash-position coordinate of
+    /// the kill-anywhere harness); zero when journaling is disabled.
+    pub fn journaled_inputs(&self) -> u64 {
+        self.core.journal.inputs_appended()
+    }
+
+    /// The engine's journal handle (cheap clone; disabled handles are
+    /// inert). Executors keep one to recover after a simulated crash.
+    pub fn journal(&self) -> Journal {
+        self.core.journal.clone()
+    }
+
+    /// Seals the journal as *incomplete*: the run is being interrupted on
+    /// purpose (the live executor's SIGTERM drain). Idempotent;
+    /// [`into_result`](Self::into_result) re-seals completed runs.
+    pub fn seal_journal(&mut self) {
+        self.core.journal.seal(self.core.now, false);
+    }
+
     /// Finalizes the run into a result at time `end_time`.
     pub fn into_result(self, end_time: SimTime) -> ExperimentResult {
         let mut core = self.core;
+        core.journal.seal(end_time, true);
         core.stats.dead_machines_at_end = (0..core.rm.total())
             .filter(|m| core.rm.is_dead(MachineId::new(*m as u64)))
             .count() as u64;

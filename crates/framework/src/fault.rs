@@ -54,6 +54,15 @@ pub enum FaultKind {
         /// Extra report latency.
         delay: SimTime,
     },
+    /// Process-level chaos: the scheduler *process* itself dies once the
+    /// engine has journaled `at_event` inputs, and is recovered from its
+    /// write-ahead journal (see [`crate::journal`]). The `machine` field
+    /// of the carrying [`FaultEvent`] is ignored. Executors without
+    /// journal-backed recovery skip this kind.
+    EngineCrash {
+        /// Journal position (input count) at which the process dies.
+        at_event: u64,
+    },
 }
 
 /// One scheduled fault.
@@ -84,15 +93,43 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Ceiling on any single restart penalty (one year): keeps extreme retry
+/// counts or backoff factors from producing infinite virtual times.
+const MAX_PENALTY_SECS: f64 = 365.0 * 24.0 * 3600.0;
+
 impl RetryPolicy {
     /// The restart penalty for a job's `retry`-th interruption (1-based):
     /// `backoff * backoff_factor^(retry-1)`.
+    ///
+    /// The exponent is capped at 63 — `retry as i32` would wrap negative
+    /// past `i32::MAX`, collapsing the penalty to near zero exactly when
+    /// it should be largest — and the result is clamped to one year so a
+    /// pathological factor cannot produce an infinite time.
     pub fn penalty(&self, retry: u32) -> SimTime {
         if retry == 0 {
             return SimTime::ZERO;
         }
-        let scale = self.backoff_factor.powi(retry.saturating_sub(1) as i32);
-        SimTime::from_secs(self.backoff.as_secs() * scale)
+        let exp = retry.saturating_sub(1).min(63) as i32;
+        let scale = self.backoff_factor.powi(exp);
+        SimTime::from_secs((self.backoff.as_secs() * scale).min(MAX_PENALTY_SECS))
+    }
+
+    /// [`penalty`](Self::penalty) plus up to 10% deterministic jitter,
+    /// derived from the fault-plan seed and a per-job stream id (no
+    /// global RNG): concurrent victims of one correlated fault back off
+    /// to distinct restart times, yet every run replays exactly.
+    pub fn penalty_with_jitter(&self, retry: u32, fault_seed: u64, stream: u64) -> SimTime {
+        let base = self.penalty(retry);
+        if base == SimTime::ZERO {
+            return base;
+        }
+        let h = crate::journal::mix64(
+            crate::journal::mix64(fault_seed ^ 0x4A17_7E12_BAC0_FF5E)
+                ^ crate::journal::mix64(stream).wrapping_add(u64::from(retry)),
+        );
+        // Top 53 bits -> uniform fraction in [0, 1).
+        let frac = (h >> 11) as f64 / (1u64 << 53) as f64;
+        SimTime::from_secs((base.as_secs() * (1.0 + 0.1 * frac)).min(MAX_PENALTY_SECS))
     }
 }
 
@@ -188,13 +225,25 @@ impl FaultPlan {
     /// horizon gets a recovery event (possibly past the horizon), so no
     /// machine stays dead forever.
     pub fn generate(machines: usize, config: &FaultConfig) -> Self {
-        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xFA17);
+        // Every (machine, fault-class) pair draws from its own seeded
+        // stream: raising one rate (or adding machines) never perturbs
+        // another stream's draw sequence. Within a stream, a higher rate
+        // only shrinks the mean of each inter-arrival gap, so every fault
+        // time is pointwise non-increasing in intensity and the fault
+        // count is provably monotone (proptest-pinned below).
+        let stream = |machine: u64, class: u64| {
+            StdRng::seed_from_u64(crate::journal::mix64(
+                crate::journal::mix64(config.seed ^ 0xFA17)
+                    ^ machine.wrapping_shl(2).wrapping_add(class),
+            ))
+        };
         let mut events = Vec::new();
         let horizon = config.horizon.as_secs();
         for m in 0..machines {
             let machine = MachineId::new(m as u64);
             // Crash/recovery pairs.
             if config.crash_rate_per_hour > 0.0 {
+                let mut rng = stream(m as u64, 0);
                 let mean_gap = 3600.0 / config.crash_rate_per_hour;
                 let mut t = exp_sample(&mut rng, mean_gap);
                 while t < horizon {
@@ -214,6 +263,7 @@ impl FaultPlan {
             }
             // Lost reports (agent stalls).
             if config.stall_rate_per_hour > 0.0 {
+                let mut rng = stream(m as u64, 1);
                 let mean_gap = 3600.0 / config.stall_rate_per_hour;
                 let mut t = exp_sample(&mut rng, mean_gap);
                 while t < horizon {
@@ -227,6 +277,7 @@ impl FaultPlan {
             }
             // Delayed reports.
             if config.delay_rate_per_hour > 0.0 {
+                let mut rng = stream(m as u64, 2);
                 let mean_gap = 3600.0 / config.delay_rate_per_hour;
                 let mut t = exp_sample(&mut rng, mean_gap);
                 while t < horizon {
@@ -355,5 +406,89 @@ mod tests {
         assert_eq!(retry.penalty(1), SimTime::from_secs(10.0));
         assert_eq!(retry.penalty(2), SimTime::from_secs(20.0));
         assert_eq!(retry.penalty(3), SimTime::from_secs(40.0));
+    }
+
+    #[test]
+    fn retry_penalty_saturates_instead_of_overflowing() {
+        let retry = RetryPolicy { max_retries: u32::MAX, ..RetryPolicy::default() };
+        let huge = retry.penalty(u32::MAX);
+        assert!(huge.as_secs().is_finite(), "penalty stays finite at u32::MAX retries");
+        assert_eq!(huge, SimTime::from_secs(MAX_PENALTY_SECS), "clamped to the ceiling");
+        // Monotone (weakly) all the way out: the i32 cast it replaces
+        // wrapped negative past i32::MAX and collapsed to ~zero.
+        assert!(retry.penalty(1_000_000) >= retry.penalty(100));
+        assert!(retry.penalty(u32::MAX) >= retry.penalty(1_000_000));
+    }
+
+    #[test]
+    fn jittered_penalty_is_deterministic_bounded_and_stream_dependent() {
+        let retry = RetryPolicy::default();
+        let a = retry.penalty_with_jitter(2, 7, 3);
+        let b = retry.penalty_with_jitter(2, 7, 3);
+        assert_eq!(a, b, "same inputs, same jitter");
+        let base = retry.penalty(2).as_secs();
+        assert!(a.as_secs() >= base && a.as_secs() < base * 1.1 + 1e-9, "jitter within [0, 10%)");
+        let other_stream = retry.penalty_with_jitter(2, 7, 4);
+        let other_seed = retry.penalty_with_jitter(2, 8, 3);
+        assert_ne!(a, other_stream, "streams de-synchronize");
+        assert_ne!(a, other_seed, "seed feeds the jitter");
+        assert_eq!(retry.penalty_with_jitter(0, 7, 3), SimTime::ZERO);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn count(plan: &FaultPlan, pred: fn(&FaultKind) -> bool) -> usize {
+            plan.events.iter().filter(|e| pred(&e.kind)).count()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn generate_is_deterministic_for_equal_inputs(
+                seed in 0u64..1000,
+                machines in 1usize..6,
+                intensity in 0.0f64..12.0,
+            ) {
+                let cfg = FaultConfig::with_intensity(seed, SimTime::from_hours(12.0), intensity);
+                prop_assert_eq!(
+                    FaultPlan::generate(machines, &cfg),
+                    FaultPlan::generate(machines, &cfg)
+                );
+            }
+
+            #[test]
+            fn fault_counts_are_monotone_in_intensity(
+                seed in 0u64..1000,
+                machines in 1usize..6,
+                lo in 0.0f64..8.0,
+                extra in 0.0f64..8.0,
+            ) {
+                let h = SimTime::from_hours(12.0);
+                let a = FaultPlan::generate(machines, &FaultConfig::with_intensity(seed, h, lo));
+                let b =
+                    FaultPlan::generate(machines, &FaultConfig::with_intensity(seed, h, lo + extra));
+                prop_assert!(
+                    count(&a, |k| matches!(k, FaultKind::MachineCrash))
+                        <= count(&b, |k| matches!(k, FaultKind::MachineCrash)),
+                    "crashes monotone"
+                );
+                prop_assert!(
+                    count(&a, |k| matches!(k, FaultKind::AgentStall { .. }))
+                        <= count(&b, |k| matches!(k, FaultKind::AgentStall { .. })),
+                    "stalls monotone"
+                );
+                prop_assert!(
+                    count(&a, |k| matches!(k, FaultKind::ReplyDelay { .. }))
+                        <= count(&b, |k| matches!(k, FaultKind::ReplyDelay { .. })),
+                    "delays monotone"
+                );
+                prop_assert!(a.events.len() <= b.events.len(), "total monotone");
+                prop_assert!(a.suspend_fail_prob <= b.suspend_fail_prob);
+                prop_assert!(a.snapshot_corrupt_prob <= b.snapshot_corrupt_prob);
+            }
+        }
     }
 }

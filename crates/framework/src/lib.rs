@@ -52,13 +52,14 @@ pub mod experiment;
 pub mod fault;
 pub mod generator;
 pub mod job_manager;
+pub mod journal;
 pub mod live;
 pub mod policy;
 pub mod resource;
 pub mod snapshot;
 
 pub use appstat::{AppStatDb, SuspendEvent};
-pub use engine::{Command, EngineEvent, ExperimentEngine};
+pub use engine::{Command, EngineEvent, ExperimentEngine, RecoveredRun};
 pub use events::{EventLog, GanttSegment, SchedulerEvent};
 pub use experiment::{
     ExperimentJob, ExperimentResult, ExperimentSpec, ExperimentWorkload, JobEnd, JobOutcome,
@@ -67,7 +68,10 @@ pub use experiment::{
 pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultPlan, FaultStats, RetryPolicy};
 pub use generator::{AdaptiveGenerator, GridGenerator, HyperparameterGenerator, RandomGenerator};
 pub use job_manager::{JobManager, JobState};
-pub use live::{run_live, run_live_with_faults, LiveFaultPlan};
+pub use journal::{run_meta, Journal, RecoveredJournal, ReplayInput};
+pub use live::{
+    install_sigterm_handler, run_live, run_live_journaled, run_live_with_faults, LiveFaultPlan,
+};
 pub use policy::{
     testing, DefaultPolicy, FitCacheSnapshot, JobDecision, JobEvent, SchedulerContext,
     SchedulingPolicy,

@@ -21,6 +21,8 @@
 //! compares against.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -30,7 +32,38 @@ use hyperdrive_types::{JobId, MachineId, SimTime};
 use crate::engine::{Command, EngineEvent, ExperimentEngine};
 use crate::experiment::{ExperimentResult, ExperimentSpec, ExperimentWorkload};
 use crate::fault::FaultPlan;
+use crate::journal::Journal;
 use crate::policy::SchedulingPolicy;
+
+/// Set by the process-wide SIGTERM handler installed with
+/// [`install_sigterm_handler`]; every live run polls it between events.
+static SIGTERM_RECEIVED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_sigterm(_signum: i32) {
+    SIGTERM_RECEIVED.store(true, Ordering::SeqCst);
+}
+
+/// Installs a process-wide SIGTERM handler that asks every in-flight live
+/// run to shut down gracefully: the scheduler loop notices within ~250 ms,
+/// seals its write-ahead journal (marking the run interrupted, not
+/// complete), broadcasts shutdown to the node agents, and drains their
+/// threads before returning a partial result. A later process can resume
+/// from the sealed journal.
+///
+/// Idempotent; a no-op on non-Unix targets.
+pub fn install_sigterm_handler() {
+    #[cfg(unix)]
+    {
+        const SIGTERM: i32 = 15;
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+        }
+        unsafe {
+            signal(SIGTERM, on_sigterm);
+        }
+    }
+}
 
 /// Fault instructions for the live executor.
 ///
@@ -48,11 +81,21 @@ pub struct LiveFaultPlan {
     /// watchdog declares the agent stalled. Must comfortably exceed
     /// ordinary sleep overshoot at the chosen time scale.
     pub watchdog_grace: Duration,
+    /// Per-run graceful-shutdown flag: when it flips to `true` the
+    /// scheduler loop seals the journal, drains the agents, and returns a
+    /// partial result — the in-process analogue of SIGTERM (which sets a
+    /// process-wide flag every run also polls; see
+    /// [`install_sigterm_handler`]).
+    pub shutdown: Option<Arc<AtomicBool>>,
 }
 
 impl Default for LiveFaultPlan {
     fn default() -> Self {
-        LiveFaultPlan { wedge_requests: Vec::new(), watchdog_grace: Duration::from_secs(1) }
+        LiveFaultPlan {
+            wedge_requests: Vec::new(),
+            watchdog_grace: Duration::from_secs(1),
+            shutdown: None,
+        }
     }
 }
 
@@ -189,6 +232,36 @@ pub fn run_live_with_faults(
     time_scale: f64,
     plan: &LiveFaultPlan,
 ) -> ExperimentResult {
+    run_live_inner(policy, workload, spec, time_scale, plan, None)
+}
+
+/// [`run_live_with_faults`] with an explicit write-ahead [`Journal`]
+/// instead of the `HYPERDRIVE_JOURNAL` environment wiring. On SIGTERM (or
+/// the plan's shutdown flag) the journal is sealed before the node agents
+/// drain, so a later process can recover the run.
+///
+/// # Panics
+///
+/// Panics if `time_scale` is not positive or the spec has no machines.
+pub fn run_live_journaled(
+    policy: &mut dyn SchedulingPolicy,
+    workload: &ExperimentWorkload,
+    spec: ExperimentSpec,
+    time_scale: f64,
+    plan: &LiveFaultPlan,
+    journal: Journal,
+) -> ExperimentResult {
+    run_live_inner(policy, workload, spec, time_scale, plan, Some(journal))
+}
+
+fn run_live_inner(
+    policy: &mut dyn SchedulingPolicy,
+    workload: &ExperimentWorkload,
+    spec: ExperimentSpec,
+    time_scale: f64,
+    plan: &LiveFaultPlan,
+    journal: Option<Journal>,
+) -> ExperimentResult {
     assert!(time_scale > 0.0 && time_scale.is_finite(), "time_scale must be positive");
     let machines = spec.machines;
     assert!(machines > 0, "need at least one machine");
@@ -210,12 +283,27 @@ pub fn run_live_with_faults(
             state.agent_txs.push(spawn_agent(scope, machine, reply_tx.clone()));
         }
 
-        let mut engine =
-            ExperimentEngine::with_fault_injection(policy, workload, spec, &FaultPlan::none());
+        let mut engine = match journal {
+            Some(j) => {
+                ExperimentEngine::with_journal(policy, workload, spec, &FaultPlan::none(), j)
+            }
+            None => {
+                ExperimentEngine::with_fault_injection(policy, workload, spec, &FaultPlan::none())
+            }
+        };
         let mut last_now = SimTime::ZERO;
+        let shutdown_requested = || {
+            SIGTERM_RECEIVED.load(Ordering::Relaxed)
+                || plan.shutdown.as_ref().is_some_and(|f| f.load(Ordering::Relaxed))
+        };
+        let mut interrupted = false;
 
         let mut stopping = state.dispatch(engine.start(), SimTime::ZERO);
         while !state.inflight.is_empty() && !stopping {
+            if shutdown_requested() {
+                interrupted = true;
+                break;
+            }
             // Repair machines whose channel died mid-dispatch: restart the
             // agent and treat the undeliverable work as a stall.
             while let Some(machine) = state.dead_sends.pop() {
@@ -235,7 +323,11 @@ pub fn run_live_with_faults(
                 .map(|&(_, deadline)| deadline + grace)
                 .min()
                 .expect("inflight is non-empty");
-            let wait = next_watchdog.saturating_duration_since(Instant::now());
+            // Cap the wait so a shutdown request is noticed promptly even
+            // with far-off watchdog deadlines.
+            let wait = next_watchdog
+                .saturating_duration_since(Instant::now())
+                .min(Duration::from_millis(250));
             match reply_rx.recv_timeout(wait) {
                 Ok(reply) => {
                     // Events are stamped when the agent completed the
@@ -278,6 +370,13 @@ pub fn run_live_with_faults(
             }
         }
 
+        if interrupted {
+            // Seal first — the journal must hit disk before we start
+            // tearing the process down — then drain the agents. The
+            // result below is partial; the sealed (incomplete) journal is
+            // what a successor process recovers from.
+            engine.seal_journal();
+        }
         for tx in &state.agent_txs {
             // Agents may have exited already if their channel dropped.
             let _ = tx.send(AgentRequest::Shutdown);
@@ -432,6 +531,7 @@ mod tests {
             // Swallow the second request ever sent to machine 0.
             wedge_requests: vec![(0, 2)],
             watchdog_grace: Duration::from_millis(100),
+            ..LiveFaultPlan::default()
         };
         let result = run_live_with_faults(&mut policy, &ew, spec, 60_000.0, &plan);
         assert_eq!(result.faults.agent_stalls, 1, "the wedge was detected");
@@ -447,6 +547,50 @@ mod tests {
             surviving + result.faults.lost_epochs,
             "lost-epoch accounting holds"
         );
+    }
+
+    #[test]
+    fn shutdown_flag_seals_journal_and_stops_early() {
+        // The in-process analogue of SIGTERM: flip the plan's shutdown
+        // flag mid-run and check the loop seals the journal, drains the
+        // agents, and returns a partial result.
+        let w = CifarWorkload::new().with_max_epochs(60);
+        let ew = crate::experiment::ExperimentWorkload::from_workload(&w, 4, 5);
+        let spec = ExperimentSpec::new(2).with_stop_on_target(false);
+        let mut policy = DefaultPolicy::new();
+        let meta = crate::journal::run_meta(policy.name(), &ew, &spec, &FaultPlan::none());
+        let journal = Journal::in_memory(meta);
+        let flag = Arc::new(AtomicBool::new(false));
+        let plan = LiveFaultPlan { shutdown: Some(flag.clone()), ..LiveFaultPlan::default() };
+        let stopper = std::thread::spawn({
+            let flag = flag.clone();
+            move || {
+                std::thread::sleep(Duration::from_millis(40));
+                flag.store(true, Ordering::SeqCst);
+            }
+        });
+        // 60s epochs at 60000x -> ~1ms each; 240 epochs across 2 machines
+        // is ~120 ms of work, so the 40 ms shutdown lands mid-run.
+        let result = run_live_journaled(&mut policy, &ew, spec, 60_000.0, &plan, journal.clone());
+        stopper.join().unwrap();
+        assert!(journal.is_sealed(), "shutdown sealed the journal");
+        assert!(
+            result.total_epochs < 4 * 60,
+            "run ended early ({} epochs), not exhaustively",
+            result.total_epochs
+        );
+        let recovered = journal.reopen().unwrap();
+        assert!(recovered.sealed, "recovery sees the run was cleanly interrupted");
+        assert!(!recovered.inputs.is_empty(), "journal holds the consumed inputs");
+    }
+
+    #[test]
+    fn sigterm_handler_installs_without_error() {
+        // Can't deliver a real SIGTERM inside the test harness without
+        // killing the other tests, but installation itself must be safe
+        // and idempotent.
+        install_sigterm_handler();
+        install_sigterm_handler();
     }
 
     #[test]
@@ -483,6 +627,7 @@ mod tests {
             // resumed epoch 2 — wedge that one.
             wedge_requests: vec![(0, 3)],
             watchdog_grace: Duration::from_millis(100),
+            ..LiveFaultPlan::default()
         };
         let result = run_live_with_faults(&mut policy, &ew, spec, 60_000.0, &plan);
         assert_eq!(result.faults.agent_stalls, 1);

@@ -26,7 +26,7 @@ use crate::queue::EventQueue;
 
 /// Everything that can happen in the fault-injecting simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SimEvent {
+pub(crate) enum SimEvent {
     /// A completion report reaching the scheduler.
     Engine(EngineEvent),
     /// A scheduled machine crash.
@@ -39,7 +39,7 @@ enum SimEvent {
 
 /// Per-machine queues of pending stall/delay faults, consumed in time
 /// order as replies would pass through them.
-struct ReplyFaults {
+pub(crate) struct ReplyFaults {
     /// `(fault time, detection latency)` — the next reply due at or after
     /// the fault time is lost; the scheduler notices `detection` later.
     stalls: HashMap<MachineId, VecDeque<(SimTime, SimTime)>>,
@@ -49,7 +49,7 @@ struct ReplyFaults {
 }
 
 impl ReplyFaults {
-    fn from_plan(plan: &FaultPlan) -> Self {
+    pub(crate) fn from_plan(plan: &FaultPlan) -> Self {
         let mut stalls: HashMap<MachineId, VecDeque<(SimTime, SimTime)>> = HashMap::new();
         let mut delays: HashMap<MachineId, VecDeque<(SimTime, SimTime)>> = HashMap::new();
         for event in &plan.events {
@@ -60,7 +60,9 @@ impl ReplyFaults {
                 FaultKind::ReplyDelay { delay } => {
                     delays.entry(event.machine).or_default().push_back((event.at, delay));
                 }
-                FaultKind::MachineCrash | FaultKind::MachineRecover => {}
+                FaultKind::MachineCrash
+                | FaultKind::MachineRecover
+                | FaultKind::EngineCrash { .. } => {}
             }
         }
         ReplyFaults { stalls, delays }
@@ -98,7 +100,7 @@ enum ReplyFate {
 
 /// Translates engine commands into future events, filtering each reply
 /// through the pending stall/delay faults. Returns whether `Stop` was seen.
-fn schedule_faulty(
+pub(crate) fn schedule_faulty(
     cmds: Vec<Command>,
     now: SimTime,
     queue: &mut EventQueue<SimEvent>,
@@ -159,7 +161,9 @@ pub fn run_sim_with_faults(
             FaultKind::MachineRecover => {
                 queue.schedule(event.at, SimEvent::Recover(event.machine));
             }
-            FaultKind::AgentStall { .. } | FaultKind::ReplyDelay { .. } => {}
+            FaultKind::AgentStall { .. }
+            | FaultKind::ReplyDelay { .. }
+            | FaultKind::EngineCrash { .. } => {}
         }
     }
 

@@ -32,10 +32,15 @@
 
 mod faults;
 mod queue;
+mod recovery;
 mod stepper;
 
 pub use faults::run_sim_with_faults;
 pub use queue::EventQueue;
+pub use recovery::{
+    kill_at_every_event, resume_sim_journaled, run_sim_journaled, run_sim_with_recovery,
+    KillAnywhereReport, SimRunOutcome,
+};
 pub use stepper::{Simulation, StepOutcome};
 
 use hyperdrive_framework::{

@@ -35,6 +35,32 @@ pub enum Error {
     TraceFormat(String),
     /// An I/O error, stringified to keep the error type `Clone + PartialEq`.
     Io(String),
+    /// A write-ahead journal was written by an incompatible format version.
+    JournalVersion {
+        /// The version found in the journal header.
+        found: u32,
+        /// The version this binary writes and reads.
+        expected: u32,
+    },
+    /// A journal record in the middle of the log failed its checksum. A
+    /// torn *final* record is truncated and replayed past automatically;
+    /// mid-log damage cannot be trusted and must be repaired by hand.
+    JournalCorrupt {
+        /// Byte offset of the first unreadable record.
+        offset: u64,
+    },
+    /// Replay produced different state than the journal records — the
+    /// recovered run diverged from the original (non-deterministic policy,
+    /// changed binary, or wrong run parameters).
+    JournalDiverged {
+        /// Index of the first mismatching record.
+        record: u64,
+        /// What differed.
+        detail: String,
+    },
+    /// The journal belongs to a different run (workload, spec, fault plan,
+    /// or policy mismatch).
+    JournalMismatch(String),
 }
 
 impl fmt::Display for Error {
@@ -51,6 +77,23 @@ impl fmt::Display for Error {
             Error::CurveFit(msg) => write!(f, "curve fit failed: {msg}"),
             Error::TraceFormat(msg) => write!(f, "malformed trace: {msg}"),
             Error::Io(msg) => write!(f, "i/o error: {msg}"),
+            Error::JournalVersion { found, expected } => {
+                write!(
+                    f,
+                    "journal format version {found} unsupported (this build reads {expected})"
+                )
+            }
+            Error::JournalCorrupt { offset } => write!(
+                f,
+                "journal corrupt at byte {offset}: mid-log damage cannot be replayed past; \
+                 restore the file or delete it to start a fresh run"
+            ),
+            Error::JournalDiverged { record, detail } => {
+                write!(f, "journal replay diverged at record {record}: {detail}")
+            }
+            Error::JournalMismatch(msg) => {
+                write!(f, "journal belongs to a different run: {msg}")
+            }
         }
     }
 }
@@ -79,6 +122,10 @@ mod tests {
             Error::CurveFit("too few points".into()),
             Error::TraceFormat("line 7".into()),
             Error::Io("disk on fire".into()),
+            Error::JournalVersion { found: 9, expected: 1 },
+            Error::JournalCorrupt { offset: 1234 },
+            Error::JournalDiverged { record: 17, detail: "transition mismatch".into() },
+            Error::JournalMismatch("seed differs".into()),
         ];
         for e in cases {
             let s = e.to_string();

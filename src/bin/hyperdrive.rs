@@ -12,7 +12,8 @@ use std::process::ExitCode;
 
 use hyperdrive::curve::PredictorConfig;
 use hyperdrive::framework::{
-    run_live, DefaultPolicy, ExperimentResult, ExperimentSpec, ExperimentWorkload, SchedulingPolicy,
+    install_sigterm_handler, run_live, DefaultPolicy, ExperimentResult, ExperimentSpec,
+    ExperimentWorkload, SchedulingPolicy,
 };
 use hyperdrive::policies::{BanditPolicy, EarlyTermConfig, EarlyTermPolicy, HyperbandPolicy};
 use hyperdrive::pop::{PopConfig, PopPolicy};
@@ -178,6 +179,10 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     );
     let result = if args.has("--live") {
         let scale: f64 = args.parse_num("--scale", 600.0)?;
+        // SIGTERM requests a graceful stop: the run loop drains the node
+        // agents and seals the write-ahead journal (if enabled) so the
+        // run can be recovered instead of replayed-and-diverged.
+        install_sigterm_handler();
         run_live(policy.as_mut(), &experiment, spec, scale)
     } else {
         run_sim(policy.as_mut(), &experiment, spec)
