@@ -65,16 +65,27 @@ pub struct FitCostModel {
     /// fits; the `fit_simd` bench measures the real ratio (its JSON
     /// reports the measured cold speedup). Must be positive.
     pub fast_math_speedup: f64,
+    /// Modeled throughput multiplier applied on top of
+    /// `fast_math_speedup` when the priced [`PredictorConfig`] also has
+    /// `batch_fit` enabled (cold boundary fits fused across curves in one
+    /// lockstep sweep). `1.0` prices batched fits like per-curve ones;
+    /// the `batch_fit` bench measures the real ratio. Must be positive.
+    pub batch_fit_speedup: f64,
 }
 
 impl FitCostModel {
     /// The per-kiloeval price adjusted for `config`'s likelihood path.
     fn kiloeval_price(&self, config: &PredictorConfig) -> f64 {
+        let mut price = self.secs_per_kiloeval;
         if config.fast_math {
-            self.secs_per_kiloeval / self.fast_math_speedup
-        } else {
-            self.secs_per_kiloeval
+            price /= self.fast_math_speedup;
+            // Batching only applies on top of the fast-math path — the
+            // service never batches libm fits.
+            if config.batch_fit {
+                price /= self.batch_fit_speedup;
+            }
         }
+        price
     }
 
     /// Modeled cost (seconds) of one fit at `config` fidelity over
@@ -728,8 +739,12 @@ mod tests {
 
     #[test]
     fn fit_cost_prices_evals_and_clamps_observations() {
-        let model =
-            FitCostModel { secs_per_kiloeval: 2.0, modeled_workers: 1, fast_math_speedup: 1.0 };
+        let model = FitCostModel {
+            secs_per_kiloeval: 2.0,
+            modeled_workers: 1,
+            fast_math_speedup: 1.0,
+            batch_fit_speedup: 1.0,
+        };
         let config = PredictorConfig::test();
         let base = model.fit_secs(&config, 1);
         assert!(base > 0.0);
@@ -744,8 +759,12 @@ mod tests {
 
     #[test]
     fn warm_fits_are_priced_by_their_shorter_schedule() {
-        let model =
-            FitCostModel { secs_per_kiloeval: 2.0, modeled_workers: 1, fast_math_speedup: 1.0 };
+        let model = FitCostModel {
+            secs_per_kiloeval: 2.0,
+            modeled_workers: 1,
+            fast_math_speedup: 1.0,
+            batch_fit_speedup: 1.0,
+        };
         let config = PredictorConfig::test();
         let cold = model.fit_secs(&config, 5);
         let warm = model.warm_fit_secs(&config, 5);
@@ -758,17 +777,57 @@ mod tests {
     }
 
     #[test]
+    fn batch_fit_speedup_discounts_only_fast_math_fits() {
+        let model = FitCostModel {
+            secs_per_kiloeval: 2.0,
+            modeled_workers: 1,
+            fast_math_speedup: 3.0,
+            batch_fit_speedup: 2.0,
+        };
+        let libm = PredictorConfig::test();
+        let fast = libm.with_fast_math(true);
+        let batched = fast.with_batch_fit(true);
+        assert_eq!(
+            model.fit_secs(&fast, 5),
+            model.fit_secs(&libm, 5) / 3.0,
+            "fast_math discount unchanged"
+        );
+        assert_eq!(
+            model.fit_secs(&batched, 5),
+            model.fit_secs(&fast, 5) / 2.0,
+            "batching discounts on top of fast_math"
+        );
+        assert_eq!(
+            model.fit_secs(&libm.with_batch_fit(true), 5),
+            model.fit_secs(&libm, 5),
+            "batch_fit never prices libm fits — the service never batches them"
+        );
+    }
+
+    #[test]
     fn makespan_overlaps_fits_across_modeled_workers() {
         let costs = [3.0, 3.0, 3.0, 3.0];
-        let serial =
-            FitCostModel { secs_per_kiloeval: 1.0, modeled_workers: 1, fast_math_speedup: 1.0 };
-        let quad =
-            FitCostModel { secs_per_kiloeval: 1.0, modeled_workers: 4, fast_math_speedup: 1.0 };
+        let serial = FitCostModel {
+            secs_per_kiloeval: 1.0,
+            modeled_workers: 1,
+            fast_math_speedup: 1.0,
+            batch_fit_speedup: 1.0,
+        };
+        let quad = FitCostModel {
+            secs_per_kiloeval: 1.0,
+            modeled_workers: 4,
+            fast_math_speedup: 1.0,
+            batch_fit_speedup: 1.0,
+        };
         assert_eq!(serial.makespan_secs(&costs), 12.0, "one worker pays the sum");
         assert_eq!(quad.makespan_secs(&costs), 3.0, "four workers fully overlap");
         // Uneven batch: greedy least-loaded puts {5} alone and {3, 2} together.
-        let uneven =
-            FitCostModel { secs_per_kiloeval: 1.0, modeled_workers: 2, fast_math_speedup: 1.0 };
+        let uneven = FitCostModel {
+            secs_per_kiloeval: 1.0,
+            modeled_workers: 2,
+            fast_math_speedup: 1.0,
+            batch_fit_speedup: 1.0,
+        };
         assert_eq!(uneven.makespan_secs(&[5.0, 3.0, 2.0]), 5.0);
         assert_eq!(serial.makespan_secs(&[]), 0.0, "all-cached batches are free");
     }
@@ -784,6 +843,7 @@ mod tests {
                 secs_per_kiloeval: 1.0,
                 modeled_workers: 1,
                 fast_math_speedup: 1.0,
+                batch_fit_speedup: 1.0,
             }),
             ..Default::default()
         });

@@ -208,6 +208,9 @@ pub fn fit_fingerprint(
     h.write_u64(config.min_observations as u64);
     h.write_u64(u64::from(config.warm_start));
     h.write_u64(config.warm_steps as u64);
+    // `config.batch_fit` is deliberately NOT hashed: the cross-curve
+    // batched path is bitwise identical to the unbatched one, so batched
+    // and per-curve runs share each other's cached posteriors.
     h.write_u64(u64::from(config.fast_math));
     if config.fast_math {
         h.write_u64(match vmath::active_backend() {
@@ -730,6 +733,18 @@ mod tests {
             fit_fingerprint(&curve(10), &cfg, 42, 100, None),
             fit_fingerprint(&curve(10), &cfg.with_seed(999), 42, 100, None),
             "config.seed is superseded by the derived fit seed"
+        );
+    }
+
+    #[test]
+    fn fingerprint_ignores_batch_fit() {
+        // Batched fits are bitwise the unbatched fits, so the flag must
+        // not partition the shared cache (cross-hits are intended).
+        let cfg = PredictorConfig::test().with_fast_math(true);
+        assert_eq!(
+            fit_fingerprint(&curve(10), &cfg, 42, 100, None),
+            fit_fingerprint(&curve(10), &cfg.with_batch_fit(true), 42, 100, None),
+            "batch_fit must not change the fingerprint"
         );
     }
 

@@ -167,35 +167,53 @@ pub fn log_posterior(theta: &[f64], obs: &[(f64, f64)], horizon: f64) -> f64 {
     loglik
 }
 
-/// Prior-box membership specialized for the hot path: same predicate as
-/// [`in_prior_box`] — identical comparisons on identical values in the same
-/// short-circuit order — but indexing families through [`FAMILY_OFFSETS`]
-/// instead of re-deriving offsets per access.
-#[inline]
-pub(crate) fn in_prior_box_fast(theta: &[f64]) -> bool {
-    debug_assert_eq!(theta.len(), dimension());
-    for w in &theta[..11] {
-        if !(w.is_finite() && *w >= 0.0 && *w <= 1.0) {
-            return false;
+/// Flattened per-parameter prior-box bounds in theta layout (weights,
+/// sigma, then family parameters), for the branchless membership test.
+fn prior_box_lo_hi() -> &'static (Vec<f64>, Vec<f64>) {
+    static BOUNDS: std::sync::OnceLock<(Vec<f64>, Vec<f64>)> = std::sync::OnceLock::new();
+    BOUNDS.get_or_init(|| {
+        let d = dimension();
+        let mut lo = vec![f64::NAN; d];
+        let mut hi = vec![f64::NAN; d];
+        for k in 0..11 {
+            lo[k] = 0.0;
+            hi[k] = 1.0;
         }
-    }
-    if theta[..11].iter().sum::<f64>() < MIN_WEIGHT_SUM {
-        return false;
-    }
-    let sigma = theta[SIGMA_INDEX];
-    if !(sigma.is_finite() && sigma >= SIGMA_BOUNDS.0 && sigma <= SIGMA_BOUNDS.1) {
-        return false;
-    }
-    for (k, family) in ALL_FAMILIES.iter().enumerate() {
-        let off = FAMILY_OFFSETS[k];
-        for (j, (lo, hi)) in family.bounds().iter().enumerate() {
-            let p = theta[off + j];
-            if !(p.is_finite() && p >= *lo && p <= *hi) {
-                return false;
+        lo[SIGMA_INDEX] = SIGMA_BOUNDS.0;
+        hi[SIGMA_INDEX] = SIGMA_BOUNDS.1;
+        for (k, family) in ALL_FAMILIES.iter().enumerate() {
+            let off = FAMILY_OFFSETS[k];
+            for (j, (l, h)) in family.bounds().iter().enumerate() {
+                lo[off + j] = *l;
+                hi[off + j] = *h;
             }
         }
+        assert!(lo.iter().chain(hi.iter()).all(|b| b.is_finite()), "theta layout has gaps");
+        (lo, hi)
+    })
+}
+
+/// Prior-box membership specialized for the hot path: the same predicate
+/// as [`in_prior_box`], evaluated branchlessly against the flattened
+/// bounds table so the 48 comparisons vectorize. Out-of-range, infinite,
+/// and NaN parameters all fail their range comparison, so dropping the
+/// explicit finiteness tests and the short-circuiting cannot change the
+/// resulting boolean.
+// The negated comparison is load-bearing: `!(sum < MIN)` accepts a NaN
+// sum (matching the reference predicate's short-circuit shape), while the
+// "readable" `sum >= MIN` would reject it.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+#[inline(always)]
+pub(crate) fn in_prior_box_fast(theta: &[f64]) -> bool {
+    let (lo, hi) = prior_box_lo_hi();
+    debug_assert_eq!(theta.len(), lo.len());
+    let mut ok = true;
+    for ((&p, &l), &h) in theta.iter().zip(lo).zip(hi) {
+        ok &= p >= l && p <= h;
     }
-    true
+    // `sum < MIN` is false for a NaN sum, exactly like the reference
+    // predicate — a NaN weight already failed its range comparison above.
+    ok && !(theta[..11].iter().sum::<f64>() < MIN_WEIGHT_SUM)
 }
 
 /// Computes each active family's parameter-only hoisted term (see

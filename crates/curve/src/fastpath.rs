@@ -110,7 +110,7 @@ pub(crate) fn fast_hoist(family: ModelFamily, fp: &[f64]) -> f64 {
 /// Fills `hoists[k]` for every family with positive weight (slots of
 /// inactive families are left untouched, exactly like the reference path).
 #[inline]
-fn family_hoists_fast(theta: &[f64], hoists: &mut [f64; 11]) {
+pub(crate) fn family_hoists_fast(theta: &[f64], hoists: &mut [f64; 11]) {
     let w = &theta[..11];
     for (k, &family) in ALL_FAMILIES.iter().enumerate() {
         if w[k] > 0.0 {
@@ -180,9 +180,200 @@ pub(crate) fn family_value_at(
     }
 }
 
+/// The transcendental-kernel signature of a family's fast factoring: which
+/// sequence of batched [`vln_with`]/[`vexp_with`] passes runs between its
+/// elementwise [`family_fill`], [`family_mid`], and [`family_post`] stages.
+/// Families sharing a signature can have their grid columns concatenated
+/// into one buffer and swept by *shared* kernel calls — the cross-curve
+/// batched fitter ([`crate::batch`]) exploits exactly this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum Sig {
+    /// `fill` → `vln` (→ `post`).
+    Ln,
+    /// `fill` → `vln` → `mid` → `vexp` (→ `post`).
+    LnExp,
+    /// `fill` → `vexp` → `mid` → `vexp` (→ `post`).
+    ExpExp,
+    /// `fill` → `vexp` (→ `post`).
+    Exp,
+    /// `fill` only (no transcendental pass).
+    None,
+}
+
+/// The kernel signature of `family` (see [`Sig`]).
+#[inline]
+pub(crate) fn family_sig(family: ModelFamily) -> Sig {
+    match family {
+        ModelFamily::LogLogLinear => Sig::Ln,
+        ModelFamily::Pow4 => Sig::LnExp,
+        ModelFamily::Weibull | ModelFamily::Janoschek | ModelFamily::Exp4 => Sig::ExpExp,
+        ModelFamily::Pow3 | ModelFamily::LogPower | ModelFamily::Mmf => Sig::Exp,
+        ModelFamily::VaporPressure | ModelFamily::Hill3 => Sig::Exp,
+        ModelFamily::Ilog2 => Sig::None,
+    }
+}
+
+/// Stage 1 of the fast factoring: the elementwise pre-kernel fill. Writes
+/// `out[j]` from grid point `lo + j` for `j in 0..out.len()`.
+#[inline(always)]
+pub(crate) fn family_fill(
+    family: ModelFamily,
+    fp: &[f64],
+    hoist: f64,
+    grid: &FastGrid,
+    lo: usize,
+    out: &mut [f64],
+) {
+    let hi = lo + out.len();
+    match family {
+        ModelFamily::Pow3 => {
+            let alpha = fp[2];
+            for (v, lx) in out.iter_mut().zip(&grid.ln_xs[lo..hi]) {
+                *v = -alpha * lx;
+            }
+        }
+        ModelFamily::Pow4 => {
+            let (a, b) = (fp[1], fp[2]);
+            for (v, x) in out.iter_mut().zip(&grid.xs[lo..hi]) {
+                *v = a * x + b;
+            }
+        }
+        ModelFamily::LogLogLinear => {
+            let (a, b) = (fp[0], fp[1]);
+            for (v, lx1) in out.iter_mut().zip(&grid.ln_x1s[lo..hi]) {
+                *v = a * lx1 + b;
+            }
+        }
+        ModelFamily::LogPower => {
+            let c = fp[2];
+            for (v, lx) in out.iter_mut().zip(&grid.ln_xs[lo..hi]) {
+                *v = c * (lx - hoist);
+            }
+        }
+        ModelFamily::Weibull | ModelFamily::Mmf => {
+            let delta = fp[3];
+            for (v, lx) in out.iter_mut().zip(&grid.ln_xs[lo..hi]) {
+                *v = delta * (hoist + lx);
+            }
+        }
+        ModelFamily::Janoschek => {
+            let delta = fp[3];
+            for (v, lx) in out.iter_mut().zip(&grid.ln_xs[lo..hi]) {
+                *v = delta * lx;
+            }
+        }
+        ModelFamily::Exp4 => {
+            let alpha = fp[2];
+            for (v, lx) in out.iter_mut().zip(&grid.ln_xs[lo..hi]) {
+                *v = alpha * lx;
+            }
+        }
+        ModelFamily::Ilog2 => {
+            let (c, a) = (fp[0], fp[1]);
+            for (v, lx2) in out.iter_mut().zip(&grid.ln_x2s[lo..hi]) {
+                *v = c - a / lx2;
+            }
+        }
+        ModelFamily::VaporPressure => {
+            let (a, b, c) = (fp[0], fp[1], fp[2]);
+            for ((v, x), lx) in out.iter_mut().zip(&grid.xs[lo..hi]).zip(&grid.ln_xs[lo..hi]) {
+                *v = a + b / x + c * lx;
+            }
+        }
+        ModelFamily::Hill3 => {
+            let eta = fp[1];
+            for (v, lx) in out.iter_mut().zip(&grid.ln_xs[lo..hi]) {
+                *v = eta * lx;
+            }
+        }
+    }
+}
+
+/// Stage 2 of the fast factoring: the elementwise transform between the
+/// two kernel passes of [`Sig::LnExp`]/[`Sig::ExpExp`] families. A no-op
+/// for every other signature.
+#[inline(always)]
+pub(crate) fn family_mid(family: ModelFamily, fp: &[f64], out: &mut [f64]) {
+    match family {
+        ModelFamily::Pow4 => {
+            let alpha = fp[3];
+            for v in out.iter_mut() {
+                *v *= -alpha;
+            }
+        }
+        ModelFamily::Weibull => {
+            for v in out.iter_mut() {
+                *v = -*v;
+            }
+        }
+        ModelFamily::Janoschek => {
+            let kappa = fp[2];
+            for v in out.iter_mut() {
+                *v *= -kappa;
+            }
+        }
+        ModelFamily::Exp4 => {
+            let (a, b) = (fp[1], fp[3]);
+            for v in out.iter_mut() {
+                *v = -a * *v + b;
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Stage 3 of the fast factoring: the elementwise post-kernel transform.
+/// Identity for [`ModelFamily::LogLogLinear`], [`ModelFamily::Ilog2`], and
+/// [`ModelFamily::VaporPressure`].
+#[inline]
+pub(crate) fn family_post(family: ModelFamily, fp: &[f64], hoist: f64, out: &mut [f64]) {
+    match family {
+        ModelFamily::Pow3 => {
+            let (c, a) = (fp[0], fp[1]);
+            for v in out.iter_mut() {
+                *v = c - a * *v;
+            }
+        }
+        ModelFamily::Pow4 | ModelFamily::Exp4 => {
+            let c = fp[0];
+            for v in out.iter_mut() {
+                *v = c - *v;
+            }
+        }
+        ModelFamily::LogPower => {
+            let a = fp[0];
+            for v in out.iter_mut() {
+                *v = a / (1.0 + *v);
+            }
+        }
+        ModelFamily::Weibull | ModelFamily::Janoschek => {
+            let (alpha, beta) = (fp[0], fp[1]);
+            for v in out.iter_mut() {
+                *v = alpha - (alpha - beta) * *v;
+            }
+        }
+        ModelFamily::Mmf => {
+            let (alpha, beta) = (fp[0], fp[1]);
+            for v in out.iter_mut() {
+                *v = alpha - (alpha - beta) / (1.0 + *v);
+            }
+        }
+        ModelFamily::Hill3 => {
+            let ymax = fp[0];
+            for v in out.iter_mut() {
+                *v = ymax * *v / (hoist + *v);
+            }
+        }
+        ModelFamily::LogLogLinear | ModelFamily::Ilog2 | ModelFamily::VaporPressure => {}
+    }
+}
+
 /// Evaluates `family` at the first `m` grid points into `t[..m]`, batching
 /// every transcendental through the slice kernels on `backend`. Per lane,
-/// bit-identical to [`family_value_at`].
+/// bit-identical to [`family_value_at`]. Composed from the
+/// [`family_fill`]/[`family_mid`]/[`family_post`] stages per the family's
+/// [`Sig`] — the cross-curve batched fitter runs the *same* stages over
+/// concatenated multi-curve buffers, so the per-lane bits cannot diverge.
 pub(crate) fn family_values(
     family: ModelFamily,
     fp: &[f64],
@@ -193,124 +384,23 @@ pub(crate) fn family_values(
     backend: Backend,
 ) {
     let t = &mut t[..m];
-    match family {
-        ModelFamily::Pow3 => {
-            let (c, a, alpha) = (fp[0], fp[1], fp[2]);
-            for (v, lx) in t.iter_mut().zip(&grid.ln_xs[..m]) {
-                *v = -alpha * lx;
-            }
-            vexp_with(backend, t);
-            for v in t.iter_mut() {
-                *v = c - a * *v;
-            }
-        }
-        ModelFamily::Pow4 => {
-            let (c, a, b, alpha) = (fp[0], fp[1], fp[2], fp[3]);
-            for (v, x) in t.iter_mut().zip(&grid.xs[..m]) {
-                *v = a * x + b;
-            }
+    family_fill(family, fp, hoist, grid, 0, t);
+    match family_sig(family) {
+        Sig::None => {}
+        Sig::Ln => vln_with(backend, t),
+        Sig::LnExp => {
             vln_with(backend, t);
-            for v in t.iter_mut() {
-                *v *= -alpha;
-            }
-            vexp_with(backend, t);
-            for v in t.iter_mut() {
-                *v = c - *v;
-            }
-        }
-        ModelFamily::LogLogLinear => {
-            let (a, b) = (fp[0], fp[1]);
-            for (v, lx1) in t.iter_mut().zip(&grid.ln_x1s[..m]) {
-                *v = a * lx1 + b;
-            }
-            vln_with(backend, t);
-        }
-        ModelFamily::LogPower => {
-            let (a, c) = (fp[0], fp[2]);
-            for (v, lx) in t.iter_mut().zip(&grid.ln_xs[..m]) {
-                *v = c * (lx - hoist);
-            }
-            vexp_with(backend, t);
-            for v in t.iter_mut() {
-                *v = a / (1.0 + *v);
-            }
-        }
-        ModelFamily::Weibull => {
-            let (alpha, beta, delta) = (fp[0], fp[1], fp[3]);
-            for (v, lx) in t.iter_mut().zip(&grid.ln_xs[..m]) {
-                *v = delta * (hoist + lx);
-            }
-            vexp_with(backend, t);
-            for v in t.iter_mut() {
-                *v = -*v;
-            }
-            vexp_with(backend, t);
-            for v in t.iter_mut() {
-                *v = alpha - (alpha - beta) * *v;
-            }
-        }
-        ModelFamily::Mmf => {
-            let (alpha, beta, delta) = (fp[0], fp[1], fp[3]);
-            for (v, lx) in t.iter_mut().zip(&grid.ln_xs[..m]) {
-                *v = delta * (hoist + lx);
-            }
-            vexp_with(backend, t);
-            for v in t.iter_mut() {
-                *v = alpha - (alpha - beta) / (1.0 + *v);
-            }
-        }
-        ModelFamily::Janoschek => {
-            let (alpha, beta, kappa, delta) = (fp[0], fp[1], fp[2], fp[3]);
-            for (v, lx) in t.iter_mut().zip(&grid.ln_xs[..m]) {
-                *v = delta * lx;
-            }
-            vexp_with(backend, t);
-            for v in t.iter_mut() {
-                *v *= -kappa;
-            }
-            vexp_with(backend, t);
-            for v in t.iter_mut() {
-                *v = alpha - (alpha - beta) * *v;
-            }
-        }
-        ModelFamily::Exp4 => {
-            let (c, a, alpha, b) = (fp[0], fp[1], fp[2], fp[3]);
-            for (v, lx) in t.iter_mut().zip(&grid.ln_xs[..m]) {
-                *v = alpha * lx;
-            }
-            vexp_with(backend, t);
-            for v in t.iter_mut() {
-                *v = -a * *v + b;
-            }
-            vexp_with(backend, t);
-            for v in t.iter_mut() {
-                *v = c - *v;
-            }
-        }
-        ModelFamily::Ilog2 => {
-            let (c, a) = (fp[0], fp[1]);
-            for (v, lx2) in t.iter_mut().zip(&grid.ln_x2s[..m]) {
-                *v = c - a / lx2;
-            }
-        }
-        ModelFamily::VaporPressure => {
-            let (a, b, c) = (fp[0], fp[1], fp[2]);
-            for ((v, x), lx) in t.iter_mut().zip(&grid.xs[..m]).zip(&grid.ln_xs[..m]) {
-                *v = a + b / x + c * lx;
-            }
+            family_mid(family, fp, t);
             vexp_with(backend, t);
         }
-        ModelFamily::Hill3 => {
-            let (ymax, eta) = (fp[0], fp[1]);
-            for (v, lx) in t.iter_mut().zip(&grid.ln_xs[..m]) {
-                *v = eta * lx;
-            }
+        Sig::Exp => vexp_with(backend, t),
+        Sig::ExpExp => {
             vexp_with(backend, t);
-            for v in t.iter_mut() {
-                *v = ymax * *v / (hoist + *v);
-            }
+            family_mid(family, fp, t);
+            vexp_with(backend, t);
         }
     }
+    family_post(family, fp, hoist, t);
 }
 
 /// The weighted-combination mean at grid point `i` through the scalar fast
@@ -409,59 +499,73 @@ impl<'a> PosteriorEvalFast<'a> {
     /// kernels. Deterministic across hosts and backends, but *not* bitwise
     /// equal to the reference (see the module docs).
     pub fn log_posterior(&mut self, theta: &[f64]) -> f64 {
-        debug_assert_eq!(theta.len(), dimension());
-        if !in_prior_box_fast(theta) {
-            return f64::NEG_INFINITY;
-        }
-        let sigma = theta[SIGMA_INDEX];
-        let n = self.ys.len();
-        let wsum: f64 = theta[..11].iter().sum();
-        if wsum < MIN_WEIGHT_SUM {
-            return f64::NEG_INFINITY;
-        }
-        let mut hoists = [0.0f64; 11];
-        family_hoists_fast(theta, &mut hoists);
-
-        // Prior structure first (cheap scalar 2-point pass): reject
-        // decreasing or above-ceiling extrapolations before paying for the
-        // full batched grid.
-        let mean_last = fast_mean_at(theta, self.grid, n - 1, &hoists, wsum);
-        let mean_horizon = fast_mean_at(theta, self.grid, n, &hoists, wsum);
-        if !mean_last.is_finite() || !mean_horizon.is_finite() {
-            return f64::NEG_INFINITY;
-        }
-        if mean_horizon < mean_last - MONOTONE_SLACK || mean_horizon > CEILING {
-            return f64::NEG_INFINITY;
-        }
-
-        fast_weighted_means(
-            theta,
-            self.grid,
-            n - 1,
-            self.means,
-            self.t,
-            &hoists,
-            wsum,
-            self.backend,
-        );
-        // The scalar pre-pass ran the identical operation sequence for the
-        // last observation — reuse it.
-        self.means[n - 1] = mean_last;
-
-        let mut loglik = 0.0;
-        let sln = ln_s(sigma);
-        let inv2s2 = 1.0 / (2.0 * sigma * sigma);
-        let norm = -sln - 0.5 * LN_2PI;
-        for (y, m) in self.ys.iter().zip(self.means[..n].iter()) {
-            if !m.is_finite() {
-                return f64::NEG_INFINITY;
-            }
-            let r = y - m;
-            loglik += norm - r * r * inv2s2;
-        }
-        loglik -= sln;
-        loglik
+        fast_log_posterior(self.grid, self.ys, self.means, self.t, self.backend, theta)
     }
+}
+
+/// Free-function form of [`PosteriorEvalFast::log_posterior`], shared with
+/// the cross-curve batched fitter's per-curve phases (where constructing a
+/// borrowing evaluator per slot would fight the borrow checker).
+pub(crate) fn fast_log_posterior(
+    grid: &FastGrid,
+    ys: &[f64],
+    means: &mut [f64],
+    t: &mut [f64],
+    backend: Backend,
+    theta: &[f64],
+) -> f64 {
+    debug_assert_eq!(theta.len(), dimension());
+    if !in_prior_box_fast(theta) {
+        return f64::NEG_INFINITY;
+    }
+    let sigma = theta[SIGMA_INDEX];
+    let n = ys.len();
+    let wsum: f64 = theta[..11].iter().sum();
+    if wsum < MIN_WEIGHT_SUM {
+        return f64::NEG_INFINITY;
+    }
+    let mut hoists = [0.0f64; 11];
+    family_hoists_fast(theta, &mut hoists);
+
+    // Prior structure first (cheap scalar 2-point pass): reject
+    // decreasing or above-ceiling extrapolations before paying for the
+    // full batched grid.
+    let mean_last = fast_mean_at(theta, grid, n - 1, &hoists, wsum);
+    let mean_horizon = fast_mean_at(theta, grid, n, &hoists, wsum);
+    if !mean_last.is_finite() || !mean_horizon.is_finite() {
+        return f64::NEG_INFINITY;
+    }
+    if mean_horizon < mean_last - MONOTONE_SLACK || mean_horizon > CEILING {
+        return f64::NEG_INFINITY;
+    }
+
+    fast_weighted_means(theta, grid, n - 1, means, t, &hoists, wsum, backend);
+    // The scalar pre-pass ran the identical operation sequence for the
+    // last observation — reuse it.
+    means[n - 1] = mean_last;
+
+    gaussian_loglik(ys, &means[..n], sigma)
+}
+
+/// The Gaussian log-likelihood tail of the fast posterior: per-observation
+/// normal terms accumulated in observation order, plus the `-ln σ` sigma
+/// prior. Shared verbatim by the unbatched and cross-curve-batched
+/// evaluators so their accumulation order cannot diverge.
+#[inline]
+pub(crate) fn gaussian_loglik(ys: &[f64], means: &[f64], sigma: f64) -> f64 {
+    let mut loglik = 0.0;
+    let sln = ln_s(sigma);
+    let inv2s2 = 1.0 / (2.0 * sigma * sigma);
+    let norm = -sln - 0.5 * LN_2PI;
+    for (y, m) in ys.iter().zip(means.iter()) {
+        if !m.is_finite() {
+            return f64::NEG_INFINITY;
+        }
+        let r = y - m;
+        loglik += norm - r * r * inv2s2;
+    }
+    loglik -= sln;
+    loglik
 }
 
 #[cfg(test)]

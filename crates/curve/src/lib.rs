@@ -26,6 +26,10 @@
 //!   SIMD/scalar paths, and [`fastpath`] — the structure-of-arrays
 //!   likelihood built on them (opt-in via
 //!   [`PredictorConfig`]`::fast_math`).
+//! * [`batch`] — cross-curve batched fitting: several `fast_math` fits
+//!   advance in one lockstep MCMC sweep with likelihood columns fused
+//!   across curves, bitwise-identical per curve to the unbatched path
+//!   (opt-in via [`PredictorConfig`]`::batch_fit`).
 //!
 //! # Example
 //!
@@ -50,6 +54,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod cache;
 pub mod ensemble;
 pub mod fastpath;
@@ -62,6 +67,7 @@ pub mod scratch;
 pub mod service;
 pub mod vmath;
 
+pub use batch::{fit_curves_batched, fit_curves_batched_with, BatchFitItem, BatchScratch};
 pub use cache::{
     cache_for_mode, cache_mode_from_env, default_disk_dir, fit_fingerprint, global_fit_cache,
     install_global_fit_cache, posterior_hash, CacheMode, CurveFingerprint, SharedCacheStats,
@@ -71,6 +77,6 @@ pub use models::{GridPoint, ModelFamily, ALL_FAMILIES};
 pub use predictor::{CurvePosterior, CurvePredictor, PredictorConfig};
 pub use scratch::FitScratch;
 pub use service::{
-    derive_fit_seed, resolve_fit_threads, sequential_fit, FitOutcome, FitRequest, FitService,
-    FitStats,
+    batch_fit_forced, derive_fit_seed, resolve_fit_threads, sequential_fit, FitOutcome, FitRequest,
+    FitService, FitStats,
 };

@@ -177,7 +177,20 @@ pub struct FlatChain<'a> {
     pub acceptance_rate: f64,
 }
 
-impl FlatChain<'_> {
+impl<'a> FlatChain<'a> {
+    /// Builds a chain view over externally managed flat buffers. Used by
+    /// the cross-curve batched fitter ([`crate::batch`]), whose lockstep
+    /// sampler keeps per-curve walker state outside [`McmcScratch`] but
+    /// funnels results through the same posterior-collection code.
+    pub(crate) fn from_raw(
+        draws: &'a [f64],
+        log_probs: &'a [f64],
+        dim: usize,
+        acceptance_rate: f64,
+    ) -> Self {
+        FlatChain { draws, log_probs, dim, acceptance_rate }
+    }
+
     /// Number of retained draws.
     #[must_use]
     pub fn n_draws(&self) -> usize {

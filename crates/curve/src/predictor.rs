@@ -72,6 +72,18 @@ pub struct PredictorConfig {
     /// (the kernels are bit-identical scalar vs vectorized), and fit-thread
     /// counts; composes with `warm_start`.
     pub fast_math: bool,
+    /// Opt-in cross-curve batched fitting: when a [`crate::FitService`]
+    /// boundary batch contains several cold `fast_math` fits, their
+    /// likelihood columns are evaluated in one family-major
+    /// structure-of-arrays sweep over concatenated curve columns (see
+    /// [`crate::batch`]). **Does not change numerics**: every per-curve
+    /// result is bitwise identical to the unbatched `fast_math` fit
+    /// (property-test- and golden-trace-pinned), so this flag is pure
+    /// speed — it is even excluded from the fit-cache fingerprint so
+    /// batched and unbatched runs share cache entries. A no-op unless
+    /// `fast_math` is also on; warm-started refits always take the
+    /// per-curve path.
+    pub batch_fit: bool,
 }
 
 impl PredictorConfig {
@@ -90,6 +102,7 @@ impl PredictorConfig {
             warm_start: false,
             warm_steps: 250,
             fast_math: false,
+            batch_fit: false,
         }
     }
 
@@ -143,6 +156,12 @@ impl PredictorConfig {
     /// or off.
     pub fn with_fast_math(self, fast_math: bool) -> Self {
         PredictorConfig { fast_math, ..self }
+    }
+
+    /// Returns this config with cross-curve batched fitting switched on
+    /// or off (a no-op unless `fast_math` is also enabled).
+    pub fn with_batch_fit(self, batch_fit: bool) -> Self {
+        PredictorConfig { batch_fit, ..self }
     }
 }
 
@@ -242,22 +261,12 @@ impl CurvePredictor {
             )));
         }
 
-        let all_obs: Vec<(f64, f64)> =
-            curve.points().iter().map(|p| (f64::from(p.epoch), p.value)).collect();
-        // Thin long curves: likelihood cost is linear in observations, and
-        // a strided subsample preserves the trajectory shape.
-        let obs: Vec<(f64, f64)> = if all_obs.len() > self.config.max_obs.max(2) {
-            let keep = self.config.max_obs.max(2);
-            let stride = (all_obs.len() - 1) as f64 / (keep - 1) as f64;
-            (0..keep).map(|i| all_obs[(i as f64 * stride).round() as usize]).collect()
-        } else {
-            all_obs
-        };
+        let obs = thinned_obs(&self.config, curve);
         let horizon_f = f64::from(horizon);
 
         // Memoize the epoch grid once per fit: the grid never changes
         // mid-fit, so every pure-x basis term is computed exactly once.
-        let FitScratch { pts, ys, means, nm, fam, mcmc, fast_grid, fast_t } = scratch;
+        let FitScratch { pts, ys, means, nm, fam, mcmc, fast_grid, fast_t, .. } = scratch;
         pts.clear();
         ys.clear();
         for &(x, y) in &obs {
@@ -507,26 +516,7 @@ impl CurvePredictor {
         horizon: u32,
         warm: bool,
     ) -> Result<CurvePosterior> {
-        let total = chain.n_draws();
-        if total == 0 {
-            return Err(Error::CurveFit("sampler produced no draws".into()));
-        }
-        // Uniform subsample down to max_draws to keep queries cheap.
-        let draws: Vec<Vec<f64>> = if total > self.config.max_draws {
-            let stride = total as f64 / self.config.max_draws as f64;
-            (0..self.config.max_draws)
-                .map(|i| chain.draw((i as f64 * stride) as usize).to_vec())
-                .collect()
-        } else {
-            (0..total).map(|i| chain.draw(i).to_vec()).collect()
-        };
-        Ok(CurvePosterior {
-            draws,
-            last_epoch,
-            horizon,
-            acceptance_rate: chain.acceptance_rate,
-            warm,
-        })
+        collect_posterior(&self.config, chain, last_epoch, horizon, warm)
     }
 
     /// The retained pre-optimization fitting path: per-call allocations,
@@ -612,6 +602,50 @@ impl CurvePredictor {
             warm: false,
         })
     }
+}
+
+/// The (possibly thinned) observation list a fit conditions on: long
+/// curves are strided down to `max_obs` points (first and last always
+/// kept). Shared by [`CurvePredictor::fit_with`] and the cross-curve
+/// batched fitter ([`crate::batch`]) so both condition on literally the
+/// same observations.
+pub(crate) fn thinned_obs(config: &PredictorConfig, curve: &LearningCurve) -> Vec<(f64, f64)> {
+    let all_obs: Vec<(f64, f64)> =
+        curve.points().iter().map(|p| (f64::from(p.epoch), p.value)).collect();
+    // Thin long curves: likelihood cost is linear in observations, and a
+    // strided subsample preserves the trajectory shape.
+    if all_obs.len() > config.max_obs.max(2) {
+        let keep = config.max_obs.max(2);
+        let stride = (all_obs.len() - 1) as f64 / (keep - 1) as f64;
+        (0..keep).map(|i| all_obs[(i as f64 * stride).round() as usize]).collect()
+    } else {
+        all_obs
+    }
+}
+
+/// Subsamples a chain's retained draws into a posterior — the single
+/// collection authority shared by [`CurvePredictor::fit_with`] and the
+/// cross-curve batched fitter ([`crate::batch`]), so both paths extract
+/// results through literally the same code.
+pub(crate) fn collect_posterior(
+    config: &PredictorConfig,
+    chain: &FlatChain<'_>,
+    last_epoch: u32,
+    horizon: u32,
+    warm: bool,
+) -> Result<CurvePosterior> {
+    let total = chain.n_draws();
+    if total == 0 {
+        return Err(Error::CurveFit("sampler produced no draws".into()));
+    }
+    // Uniform subsample down to max_draws to keep queries cheap.
+    let draws: Vec<Vec<f64>> = if total > config.max_draws {
+        let stride = total as f64 / config.max_draws as f64;
+        (0..config.max_draws).map(|i| chain.draw((i as f64 * stride) as usize).to_vec()).collect()
+    } else {
+        (0..total).map(|i| chain.draw(i).to_vec()).collect()
+    };
+    Ok(CurvePosterior { draws, last_epoch, horizon, acceptance_rate: chain.acceptance_rate, warm })
 }
 
 /// Builds one warm walker from a previous posterior draw: a small jitter

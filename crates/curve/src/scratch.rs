@@ -9,6 +9,7 @@
 //! perform **zero heap allocations per MCMC step** — the property the
 //! `fit_hotpath` bench pins with a counting allocator.
 
+use crate::batch::BatchScratch;
 use crate::fastpath::FastGrid;
 use crate::fit::FamilyFitBuf;
 use crate::mcmc::McmcScratch;
@@ -38,6 +39,9 @@ pub struct FitScratch {
     /// Temp lane buffer for the batched per-family sweeps of the
     /// `fast_math` path.
     pub(crate) fast_t: Vec<f64>,
+    /// Slot storage and the signature-grouped lane arena for cross-curve
+    /// batched fitting (the `batch_fit` path).
+    pub(crate) batch: BatchScratch,
 }
 
 impl FitScratch {

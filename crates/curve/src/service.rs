@@ -61,13 +61,14 @@
 //! [`FitService::with_shared_cache`].
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use hyperdrive_types::{Error, JobId, LearningCurve, Result};
 
+use crate::batch::{fit_curves_batched, BatchFitItem};
 use crate::cache::{fit_fingerprint, global_fit_cache, CurveFingerprint, SharedFitCache};
 use crate::predictor::{CurvePosterior, CurvePredictor, PredictorConfig};
 use crate::scratch::FitScratch;
@@ -92,6 +93,24 @@ pub fn derive_fit_seed(experiment_seed: u64, config: u64, epoch: u32) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// True when `HYPERDRIVE_BATCH_FIT` forces cross-curve batched fitting on
+/// for every service in the process (any value except empty, `0`, or
+/// `off`), regardless of [`PredictorConfig::batch_fit`]. Safe to force
+/// globally because batched fits are bitwise identical to unbatched ones —
+/// the CI `batch` job proves it by replaying every golden trace this way.
+#[must_use]
+pub fn batch_fit_forced() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("HYPERDRIVE_BATCH_FIT")
+            .map(|v| {
+                let v = v.trim();
+                !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("off")
+            })
+            .unwrap_or(false)
+    })
 }
 
 /// Resolves the worker-thread count: an explicit non-zero request wins,
@@ -150,6 +169,12 @@ pub struct FitStats {
     pub shared_hits: u64,
     /// `fit_batch` calls served.
     pub batches: u64,
+    /// Fits (subset of `fits`) executed through the cross-curve batched
+    /// path ([`crate::batch`]): cold `fast_math` fits grouped per boundary
+    /// batch when `batch_fit` (or `HYPERDRIVE_BATCH_FIT`) is on. Counted
+    /// per *item*, not per lockstep group, so the counter is invariant
+    /// under the worker count like every other trace-visible quantity.
+    pub batched_fits: u64,
 }
 
 impl FitStats {
@@ -172,6 +197,14 @@ enum WorkerMsg {
         horizon: u32,
         seed: u64,
         warm: Option<CurvePosterior>,
+        reply: Sender<(FitKey, Result<CurvePosterior>)>,
+    },
+    /// A chunk of cold `fast_math` fits evaluated in one cross-curve
+    /// lockstep sweep ([`fit_curves_batched`]); one reply per item.
+    /// `keys` and `items` are parallel.
+    FitBatch {
+        keys: Vec<FitKey>,
+        items: Vec<BatchFitItem>,
         reply: Sender<(FitKey, Result<CurvePosterior>)>,
     },
     Shutdown,
@@ -285,6 +318,13 @@ impl FitService {
         let mut enqueued = 0usize;
         let mut hits = 0u64;
         let mut shared_hits = 0u64;
+        // Cold fast-math fits deferred into cross-curve lockstep groups
+        // (parallel vectors). Only cold fits qualify: warm-started refits
+        // keep the per-curve path, so batching changes *where* a fit runs
+        // but never *what* it computes.
+        let batching = (self.config.batch_fit || batch_fit_forced()) && self.config.fast_math;
+        let mut batch_keys: Vec<FitKey> = Vec::new();
+        let mut batch_items: Vec<BatchFitItem> = Vec::new();
 
         for (i, req) in requests.iter().enumerate() {
             let Some(last_epoch) = req.curve.last_epoch() else {
@@ -339,18 +379,46 @@ impl FitService {
                         enqueued_fp.insert(key, fp);
                     }
                     e.insert(vec![i]);
-                    self.tx
-                        .send(WorkerMsg::Fit {
-                            key,
+                    if batching && warm.is_none() {
+                        batch_keys.push(key);
+                        batch_items.push(BatchFitItem {
                             curve: req.curve.clone(),
                             horizon: req.horizon,
                             seed,
-                            warm,
-                            reply: reply_tx.clone(),
-                        })
-                        .expect("workers alive");
+                        });
+                    } else {
+                        self.tx
+                            .send(WorkerMsg::Fit {
+                                key,
+                                curve: req.curve.clone(),
+                                horizon: req.horizon,
+                                seed,
+                                warm,
+                                reply: reply_tx.clone(),
+                            })
+                            .expect("workers alive");
+                    }
                     enqueued += 1;
                 }
+            }
+        }
+
+        // Spread the deferred cold fits over the pool in contiguous chunks.
+        // Chunking only affects which fits share a lockstep sweep — every
+        // grouping yields bitwise-identical posteriors (`crate::batch`'s
+        // equivalence tests), so the worker count still cannot leak into
+        // results.
+        let batched_fits = batch_keys.len() as u64;
+        if !batch_keys.is_empty() {
+            let chunk = batch_keys.len().div_ceil(self.workers.len().max(1));
+            for (keys, items) in batch_keys.chunks(chunk).zip(batch_items.chunks(chunk)) {
+                self.tx
+                    .send(WorkerMsg::FitBatch {
+                        keys: keys.to_vec(),
+                        items: items.to_vec(),
+                        reply: reply_tx.clone(),
+                    })
+                    .expect("workers alive");
             }
         }
 
@@ -387,6 +455,7 @@ impl FitService {
             stats.warm_fits += warm_fits;
             stats.shared_hits += shared_hits;
             stats.batches += 1;
+            stats.batched_fits += batched_fits;
         }
         out.into_iter().map(|o| o.expect("every request answered")).collect()
     }
@@ -441,6 +510,12 @@ fn worker_loop(rx: &Receiver<WorkerMsg>, config: PredictorConfig) {
                 // The batch owner may have given up (dropped receiver) if a
                 // sibling fit panicked; nothing useful to do then.
                 let _ = reply.send((key, result));
+            }
+            WorkerMsg::FitBatch { keys, items, reply } => {
+                let results = fit_curves_batched(&config, &items, &mut scratch);
+                for (key, result) in keys.into_iter().zip(results) {
+                    let _ = reply.send((key, result));
+                }
             }
             WorkerMsg::Shutdown => return,
         }
@@ -729,6 +804,106 @@ mod tests {
         let short = FitRequest { job: JobId::new(0), curve: curve(1), horizon: 100 };
         assert!(service.fit_batch(&[short])[0].result.is_err());
         assert!(cache.is_empty(), "errors recompute; only posteriors are shared");
+    }
+
+    #[test]
+    fn batched_service_matches_unbatched_service_bitwise() {
+        let base = PredictorConfig::test().with_fast_math(true);
+        let requests: Vec<FitRequest> = (0..6).map(|j| req(j, 8 + j as u32 % 3)).collect();
+        let reference: Vec<FitOutcome> =
+            isolated(base, 7, 1).fit_batch(&requests).into_iter().collect();
+        for threads in [1, 4] {
+            let service = isolated(base.with_batch_fit(true), 7, threads);
+            let outcomes = service.fit_batch(&requests);
+            let stats = service.stats();
+            assert_eq!(stats.fits, 6);
+            assert_eq!(
+                stats.batched_fits, 6,
+                "all cold fast-math fits route through the batched path at {threads} threads"
+            );
+            for (b, u) in outcomes.iter().zip(&reference) {
+                assert_eq!(
+                    b.result.as_ref().unwrap().draws(),
+                    u.result.as_ref().unwrap().draws(),
+                    "batched fit must be bitwise the unbatched fit at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_fit_without_fast_math_is_inert() {
+        let service = isolated(PredictorConfig::test().with_batch_fit(true), 7, 2);
+        let outcomes = service.fit_batch(&[req(0, 10), req(1, 12)]);
+        let stats = service.stats();
+        assert_eq!((stats.fits, stats.batched_fits), (2, 0));
+        for (o, r) in outcomes.iter().zip([req(0, 10), req(1, 12)]) {
+            let reference = sequential_fit(*service.config(), 7, &r).unwrap();
+            assert_eq!(o.result.as_ref().unwrap().draws(), reference.draws());
+        }
+    }
+
+    #[test]
+    fn warm_refits_keep_the_per_curve_path() {
+        let base = PredictorConfig::test().with_fast_math(true).with_warm_start(true);
+        let run = |config: PredictorConfig| {
+            let service = isolated(config, 19, 2);
+            let first: Vec<FitRequest> = (0..3).map(|j| req(j, 10)).collect();
+            service.fit_batch(&first);
+            let second: Vec<FitRequest> = (0..3).map(|j| req(j, 14)).collect();
+            let warm = service.fit_batch(&second);
+            (warm, service.stats())
+        };
+        let (warm_b, stats_b) = run(base.with_batch_fit(true));
+        let (warm_u, stats_u) = run(base);
+        assert_eq!(stats_b.warm_fits, 3);
+        assert_eq!(stats_b.batched_fits, 3, "only the cold first batch is batched");
+        if !batch_fit_forced() {
+            assert_eq!(stats_u.batched_fits, 0);
+        }
+        for (b, u) in warm_b.iter().zip(&warm_u) {
+            let b = b.result.as_ref().unwrap();
+            let u = u.result.as_ref().unwrap();
+            assert!(b.warm_started() && u.warm_started());
+            assert_eq!(b.draws(), u.draws(), "warm refits are untouched by batch_fit");
+        }
+    }
+
+    #[test]
+    fn batched_and_unbatched_runs_cross_hit_the_shared_cache() {
+        // `batch_fit` is deliberately excluded from the fingerprint: a
+        // batched fit IS the unbatched fit, bit for bit, so either mode
+        // may serve the other's cached posterior.
+        let base = PredictorConfig::test().with_fast_math(true);
+        let cache = SharedFitCache::in_memory();
+        let writer =
+            FitService::with_shared_cache(base.with_batch_fit(true), 7, 2, Some(cache.clone()));
+        let requests: Vec<FitRequest> = (0..3).map(|j| req(j, 10)).collect();
+        let cold = writer.fit_batch(&requests);
+        assert_eq!(writer.stats().batched_fits, 3);
+
+        let reader = FitService::with_shared_cache(base, 7, 2, Some(cache));
+        let replay = reader.fit_batch(&requests);
+        let stats = reader.stats();
+        assert_eq!((stats.fits, stats.shared_hits), (0, 3));
+        for (c, r) in cold.iter().zip(&replay) {
+            assert_eq!(
+                c.result.as_ref().unwrap().draws(),
+                r.result.as_ref().unwrap().draws(),
+                "unbatched replay must hit the batched run's shared entries"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_errors_surface_per_item() {
+        let base = PredictorConfig::test().with_fast_math(true).with_batch_fit(true);
+        let service = isolated(base, 7, 2);
+        let short = FitRequest { job: JobId::new(8), curve: curve(1), horizon: 100 };
+        let outcomes = service.fit_batch(&[req(0, 10), short, req(1, 12)]);
+        assert!(outcomes[0].result.is_ok());
+        assert!(outcomes[1].result.is_err(), "short curve errors inside the batch");
+        assert!(outcomes[2].result.is_ok());
     }
 
     #[test]

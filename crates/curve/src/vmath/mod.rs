@@ -10,20 +10,24 @@
 //!
 //! - **Bit-identical across backends and hosts.** The SIMD path is the exact
 //!   same elementwise computation as the scalar path, compiled with
-//!   `#[target_feature(enable = "avx2")]` so LLVM can autovectorize it. Rust
-//!   never contracts `a * b + c` into an FMA and the kernels use the same
-//!   polynomial and operation order everywhere, so a lane of the vector path
-//!   produces the same bit pattern as the scalar fallback on every host.
-//!   The accuracy and bit-identity proptests in
+//!   `#[target_feature]` wrappers (AVX2, and AVX-512 where the CPU has it)
+//!   so LLVM can autovectorize it. Rust never contracts `a * b + c` into an
+//!   FMA and the kernels use the same polynomial and operation order
+//!   everywhere, so a lane of the vector path produces the same bit pattern
+//!   as the scalar fallback on every host, whatever the vector width. The
+//!   accuracy and bit-identity proptests in
 //!   `crates/curve/tests/vmath_props.rs` pin this down.
 //! - **Accuracy.** Max relative error vs libm is ≤ 1e-13 for [`vexp`]/[`vln`]
 //!   and ≤ 1e-12 for [`vpow`] over the predictor's operand ranges (see the
 //!   domain notes on each function). In practice the kernels are within a few
 //!   ulp of correctly rounded.
-//! - **Runtime dispatch with an override.** [`active_backend`] picks AVX2
-//!   when the CPU supports it; setting `HYPERDRIVE_VMATH=scalar` in the
-//!   environment forces the scalar fallback. The choice is made once per
-//!   process and cached.
+//! - **Runtime dispatch with an override.** [`active_backend`] picks the
+//!   SIMD path when the CPU supports AVX2, and the SIMD kernels themselves
+//!   step up to AVX-512 compilations when the CPU reports
+//!   `avx512f`/`avx512dq`/`avx512vl`. Setting `HYPERDRIVE_VMATH=scalar`
+//!   forces the scalar fallback (and the baseline tier everywhere a caller
+//!   dispatches on the crate-internal `simd_tier`); `HYPERDRIVE_VMATH=avx2`
+//!   caps the tier at AVX2. The choice is made once per process and cached.
 //! - **No allocation.** All kernels operate in place on caller-owned slices,
 //!   preserving the zero-alloc-per-MCMC-step invariant of `FitScratch`.
 //!
@@ -191,7 +195,7 @@ fn pow_one(x: f64, y: f64) -> f64 {
 // ---------------------------------------------------------------------------
 
 macro_rules! unary_loops {
-    ($core:ident, $scalar:ident, $avx2:ident) => {
+    ($core:ident, $scalar:ident, $avx2:ident, $avx512:ident) => {
         fn $scalar(buf: &mut [f64]) {
             for v in buf.iter_mut() {
                 *v = $core(*v);
@@ -200,17 +204,43 @@ macro_rules! unary_loops {
         #[cfg(target_arch = "x86_64")]
         #[target_feature(enable = "avx2")]
         unsafe fn $avx2(buf: &mut [f64]) {
-            // Same loop as the scalar path; AVX2 codegen only changes how
-            // many lanes run per instruction, never the per-lane bits.
-            for v in buf.iter_mut() {
+            // Same per-lane core as the scalar path, walked in fixed
+            // 32-lane blocks: the block loop hands the vectorizer several
+            // independent vectors to keep in flight, hiding the kernel's
+            // serial-dependency latency on long fused buffers. Codegen
+            // only changes how many lanes run per instruction and how
+            // many vectors overlap — never the per-lane bits.
+            let mut blocks = buf.chunks_exact_mut(32);
+            for block in &mut blocks {
+                for v in block.iter_mut() {
+                    *v = $core(*v);
+                }
+            }
+            for v in blocks.into_remainder() {
+                *v = $core(*v);
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx512f", enable = "avx512dq", enable = "avx512vl")]
+        unsafe fn $avx512(buf: &mut [f64]) {
+            // Still the same per-lane core: 8 lanes per instruction
+            // instead of 4, identical bits. Pays off on the long fused
+            // buffers of the cross-curve batched fitter.
+            let mut blocks = buf.chunks_exact_mut(32);
+            for block in &mut blocks {
+                for v in block.iter_mut() {
+                    *v = $core(*v);
+                }
+            }
+            for v in blocks.into_remainder() {
                 *v = $core(*v);
             }
         }
     };
 }
 
-unary_loops!(exp_one, exp_slice_scalar, exp_slice_avx2);
-unary_loops!(ln_one, ln_slice_scalar, ln_slice_avx2);
+unary_loops!(exp_one, exp_slice_scalar, exp_slice_avx2, exp_slice_avx512);
+unary_loops!(ln_one, ln_slice_scalar, ln_slice_avx2, ln_slice_avx512);
 
 fn pow_slice_scalar(buf: &mut [f64], y: f64) {
     for v in buf.iter_mut() {
@@ -224,6 +254,51 @@ unsafe fn pow_slice_avx2(buf: &mut [f64], y: f64) {
     for v in buf.iter_mut() {
         *v = pow_one(*v, y);
     }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512dq", enable = "avx512vl")]
+unsafe fn pow_slice_avx512(buf: &mut [f64], y: f64) {
+    for v in buf.iter_mut() {
+        *v = pow_one(*v, y);
+    }
+}
+
+/// SIMD compilation tier for the slice loops and the autovectorized
+/// helper loops around them (2 = AVX-512, 1 = AVX2, 0 = baseline).
+/// Decided once per process from CPU detection; `HYPERDRIVE_VMATH=scalar`
+/// forces 0 and `=avx2` caps at 1 (useful for pinning tiers against each
+/// other — every tier compiles the same exact per-lane arithmetic, so the
+/// cap only changes throughput).
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn simd_tier() -> u8 {
+    static CHOICE: OnceLock<u8> = OnceLock::new();
+    *CHOICE.get_or_init(|| {
+        match std::env::var("HYPERDRIVE_VMATH").as_deref() {
+            Ok("scalar") => return 0,
+            Ok("avx2") => {
+                return u8::from(std::arch::is_x86_feature_detected!("avx2"));
+            }
+            _ => {}
+        }
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512dq")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+        {
+            2
+        } else if std::arch::is_x86_feature_detected!("avx2") {
+            1
+        } else {
+            0
+        }
+    })
+}
+
+/// Whether the [`Backend::Simd`] slice loops should run their AVX-512
+/// compilation.
+#[cfg(target_arch = "x86_64")]
+fn use_avx512() -> bool {
+    simd_tier() == 2
 }
 
 // ---------------------------------------------------------------------------
@@ -241,10 +316,15 @@ pub fn vexp_with(backend: Backend, buf: &mut [f64]) {
         Backend::Simd => {
             #[cfg(target_arch = "x86_64")]
             // SAFETY: Backend::Simd is only handed out by active_backend()
-            // after is_x86_feature_detected!("avx2"); tests constructing it
-            // directly run on the same hosts.
+            // after is_x86_feature_detected!("avx2"); the AVX-512 arm
+            // additionally checks its own feature triple. Tests
+            // constructing Simd directly run on the same hosts.
             unsafe {
-                exp_slice_avx2(buf)
+                if use_avx512() {
+                    exp_slice_avx512(buf)
+                } else {
+                    exp_slice_avx2(buf)
+                }
             }
             #[cfg(not(target_arch = "x86_64"))]
             exp_slice_scalar(buf)
@@ -268,7 +348,11 @@ pub fn vln_with(backend: Backend, buf: &mut [f64]) {
             #[cfg(target_arch = "x86_64")]
             // SAFETY: see vexp_with.
             unsafe {
-                ln_slice_avx2(buf)
+                if use_avx512() {
+                    ln_slice_avx512(buf)
+                } else {
+                    ln_slice_avx2(buf)
+                }
             }
             #[cfg(not(target_arch = "x86_64"))]
             ln_slice_scalar(buf)
@@ -293,7 +377,11 @@ pub fn vpow_with(backend: Backend, buf: &mut [f64], y: f64) {
             #[cfg(target_arch = "x86_64")]
             // SAFETY: see vexp_with.
             unsafe {
-                pow_slice_avx2(buf, y)
+                if use_avx512() {
+                    pow_slice_avx512(buf, y)
+                } else {
+                    pow_slice_avx2(buf, y)
+                }
             }
             #[cfg(not(target_arch = "x86_64"))]
             pow_slice_scalar(buf, y)

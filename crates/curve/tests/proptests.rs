@@ -191,6 +191,140 @@ mod hot_path_equivalence {
     }
 }
 
+mod batch_equivalence {
+    use super::*;
+    use hyperdrive_curve::vmath::Backend;
+    use hyperdrive_curve::{
+        derive_fit_seed, fit_curves_batched_with, BatchFitItem, FitRequest, FitScratch, FitService,
+    };
+    use hyperdrive_types::JobId;
+
+    fn synthetic_curve(limit: f64, rate: f64, n: u32) -> LearningCurve {
+        let mut c = LearningCurve::new(MetricKind::Accuracy);
+        for e in 1..=n {
+            let x = f64::from(e);
+            c.push(e, SimTime::from_secs(60.0 * x), limit - (limit - 0.05) * x.powf(-rate));
+        }
+        c
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The lockstep batched fit is bitwise identical to fitting each
+        /// item alone through the per-curve `fast_math` path, for
+        /// arbitrary curve sets (mixed shapes and lengths — and, because
+        /// every fit samples the full 11-family ensemble, mixed family
+        /// activations) under **both** the scalar and the SIMD kernel
+        /// backends explicitly.
+        #[test]
+        fn batched_fit_equals_per_curve_under_both_backends(
+            seed in 0u64..u64::MAX,
+            shapes in proptest::collection::vec((0.3f64..0.9, 0.3f64..1.2, 6u32..12), 2..5),
+        ) {
+            let config = PredictorConfig::test().with_fast_math(true);
+            let items: Vec<BatchFitItem> = shapes
+                .iter()
+                .enumerate()
+                .map(|(j, (limit, rate, n))| {
+                    let curve = synthetic_curve(*limit, *rate, *n);
+                    BatchFitItem { curve, horizon: 60, seed: derive_fit_seed(seed, j as u64, *n) }
+                })
+                .collect();
+            let mut per_curve_scratch = FitScratch::new();
+            let reference: Vec<_> = items
+                .iter()
+                .map(|it| {
+                    CurvePredictor::new(config.with_seed(it.seed))
+                        .fit_with(&it.curve, it.horizon, None, &mut per_curve_scratch)
+                        .expect("per-curve fit succeeds on clean curves")
+                })
+                .collect();
+            for backend in [Backend::Scalar, Backend::Simd] {
+                let mut scratch = FitScratch::new();
+                let batched = fit_curves_batched_with(&config, &items, &mut scratch, backend);
+                for (r, b) in reference.iter().zip(&batched) {
+                    let b = b.as_ref().expect("batched fit succeeds on clean curves");
+                    prop_assert_eq!(r.draws(), b.draws(), "draws diverged under {:?}", backend);
+                    prop_assert_eq!(
+                        r.acceptance_rate().to_bits(),
+                        b.acceptance_rate().to_bits()
+                    );
+                    prop_assert_eq!(r.expected(60).to_bits(), b.expected(60).to_bits());
+                }
+            }
+        }
+
+        /// Through the full service — where batching actually engages —
+        /// `batch_fit` is observationally invisible: for arbitrary curve
+        /// sets, a cold batch, then a replay batch of interleaved cache
+        /// hits and fresh (warm-started) refits on extended prefixes,
+        /// produce bitwise-identical posteriors and identical `cached`
+        /// flags with batching on or off, at 1 and 4 fit threads.
+        #[test]
+        fn batched_service_is_observationally_identical(
+            seed in 0u64..u64::MAX,
+            shapes in proptest::collection::vec((0.3f64..0.9, 0.3f64..1.2, 8u32..12), 2..5),
+        ) {
+            let base = PredictorConfig::test().with_fast_math(true).with_warm_start(true);
+            let cold: Vec<FitRequest> = shapes
+                .iter()
+                .enumerate()
+                .map(|(j, (limit, rate, n))| FitRequest {
+                    job: JobId::new(j as u64),
+                    curve: synthetic_curve(*limit, *rate, n - 2),
+                    horizon: 60,
+                })
+                .collect();
+            // Replay: even-indexed jobs resubmit their unchanged prefix
+            // (cache hits), odd-indexed jobs extend it by two epochs
+            // (fresh fits, warm-started from the cold batch) — the mixed
+            // batch shape the scheduler produces at a POP boundary.
+            let replay: Vec<FitRequest> = shapes
+                .iter()
+                .enumerate()
+                .map(|(j, (limit, rate, n))| FitRequest {
+                    job: JobId::new(j as u64),
+                    curve: synthetic_curve(*limit, *rate, if j % 2 == 0 { n - 2 } else { *n }),
+                    horizon: 60,
+                })
+                .collect();
+            for threads in [1usize, 4] {
+                let on = FitService::new(base.with_batch_fit(true), seed, threads);
+                let off = FitService::new(base, seed, threads);
+                for batch in [&cold, &replay] {
+                    let a = on.fit_batch(batch);
+                    let b = off.fit_batch(batch);
+                    for (x, y) in a.iter().zip(&b) {
+                        prop_assert_eq!(x.cached, y.cached);
+                        match (&x.result, &y.result) {
+                            (Ok(p), Ok(q)) => {
+                                prop_assert_eq!(p.draws(), q.draws());
+                                prop_assert_eq!(
+                                    p.acceptance_rate().to_bits(),
+                                    q.acceptance_rate().to_bits()
+                                );
+                                prop_assert_eq!(p.warm_started(), q.warm_started());
+                            }
+                            (Err(e), Err(f)) => prop_assert_eq!(e.to_string(), f.to_string()),
+                            (x, y) => prop_assert!(
+                                false,
+                                "batched ok={} but unbatched ok={}",
+                                x.is_ok(),
+                                y.is_ok()
+                            ),
+                        }
+                    }
+                }
+                prop_assert!(
+                    on.stats().batched_fits > 0,
+                    "the batched service never exercised the lockstep path"
+                );
+            }
+        }
+    }
+}
+
 mod service_equivalence {
     use super::*;
     use hyperdrive_curve::{sequential_fit, FitRequest, FitService};

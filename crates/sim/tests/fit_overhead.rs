@@ -40,7 +40,12 @@ const COST: f64 = 0.8; // modeled seconds per kiloeval: hefty enough to see
 fn modeled_overhead_extends_the_virtual_clock() {
     let free = run(None, 2);
     let serial = run(
-        Some(FitCostModel { secs_per_kiloeval: COST, modeled_workers: 1, fast_math_speedup: 1.0 }),
+        Some(FitCostModel {
+            secs_per_kiloeval: COST,
+            modeled_workers: 1,
+            fast_math_speedup: 1.0,
+            batch_fit_speedup: 1.0,
+        }),
         2,
     );
     assert!(serial.0 > free.0, "charged fits must lengthen the run: {} vs {}", serial.0, free.0);
@@ -54,7 +59,12 @@ fn modeled_overhead_extends_the_virtual_clock() {
 #[test]
 fn overhead_scales_with_modeled_cost() {
     let cheap = run(
-        Some(FitCostModel { secs_per_kiloeval: COST, modeled_workers: 1, fast_math_speedup: 1.0 }),
+        Some(FitCostModel {
+            secs_per_kiloeval: COST,
+            modeled_workers: 1,
+            fast_math_speedup: 1.0,
+            batch_fit_speedup: 1.0,
+        }),
         2,
     );
     let dear = run(
@@ -62,6 +72,7 @@ fn overhead_scales_with_modeled_cost() {
             secs_per_kiloeval: 2.0 * COST,
             modeled_workers: 1,
             fast_math_speedup: 1.0,
+            batch_fit_speedup: 1.0,
         }),
         2,
     );
@@ -82,11 +93,21 @@ fn modeled_workers_never_lengthen_the_run() {
     // multi-fit makespan math itself is pinned by FitCostModel's unit
     // tests in hyperdrive-core.
     let serial = run(
-        Some(FitCostModel { secs_per_kiloeval: COST, modeled_workers: 1, fast_math_speedup: 1.0 }),
+        Some(FitCostModel {
+            secs_per_kiloeval: COST,
+            modeled_workers: 1,
+            fast_math_speedup: 1.0,
+            batch_fit_speedup: 1.0,
+        }),
         2,
     );
     let pooled = run(
-        Some(FitCostModel { secs_per_kiloeval: COST, modeled_workers: 4, fast_math_speedup: 1.0 }),
+        Some(FitCostModel {
+            secs_per_kiloeval: COST,
+            modeled_workers: 4,
+            fast_math_speedup: 1.0,
+            batch_fit_speedup: 1.0,
+        }),
         2,
     );
     assert!(
@@ -103,8 +124,12 @@ fn modeled_cost_is_invariant_to_physical_thread_count() {
     // The whole point of splitting `modeled_workers` from `fit_threads`:
     // the virtual timeline is a function of the model, never of how many
     // OS threads actually ran the fits.
-    let model =
-        Some(FitCostModel { secs_per_kiloeval: COST, modeled_workers: 2, fast_math_speedup: 1.0 });
+    let model = Some(FitCostModel {
+        secs_per_kiloeval: COST,
+        modeled_workers: 2,
+        fast_math_speedup: 1.0,
+        batch_fit_speedup: 1.0,
+    });
     assert_eq!(run(model, 1), run(model, 4));
 }
 
@@ -129,6 +154,7 @@ fn shared_fit_cache_is_invisible_to_the_virtual_timeline() {
                     secs_per_kiloeval: COST,
                     modeled_workers: 2,
                     fast_math_speedup: 1.0,
+                    batch_fit_speedup: 1.0,
                 }),
                 ..Default::default()
             },

@@ -38,10 +38,10 @@ fn trace(
     tmax: SimTime,
     fit_threads: usize,
 ) -> String {
-    trace_with(workload, configs, seed, machines, tmax, fit_threads, false, false)
+    trace_with(workload, configs, seed, machines, tmax, fit_threads, false, false, false)
 }
 
-/// [`trace`] with explicit warm-start and fast-math switches.
+/// [`trace`] with explicit warm-start, fast-math, and batch-fit switches.
 #[allow(clippy::too_many_arguments)]
 fn trace_with(
     workload: &dyn Workload,
@@ -52,12 +52,27 @@ fn trace_with(
     fit_threads: usize,
     warm_start: bool,
     fast_math: bool,
+    batch_fit: bool,
 ) -> String {
-    trace_cached(workload, configs, seed, machines, tmax, fit_threads, warm_start, fast_math, None)
+    trace_cached(
+        workload,
+        configs,
+        seed,
+        machines,
+        tmax,
+        fit_threads,
+        warm_start,
+        fast_math,
+        batch_fit,
+        None,
+    )
+    .0
 }
 
 /// [`trace_with`] against an explicit shared content-addressed fit cache
-/// (`None` = the default process-global resolution).
+/// (`None` = the default process-global resolution). Also returns the
+/// policy's `predictions_made` counter so callers can pin that caching
+/// changes *where posteriors come from*, never *how many are consumed*.
 #[allow(clippy::too_many_arguments)]
 fn trace_cached(
     workload: &dyn Workload,
@@ -68,12 +83,16 @@ fn trace_cached(
     fit_threads: usize,
     warm_start: bool,
     fast_math: bool,
+    batch_fit: bool,
     cache: Option<Arc<SharedFitCache>>,
-) -> String {
+) -> (String, u64) {
     let ew = ExperimentWorkload::from_workload(workload, configs, seed);
     let spec = ExperimentSpec::new(machines).with_stop_on_target(false).with_tmax(tmax);
     let config = PopConfig {
-        predictor: PredictorConfig::test().with_warm_start(warm_start).with_fast_math(fast_math),
+        predictor: PredictorConfig::test()
+            .with_warm_start(warm_start)
+            .with_fast_math(fast_math)
+            .with_batch_fit(batch_fit),
         fit_threads,
         seed,
         ..Default::default()
@@ -110,7 +129,7 @@ fn trace_cached(
         result.terminated_early(),
     )
     .expect("string write");
-    out
+    (out, pop.predictions_made())
 }
 
 /// Asserts thread-count invariance, then compares against the committed
@@ -163,7 +182,7 @@ fn lunar_surface_trace_is_golden() {
 fn cifar_surface_warm_trace_is_golden() {
     let workload = CifarWorkload::new().with_max_epochs(40);
     check_golden("cifar_warm_trace.csv", |threads| {
-        trace_with(&workload, 12, 7, 4, SimTime::from_hours(48.0), threads, true, false)
+        trace_with(&workload, 12, 7, 4, SimTime::from_hours(48.0), threads, true, false, false)
     });
 }
 
@@ -171,7 +190,7 @@ fn cifar_surface_warm_trace_is_golden() {
 fn lunar_surface_warm_trace_is_golden() {
     let workload = LunarWorkload::new().with_max_blocks(60);
     check_golden("lunar_warm_trace.csv", |threads| {
-        trace_with(&workload, 10, 11, 3, SimTime::from_hours(200.0), threads, true, false)
+        trace_with(&workload, 10, 11, 3, SimTime::from_hours(200.0), threads, true, false, false)
     });
 }
 
@@ -185,7 +204,7 @@ fn lunar_surface_warm_trace_is_golden() {
 fn cifar_surface_fast_trace_is_golden() {
     let workload = CifarWorkload::new().with_max_epochs(40);
     check_golden("cifar_fast_trace.csv", |threads| {
-        trace_with(&workload, 12, 7, 4, SimTime::from_hours(48.0), threads, false, true)
+        trace_with(&workload, 12, 7, 4, SimTime::from_hours(48.0), threads, false, true, false)
     });
 }
 
@@ -193,7 +212,7 @@ fn cifar_surface_fast_trace_is_golden() {
 fn lunar_surface_fast_trace_is_golden() {
     let workload = LunarWorkload::new().with_max_blocks(60);
     check_golden("lunar_fast_trace.csv", |threads| {
-        trace_with(&workload, 10, 11, 3, SimTime::from_hours(200.0), threads, false, true)
+        trace_with(&workload, 10, 11, 3, SimTime::from_hours(200.0), threads, false, true, false)
     });
 }
 
@@ -205,7 +224,7 @@ fn lunar_surface_fast_trace_is_golden() {
 fn cifar_surface_fast_warm_trace_is_golden() {
     let workload = CifarWorkload::new().with_max_epochs(40);
     check_golden("cifar_fast_warm_trace.csv", |threads| {
-        trace_with(&workload, 12, 7, 4, SimTime::from_hours(48.0), threads, true, true)
+        trace_with(&workload, 12, 7, 4, SimTime::from_hours(48.0), threads, true, true, false)
     });
 }
 
@@ -213,8 +232,88 @@ fn cifar_surface_fast_warm_trace_is_golden() {
 fn lunar_surface_fast_warm_trace_is_golden() {
     let workload = LunarWorkload::new().with_max_blocks(60);
     check_golden("lunar_fast_warm_trace.csv", |threads| {
-        trace_with(&workload, 10, 11, 3, SimTime::from_hours(200.0), threads, true, true)
+        trace_with(&workload, 10, 11, 3, SimTime::from_hours(200.0), threads, true, true, false)
     });
+}
+
+// Cross-curve batched fitting (`batch_fit`) is *supposed* to be bitwise
+// invisible — a pure-speed rearrangement of the fast-math path — but it
+// still gets its own committed goldens so the batched scheduling pipeline
+// (batch formation, chunking across workers, reply collection) is pinned
+// end to end at 1 and 4 fit threads. A separate test below then closes
+// the loop by asserting the batch goldens are byte-identical to the
+// `_fast` goldens.
+
+#[test]
+fn cifar_surface_batch_trace_is_golden() {
+    let workload = CifarWorkload::new().with_max_epochs(40);
+    check_golden("cifar_batch_trace.csv", |threads| {
+        trace_with(&workload, 12, 7, 4, SimTime::from_hours(48.0), threads, false, true, true)
+    });
+}
+
+#[test]
+fn lunar_surface_batch_trace_is_golden() {
+    let workload = LunarWorkload::new().with_max_blocks(60);
+    check_golden("lunar_batch_trace.csv", |threads| {
+        trace_with(&workload, 10, 11, 3, SimTime::from_hours(200.0), threads, false, true, true)
+    });
+}
+
+#[test]
+fn batch_goldens_are_byte_identical_to_fast_goldens() {
+    // The determinism claim in one assertion: turning batching on under
+    // fast math must not move a single byte of the committed trace.
+    if std::env::var("HYPERDRIVE_UPDATE_GOLDEN").is_ok() {
+        return; // files are mid-rewrite by sibling tests in update mode
+    }
+    for (batch, fast) in [
+        ("cifar_batch_trace.csv", "cifar_fast_trace.csv"),
+        ("lunar_batch_trace.csv", "lunar_fast_trace.csv"),
+    ] {
+        let read = |name: &str| -> String {
+            let path: PathBuf =
+                [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name].iter().collect();
+            std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("missing golden file {path:?} ({e})"))
+        };
+        assert_eq!(read(batch), read(fast), "{batch}: batching moved the committed trace");
+    }
+}
+
+// Replaying every *existing* golden with `batch_fit` forced on proves the
+// default traces are untouched by batching: warm-started refits and
+// non-fast-math fits bypass the lockstep path by design, and the cold
+// fast-math fits it does capture are bitwise identical, so all eight
+// traces must come out byte-for-byte unchanged.
+
+#[test]
+fn existing_goldens_are_untouched_by_batch_fit() {
+    if std::env::var("HYPERDRIVE_UPDATE_GOLDEN").is_ok() {
+        return; // the per-trace tests above own regeneration
+    }
+    let cifar = CifarWorkload::new().with_max_epochs(40);
+    let lunar = LunarWorkload::new().with_max_blocks(60);
+    let cifar_t = SimTime::from_hours(48.0);
+    let lunar_t = SimTime::from_hours(200.0);
+    type Case<'a> = (&'a str, &'a dyn Workload, usize, u64, usize, SimTime, bool, bool);
+    let cases: [Case; 8] = [
+        ("cifar_trace.csv", &cifar, 12, 7, 4, cifar_t, false, false),
+        ("cifar_warm_trace.csv", &cifar, 12, 7, 4, cifar_t, true, false),
+        ("cifar_fast_trace.csv", &cifar, 12, 7, 4, cifar_t, false, true),
+        ("cifar_fast_warm_trace.csv", &cifar, 12, 7, 4, cifar_t, true, true),
+        ("lunar_trace.csv", &lunar, 10, 11, 3, lunar_t, false, false),
+        ("lunar_warm_trace.csv", &lunar, 10, 11, 3, lunar_t, true, false),
+        ("lunar_fast_trace.csv", &lunar, 10, 11, 3, lunar_t, false, true),
+        ("lunar_fast_warm_trace.csv", &lunar, 10, 11, 3, lunar_t, true, true),
+    ];
+    for (name, w, configs, seed, machines, tmax, warm, fast) in cases {
+        let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name].iter().collect();
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden file {path:?} ({e})"));
+        let replay = trace_with(w, configs, seed, machines, tmax, 1, warm, fast, true);
+        assert_eq!(replay, golden, "{name}: batch_fit=on moved the default trace");
+    }
 }
 
 // The shared content-addressed fit cache must be *pure speed*: every one
@@ -257,22 +356,65 @@ fn golden_traces_are_invariant_under_shared_fit_cache_modes() {
         // a warmed replay at 4 threads served from the same cache object.
         let dir = disk_root.join(name);
         let writer = SharedFitCache::with_disk(&dir).expect("open disk-backed fit cache");
-        let cold =
-            trace_cached(w, configs, seed, machines, tmax, 1, warm, fast, Some(writer.clone()));
+        let (cold, cold_preds) = trace_cached(
+            w,
+            configs,
+            seed,
+            machines,
+            tmax,
+            1,
+            warm,
+            fast,
+            false,
+            Some(writer.clone()),
+        );
         assert_eq!(cold, golden, "{name}: attaching the fit cache changed the cold trace");
-        let replay =
-            trace_cached(w, configs, seed, machines, tmax, 4, warm, fast, Some(writer.clone()));
+        assert!(cold_preds > 0, "{name}: the cold run never consumed a prediction");
+        let (replay, replay_preds) = trace_cached(
+            w,
+            configs,
+            seed,
+            machines,
+            tmax,
+            4,
+            warm,
+            fast,
+            false,
+            Some(writer.clone()),
+        );
         assert_eq!(replay, golden, "{name}: warmed in-memory replay diverged");
         assert!(writer.stats().hits > 0, "{name}: the warmed replay never hit the cache");
+        // Shared-cache hits report `cached: false` so the policy consumes
+        // exactly as many predictions as the cold run it replays — a
+        // replay that consumed fewer would mean a hit short-circuited a
+        // decision the scheduler was supposed to price.
+        assert_eq!(
+            replay_preds, cold_preds,
+            "{name}: the warmed replay consumed a different number of predictions"
+        );
 
         // Fresh process-like reload: a new cache object sees only what the
         // shard files preserved, and the replay must still match.
         let reader = SharedFitCache::with_disk(&dir).expect("reopen disk-backed fit cache");
         assert!(reader.stats().disk_loaded > 0, "{name}: nothing was reloaded from disk");
-        let from_disk =
-            trace_cached(w, configs, seed, machines, tmax, 1, warm, fast, Some(reader.clone()));
+        let (from_disk, disk_preds) = trace_cached(
+            w,
+            configs,
+            seed,
+            machines,
+            tmax,
+            1,
+            warm,
+            fast,
+            false,
+            Some(reader.clone()),
+        );
         assert_eq!(from_disk, golden, "{name}: pre-populated disk replay diverged");
         assert!(reader.stats().hits > 0, "{name}: the disk replay never hit the cache");
+        assert_eq!(
+            disk_preds, cold_preds,
+            "{name}: the disk replay consumed a different number of predictions"
+        );
     }
     let _ = std::fs::remove_dir_all(&disk_root);
 }
