@@ -39,15 +39,18 @@ pub fn fit_cache_json() -> String {
         None => "\"fit_cache\": { \"mode\": \"off\" }".to_string(),
         Some(cache) => {
             let s = cache.stats();
+            let snap = cache.snapshot();
             format!(
-                "\"fit_cache\": {{ \"mode\": \"{}\", \"entries\": {}, \"hits\": {}, \
-                 \"misses\": {}, \"hit_rate\": {:.4}, \"disk_loaded\": {}, \
-                 \"disk_skipped\": {} }}",
+                "\"fit_cache\": {{ \"mode\": \"{}\", \"entries\": {}, \"lookups\": {}, \
+                 \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"inserts\": {}, \
+                 \"disk_loaded\": {}, \"disk_skipped\": {} }}",
                 if cache.is_disk_backed() { "disk" } else { "mem" },
                 cache.len(),
+                snap.lookups,
                 s.hits,
                 s.misses,
-                s.hit_rate(),
+                snap.hit_rate(),
+                snap.inserts,
                 s.disk_loaded,
                 s.disk_skipped,
             )
@@ -67,13 +70,15 @@ pub fn report_fit_cache(bin: &str) {
         None => println!("fit cache: off"),
         Some(cache) => {
             let s = cache.stats();
+            let snap = cache.snapshot();
             println!(
-                "fit cache [{}]: {} lookups, {} hits ({:.1}%), {} entries, \
+                "fit cache [{}]: {} lookups, {} hits ({:.1}%), {} inserts, {} entries, \
                  {} loaded from disk",
                 if cache.is_disk_backed() { "disk" } else { "mem" },
-                s.lookups(),
-                s.hits,
-                100.0 * s.hit_rate(),
+                snap.lookups,
+                snap.shared_hits,
+                100.0 * snap.hit_rate(),
+                snap.inserts,
                 cache.len(),
                 s.disk_loaded,
             );
@@ -115,6 +120,8 @@ mod tests {
                 let mode = if c.is_disk_backed() { "disk" } else { "mem" };
                 assert!(json.contains(&format!("\"mode\": \"{mode}\"")));
                 assert!(json.contains("\"hit_rate\""));
+                assert!(json.contains("\"lookups\""));
+                assert!(json.contains("\"inserts\""));
             }
         }
     }

@@ -233,19 +233,8 @@ impl PopPolicy {
     ///
     /// Panics if `k` is zero or the lower bound is outside `[0, 1]`.
     pub fn with_config(config: PopConfig) -> Self {
-        assert!(config.k > 0, "k must be positive");
-        assert!(
-            (0.0..=1.0).contains(&config.lower_bound_confidence),
-            "lower bound must be a probability"
-        );
         let service = FitService::new(config.predictor, config.seed, config.fit_threads);
-        PopPolicy {
-            config,
-            assessments: HashMap::new(),
-            timeline: Vec::new(),
-            service,
-            pending_overhead: SimTime::ZERO,
-        }
+        Self::with_service(config, service)
     }
 
     /// [`PopPolicy::with_config`] with an explicit shared
@@ -261,13 +250,38 @@ impl PopPolicy {
         config: PopConfig,
         cache: Option<std::sync::Arc<hyperdrive_curve::SharedFitCache>>,
     ) -> Self {
+        let service =
+            FitService::with_shared_cache(config.predictor, config.seed, config.fit_threads, cache);
+        Self::with_service(config, service)
+    }
+
+    /// [`PopPolicy::with_config`] fitting through an **existing**
+    /// [`FitPool`](hyperdrive_curve::FitPool) instead of spawning one:
+    /// `config.fit_threads` is ignored and the pool's width applies. This
+    /// is the multi-tenant server's constructor — every study's policy
+    /// binds to one process-global pool (and optionally one shared
+    /// content-addressed cache), and because per-fit seeds derive from
+    /// `config.seed` alone, the resulting traces are byte-identical to
+    /// [`PopPolicy::with_config`] at any pool width.
+    ///
+    /// # Panics
+    ///
+    /// As [`PopPolicy::with_config`].
+    pub fn with_config_pooled(
+        config: PopConfig,
+        pool: std::sync::Arc<hyperdrive_curve::FitPool>,
+        cache: Option<std::sync::Arc<hyperdrive_curve::SharedFitCache>>,
+    ) -> Self {
+        let service = FitService::with_pool(config.predictor, config.seed, pool, cache);
+        Self::with_service(config, service)
+    }
+
+    fn with_service(config: PopConfig, service: FitService) -> Self {
         assert!(config.k > 0, "k must be positive");
         assert!(
             (0.0..=1.0).contains(&config.lower_bound_confidence),
             "lower bound must be a probability"
         );
-        let service =
-            FitService::with_shared_cache(config.predictor, config.seed, config.fit_threads, cache);
         PopPolicy {
             config,
             assessments: HashMap::new(),
@@ -295,6 +309,20 @@ impl PopPolicy {
     /// Cumulative fit-service counters (fits, cache hits, batches).
     pub fn fit_stats(&self) -> hyperdrive_curve::FitStats {
         self.service.stats()
+    }
+
+    /// This policy's per-study view of the shared content-addressed fit
+    /// cache (lookups, hits, inserts); all zero when no layer is attached.
+    pub fn shared_cache_snapshot(&self) -> hyperdrive_curve::CacheStatsSnapshot {
+        self.service.shared_snapshot()
+    }
+
+    /// An order-independent digest over every posterior this policy has
+    /// memoized: two runs of the same experiment produced byte-identical
+    /// posteriors iff their digests match (the server's equivalence tests
+    /// compare this alongside the event trace).
+    pub fn posterior_digest(&self) -> u64 {
+        self.service.posterior_digest()
     }
 
     /// POP's latest assessment of a job, if it has one.
@@ -428,6 +456,8 @@ impl SchedulingPolicy for PopPolicy {
             local_hits: s.cache_hits,
             shared_hits: s.shared_hits,
             batches: s.batches,
+            shared_lookups: s.shared_lookups,
+            shared_inserts: s.shared_inserts,
         })
     }
 

@@ -359,6 +359,37 @@ impl SharedCacheStats {
     }
 }
 
+/// A cheap, uniform view of content-addressed cache activity — the three
+/// numbers a server or bench bin needs to report a dedup rate without
+/// poking cache internals. Produced per **process** by
+/// [`SharedFitCache::snapshot`] and per **study** by
+/// `FitService::shared_snapshot` (the same shape, scoped to one service's
+/// traffic), so the two compose: summing every study's snapshot recovers
+/// the process totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStatsSnapshot {
+    /// Shared-layer lookups issued.
+    pub lookups: u64,
+    /// Lookups answered from the shared layer (each one a fit that never
+    /// ran).
+    pub shared_hits: u64,
+    /// Posteriors published to the shared layer.
+    pub inserts: u64,
+}
+
+impl CacheStatsSnapshot {
+    /// Fraction of lookups answered from the shared layer (0 when idle):
+    /// the dedup rate.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.shared_hits as f64 / self.lookups as f64
+        }
+    }
+}
+
 struct ShardWriter {
     file: std::fs::File,
     path: PathBuf,
@@ -494,6 +525,14 @@ impl SharedFitCache {
     #[must_use]
     pub fn is_disk_backed(&self) -> bool {
         self.writer.is_some()
+    }
+
+    /// The process-wide cache activity as a [`CacheStatsSnapshot`]
+    /// (lookups, hits, inserts — everything a dedup-rate report needs).
+    #[must_use]
+    pub fn snapshot(&self) -> CacheStatsSnapshot {
+        let s = self.stats();
+        CacheStatsSnapshot { lookups: s.lookups(), shared_hits: s.hits, inserts: s.inserts }
     }
 
     /// Number of cached posteriors.

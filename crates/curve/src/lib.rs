@@ -21,7 +21,8 @@
 //! * [`service`] — [`FitService`], the deterministic parallel fitting
 //!   pool with per-`(config, epochs)` memoization (§5.2's systems
 //!   optimizations as a reusable component) and opt-in warm-started
-//!   refits.
+//!   refits; many services can share one [`FitPool`] of worker threads
+//!   (the multi-tenant server's process-global pool).
 //! * [`vmath`] — batched `exp`/`ln`/`pow` kernels with bit-identical
 //!   SIMD/scalar paths, and [`fastpath`] — the structure-of-arrays
 //!   likelihood built on them (opt-in via
@@ -70,13 +71,13 @@ pub mod vmath;
 pub use batch::{fit_curves_batched, fit_curves_batched_with, BatchFitItem, BatchScratch};
 pub use cache::{
     cache_for_mode, cache_mode_from_env, default_disk_dir, fit_fingerprint, global_fit_cache,
-    install_global_fit_cache, posterior_hash, CacheMode, CurveFingerprint, SharedCacheStats,
-    SharedFitCache, FINGERPRINT_VERSION,
+    install_global_fit_cache, posterior_hash, CacheMode, CacheStatsSnapshot, CurveFingerprint,
+    SharedCacheStats, SharedFitCache, FINGERPRINT_VERSION,
 };
 pub use models::{GridPoint, ModelFamily, ALL_FAMILIES};
 pub use predictor::{CurvePosterior, CurvePredictor, PredictorConfig};
 pub use scratch::FitScratch;
 pub use service::{
-    batch_fit_forced, derive_fit_seed, resolve_fit_threads, sequential_fit, FitOutcome, FitRequest,
-    FitService, FitStats,
+    batch_fit_forced, derive_fit_seed, resolve_fit_threads, sequential_fit, FitOutcome, FitPool,
+    FitRequest, FitService, FitStats,
 };

@@ -59,6 +59,20 @@
 //! or on disk. The layer is resolved from [`global_fit_cache`] by
 //! [`FitService::new`] (default off) or injected explicitly via
 //! [`FitService::with_shared_cache`].
+//!
+//! # Sharing one worker pool across services
+//!
+//! The worker threads live in a [`FitPool`], separable from the service:
+//! [`FitService::with_pool`] binds a new service (its own per-run cache,
+//! experiment seed, fidelity, and stats) to an *existing* pool, so a
+//! multi-tenant process can run thousands of concurrent studies over one
+//! fixed set of fit threads instead of spawning a pool per study. Every
+//! request carries its service's [`PredictorConfig`], so heterogeneous
+//! studies share workers safely. Pool sharing cannot perturb results:
+//! seeds are derived per request ([`derive_fit_seed`]), `fit_batch`
+//! blocks until exactly its own replies arrive, and workers hold no
+//! state beyond reusable scratch buffers — so a study's outcomes are
+//! byte-identical whether its service owns the pool or shares it.
 
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
@@ -69,7 +83,10 @@ use parking_lot::Mutex;
 use hyperdrive_types::{Error, JobId, LearningCurve, Result};
 
 use crate::batch::{fit_curves_batched, BatchFitItem};
-use crate::cache::{fit_fingerprint, global_fit_cache, CurveFingerprint, SharedFitCache};
+use crate::cache::{
+    fit_fingerprint, global_fit_cache, posterior_hash, CacheStatsSnapshot, CurveFingerprint,
+    SharedFitCache,
+};
 use crate::predictor::{CurvePosterior, CurvePredictor, PredictorConfig};
 use crate::scratch::FitScratch;
 
@@ -175,6 +192,14 @@ pub struct FitStats {
     /// per *item*, not per lockstep group, so the counter is invariant
     /// under the worker count like every other trace-visible quantity.
     pub batched_fits: u64,
+    /// Lookups this service issued against the shared content-addressed
+    /// layer (zero when no layer is attached). `shared_hits / shared_lookups`
+    /// is this service's dedup rate against fits other runs (or other
+    /// studies in the same process) already executed.
+    pub shared_lookups: u64,
+    /// Successful posteriors this service published to the shared layer
+    /// (fit errors are never published).
+    pub shared_inserts: u64,
 }
 
 impl FitStats {
@@ -193,6 +218,10 @@ impl FitStats {
 enum WorkerMsg {
     Fit {
         key: FitKey,
+        /// The requesting service's fidelity: the pool is shared across
+        /// services (studies), so each request names its own config
+        /// rather than the pool fixing one at spawn time.
+        config: PredictorConfig,
         curve: LearningCurve,
         horizon: u32,
         seed: u64,
@@ -204,10 +233,67 @@ enum WorkerMsg {
     /// `keys` and `items` are parallel.
     FitBatch {
         keys: Vec<FitKey>,
+        config: PredictorConfig,
         items: Vec<BatchFitItem>,
         reply: Sender<(FitKey, Result<CurvePosterior>)>,
     },
     Shutdown,
+}
+
+/// A fixed-size pool of fit worker threads, separable from any one
+/// [`FitService`] so many services (e.g. concurrent studies in a
+/// multi-tenant server) can share one set of threads. Each request
+/// carries its service's [`PredictorConfig`] and derived seed, and
+/// workers hold no cross-request state beyond reusable scratch buffers,
+/// so sharing the pool cannot perturb any service's results.
+pub struct FitPool {
+    tx: Sender<WorkerMsg>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for FitPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FitPool").field("threads", &self.workers.len()).finish_non_exhaustive()
+    }
+}
+
+impl FitPool {
+    /// Spawns a pool with `threads` workers (`0` = environment / hardware
+    /// default, see [`resolve_fit_threads`]). The pool shuts its workers
+    /// down when the last `Arc` clone drops.
+    #[must_use]
+    pub fn new(threads: usize) -> Arc<Self> {
+        let threads = resolve_fit_threads(threads);
+        let (tx, rx): (Sender<WorkerMsg>, Receiver<WorkerMsg>) = unbounded();
+        let workers = (0..threads)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || worker_loop(&rx))
+            })
+            .collect();
+        Arc::new(FitPool { tx, workers })
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn send(&self, msg: WorkerMsg) {
+        self.tx.send(msg).expect("pool workers alive");
+    }
+}
+
+impl Drop for FitPool {
+    fn drop(&mut self) {
+        for _ in &self.workers {
+            let _ = self.tx.send(WorkerMsg::Shutdown);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
 }
 
 /// The warm source for a fit of `job` at `epoch`: the cached successful
@@ -236,14 +322,13 @@ pub struct FitService {
     experiment_seed: u64,
     shared: Arc<Shared>,
     shared_layer: Option<Arc<SharedFitCache>>,
-    tx: Sender<WorkerMsg>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    pool: Arc<FitPool>,
 }
 
 impl std::fmt::Debug for FitService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FitService")
-            .field("threads", &self.workers.len())
+            .field("threads", &self.pool.threads())
             .field("cached", &self.cache_len())
             .field("stats", &self.stats())
             .finish_non_exhaustive()
@@ -271,24 +356,36 @@ impl FitService {
         threads: usize,
         shared_layer: Option<Arc<SharedFitCache>>,
     ) -> Self {
-        let threads = resolve_fit_threads(threads);
+        Self::with_pool(config, experiment_seed, FitPool::new(threads), shared_layer)
+    }
+
+    /// Binds a new service to an **existing** worker pool instead of
+    /// spawning its own: the per-run cache, experiment seed, fidelity, and
+    /// stats are all fresh and private, only the threads are shared. This
+    /// is how a multi-tenant process runs many concurrent studies over one
+    /// fixed-size pool. Results are byte-identical to a service owning its
+    /// own pool of any width (see the module docs).
+    pub fn with_pool(
+        config: PredictorConfig,
+        experiment_seed: u64,
+        pool: Arc<FitPool>,
+        shared_layer: Option<Arc<SharedFitCache>>,
+    ) -> Self {
         let shared = Arc::new(Shared {
             cache: Mutex::new(HashMap::new()),
             stats: Mutex::new(FitStats::default()),
         });
-        let (tx, rx): (Sender<WorkerMsg>, Receiver<WorkerMsg>) = unbounded();
-        let workers = (0..threads)
-            .map(|_| {
-                let rx = rx.clone();
-                std::thread::spawn(move || worker_loop(&rx, config))
-            })
-            .collect();
-        FitService { config, experiment_seed, shared, shared_layer, tx, workers }
+        FitService { config, experiment_seed, shared, shared_layer, pool }
     }
 
     /// Number of worker threads in the pool.
     pub fn threads(&self) -> usize {
-        self.workers.len()
+        self.pool.threads()
+    }
+
+    /// The worker pool this service submits to (shared or private).
+    pub fn pool(&self) -> &Arc<FitPool> {
+        &self.pool
     }
 
     /// The predictor fidelity the pool fits with.
@@ -318,6 +415,7 @@ impl FitService {
         let mut enqueued = 0usize;
         let mut hits = 0u64;
         let mut shared_hits = 0u64;
+        let mut shared_lookups = 0u64;
         // Cold fast-math fits deferred into cross-curve lockstep groups
         // (parallel vectors). Only cold fits qualify: warm-started refits
         // keep the per-curve path, so batching changes *where* a fit runs
@@ -367,6 +465,7 @@ impl FitService {
                             req.horizon,
                             warm.as_ref(),
                         );
+                        shared_lookups += 1;
                         if let Some(p) = layer.get(&fp) {
                             // Bitwise the posterior this fit would have
                             // produced; reported as `cached: false` so the
@@ -387,16 +486,15 @@ impl FitService {
                             seed,
                         });
                     } else {
-                        self.tx
-                            .send(WorkerMsg::Fit {
-                                key,
-                                curve: req.curve.clone(),
-                                horizon: req.horizon,
-                                seed,
-                                warm,
-                                reply: reply_tx.clone(),
-                            })
-                            .expect("workers alive");
+                        self.pool.send(WorkerMsg::Fit {
+                            key,
+                            config: self.config,
+                            curve: req.curve.clone(),
+                            horizon: req.horizon,
+                            seed,
+                            warm,
+                            reply: reply_tx.clone(),
+                        });
                     }
                     enqueued += 1;
                 }
@@ -410,15 +508,14 @@ impl FitService {
         // results.
         let batched_fits = batch_keys.len() as u64;
         if !batch_keys.is_empty() {
-            let chunk = batch_keys.len().div_ceil(self.workers.len().max(1));
+            let chunk = batch_keys.len().div_ceil(self.pool.threads().max(1));
             for (keys, items) in batch_keys.chunks(chunk).zip(batch_items.chunks(chunk)) {
-                self.tx
-                    .send(WorkerMsg::FitBatch {
-                        keys: keys.to_vec(),
-                        items: items.to_vec(),
-                        reply: reply_tx.clone(),
-                    })
-                    .expect("workers alive");
+                self.pool.send(WorkerMsg::FitBatch {
+                    keys: keys.to_vec(),
+                    config: self.config,
+                    items: items.to_vec(),
+                    reply: reply_tx.clone(),
+                });
             }
         }
 
@@ -432,6 +529,7 @@ impl FitService {
         }
 
         let mut warm_fits = 0u64;
+        let mut shared_inserts = 0u64;
         for _ in 0..enqueued {
             let (key, result) = reply_rx.recv().expect("workers alive");
             if result.as_ref().map(CurvePosterior::warm_started).unwrap_or(false) {
@@ -441,6 +539,7 @@ impl FitService {
                 (self.shared_layer.as_ref(), enqueued_fp.get(&key), &result)
             {
                 layer.insert(*fp, p);
+                shared_inserts += 1;
             }
             self.shared.cache.lock().insert(key, result.clone());
             for &i in &waiting[&key] {
@@ -456,6 +555,8 @@ impl FitService {
             stats.shared_hits += shared_hits;
             stats.batches += 1;
             stats.batched_fits += batched_fits;
+            stats.shared_lookups += shared_lookups;
+            stats.shared_inserts += shared_inserts;
         }
         out.into_iter().map(|o| o.expect("every request answered")).collect()
     }
@@ -475,6 +576,39 @@ impl FitService {
         *self.shared.stats.lock()
     }
 
+    /// This service's (per-study) view of the shared content-addressed
+    /// layer as a cheap [`CacheStatsSnapshot`]: lookups it issued, hits it
+    /// received, posteriors it published. All zero when no layer is
+    /// attached. The process-wide counterpart is
+    /// [`SharedFitCache::snapshot`].
+    pub fn shared_snapshot(&self) -> CacheStatsSnapshot {
+        let s = self.stats();
+        CacheStatsSnapshot {
+            lookups: s.shared_lookups,
+            shared_hits: s.shared_hits,
+            inserts: s.shared_inserts,
+        }
+    }
+
+    /// An order-independent digest over every memoized posterior (sorted
+    /// by `(job, epoch)`, folding each posterior's structural hash): two
+    /// runs of the same study produced byte-identical posteriors iff their
+    /// digests match. Fit errors fold in as a fixed marker.
+    pub fn posterior_digest(&self) -> u64 {
+        let cache = self.shared.cache.lock();
+        let mut keys: Vec<FitKey> = cache.keys().copied().collect();
+        keys.sort_unstable();
+        let mut acc: u64 = 0x243F_6A88_85A3_08D3; // pi, as a fixed basis
+        for key in keys {
+            let h = match &cache[&key] {
+                Ok(p) => posterior_hash(p),
+                Err(_) => 0x0005_DEEC_E66D,
+            };
+            acc = derive_fit_seed(acc ^ h, key.0.raw(), key.1);
+        }
+        acc
+    }
+
     /// The shared content-addressed layer this service consults, if any.
     pub fn shared_cache(&self) -> Option<&Arc<SharedFitCache>> {
         self.shared_layer.as_ref()
@@ -486,32 +620,21 @@ impl FitService {
     }
 }
 
-impl Drop for FitService {
-    fn drop(&mut self) {
-        for _ in &self.workers {
-            let _ = self.tx.send(WorkerMsg::Shutdown);
-        }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
-    }
-}
-
-fn worker_loop(rx: &Receiver<WorkerMsg>, config: PredictorConfig) {
+fn worker_loop(rx: &Receiver<WorkerMsg>) {
     // One scratch per worker thread, reused across every fit this worker
     // performs: after the first fit sizes the buffers, the MCMC inner loop
     // runs allocation-free.
     let mut scratch = FitScratch::default();
     while let Ok(msg) = rx.recv() {
         match msg {
-            WorkerMsg::Fit { key, curve, horizon, seed, warm, reply } => {
+            WorkerMsg::Fit { key, config, curve, horizon, seed, warm, reply } => {
                 let predictor = CurvePredictor::new(config.with_seed(seed));
                 let result = predictor.fit_with(&curve, horizon, warm.as_ref(), &mut scratch);
                 // The batch owner may have given up (dropped receiver) if a
                 // sibling fit panicked; nothing useful to do then.
                 let _ = reply.send((key, result));
             }
-            WorkerMsg::FitBatch { keys, items, reply } => {
+            WorkerMsg::FitBatch { keys, config, items, reply } => {
                 let results = fit_curves_batched(&config, &items, &mut scratch);
                 for (key, result) in keys.into_iter().zip(results) {
                     let _ = reply.send((key, result));
@@ -904,6 +1027,97 @@ mod tests {
         assert!(outcomes[0].result.is_ok());
         assert!(outcomes[1].result.is_err(), "short curve errors inside the batch");
         assert!(outcomes[2].result.is_ok());
+    }
+
+    #[test]
+    fn services_sharing_one_pool_match_pool_owning_services_bitwise() {
+        // Two services with different seeds and a heterogeneous config mix
+        // share one 2-thread pool; each must reproduce exactly what its
+        // own-pool twin computes, because every request carries its own
+        // config and derived seed.
+        let pool = FitPool::new(2);
+        let cold = PredictorConfig::test();
+        let fast = PredictorConfig::test().with_fast_math(true);
+        let a = FitService::with_pool(cold, 7, Arc::clone(&pool), None);
+        let b = FitService::with_pool(fast, 21, Arc::clone(&pool), None);
+        let requests: Vec<FitRequest> = (0..4).map(|j| req(j, 10 + j as u32)).collect();
+        let out_a = a.fit_batch(&requests);
+        let out_b = b.fit_batch(&requests);
+        let own_a = isolated(cold, 7, 2).fit_batch(&requests);
+        let own_b = isolated(fast, 21, 2).fit_batch(&requests);
+        for ((shared, own), r) in out_a.iter().zip(&own_a).zip(&requests) {
+            assert_eq!(
+                shared.result.as_ref().unwrap().draws(),
+                own.result.as_ref().unwrap().draws(),
+                "pool sharing changed a fit for job {:?}",
+                r.job
+            );
+        }
+        for (shared, own) in out_b.iter().zip(&own_b) {
+            assert_eq!(
+                shared.result.as_ref().unwrap().draws(),
+                own.result.as_ref().unwrap().draws(),
+                "pool sharing leaked config between services"
+            );
+        }
+        assert_eq!(a.threads(), 2);
+        assert_eq!(a.pool().threads(), b.pool().threads());
+    }
+
+    #[test]
+    fn pool_outlives_services_and_shuts_down_cleanly() {
+        let pool = FitPool::new(1);
+        for seed in 0..3 {
+            let service = FitService::with_pool(PredictorConfig::test(), seed, pool.clone(), None);
+            assert!(service.fit_batch(&[req(seed, 10)])[0].result.is_ok());
+        }
+        // Dropping every service left the pool alive and reusable.
+        let last = FitService::with_pool(PredictorConfig::test(), 9, pool, None);
+        assert!(last.fit_batch(&[req(9, 10)])[0].result.is_ok());
+    }
+
+    #[test]
+    fn shared_snapshot_reports_per_service_dedup() {
+        let config = PredictorConfig::test();
+        let cache = SharedFitCache::in_memory();
+        let writer = FitService::with_shared_cache(config, 7, 2, Some(cache.clone()));
+        writer.fit_batch(&[req(0, 10), req(1, 10)]);
+        let ws = writer.shared_snapshot();
+        assert_eq!((ws.lookups, ws.shared_hits, ws.inserts), (2, 0, 2));
+        assert!(ws.hit_rate().abs() < 1e-12);
+
+        let reader = FitService::with_shared_cache(config, 7, 2, Some(cache.clone()));
+        reader.fit_batch(&[req(0, 10), req(1, 10), req(2, 10)]);
+        let rs = reader.shared_snapshot();
+        assert_eq!((rs.lookups, rs.shared_hits, rs.inserts), (3, 2, 1));
+        assert!((rs.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+
+        // The per-study snapshots sum to the process-wide snapshot.
+        let total = cache.snapshot();
+        assert_eq!(total.lookups, ws.lookups + rs.lookups);
+        assert_eq!(total.shared_hits, ws.shared_hits + rs.shared_hits);
+        assert_eq!(total.inserts, ws.inserts + rs.inserts);
+    }
+
+    #[test]
+    fn snapshot_is_all_zero_without_a_shared_layer() {
+        let service = isolated(PredictorConfig::test(), 3, 1);
+        service.fit_batch(&[req(0, 10)]);
+        assert_eq!(service.shared_snapshot(), CacheStatsSnapshot::default());
+    }
+
+    #[test]
+    fn posterior_digest_pins_run_equivalence() {
+        let config = PredictorConfig::test();
+        let digest = |threads: usize, seed: u64| {
+            let service = isolated(config, seed, threads);
+            service.fit_batch(&(0..3).map(|j| req(j, 10)).collect::<Vec<_>>());
+            service.posterior_digest()
+        };
+        assert_eq!(digest(1, 7), digest(4, 7), "digest must be worker-count invariant");
+        assert_ne!(digest(1, 7), digest(1, 8), "different seeds fit different posteriors");
+        let empty = isolated(config, 7, 1);
+        assert_ne!(digest(1, 7), empty.posterior_digest());
     }
 
     #[test]

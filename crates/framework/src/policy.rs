@@ -200,6 +200,26 @@ pub struct FitCacheSnapshot {
     pub shared_hits: u64,
     /// Fit batches served.
     pub batches: u64,
+    /// Lookups issued against the shared content-addressed layer (zero
+    /// when none is attached). `shared_hits / shared_lookups` is this
+    /// run's dedup rate against fits other runs or co-resident studies
+    /// already executed — what the multi-tenant server reports per study.
+    pub shared_lookups: u64,
+    /// Posteriors this run published to the shared layer.
+    pub shared_inserts: u64,
+}
+
+impl FitCacheSnapshot {
+    /// Fraction of shared-layer lookups answered from the layer (0 when
+    /// idle): the cross-run/cross-study dedup rate.
+    #[must_use]
+    pub fn dedup_rate(&self) -> f64 {
+        if self.shared_lookups == 0 {
+            0.0
+        } else {
+            self.shared_hits as f64 / self.shared_lookups as f64
+        }
+    }
 }
 
 /// The paper's Default SAP: greedy allocation, run to completion (§4.2,

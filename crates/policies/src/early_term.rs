@@ -109,11 +109,16 @@ impl SchedulingPolicy for EarlyTermPolicy {
     }
 
     fn fit_cache_snapshot(&self) -> Option<FitCacheSnapshot> {
+        // With a shared layer attached, every prediction issues exactly one
+        // lookup and every executed fit publishes its posterior.
+        let layered = self.shared.is_some();
         Some(FitCacheSnapshot {
             fits: self.fits,
             local_hits: 0, // boundary events are unique per (job, epoch)
             shared_hits: self.shared_hits,
             batches: self.fits + self.shared_hits,
+            shared_lookups: if layered { self.fits + self.shared_hits } else { 0 },
+            shared_inserts: if layered { self.fits } else { 0 },
         })
     }
 

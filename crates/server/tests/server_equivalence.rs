@@ -1,0 +1,101 @@
+//! Property: any study through the server is byte-identical to standalone.
+//!
+//! For random tiny studies, the rendered decision trace and the posterior
+//! digest coming out of the [`Server`] must equal the standalone run's —
+//! swept over shard counts {1, 2, 8} × fit-pool widths {1, 4} × shared
+//! cache on/off. The standalone reference is computed once per case; all
+//! twelve server combinations compare against it, pinning at once that
+//! shard placement, pool width, and cross-study cache hits are invisible
+//! to every study's outcome.
+
+use hyperdrive_core::PopConfig;
+use hyperdrive_curve::PredictorConfig;
+use hyperdrive_framework::{ExperimentSpec, ExperimentWorkload};
+use hyperdrive_server::{run_study_standalone, Server, ServerConfig, StudySpec};
+use hyperdrive_types::SimTime;
+use hyperdrive_workload::{CifarWorkload, LunarWorkload, Workload};
+use proptest::prelude::*;
+
+fn study(kind: bool, configs: usize, machines: usize, seed: u64) -> StudySpec {
+    let workload: Box<dyn Workload> = if kind {
+        Box::new(CifarWorkload::new().with_max_epochs(20))
+    } else {
+        Box::new(LunarWorkload::new().with_max_blocks(30))
+    };
+    StudySpec {
+        tenant: format!("tenant-{}", seed % 3),
+        workload: ExperimentWorkload::from_workload(workload.as_ref(), configs, seed),
+        spec: ExperimentSpec::new(machines)
+            .with_stop_on_target(false)
+            .with_tmax(SimTime::from_hours(48.0)),
+        policy: PopConfig {
+            predictor: PredictorConfig::test(),
+            fit_threads: 1,
+            ..Default::default()
+        },
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+    #[test]
+    fn server_studies_are_byte_identical_to_standalone(
+        kind in 0u8..2,
+        configs in 3usize..5,
+        machines in 2usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let spec = study(kind == 0, configs, machines, seed);
+        // One duplicate under another tenant keeps the shared-cache path
+        // hot: its fits resolve as cross-study hits when the cache is on.
+        let twin = StudySpec { tenant: "twin".to_string(), ..spec.clone() };
+        let reference = run_study_standalone(&spec);
+
+        for shards in [1usize, 2, 8] {
+            for fit_threads in [1usize, 4] {
+                for cached in [true, false] {
+                    let config = ServerConfig { shards, fit_threads, ..Default::default() };
+                    let server = if cached {
+                        Server::new(config)
+                    } else {
+                        Server::with_cache(config, None)
+                    };
+                    // The twin is submitted only after the original
+                    // finishes: concurrent twins would race each other to
+                    // publish, making the hit count timing-dependent
+                    // (traces stay identical either way — that is the
+                    // property under test — but the dedup assertion below
+                    // needs the second run to find a fully warmed cache).
+                    let first = server.submit(spec.clone()).expect("study admitted").wait();
+                    let second = server.submit(twin.clone()).expect("twin admitted").wait();
+                    for outcome in [first, second] {
+                        prop_assert_eq!(
+                            &outcome.trace, &reference.trace,
+                            "trace diverged at shards={} fit_threads={} cached={}",
+                            shards, fit_threads, cached
+                        );
+                        prop_assert_eq!(
+                            outcome.posterior_digest, reference.posterior_digest,
+                            "posteriors diverged at shards={} fit_threads={} cached={}",
+                            shards, fit_threads, cached
+                        );
+                        prop_assert_eq!(outcome.predictions, reference.predictions);
+                        if !cached {
+                            prop_assert_eq!(outcome.shared_cache.lookups, 0);
+                        }
+                    }
+                    if cached {
+                        // Two identical studies through one cache: the
+                        // process must have recorded cross-study hits.
+                        prop_assert!(
+                            server.cache_snapshot().shared_hits > 0,
+                            "duplicate studies never deduped at shards={} fit_threads={}",
+                            shards, fit_threads
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -2,7 +2,9 @@
 //!
 //! Wraps [`std::sync::mpsc`] behind crossbeam's naming so the workspace
 //! builds hermetically. Only the surface this workspace uses is provided:
-//! [`unbounded`], cloneable [`Sender`]s, and a [`Receiver`] with blocking,
+//! [`unbounded`] and [`bounded`] channels, cloneable [`Sender`]s with
+//! blocking [`send`](Sender::send) and non-blocking
+//! [`try_send`](Sender::try_send), and a [`Receiver`] with blocking,
 //! non-blocking, and deadline-bounded receives. Unlike the real crate the
 //! receiver is single-consumer, which is how every call site here uses it.
 
@@ -29,6 +31,50 @@ impl<T> std::fmt::Display for SendError<T> {
 }
 
 impl<T> std::error::Error for SendError<T> {}
+
+/// An error returned by [`Sender::try_send`]; carries the unsent message.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// A bounded channel is at capacity (never returned by unbounded
+    /// channels).
+    Full(T),
+    /// The receiver disconnected.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Consumes the error, yielding the message that failed to send.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(m) | TrySendError::Disconnected(m) => m,
+        }
+    }
+
+    /// True when the failure was a full buffer (retryable).
+    pub fn is_full(&self) -> bool {
+        matches!(self, TrySendError::Full(_))
+    }
+}
+
+impl<T> std::fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> std::fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T> std::error::Error for TrySendError<T> {}
 
 /// An error returned by [`Receiver::recv`] when every sender disconnected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,9 +132,23 @@ impl std::fmt::Display for RecvTimeoutError {
 
 impl std::error::Error for RecvTimeoutError {}
 
+enum Tx<T> {
+    Unbounded(mpsc::Sender<T>),
+    Bounded(mpsc::SyncSender<T>),
+}
+
+impl<T> Clone for Tx<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+            Tx::Bounded(s) => Tx::Bounded(s.clone()),
+        }
+    }
+}
+
 /// The sending half of a channel. Cloneable; dropping every clone
 /// disconnects the channel.
-pub struct Sender<T>(mpsc::Sender<T>);
+pub struct Sender<T>(Tx<T>);
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
@@ -103,14 +163,40 @@ impl<T> std::fmt::Debug for Sender<T> {
 }
 
 impl<T> Sender<T> {
-    /// Sends a message, failing only if the receiver disconnected.
+    /// Sends a message, failing only if the receiver disconnected. On a
+    /// [`bounded`] channel at capacity this **blocks** until a receiver
+    /// drains a slot (backpressure); on an [`unbounded`] channel it never
+    /// blocks.
     ///
     /// # Errors
     ///
     /// Returns [`SendError`] holding the message when the receiving half
     /// was dropped.
     pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-        self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        match &self.0 {
+            Tx::Unbounded(s) => s.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+            Tx::Bounded(s) => s.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+        }
+    }
+
+    /// Sends a message without ever blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrySendError::Full`] when a [`bounded`] channel is at
+    /// capacity, or [`TrySendError::Disconnected`] when the receiving half
+    /// was dropped. Unbounded channels only ever fail with
+    /// [`TrySendError::Disconnected`].
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        match &self.0 {
+            Tx::Unbounded(s) => {
+                s.send(msg).map_err(|mpsc::SendError(m)| TrySendError::Disconnected(m))
+            }
+            Tx::Bounded(s) => s.try_send(msg).map_err(|e| match e {
+                mpsc::TrySendError::Full(m) => TrySendError::Full(m),
+                mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
+            }),
+        }
     }
 }
 
@@ -182,7 +268,18 @@ impl<T> Receiver<T> {
 /// Creates an unbounded channel.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
     let (tx, rx) = mpsc::channel();
-    (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    (Sender(Tx::Unbounded(tx)), Receiver(Arc::new(Mutex::new(rx))))
+}
+
+/// Creates a bounded channel holding at most `cap` in-flight messages.
+/// [`Sender::send`] blocks while the buffer is full and
+/// [`Sender::try_send`] fails fast with [`TrySendError::Full`] — the
+/// admission-control primitive. As in the real crate, `cap == 0` is a
+/// rendezvous channel: every send blocks until a receiver takes the
+/// message directly.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (Sender(Tx::Bounded(tx)), Receiver(Arc::new(Mutex::new(rx))))
 }
 
 #[cfg(test)]
@@ -241,5 +338,81 @@ mod tests {
         assert_eq!(rx.try_recv(), Ok(1));
         drop(tx);
         assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn bounded_try_send_fills_to_capacity_then_rejects() {
+        let (tx, rx) = bounded::<u8>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        match tx.try_send(3) {
+            Err(e @ TrySendError::Full(_)) => {
+                assert!(e.is_full());
+                assert_eq!(e.into_inner(), 3, "the rejected message comes back");
+            }
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Draining one slot makes room for exactly one more.
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert!(matches!(tx.try_send(4), Err(TrySendError::Full(4))));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_a_slot_frees() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.send(1).unwrap();
+        let unblocked = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = Arc::clone(&unblocked);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                // Full buffer: this send parks until the receiver drains.
+                tx.send(2).unwrap();
+                flag.store(true, std::sync::atomic::Ordering::SeqCst);
+            });
+            std::thread::sleep(Duration::from_millis(30));
+            assert!(
+                !unblocked.load(std::sync::atomic::Ordering::SeqCst),
+                "send returned while the buffer was still full"
+            );
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2), "the blocked send completed after the drain");
+        });
+        assert!(unblocked.load(std::sync::atomic::Ordering::SeqCst));
+    }
+
+    #[test]
+    fn bounded_zero_is_a_rendezvous_channel() {
+        let (tx, rx) = bounded::<u8>(0);
+        assert!(matches!(tx.try_send(1), Err(TrySendError::Full(1))), "no buffer, no receiver");
+        std::thread::scope(|s| {
+            s.spawn(move || tx.send(7).unwrap());
+            assert_eq!(rx.recv(), Ok(7), "send hands off directly to the receiver");
+        });
+    }
+
+    #[test]
+    fn bounded_send_to_dropped_receiver_errors() {
+        let (tx, rx) = bounded::<u8>(4);
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+        assert!(matches!(tx.try_send(9), Err(TrySendError::Disconnected(9))));
+    }
+
+    #[test]
+    fn bounded_preserves_fifo_order_across_blocking_sends() {
+        let (tx, rx) = bounded::<u32>(2);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..50 {
+                    tx.send(i).unwrap(); // blocks whenever 2 are in flight
+                }
+            });
+            for i in 0..50 {
+                assert_eq!(rx.recv(), Ok(i));
+            }
+        });
     }
 }

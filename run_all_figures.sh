@@ -2,8 +2,10 @@
 # Regenerates every paper figure/table at full scale. CSVs land in results/,
 # terminal tables in results/logs/.
 #
-# Usage: ./run_all_figures.sh [-j N]
+# Usage: ./run_all_figures.sh [-j N] [-s]
 #   -j N   run N figure bins concurrently (default: number of CPUs).
+#   -s     also run the multi-tenant server bench (server_bench; off by
+#          default — it is a systems benchmark, not a paper figure).
 #
 # The workspace is built once up front; the figure bins then run from the
 # prebuilt binaries in parallel. The script fails fast: the first failing
@@ -22,10 +24,12 @@
 set -e
 
 JOBS=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 2)
-while getopts "j:" opt; do
+SERVER_BENCH=0
+while getopts "j:s" opt; do
   case "$opt" in
     j) JOBS="$OPTARG" ;;
-    *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+    s) SERVER_BENCH=1 ;;
+    *) echo "usage: $0 [-j N] [-s]" >&2; exit 2 ;;
   esac
 done
 
@@ -35,6 +39,9 @@ fig12a_sim_validation fig06_job_durations tab01_suspend_overhead \
 fig09_time_to_target_lunar fig07_time_to_target_cifar \
 fig12b_capacity_sweep fig12c_order_sensitivity \
 tab02_lstm_frontier ablation_pop gantt_export scale_imagenet"
+if [ "$SERVER_BENCH" = 1 ]; then
+  BINS="$BINS server_bench"
+fi
 
 mkdir -p results/logs
 
