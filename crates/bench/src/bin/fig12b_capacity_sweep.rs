@@ -3,7 +3,10 @@
 //! every policy.
 //!
 //! Pass `--domain rl` to run the §7.3 reinforcement-learning variant (the
-//! paper reports "similar results" and omits the figure).
+//! paper reports "similar results" and omits the figure). Pass
+//! `--extended` to grow the capacity grid past the paper's 32 machines up
+//! to 10k (the O(1) event-loop work makes the large points cheap); the
+//! default grid and its CSV stay byte-identical.
 //!
 //! Paper observations: time-to-target improves with more machines for all
 //! policies; POP always wins, with a growing margin at larger capacities.
@@ -21,6 +24,7 @@ use hyperdrive_workload::{CifarWorkload, LunarWorkload, Workload};
 fn main() {
     init_fit_cache();
     let rl = std::env::args().any(|a| a == "--domain") && std::env::args().any(|a| a == "rl");
+    let extended = std::env::args().any(|a| a == "--extended");
     let n_configs = if quick_mode() { 30 } else { 100 };
     let fidelity = if quick_mode() { PredictorConfig::test() } else { PredictorConfig::fast() };
 
@@ -37,7 +41,10 @@ fn main() {
         workload.suspend_model(),
     );
 
-    let capacities = [4usize, 8, 16, 32];
+    // The paper's grid tops out at 32 machines; `--extended` rides the O(1)
+    // event loop out to 10k to show the capacity trend keeps its shape.
+    let capacities: &[usize] =
+        if extended { &[4, 8, 16, 32, 256, 2048, 10_000] } else { &[4, 8, 16, 32] };
     let policies = PolicyKind::headline();
     // The capacity × policy grid is embarrassingly parallel and each run is
     // seeded; par_map returns results in task order so the CSV bytes are
@@ -66,8 +73,15 @@ fn main() {
         }
         rows.push(row);
     }
+    // Extended runs land in their own CSV so the default figure-12b bytes
+    // never depend on which sweep ran last.
     write_csv(
-        if rl { "fig12b_capacity_sweep_rl.csv" } else { "fig12b_capacity_sweep.csv" },
+        match (rl, extended) {
+            (true, false) => "fig12b_capacity_sweep_rl.csv",
+            (true, true) => "fig12b_capacity_sweep_rl_extended.csv",
+            (false, false) => "fig12b_capacity_sweep.csv",
+            (false, true) => "fig12b_capacity_sweep_extended.csv",
+        },
         "machines,policy,hours",
         csv_rows,
     );

@@ -218,6 +218,14 @@ pub struct PopPolicy {
     /// Modeled prediction overhead accrued since the engine last drained
     /// it via `take_decision_overhead` (zero unless `fit_cost` is set).
     pending_overhead: SimTime,
+    /// Step-4 ranking scratch, reused across boundary decisions: one pass
+    /// over the active jobs fills `confidences` (for `allocate_slots`) and
+    /// `ranked` together, and the promising set is rebuilt in place — so
+    /// boundary classification allocates nothing once the vectors have
+    /// warmed to the active-job count.
+    confidences: Vec<f64>,
+    ranked: Vec<(JobId, f64)>,
+    promising: Vec<JobId>,
 }
 
 impl PopPolicy {
@@ -288,6 +296,9 @@ impl PopPolicy {
             timeline: Vec::new(),
             service,
             pending_overhead: SimTime::ZERO,
+            confidences: Vec::new(),
+            ranked: Vec::new(),
+            promising: Vec::new(),
         }
     }
 
@@ -503,52 +514,62 @@ impl SchedulingPolicy for PopPolicy {
             }
         }
 
-        // Step 4: dynamic classification across all active jobs.
+        // Step 4: dynamic classification across all active jobs. One pass
+        // fills the confidence column (for `allocate_slots`) and the
+        // ranking scratch together, so confidences are never re-collected.
         let active = ctx.active_jobs();
         let n_active = active.len();
-        let confidences: Vec<f64> =
-            active.iter().map(|j| self.assessments.get(j).map_or(0.0, |a| a.confidence)).collect();
-        let alloc = allocate_slots(&confidences, ctx.total_slots(), self.config.k);
+        self.confidences.clear();
+        self.ranked.clear();
+        for &j in active {
+            let c = self.assessments.get(&j).map_or(0.0, |a| a.confidence);
+            self.confidences.push(c);
+            self.ranked.push((j, c));
+        }
+        let alloc = allocate_slots(&self.confidences, ctx.total_slots(), self.config.k);
         let (p_threshold, promising_cap) = match self.config.static_threshold {
             Some(t) => (t, ctx.total_slots()),
             None => (alloc.p_threshold, alloc.promising_slots),
         };
 
         // Rank active jobs by confidence and take the top `promising_cap`
-        // among those meeting the threshold.
-        let mut ranked: Vec<(JobId, f64)> =
-            active.iter().zip(&confidences).map(|(j, c)| (*j, *c)).collect();
-        ranked.sort_by(|a, b| {
+        // among those meeting the threshold. The comparator is a total
+        // order (unique job-id tiebreak), so the unstable sort yields
+        // exactly the stable sort's result without its temporary buffer.
+        self.ranked.sort_unstable_by(|a, b| {
             b.1.partial_cmp(&a.1).expect("confidences are probabilities").then(a.0.cmp(&b.0))
         });
-        let promising: Vec<JobId> = ranked
-            .iter()
-            .filter(|(_, c)| *c >= p_threshold)
-            .take(promising_cap)
-            .map(|(j, _)| *j)
-            .collect();
+        self.promising.clear();
+        self.promising.extend(
+            self.ranked
+                .iter()
+                .filter(|(_, c)| *c >= p_threshold)
+                .take(promising_cap)
+                .map(|(j, _)| *j),
+        );
 
         // Step 5: priority labels — promising jobs carry their confidence,
         // opportunistic jobs share priority zero (round-robin FIFO).
-        for (job, confidence) in &ranked {
-            let priority = if promising.contains(job) { *confidence } else { 0.0 };
+        for (job, confidence) in &self.ranked {
+            let priority = if self.promising.contains(job) { *confidence } else { 0.0 };
             ctx.label_job(*job, priority);
         }
 
         let running = ctx.running_jobs();
-        let promising_running = running.iter().filter(|j| promising.contains(j)).count();
+        let promising_running = running.iter().filter(|j| self.promising.contains(j)).count();
+        let running_jobs = running.len();
         self.timeline.push(AllocationSnapshot {
             now: event.now,
             active_jobs: n_active,
-            promising_jobs: promising.len(),
-            running_jobs: running.len(),
+            promising_jobs: self.promising.len(),
+            running_jobs,
             promising_running,
             p_threshold,
-            promising_slots: promising_cap.min(promising.len()),
+            promising_slots: promising_cap.min(self.promising.len()),
             curve: alloc.curve,
         });
 
-        if promising.contains(&event.job) {
+        if self.promising.contains(&event.job) {
             JobDecision::Continue
         } else if ctx.idle_job_count() > 0 {
             // Opportunistic: yield the machine to the next waiting job.

@@ -6,7 +6,7 @@
 //! AppStatDB stores model state used to enable suspend and resume training
 //! across machines."
 
-use std::collections::HashMap;
+use crate::dense::DenseMap;
 
 use hyperdrive_types::{JobId, LearningCurve, MetricKind, SimTime};
 use hyperdrive_workload::SuspendCost;
@@ -28,57 +28,67 @@ pub struct SuspendEvent {
 #[derive(Debug)]
 pub struct AppStatDb {
     metric: MetricKind,
-    curves: HashMap<JobId, LearningCurve>,
+    curves: DenseMap<LearningCurve>,
     /// Secondary-metric history per job (§9: "additional metrics of
     /// concern", e.g. sparsity alongside perplexity).
-    secondary_curves: HashMap<JobId, LearningCurve>,
+    secondary_curves: DenseMap<LearningCurve>,
     /// Latest stored snapshot per job (bytes are synthetic but really
     /// allocated, so storage cost is honest).
-    snapshots: HashMap<JobId, Vec<u8>>,
+    snapshots: DenseMap<Vec<u8>>,
     suspend_events: Vec<SuspendEvent>,
+    /// Capacity hint for newly created curves (the workload's epoch cap),
+    /// so per-epoch recording never reallocates in steady state.
+    epochs_hint: usize,
 }
 
 impl AppStatDb {
     /// Creates an empty database for the given metric kind.
     pub fn new(metric: MetricKind) -> Self {
+        Self::with_capacity(metric, 0, 0)
+    }
+
+    /// Creates an empty database pre-sized for `jobs` jobs of up to
+    /// `max_epochs` observations each: the per-job curve maps and every
+    /// curve they hold are allocated once, so steady-state recording is
+    /// allocation-free.
+    pub fn with_capacity(metric: MetricKind, jobs: usize, max_epochs: usize) -> Self {
         AppStatDb {
             metric,
-            curves: HashMap::new(),
-            secondary_curves: HashMap::new(),
-            snapshots: HashMap::new(),
+            curves: DenseMap::with_capacity(jobs),
+            secondary_curves: DenseMap::with_capacity(jobs),
+            snapshots: DenseMap::with_capacity(jobs),
             suspend_events: Vec::new(),
+            epochs_hint: max_epochs,
         }
     }
 
     /// Records one performance observation for a job.
     pub fn record_stat(&mut self, job: JobId, epoch: u32, time: SimTime, value: f64) {
         self.curves
-            .entry(job)
-            .or_insert_with(|| LearningCurve::new(self.metric))
+            .or_insert_with(job, || LearningCurve::with_capacity(self.metric, self.epochs_hint))
             .push(epoch, time, value);
     }
 
     /// Records one secondary-metric observation for a job.
     pub fn record_secondary(&mut self, job: JobId, epoch: u32, time: SimTime, value: f64) {
         self.secondary_curves
-            .entry(job)
-            .or_insert_with(|| LearningCurve::new(self.metric))
+            .or_insert_with(job, || LearningCurve::with_capacity(self.metric, self.epochs_hint))
             .push(epoch, time, value);
     }
 
     /// Borrowed view of a job's secondary-metric history, if any.
     pub fn secondary_curve_ref(&self, job: JobId) -> Option<&LearningCurve> {
-        self.secondary_curves.get(&job)
+        self.secondary_curves.get(job)
     }
 
     /// The observed learning curve of a job (empty curve if none yet).
     pub fn curve(&self, job: JobId) -> LearningCurve {
-        self.curves.get(&job).cloned().unwrap_or_else(|| LearningCurve::new(self.metric))
+        self.curves.get(job).cloned().unwrap_or_else(|| LearningCurve::new(self.metric))
     }
 
     /// Borrowed view of a job's curve, if any observation exists.
     pub fn curve_ref(&self, job: JobId) -> Option<&LearningCurve> {
-        self.curves.get(&job)
+        self.curves.get(job)
     }
 
     /// Stores a model snapshot for later resume, returning the previous
@@ -89,7 +99,7 @@ impl AppStatDb {
 
     /// The stored snapshot for a job.
     pub fn snapshot(&self, job: JobId) -> Option<&[u8]> {
-        self.snapshots.get(&job).map(Vec::as_slice)
+        self.snapshots.get(job).map(Vec::as_slice)
     }
 
     /// Rolls a job's recorded history back to `keep_epoch` (crash
@@ -98,10 +108,10 @@ impl AppStatDb {
     /// stored snapshot is left alone — it is exactly what the job resumes
     /// from.
     pub fn truncate_stats(&mut self, job: JobId, keep_epoch: u32) {
-        if let Some(curve) = self.curves.get_mut(&job) {
+        if let Some(curve) = self.curves.get_mut(job) {
             curve.truncate_to_epoch(keep_epoch);
         }
-        if let Some(curve) = self.secondary_curves.get_mut(&job) {
+        if let Some(curve) = self.secondary_curves.get_mut(job) {
             curve.truncate_to_epoch(keep_epoch);
         }
     }
@@ -126,7 +136,7 @@ impl AppStatDb {
     pub fn global_best(&self) -> Option<(JobId, f64)> {
         self.curves
             .iter()
-            .filter_map(|(id, c)| c.best().map(|b| (*id, b)))
+            .filter_map(|(id, c)| c.best().map(|b| (id, b)))
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("curve values are not NaN"))
     }
 }

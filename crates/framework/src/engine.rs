@@ -13,14 +13,13 @@
 //! This mirrors the paper's architecture: the scheduler is oblivious to
 //! where jobs physically run, and Node Agents are delay-and-report servers.
 
-use std::collections::HashMap;
-
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use hyperdrive_types::{DomainKnowledge, Error, JobId, LearningCurve, MachineId, Result, SimTime};
 
 use crate::appstat::{AppStatDb, SuspendEvent};
+use crate::dense::DenseMap;
 use crate::events::{EventLog, SchedulerEvent};
 use crate::experiment::{
     ExperimentResult, ExperimentSpec, ExperimentWorkload, JobEnd, JobOutcome, TargetMilestone,
@@ -148,7 +147,7 @@ struct EngineCore<'w> {
     next_token: u64,
     /// Token of each job's in-flight command. A completion whose token is
     /// not here is stale (superseded by a fault) and is dropped.
-    outstanding: HashMap<JobId, u64>,
+    outstanding: DenseMap<u64>,
     /// RNG stream for probabilistic faults. Never touched while both
     /// probabilities are zero, so fault-free runs stay byte-identical to
     /// runs without the fault subsystem.
@@ -157,12 +156,12 @@ struct EngineCore<'w> {
     snapshot_corrupt_prob: f64,
     retry: RetryPolicy,
     /// Interruptions suffered per job (counts against `retry.max_retries`).
-    retries: HashMap<JobId, u32>,
+    retries: DenseMap<u32>,
     /// Epochs covered by each job's stored snapshot, as the engine
     /// believes them (corruption is only discovered at resume).
-    snapshot_epochs: HashMap<JobId, u32>,
+    snapshot_epochs: DenseMap<u32>,
     /// Backoff penalty to charge the next start of an interrupted job.
-    restart_penalty: HashMap<JobId, SimTime>,
+    restart_penalty: DenseMap<SimTime>,
     stats: FaultStats,
     /// Write-ahead journal (no-op when disabled). Journaling is pure
     /// output: nothing the engine does depends on it, so journal-on runs
@@ -218,10 +217,10 @@ impl<'w> EngineCore<'w> {
     /// pool (stall / failed suspend); a crashed machine is already dead
     /// and must not be released.
     fn interrupt(&mut self, job: JobId, machine: MachineId, release: bool) {
-        self.outstanding.remove(&job);
+        self.outstanding.remove(job);
         let epochs_done = self.jm.epochs_done(job).unwrap_or(0);
-        let rollback_to = self.snapshot_epochs.get(&job).copied().unwrap_or(0);
-        let has_snapshot = self.snapshot_epochs.contains_key(&job);
+        let rollback_to = self.snapshot_epochs.get(job).copied().unwrap_or(0);
+        let has_snapshot = self.snapshot_epochs.contains(job);
         let lost = epochs_done.saturating_sub(rollback_to);
         self.stats.interruptions += 1;
         self.stats.lost_epochs += u64::from(lost);
@@ -236,14 +235,14 @@ impl<'w> EngineCore<'w> {
         if release {
             self.rm.release_machine(machine).expect("held machine releases");
         }
-        let retries = self.retries.entry(job).or_insert(0);
+        let retries = self.retries.or_insert_with(job, || 0);
         *retries += 1;
         let attempt = *retries;
         if attempt > self.retry.max_retries {
             self.jm.fail_job(job).expect("interrupted job fails");
             self.record(SchedulerEvent::Failed { job, time: self.now });
             self.stats.failed_jobs += 1;
-            self.restart_penalty.remove(&job);
+            self.restart_penalty.remove(job);
         } else {
             // Deterministic jitter (derived from the fault seed and job,
             // no global RNG) de-synchronizes retry stampedes after a
@@ -319,7 +318,7 @@ impl SchedulerContext for EngineCore<'_> {
     }
 
     fn idle_job_count(&self) -> usize {
-        self.jm.idle_jobs().len()
+        self.jm.idle_len()
     }
 
     fn curve(&self, job: JobId) -> Option<LearningCurve> {
@@ -372,13 +371,13 @@ impl SchedulerContext for EngineCore<'_> {
                 self.record(SchedulerEvent::SnapshotCorrupted { job, time: self.now });
                 self.jm.reset_epochs(job, 0).expect("running job resets");
                 self.db.truncate_stats(job, 0);
-                self.snapshot_epochs.remove(&job);
+                self.snapshot_epochs.remove(job);
                 SimTime::ZERO
             }
         } else {
             SimTime::ZERO
         };
-        if let Some(penalty) = self.restart_penalty.remove(&job) {
+        if let Some(penalty) = self.restart_penalty.remove(job) {
             extra += penalty;
         }
         self.record(SchedulerEvent::Started { job, machine, time: self.now, resumed });
@@ -450,16 +449,23 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
             jm.add_job(job.job);
         }
         let n_jobs = workload.jobs.len();
+        // Steady-state zero-alloc sizing: one command batch can start at
+        // most min(jobs, machines) jobs, plus one Suspend and one Stop.
+        let batch_cap = n_jobs.min(spec.machines) + 2;
         ExperimentEngine {
             core: EngineCore {
                 workload,
                 spec,
                 rm: ResourceManager::new(spec.machines).expect("non-empty cluster"),
                 jm,
-                db: AppStatDb::new(workload.domain.metric),
+                db: AppStatDb::with_capacity(
+                    workload.domain.metric,
+                    n_jobs,
+                    workload.max_epochs as usize,
+                ),
                 rng: StdRng::seed_from_u64(spec.seed ^ 0xE46),
                 now: SimTime::ZERO,
-                pending: Vec::new(),
+                pending: Vec::with_capacity(batch_cap),
                 stopped: false,
                 time_to_target: None,
                 winner: None,
@@ -467,16 +473,19 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
                 milestones: Vec::new(),
                 busy_time: vec![0.0; n_jobs],
                 total_epochs: 0,
-                log: EventLog::new(),
+                // Suspend-free runs log ~2 events per job (Started +
+                // Completed/Terminated); 4× covers fault churn without
+                // mid-run growth in the common case.
+                log: EventLog::with_capacity(4 * n_jobs),
                 next_token: 0,
-                outstanding: HashMap::new(),
+                outstanding: DenseMap::with_capacity(n_jobs),
                 fault_rng: StdRng::seed_from_u64(plan.seed ^ 0xFA11),
                 suspend_fail_prob: plan.suspend_fail_prob,
                 snapshot_corrupt_prob: plan.snapshot_corrupt_prob,
                 retry: plan.retry,
-                retries: HashMap::new(),
-                snapshot_epochs: HashMap::new(),
-                restart_penalty: HashMap::new(),
+                retries: DenseMap::new(),
+                snapshot_epochs: DenseMap::new(),
+                restart_penalty: DenseMap::new(),
                 stats: FaultStats::default(),
                 journal,
                 rng_draws: 0,
@@ -552,20 +561,32 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
     /// Starts the experiment: fires the initial `AllocateJobs` up-call and
     /// returns the first command batch.
     pub fn start(&mut self) -> Vec<Command> {
-        self.core.journal.input_start();
-        self.policy.allocate_jobs(&mut self.core);
-        self.finish_turn()
+        let mut out = Vec::new();
+        self.start_into(&mut out);
+        out
     }
 
-    /// Drains the pending command batch and journals its digest plus an
-    /// RNG checkpoint. Every engine entry point ends here, so each input
-    /// record is followed by its transitions and exactly one
-    /// commands/checkpoint pair.
-    fn finish_turn(&mut self) -> Vec<Command> {
-        let cmds = std::mem::take(&mut self.core.pending);
-        self.core.journal.commands(&cmds);
+    /// Buffer-reusing form of [`start`](Self::start): the batch is written
+    /// into `out` (cleared first). Executors pass the same buffer to every
+    /// engine call so the steady-state event path allocates nothing.
+    pub fn start_into(&mut self, out: &mut Vec<Command>) {
+        self.core.journal.input_start();
+        self.policy.allocate_jobs(&mut self.core);
+        self.finish_turn_into(out);
+    }
+
+    /// Drains the pending command batch into `out` (cleared first) and
+    /// journals its digest plus an RNG checkpoint. Every engine entry
+    /// point ends here, so each input record is followed by its
+    /// transitions and exactly one commands/checkpoint pair. `Command` is
+    /// `Copy`, so the drain is a memcpy — no allocation once `out` has
+    /// warmed up to the largest batch.
+    fn finish_turn_into(&mut self, out: &mut Vec<Command>) {
+        self.core.journal.commands(&self.core.pending);
         self.core.journal.rng_checkpoint(self.core.rng_draws, self.core.fault_rng_draws);
-        cmds
+        out.clear();
+        out.extend_from_slice(&self.core.pending);
+        self.core.pending.clear();
     }
 
     /// Feeds one completion event back at time `now`, returning follow-up
@@ -579,22 +600,30 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
     /// Panics on protocol violations (events for jobs in impossible
     /// states), which indicate an executor bug.
     pub fn handle(&mut self, event: EngineEvent, now: SimTime) -> Vec<Command> {
+        let mut out = Vec::new();
+        self.handle_into(event, now, &mut out);
+        out
+    }
+
+    /// Buffer-reusing form of [`handle`](Self::handle): follow-up commands
+    /// are written into `out` (cleared first).
+    pub fn handle_into(&mut self, event: EngineEvent, now: SimTime, out: &mut Vec<Command>) {
         // Journaled before any state changes (write-ahead), including
         // no-op deliveries, so journal positions correspond 1:1 to
         // executor deliveries.
         self.core.journal.input_event(event, now);
         if self.core.stopped {
-            return self.finish_turn();
+            return self.finish_turn_into(out);
         }
         let (job, token) = match event {
             EngineEvent::EpochDone { job, token } | EngineEvent::SuspendDone { job, token } => {
                 (job, token)
             }
         };
-        if self.core.outstanding.get(&job) != Some(&token) {
-            return self.finish_turn();
+        if self.core.outstanding.get(job) != Some(&token) {
+            return self.finish_turn_into(out);
         }
-        self.core.outstanding.remove(&job);
+        self.core.outstanding.remove(job);
         self.core.now = self.core.now.max(now);
         match event {
             EngineEvent::EpochDone { job, .. } => self.on_epoch_done(job),
@@ -604,7 +633,7 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
         if self.core.now >= self.core.spec.tmax {
             self.core.stop();
         }
-        self.finish_turn()
+        self.finish_turn_into(out);
     }
 
     /// Injects a machine crash at time `now`: the machine goes dead, any
@@ -612,9 +641,22 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
     /// the policy gets a chance to reallocate. Returns follow-up commands.
     /// Crashing an already-dead machine is a no-op.
     pub fn inject_machine_crash(&mut self, machine: MachineId, now: SimTime) -> Vec<Command> {
+        let mut out = Vec::new();
+        self.inject_machine_crash_into(machine, now, &mut out);
+        out
+    }
+
+    /// Buffer-reusing form of
+    /// [`inject_machine_crash`](Self::inject_machine_crash).
+    pub fn inject_machine_crash_into(
+        &mut self,
+        machine: MachineId,
+        now: SimTime,
+        out: &mut Vec<Command>,
+    ) {
         self.core.journal.input_machine_crash(machine, now);
         if self.core.stopped || self.core.rm.is_dead(machine) {
-            return self.finish_turn();
+            return self.finish_turn_into(out);
         }
         self.core.now = self.core.now.max(now);
         self.core.stats.machine_crashes += 1;
@@ -629,23 +671,36 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
         if self.core.now >= self.core.spec.tmax {
             self.core.stop();
         }
-        self.finish_turn()
+        self.finish_turn_into(out);
     }
 
     /// Injects a machine recovery at time `now`: the machine returns to
     /// the idle pool and the policy may immediately use it. Recovering an
     /// alive machine is a no-op.
     pub fn inject_machine_recovery(&mut self, machine: MachineId, now: SimTime) -> Vec<Command> {
+        let mut out = Vec::new();
+        self.inject_machine_recovery_into(machine, now, &mut out);
+        out
+    }
+
+    /// Buffer-reusing form of
+    /// [`inject_machine_recovery`](Self::inject_machine_recovery).
+    pub fn inject_machine_recovery_into(
+        &mut self,
+        machine: MachineId,
+        now: SimTime,
+        out: &mut Vec<Command>,
+    ) {
         self.core.journal.input_machine_recovery(machine, now);
         if self.core.stopped || !self.core.rm.is_dead(machine) {
-            return self.finish_turn();
+            return self.finish_turn_into(out);
         }
         self.core.now = self.core.now.max(now);
         self.core.rm.mark_recovered(machine).expect("dead machine recovers");
         self.core.stats.machine_recoveries += 1;
         self.core.record(SchedulerEvent::MachineRecovered { machine, time: self.core.now });
         self.policy.allocate_jobs(&mut self.core);
-        self.finish_turn()
+        self.finish_turn_into(out);
     }
 
     /// Injects a detected node-agent stall at time `now`: the report for
@@ -654,12 +709,25 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
     /// survives, only its agent was restarted — returns to the pool.
     /// A stall on a machine hosting nothing is a no-op.
     pub fn inject_agent_stall(&mut self, machine: MachineId, now: SimTime) -> Vec<Command> {
+        let mut out = Vec::new();
+        self.inject_agent_stall_into(machine, now, &mut out);
+        out
+    }
+
+    /// Buffer-reusing form of
+    /// [`inject_agent_stall`](Self::inject_agent_stall).
+    pub fn inject_agent_stall_into(
+        &mut self,
+        machine: MachineId,
+        now: SimTime,
+        out: &mut Vec<Command>,
+    ) {
         self.core.journal.input_agent_stall(machine, now);
         if self.core.stopped || self.core.rm.is_dead(machine) {
-            return self.finish_turn();
+            return self.finish_turn_into(out);
         }
         let Some(job) = self.job_on(machine) else {
-            return self.finish_turn();
+            return self.finish_turn_into(out);
         };
         self.core.now = self.core.now.max(now);
         self.core.stats.agent_stalls += 1;
@@ -668,7 +736,7 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
         if self.core.now >= self.core.spec.tmax {
             self.core.stop();
         }
-        self.finish_turn()
+        self.finish_turn_into(out);
     }
 
     /// The job currently occupying `machine`, if any.
@@ -684,7 +752,7 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
     /// Number of jobs still live (running, suspending, or queued).
     /// Executors use this to detect natural termination under faults.
     pub fn active_job_count(&self) -> usize {
-        self.core.jm.active_jobs().len()
+        self.core.jm.active_len()
     }
 
     fn on_epoch_done(&mut self, job: JobId) {
@@ -861,9 +929,7 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
     pub fn into_result(self, end_time: SimTime) -> ExperimentResult {
         let mut core = self.core;
         core.journal.seal(end_time, true);
-        core.stats.dead_machines_at_end = (0..core.rm.total())
-            .filter(|m| core.rm.is_dead(MachineId::new(*m as u64)))
-            .count() as u64;
+        core.stats.dead_machines_at_end = core.rm.dead_count() as u64;
         let outcomes = core
             .workload
             .jobs

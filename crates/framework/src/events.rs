@@ -150,6 +150,13 @@ impl EventLog {
         Self::default()
     }
 
+    /// Creates an empty log with room for `capacity` events, so steady-state
+    /// recording never reallocates (the engine sizes this from the
+    /// workload).
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog { events: Vec::with_capacity(capacity) }
+    }
+
     /// Appends an event. Events must arrive in non-decreasing time order
     /// (the engine guarantees this).
     pub fn record(&mut self, event: SchedulerEvent) {

@@ -7,9 +7,12 @@
 //! important when adding a suspended job to the list of idle jobs. If no
 //! priority is given then idle jobs are ordered according to FIFO order."
 
-use std::collections::HashMap;
+use std::cell::OnceCell;
+use std::collections::BTreeSet;
 
 use hyperdrive_types::{Error, JobId, MachineId, Result};
+
+use crate::dense::DenseMap;
 
 /// The lifecycle state of a job.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,36 +56,60 @@ struct JobEntry {
     started_before: bool,
 }
 
+/// Idle-queue ordering key: priority descending, then FIFO arrival, then
+/// id — the same total order the listing slice exposes. Priorities are
+/// never NaN ([`JobManager::label_job`] rejects them), so the comparison
+/// is total.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct IdleKey {
+    priority: f64,
+    arrival: u64,
+    id: JobId,
+}
+
+impl Eq for IdleKey {}
+
+impl PartialOrd for IdleKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IdleKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .priority
+            .partial_cmp(&self.priority)
+            .expect("priorities are never NaN")
+            .then(self.arrival.cmp(&other.arrival))
+            .then(self.id.cmp(&other.id))
+    }
+}
+
 /// Tracks every job's state and orders the idle queue.
 ///
-/// The three listing sets — idle, running, active — are maintained as
-/// eagerly sorted indexes updated on every state transition, so the
-/// listing accessors return slices without allocating or sorting per call
-/// (policies query them at every scheduling boundary).
+/// The three listing sets — idle, running, active — are ordered B-tree
+/// sets, so every state transition is O(log n); the old eagerly-sorted
+/// `Vec` indexes paid an O(n) memmove per transition, which dominated
+/// wall-clock at 10k+ machines. The slice accessors policies iterate are
+/// materialized lazily into per-set caches (invalidated on mutation), so
+/// executors that never ask for a listing — the default-policy hot loop —
+/// never pay for one, and repeated reads between transitions are free.
+/// Ordering is unchanged: id-ascending for running/active, (priority
+/// desc, arrival asc, id asc) for idle, so traces are byte-identical.
 #[derive(Debug, Default)]
 pub struct JobManager {
-    jobs: HashMap<JobId, JobEntry>,
+    jobs: DenseMap<JobEntry>,
     arrival_counter: u64,
     /// Idle jobs in queue order: priority desc, arrival asc, id asc.
-    idle_sorted: Vec<JobId>,
-    /// Running jobs sorted by id.
-    running_sorted: Vec<JobId>,
-    /// Active (running, suspending, or idle) jobs sorted by id.
-    active_sorted: Vec<JobId>,
-}
-
-/// Inserts `job` into an id-sorted vector (no-op if already present).
-fn insert_by_id(v: &mut Vec<JobId>, job: JobId) {
-    if let Err(pos) = v.binary_search(&job) {
-        v.insert(pos, job);
-    }
-}
-
-/// Removes `job` from an id-sorted vector (no-op if absent).
-fn remove_by_id(v: &mut Vec<JobId>, job: JobId) {
-    if let Ok(pos) = v.binary_search(&job) {
-        v.remove(pos);
-    }
+    idle_queue: BTreeSet<IdleKey>,
+    /// Running jobs ordered by id.
+    running_set: BTreeSet<JobId>,
+    /// Active (running, suspending, or idle) jobs ordered by id.
+    active_set: BTreeSet<JobId>,
+    idle_cache: OnceCell<Vec<JobId>>,
+    running_cache: OnceCell<Vec<JobId>>,
+    active_cache: OnceCell<Vec<JobId>>,
 }
 
 impl JobManager {
@@ -109,35 +136,52 @@ impl JobManager {
             },
         );
         assert!(prev.is_none(), "job {job} registered twice");
-        insert_by_id(&mut self.active_sorted, job);
+        self.add_active(job);
         self.enqueue_idle(job);
     }
 
-    /// Queue ordering: priority descending, then FIFO arrival, then id.
-    fn idle_cmp(jobs: &HashMap<JobId, JobEntry>, a: JobId, b: JobId) -> std::cmp::Ordering {
-        let ea = &jobs[&a];
-        let eb = &jobs[&b];
-        eb.priority
-            .partial_cmp(&ea.priority)
-            .expect("priorities are never NaN")
-            .then(ea.arrival.cmp(&eb.arrival))
-            .then(a.cmp(&b))
+    /// The idle-queue key for `job` as currently labeled. Valid only while
+    /// the entry's priority and arrival match what was enqueued — every
+    /// mutation that changes either dequeues first.
+    fn idle_key(&self, job: JobId) -> IdleKey {
+        let e = self.jobs.get(job).expect("idle job is registered");
+        IdleKey { priority: e.priority, arrival: e.arrival, id: job }
     }
 
     /// Inserts `job` into the idle queue at its sorted position.
     fn enqueue_idle(&mut self, job: JobId) {
-        let jobs = &self.jobs;
-        let pos = self
-            .idle_sorted
-            .binary_search_by(|&other| Self::idle_cmp(jobs, other, job))
-            .unwrap_or_else(|p| p);
-        self.idle_sorted.insert(pos, job);
+        let key = self.idle_key(job);
+        self.idle_queue.insert(key);
+        self.idle_cache.take();
     }
 
     /// Removes `job` from the idle queue (no-op if absent).
     fn dequeue_idle(&mut self, job: JobId) {
-        if let Some(pos) = self.idle_sorted.iter().position(|&j| j == job) {
-            self.idle_sorted.remove(pos);
+        let key = self.idle_key(job);
+        if self.idle_queue.remove(&key) {
+            self.idle_cache.take();
+        }
+    }
+
+    fn add_running(&mut self, job: JobId) {
+        self.running_set.insert(job);
+        self.running_cache.take();
+    }
+
+    fn remove_running(&mut self, job: JobId) {
+        if self.running_set.remove(&job) {
+            self.running_cache.take();
+        }
+    }
+
+    fn add_active(&mut self, job: JobId) {
+        self.active_set.insert(job);
+        self.active_cache.take();
+    }
+
+    fn remove_active(&mut self, job: JobId) {
+        if self.active_set.remove(&job) {
+            self.active_cache.take();
         }
     }
 
@@ -148,11 +192,11 @@ impl JobManager {
     }
 
     fn entry(&self, job: JobId) -> Result<&JobEntry> {
-        self.jobs.get(&job).ok_or(Error::UnknownJob(job.raw()))
+        self.jobs.get(job).ok_or(Error::UnknownJob(job.raw()))
     }
 
     fn entry_mut(&mut self, job: JobId) -> Result<&mut JobEntry> {
-        self.jobs.get_mut(&job).ok_or(Error::UnknownJob(job.raw()))
+        self.jobs.get_mut(job).ok_or(Error::UnknownJob(job.raw()))
     }
 
     /// Current state of a job.
@@ -194,31 +238,45 @@ impl JobManager {
     /// The highest-priority idle job (`getIdleJob`), without removing it.
     /// Ordering: priority descending, then FIFO arrival.
     pub fn peek_idle_job(&self) -> Option<JobId> {
-        self.idle_sorted.first().copied()
+        self.idle_queue.first().map(|k| k.id)
     }
 
-    /// All idle jobs in queue order. Served from the maintained index —
-    /// no allocation or sorting per call.
+    /// All idle jobs in queue order, materialized lazily from the ordered
+    /// set and cached until the next queue mutation.
     pub fn idle_jobs(&self) -> &[JobId] {
-        &self.idle_sorted
+        self.idle_cache.get_or_init(|| self.idle_queue.iter().map(|k| k.id).collect())
+    }
+
+    /// Number of idle jobs, without materializing the listing.
+    pub fn idle_len(&self) -> usize {
+        self.idle_queue.len()
     }
 
     /// All running jobs, sorted by job id. The fixed order matters:
     /// policies iterate these lists when building batch fit requests, and
     /// hash-map iteration order would leak into scheduling decisions.
-    /// Served from the maintained index — no allocation or sorting per
-    /// call.
+    /// Materialized lazily and cached until the next state transition.
     pub fn running_jobs(&self) -> &[JobId] {
-        &self.running_sorted
+        self.running_cache.get_or_init(|| self.running_set.iter().copied().collect())
+    }
+
+    /// Number of running jobs, without materializing the listing.
+    pub fn running_len(&self) -> usize {
+        self.running_set.len()
     }
 
     /// All active jobs — running, suspending, or idle-but-not-finished —
     /// sorted by job id (see [`running_jobs`](Self::running_jobs) for why
     /// the order is fixed). The paper's "non-terminated" set used for the
-    /// tail distribution. Served from the maintained index — no
-    /// allocation or sorting per call.
+    /// tail distribution. Materialized lazily and cached until the next
+    /// state transition.
     pub fn active_jobs(&self) -> &[JobId] {
-        &self.active_sorted
+        self.active_cache.get_or_init(|| self.active_set.iter().copied().collect())
+    }
+
+    /// Number of active jobs, without materializing the listing.
+    pub fn active_len(&self) -> usize {
+        self.active_set.len()
     }
 
     /// Starts (or resumes) an idle job on a machine. Returns `true` if this
@@ -239,7 +297,7 @@ impl JobManager {
         let resumed = e.started_before;
         e.started_before = true;
         self.dequeue_idle(job);
-        insert_by_id(&mut self.running_sorted, job);
+        self.add_running(job);
         Ok(resumed)
     }
 
@@ -253,7 +311,7 @@ impl JobManager {
         match e.state {
             JobState::Running(m) => {
                 e.state = JobState::Suspending(m);
-                remove_by_id(&mut self.running_sorted, job);
+                self.remove_running(job);
                 Ok(m)
             }
             other => Err(Error::InvalidJobState {
@@ -314,10 +372,10 @@ impl JobManager {
     fn retire(&mut self, job: JobId, was: JobState) {
         match was {
             JobState::Idle => self.dequeue_idle(job),
-            JobState::Running(_) => remove_by_id(&mut self.running_sorted, job),
+            JobState::Running(_) => self.remove_running(job),
             _ => {}
         }
-        remove_by_id(&mut self.active_sorted, job);
+        self.remove_active(job);
     }
 
     /// Marks a running job as completed (reached its max epoch). Returns
@@ -368,7 +426,7 @@ impl JobManager {
                 e.epochs_done = epochs;
                 e.started_before = has_snapshot;
                 if was_running {
-                    remove_by_id(&mut self.running_sorted, job);
+                    self.remove_running(job);
                 }
                 self.enqueue_idle(job);
                 Ok(m)
@@ -429,12 +487,15 @@ impl JobManager {
         if priority.is_nan() {
             return Err(Error::InvalidParameter("priority cannot be NaN".into()));
         }
-        let e = self.entry_mut(job)?;
-        e.priority = priority;
-        let idle = e.state == JobState::Idle;
-        // Re-labeling an idle job moves it to its new queue position.
+        let idle = self.entry(job)?.state == JobState::Idle;
+        // Re-labeling an idle job moves it to its new queue position. The
+        // old queue key embeds the old priority, so dequeue before the
+        // label changes.
         if idle {
             self.dequeue_idle(job);
+        }
+        self.entry_mut(job)?.priority = priority;
+        if idle {
             self.enqueue_idle(job);
         }
         Ok(())
@@ -620,14 +681,14 @@ mod tests {
     /// from-scratch recomputation over the entries.
     fn assert_indexes_consistent(jm: &JobManager) {
         let mut idle: Vec<JobId> =
-            jm.jobs.iter().filter(|(_, e)| e.state == JobState::Idle).map(|(id, _)| *id).collect();
-        idle.sort_by(|&a, &b| JobManager::idle_cmp(&jm.jobs, a, b));
+            jm.jobs.iter().filter(|(_, e)| e.state == JobState::Idle).map(|(id, _)| id).collect();
+        idle.sort_by_key(|&a| jm.idle_key(a));
         assert_eq!(jm.idle_jobs(), idle, "idle index drifted");
         let mut running: Vec<JobId> = jm
             .jobs
             .iter()
             .filter(|(_, e)| matches!(e.state, JobState::Running(_)))
-            .map(|(id, _)| *id)
+            .map(|(id, _)| id)
             .collect();
         running.sort_unstable();
         assert_eq!(jm.running_jobs(), running, "running index drifted");
@@ -637,7 +698,7 @@ mod tests {
             .filter(|(_, e)| {
                 matches!(e.state, JobState::Running(_) | JobState::Suspending(_) | JobState::Idle)
             })
-            .map(|(id, _)| *id)
+            .map(|(id, _)| id)
             .collect();
         active.sort_unstable();
         assert_eq!(jm.active_jobs(), active, "active index drifted");

@@ -46,6 +46,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod appstat;
+mod dense;
 pub mod engine;
 pub mod events;
 pub mod experiment;

@@ -157,11 +157,12 @@ impl LiveState {
     /// virtual time `base`: each command's work finishes `duration` after
     /// the event that caused it, regardless of how long the scheduler
     /// spent deciding. Returns whether a `Stop` was seen; send failures
-    /// land in `dead_sends` instead of panicking.
-    fn dispatch(&mut self, cmds: Vec<Command>, base: SimTime) -> bool {
+    /// land in `dead_sends` instead of panicking. Borrows the batch so the
+    /// scheduler loop can reuse one command buffer for the whole run.
+    fn dispatch(&mut self, cmds: &[Command], base: SimTime) -> bool {
         let mut stop = false;
         for cmd in cmds {
-            let (machine, request, token, deadline) = match cmd {
+            let (machine, request, token, deadline) = match *cmd {
                 Command::RunEpoch { job, machine, duration, token, .. } => {
                     let m = machine.raw() as usize;
                     self.sent[m] += 1;
@@ -298,7 +299,12 @@ fn run_live_inner(
         };
         let mut interrupted = false;
 
-        let mut stopping = state.dispatch(engine.start(), SimTime::ZERO);
+        // One reusable command buffer for the whole run — the engine
+        // writes each event's follow-up batch in place, mirroring the
+        // simulator's allocation-free steady-state loop.
+        let mut cmds: Vec<Command> = Vec::new();
+        engine.start_into(&mut cmds);
+        let mut stopping = state.dispatch(&cmds, SimTime::ZERO);
         while !state.inflight.is_empty() && !stopping {
             if shutdown_requested() {
                 interrupted = true;
@@ -310,8 +316,8 @@ fn run_live_inner(
                 state.agent_txs[machine] = spawn_agent(scope, machine, reply_tx.clone());
                 let now = state.virtual_time(Instant::now());
                 last_now = last_now.max(now);
-                let cmds = engine.inject_agent_stall(MachineId::new(machine as u64), now);
-                stopping = state.dispatch(cmds, now) || stopping || engine.stopped();
+                engine.inject_agent_stall_into(MachineId::new(machine as u64), now, &mut cmds);
+                stopping = state.dispatch(&cmds, now) || stopping || engine.stopped();
             }
             if state.inflight.is_empty() || stopping {
                 break;
@@ -344,8 +350,8 @@ fn run_live_inner(
                     }
                     // Stale reports (from agents replaced after a stall)
                     // are dropped inside the engine by token mismatch.
-                    let cmds = engine.handle(reply.event, now);
-                    stopping = state.dispatch(cmds, now) || engine.stopped();
+                    engine.handle_into(reply.event, now, &mut cmds);
+                    stopping = state.dispatch(&cmds, now) || engine.stopped();
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     let wall_now = Instant::now();
@@ -362,8 +368,12 @@ fn run_live_inner(
                         state.agent_txs[machine] = spawn_agent(scope, machine, reply_tx.clone());
                         let now = state.virtual_time(wall_now);
                         last_now = last_now.max(now);
-                        let cmds = engine.inject_agent_stall(MachineId::new(machine as u64), now);
-                        stopping = state.dispatch(cmds, now) || stopping || engine.stopped();
+                        engine.inject_agent_stall_into(
+                            MachineId::new(machine as u64),
+                            now,
+                            &mut cmds,
+                        );
+                        stopping = state.dispatch(&cmds, now) || stopping || engine.stopped();
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => break, // all agents gone

@@ -10,58 +10,309 @@
 //! recovery: a dead machine is never handed out by
 //! [`reserve_idle_machine`](ResourceManager::reserve_idle_machine) and does
 //! not count as capacity until it recovers.
+//!
+//! # Two backends, one contract
+//!
+//! The engine queries the RM on every event (`idle_count` for the
+//! `AllocateJobs` up-call, `reserve_idle_machine` per start attempt), so
+//! per-call linear scans made the whole event loop O(machines). The RM now
+//! carries two interchangeable backends:
+//!
+//! - **fast** (default): a hierarchical-bitset free-set ([`IdleSet`]) over
+//!   idle machine ids plus cached allocated/dead counters. Reservation is
+//!   min-extract over the bitset — O(log₆₄ n) worst case — and every
+//!   counter is O(1). No allocation after construction.
+//! - **reference**: the original O(n)-scan implementation, retained
+//!   verbatim. Selected with `HYPERDRIVE_RM=reference`; the scale bench
+//!   runs the whole event loop on it to measure the speedup, and a
+//!   proptest pins the two backends op-for-op equivalent.
+//!
+//! Determinism argument: [`IdleSet::min`] returns the smallest set id, and
+//! the set contains exactly the ids with `!allocated && !dead` — the same
+//! machine the reference scan's `position()` finds. Both backends therefore
+//! emit identical machine ids in identical order for any input sequence,
+//! which is why every golden trace is byte-identical under either. Debug
+//! builds re-verify the cached counters and set membership against a fresh
+//! scan after every mutation.
 
 use hyperdrive_types::{Error, MachineId, Result};
 
-/// Tracks which machines (slots) are idle, allocated, or dead.
+/// A fixed-universe ordered set of machine ids with O(log₆₄ n)
+/// `min`/`insert`/`remove` and O(1) `contains`, backed by a hierarchy of
+/// bitmask words: bit `j` of a word at level `k+1` summarizes whether word
+/// `j` at level `k` is nonzero. The top level is always a single word, so
+/// `min` walks at most ⌈log₆₄ n⌉ words. Never allocates after
+/// construction.
 #[derive(Debug, Clone)]
-pub struct ResourceManager {
+struct IdleSet {
+    /// `levels[0]` holds one bit per id; each higher level summarizes the
+    /// one below. The last level is a single word.
+    levels: Vec<Vec<u64>>,
+}
+
+impl IdleSet {
+    /// Creates the set over universe `0..n` with every id present.
+    /// `n` must be nonzero.
+    fn full(n: usize) -> Self {
+        debug_assert!(n > 0);
+        let mut levels = Vec::new();
+        let mut count = n;
+        loop {
+            let words = count.div_ceil(64);
+            let mut level = vec![!0u64; words];
+            let rem = count % 64;
+            if rem != 0 {
+                level[words - 1] = (1u64 << rem) - 1;
+            }
+            levels.push(level);
+            if words == 1 {
+                break;
+            }
+            count = words;
+        }
+        IdleSet { levels }
+    }
+
+    /// True if `id` is in the set. Release builds only consult the set
+    /// through `min`; membership is re-verified by the debug-build
+    /// invariant checks.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    fn contains(&self, id: usize) -> bool {
+        (self.levels[0][id / 64] >> (id % 64)) & 1 == 1
+    }
+
+    /// Inserts `id` (no-op if present).
+    fn insert(&mut self, id: usize) {
+        let mut idx = id;
+        for level in &mut self.levels {
+            let word = &mut level[idx / 64];
+            let bit = 1u64 << (idx % 64);
+            if *word & bit != 0 {
+                break; // this word (and every summary above) already set
+            }
+            *word |= bit;
+            idx /= 64;
+        }
+    }
+
+    /// Removes `id` (no-op if absent).
+    fn remove(&mut self, id: usize) {
+        let mut idx = id;
+        for level in &mut self.levels {
+            let word = &mut level[idx / 64];
+            *word &= !(1u64 << (idx % 64));
+            if *word != 0 {
+                break; // word still nonzero: summaries above stay set
+            }
+            idx /= 64;
+        }
+    }
+
+    /// The smallest id in the set, or `None` if empty.
+    fn min(&self) -> Option<usize> {
+        let top = self.levels.len() - 1;
+        if self.levels[top][0] == 0 {
+            return None;
+        }
+        let mut idx = 0usize;
+        for level in self.levels.iter().rev() {
+            let word = level[idx];
+            debug_assert!(word != 0, "summary bit set over an empty word");
+            idx = idx * 64 + word.trailing_zeros() as usize;
+        }
+        Some(idx)
+    }
+}
+
+/// The fast backend: free-set + cached counters. All queries O(1), all
+/// mutations O(log₆₄ n), zero allocation after construction.
+#[derive(Debug, Clone)]
+struct FastRm {
+    /// Exactly the ids with `!allocated && !dead`.
+    idle: IdleSet,
     /// `true` = allocated, indexed by machine id.
     allocated: Vec<bool>,
     /// `true` = crashed and not yet recovered, indexed by machine id.
     dead: Vec<bool>,
+    /// Cached `allocated.iter().filter(|a| **a).count()`.
+    n_allocated: usize,
+    /// Cached `dead.iter().filter(|d| **d).count()`.
+    n_dead: usize,
+}
+
+impl FastRm {
+    fn new(n: usize) -> Self {
+        FastRm {
+            idle: IdleSet::full(n),
+            allocated: vec![false; n],
+            dead: vec![false; n],
+            n_allocated: 0,
+            n_dead: 0,
+        }
+    }
+
+    /// Debug-build invariant check: the cached counters and the free-set
+    /// must match a fresh scan of the raw state after every mutation.
+    #[cfg(debug_assertions)]
+    fn assert_counters(&self) {
+        let scanned_alloc = self.allocated.iter().filter(|a| **a).count();
+        let scanned_dead = self.dead.iter().filter(|d| **d).count();
+        assert_eq!(self.n_allocated, scanned_alloc, "cached allocated count diverged from scan");
+        assert_eq!(self.n_dead, scanned_dead, "cached dead count diverged from scan");
+        for id in 0..self.allocated.len() {
+            assert_eq!(
+                self.idle.contains(id),
+                !self.allocated[id] && !self.dead[id],
+                "free-set membership diverged from scan at machine {id}"
+            );
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn assert_counters(&self) {}
+}
+
+/// The retained reference backend: the original per-call linear scans.
+/// Kept so the scale bench can measure the real event loop on the old
+/// complexity and so the equivalence proptest has an oracle.
+#[derive(Debug, Clone)]
+struct ReferenceRm {
+    allocated: Vec<bool>,
+    dead: Vec<bool>,
+}
+
+#[derive(Debug, Clone)]
+enum Backend {
+    Fast(FastRm),
+    Reference(ReferenceRm),
+}
+
+/// Tracks which machines (slots) are idle, allocated, or dead.
+#[derive(Debug, Clone)]
+pub struct ResourceManager {
+    backend: Backend,
 }
 
 impl ResourceManager {
     /// Creates a manager over `n` machines, all idle and alive.
     ///
+    /// Honors `HYPERDRIVE_RM=reference` to select the retained O(n)-scan
+    /// backend (a pure perf switch: both backends emit byte-identical
+    /// traces); anything else selects the fast free-set backend.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::EmptyCluster`] if `n` is zero.
     pub fn new(n: usize) -> Result<Self> {
+        if std::env::var("HYPERDRIVE_RM").is_ok_and(|v| v == "reference") {
+            Self::new_reference(n)
+        } else {
+            Self::new_fast(n)
+        }
+    }
+
+    /// Creates a manager on the fast free-set backend regardless of
+    /// environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyCluster`] if `n` is zero.
+    pub fn new_fast(n: usize) -> Result<Self> {
         if n == 0 {
             return Err(Error::EmptyCluster);
         }
-        Ok(ResourceManager { allocated: vec![false; n], dead: vec![false; n] })
+        Ok(ResourceManager { backend: Backend::Fast(FastRm::new(n)) })
+    }
+
+    /// Creates a manager on the retained reference (linear-scan) backend
+    /// regardless of environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyCluster`] if `n` is zero.
+    pub fn new_reference(n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(Error::EmptyCluster);
+        }
+        Ok(ResourceManager {
+            backend: Backend::Reference(ReferenceRm {
+                allocated: vec![false; n],
+                dead: vec![false; n],
+            }),
+        })
     }
 
     /// Total number of machines, dead or alive.
     pub fn total(&self) -> usize {
-        self.allocated.len()
+        match &self.backend {
+            Backend::Fast(rm) => rm.allocated.len(),
+            Backend::Reference(rm) => rm.allocated.len(),
+        }
     }
 
-    /// Number of machines currently alive (not crashed).
+    /// Number of machines currently alive (not crashed). O(1) on the fast
+    /// backend.
     pub fn alive_count(&self) -> usize {
-        self.dead.iter().filter(|d| !**d).count()
+        match &self.backend {
+            Backend::Fast(rm) => rm.allocated.len() - rm.n_dead,
+            Backend::Reference(rm) => rm.dead.iter().filter(|d| !**d).count(),
+        }
     }
 
-    /// Number of idle machines (alive and unallocated).
+    /// Number of idle machines (alive and unallocated). O(1) on the fast
+    /// backend: allocated and dead are disjoint (a crash drops the
+    /// allocation), so idle = total − allocated − dead.
     pub fn idle_count(&self) -> usize {
-        self.allocated.iter().zip(&self.dead).filter(|(alloc, dead)| !**alloc && !**dead).count()
+        match &self.backend {
+            Backend::Fast(rm) => rm.allocated.len() - rm.n_allocated - rm.n_dead,
+            Backend::Reference(rm) => rm
+                .allocated
+                .iter()
+                .zip(&rm.dead)
+                .filter(|(alloc, dead)| !**alloc && !**dead)
+                .count(),
+        }
     }
 
-    /// Number of allocated machines.
+    /// Number of allocated machines. O(1) on the fast backend.
     pub fn allocated_count(&self) -> usize {
-        self.allocated.iter().filter(|a| **a).count()
+        match &self.backend {
+            Backend::Fast(rm) => rm.n_allocated,
+            Backend::Reference(rm) => rm.allocated.iter().filter(|a| **a).count(),
+        }
+    }
+
+    /// Number of machines currently dead (crashed, not yet recovered).
+    /// O(1) on the fast backend.
+    pub fn dead_count(&self) -> usize {
+        match &self.backend {
+            Backend::Fast(rm) => rm.n_dead,
+            Backend::Reference(rm) => rm.dead.iter().filter(|d| **d).count(),
+        }
     }
 
     /// Reserves the lowest-numbered idle machine, or `None` if every alive
     /// machine is busy. (`reserveIdleMachine` in the paper's API.)
     pub fn reserve_idle_machine(&mut self) -> Option<MachineId> {
-        let idx =
-            self.allocated.iter().zip(&self.dead).position(|(alloc, dead)| !*alloc && !*dead)?;
-        self.allocated[idx] = true;
-        Some(MachineId::new(idx as u64))
+        match &mut self.backend {
+            Backend::Fast(rm) => {
+                let idx = rm.idle.min()?;
+                rm.idle.remove(idx);
+                rm.allocated[idx] = true;
+                rm.n_allocated += 1;
+                rm.assert_counters();
+                Some(MachineId::new(idx as u64))
+            }
+            Backend::Reference(rm) => {
+                let idx = rm
+                    .allocated
+                    .iter()
+                    .zip(&rm.dead)
+                    .position(|(alloc, dead)| !*alloc && !*dead)?;
+                rm.allocated[idx] = true;
+                Some(MachineId::new(idx as u64))
+            }
+        }
     }
 
     /// Releases a previously reserved machine. (`releaseMachine`.)
@@ -73,22 +324,50 @@ impl ResourceManager {
     /// (a double release is always a framework bug worth surfacing).
     pub fn release_machine(&mut self, machine: MachineId) -> Result<()> {
         let idx = machine.raw() as usize;
-        let slot = self.allocated.get_mut(idx).ok_or(Error::UnknownMachine(machine.raw()))?;
-        if !*slot {
-            return Err(Error::InvalidParameter(format!("machine {machine} released while idle")));
+        match &mut self.backend {
+            Backend::Fast(rm) => {
+                let slot = rm.allocated.get_mut(idx).ok_or(Error::UnknownMachine(machine.raw()))?;
+                if !*slot {
+                    return Err(Error::InvalidParameter(format!(
+                        "machine {machine} released while idle"
+                    )));
+                }
+                *slot = false;
+                rm.n_allocated -= 1;
+                // An allocated machine is never dead, so it goes back idle.
+                rm.idle.insert(idx);
+                rm.assert_counters();
+                Ok(())
+            }
+            Backend::Reference(rm) => {
+                let slot = rm.allocated.get_mut(idx).ok_or(Error::UnknownMachine(machine.raw()))?;
+                if !*slot {
+                    return Err(Error::InvalidParameter(format!(
+                        "machine {machine} released while idle"
+                    )));
+                }
+                *slot = false;
+                Ok(())
+            }
         }
-        *slot = false;
-        Ok(())
     }
 
     /// True if the machine is currently reserved.
     pub fn is_allocated(&self, machine: MachineId) -> bool {
-        self.allocated.get(machine.raw() as usize).copied().unwrap_or(false)
+        let idx = machine.raw() as usize;
+        match &self.backend {
+            Backend::Fast(rm) => rm.allocated.get(idx).copied().unwrap_or(false),
+            Backend::Reference(rm) => rm.allocated.get(idx).copied().unwrap_or(false),
+        }
     }
 
     /// True if the machine has crashed and not yet recovered.
     pub fn is_dead(&self, machine: MachineId) -> bool {
-        self.dead.get(machine.raw() as usize).copied().unwrap_or(false)
+        let idx = machine.raw() as usize;
+        match &self.backend {
+            Backend::Fast(rm) => rm.dead.get(idx).copied().unwrap_or(false),
+            Backend::Reference(rm) => rm.dead.get(idx).copied().unwrap_or(false),
+        }
     }
 
     /// Marks a machine dead after a crash. Any allocation on it is dropped
@@ -100,15 +379,37 @@ impl ResourceManager {
     /// [`Error::InvalidParameter`] if the machine is already dead.
     pub fn mark_dead(&mut self, machine: MachineId) -> Result<()> {
         let idx = machine.raw() as usize;
-        let dead = self.dead.get_mut(idx).ok_or(Error::UnknownMachine(machine.raw()))?;
-        if *dead {
-            return Err(Error::InvalidParameter(format!(
-                "machine {machine} crashed while already dead"
-            )));
+        match &mut self.backend {
+            Backend::Fast(rm) => {
+                let dead = rm.dead.get_mut(idx).ok_or(Error::UnknownMachine(machine.raw()))?;
+                if *dead {
+                    return Err(Error::InvalidParameter(format!(
+                        "machine {machine} crashed while already dead"
+                    )));
+                }
+                *dead = true;
+                rm.n_dead += 1;
+                if rm.allocated[idx] {
+                    rm.allocated[idx] = false;
+                    rm.n_allocated -= 1;
+                }
+                // Dead machines are never idle, whatever they were before.
+                rm.idle.remove(idx);
+                rm.assert_counters();
+                Ok(())
+            }
+            Backend::Reference(rm) => {
+                let dead = rm.dead.get_mut(idx).ok_or(Error::UnknownMachine(machine.raw()))?;
+                if *dead {
+                    return Err(Error::InvalidParameter(format!(
+                        "machine {machine} crashed while already dead"
+                    )));
+                }
+                *dead = true;
+                rm.allocated[idx] = false;
+                Ok(())
+            }
         }
-        *dead = true;
-        self.allocated[idx] = false;
-        Ok(())
     }
 
     /// Returns a recovered machine to service, idle.
@@ -119,14 +420,33 @@ impl ResourceManager {
     /// [`Error::InvalidParameter`] if the machine was not dead.
     pub fn mark_recovered(&mut self, machine: MachineId) -> Result<()> {
         let idx = machine.raw() as usize;
-        let dead = self.dead.get_mut(idx).ok_or(Error::UnknownMachine(machine.raw()))?;
-        if !*dead {
-            return Err(Error::InvalidParameter(format!(
-                "machine {machine} recovered while alive"
-            )));
+        match &mut self.backend {
+            Backend::Fast(rm) => {
+                let dead = rm.dead.get_mut(idx).ok_or(Error::UnknownMachine(machine.raw()))?;
+                if !*dead {
+                    return Err(Error::InvalidParameter(format!(
+                        "machine {machine} recovered while alive"
+                    )));
+                }
+                *dead = false;
+                rm.n_dead -= 1;
+                // A crash dropped any allocation, so a recovered machine is
+                // idle by construction.
+                rm.idle.insert(idx);
+                rm.assert_counters();
+                Ok(())
+            }
+            Backend::Reference(rm) => {
+                let dead = rm.dead.get_mut(idx).ok_or(Error::UnknownMachine(machine.raw()))?;
+                if !*dead {
+                    return Err(Error::InvalidParameter(format!(
+                        "machine {machine} recovered while alive"
+                    )));
+                }
+                *dead = false;
+                Ok(())
+            }
         }
-        *dead = false;
-        Ok(())
     }
 }
 
@@ -135,7 +455,7 @@ mod tests {
     use super::*;
 
     fn rm(n: usize) -> ResourceManager {
-        ResourceManager::new(n).unwrap()
+        ResourceManager::new_fast(n).unwrap()
     }
 
     #[test]
@@ -180,6 +500,8 @@ mod tests {
     #[test]
     fn empty_cluster_is_an_error() {
         assert_eq!(ResourceManager::new(0).unwrap_err(), Error::EmptyCluster);
+        assert_eq!(ResourceManager::new_fast(0).unwrap_err(), Error::EmptyCluster);
+        assert_eq!(ResourceManager::new_reference(0).unwrap_err(), Error::EmptyCluster);
     }
 
     #[test]
@@ -208,5 +530,152 @@ mod tests {
         assert!(rm.mark_dead(m).is_err(), "double crash");
         assert!(rm.mark_dead(MachineId::new(9)).is_err(), "unknown machine");
         assert!(rm.mark_recovered(MachineId::new(9)).is_err());
+    }
+
+    #[test]
+    fn dead_count_tracks_crashes_and_recoveries() {
+        let mut rm = rm(4);
+        assert_eq!(rm.dead_count(), 0);
+        rm.mark_dead(MachineId::new(1)).unwrap();
+        rm.mark_dead(MachineId::new(3)).unwrap();
+        assert_eq!(rm.dead_count(), 2);
+        rm.mark_recovered(MachineId::new(1)).unwrap();
+        assert_eq!(rm.dead_count(), 1);
+    }
+
+    #[test]
+    fn idle_set_min_spans_word_boundaries() {
+        // A universe big enough for three bitset levels (> 64² ids).
+        let n = 64 * 64 + 17;
+        let mut rm = rm(n);
+        // Drain the first 130 machines; the min-extract must hand out
+        // 0, 1, 2, ... in order across word boundaries.
+        for want in 0..130u64 {
+            assert_eq!(rm.reserve_idle_machine(), Some(MachineId::new(want)));
+        }
+        assert_eq!(rm.idle_count(), n - 130);
+        // Releasing a low machine makes it the minimum again.
+        rm.release_machine(MachineId::new(65)).unwrap();
+        assert_eq!(rm.reserve_idle_machine(), Some(MachineId::new(65)));
+        // Kill everything below 128: the minimum must skip all of it.
+        for id in 0..128u64 {
+            rm.mark_dead(MachineId::new(id)).unwrap();
+        }
+        assert_eq!(rm.reserve_idle_machine(), Some(MachineId::new(130)));
+        assert_eq!(rm.dead_count(), 128);
+        assert_eq!(rm.alive_count(), n - 128);
+    }
+
+    /// The fast backend must be op-for-op indistinguishable from the
+    /// retained reference scans: same reservations (ids and order), same
+    /// errors, same counters, under arbitrary interleavings of the whole
+    /// API. This is the determinism pin that lets the free-set replace
+    /// the scan without touching a single golden trace.
+    mod equivalence {
+        use super::*;
+        use proptest::prelude::*;
+        use proptest::strategy::TestRng;
+
+        #[derive(Debug, Clone, Copy)]
+        enum Op {
+            Reserve,
+            Release(u64),
+            MarkDead(u64),
+            MarkRecovered(u64),
+        }
+
+        /// Strategy over op sequences (the vendored proptest has no
+        /// `prop_oneof`/`prop_map`, so this is a hand-rolled generator).
+        #[derive(Debug, Clone)]
+        struct OpsStrategy {
+            max_universe: u64,
+            max_len: usize,
+        }
+
+        impl Strategy for OpsStrategy {
+            type Value = Vec<Op>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<Op> {
+                use rand::Rng;
+                let n = rng.gen_range(0..self.max_len);
+                (0..n)
+                    .map(|_| {
+                        // Ids reach slightly past the cluster so
+                        // unknown-machine errors are exercised too.
+                        let id = rng.gen_range(0..self.max_universe + 2);
+                        match rng.gen_range(0u8..4) {
+                            0 => Op::Reserve,
+                            1 => Op::Release(id),
+                            2 => Op::MarkDead(id),
+                            _ => Op::MarkRecovered(id),
+                        }
+                    })
+                    .collect()
+            }
+        }
+
+        fn check(fast: &ResourceManager, reference: &ResourceManager, step: usize) {
+            assert_eq!(fast.total(), reference.total());
+            assert_eq!(fast.alive_count(), reference.alive_count(), "alive at step {step}");
+            assert_eq!(fast.idle_count(), reference.idle_count(), "idle at step {step}");
+            assert_eq!(
+                fast.allocated_count(),
+                reference.allocated_count(),
+                "allocated at step {step}"
+            );
+            assert_eq!(fast.dead_count(), reference.dead_count(), "dead at step {step}");
+            for id in 0..fast.total() as u64 {
+                let m = MachineId::new(id);
+                assert_eq!(fast.is_allocated(m), reference.is_allocated(m));
+                assert_eq!(fast.is_dead(m), reference.is_dead(m));
+            }
+        }
+
+        proptest! {
+            #[test]
+            fn fast_backend_matches_reference(
+                n in 1usize..200,
+                ops in (OpsStrategy { max_universe: 200, max_len: 400 }),
+            ) {
+                let mut fast = ResourceManager::new_fast(n).unwrap();
+                let mut reference = ResourceManager::new_reference(n).unwrap();
+                for (step, op) in ops.iter().enumerate() {
+                    match *op {
+                        Op::Reserve => {
+                            prop_assert_eq!(
+                                fast.reserve_idle_machine(),
+                                reference.reserve_idle_machine(),
+                                "reserve diverged at step {}", step
+                            );
+                        }
+                        Op::Release(id) => {
+                            let m = MachineId::new(id);
+                            prop_assert_eq!(
+                                fast.release_machine(m).is_ok(),
+                                reference.release_machine(m).is_ok(),
+                                "release({}) diverged at step {}", id, step
+                            );
+                        }
+                        Op::MarkDead(id) => {
+                            let m = MachineId::new(id);
+                            prop_assert_eq!(
+                                fast.mark_dead(m).is_ok(),
+                                reference.mark_dead(m).is_ok(),
+                                "mark_dead({}) diverged at step {}", id, step
+                            );
+                        }
+                        Op::MarkRecovered(id) => {
+                            let m = MachineId::new(id);
+                            prop_assert_eq!(
+                                fast.mark_recovered(m).is_ok(),
+                                reference.mark_recovered(m).is_ok(),
+                                "mark_recovered({}) diverged at step {}", id, step
+                            );
+                        }
+                    }
+                    check(&fast, &reference, step);
+                }
+            }
+        }
     }
 }

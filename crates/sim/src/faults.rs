@@ -101,14 +101,14 @@ enum ReplyFate {
 /// Translates engine commands into future events, filtering each reply
 /// through the pending stall/delay faults. Returns whether `Stop` was seen.
 pub(crate) fn schedule_faulty(
-    cmds: Vec<Command>,
+    cmds: &[Command],
     now: SimTime,
     queue: &mut EventQueue<SimEvent>,
     reply_faults: &mut ReplyFaults,
 ) -> bool {
     let mut stop = false;
     for cmd in cmds {
-        let (machine, due, event) = match cmd {
+        let (machine, due, event) = match *cmd {
             Command::RunEpoch { job, machine, duration, token, .. } => {
                 (machine, now + duration, EngineEvent::EpochDone { job, token })
             }
@@ -150,7 +150,18 @@ pub fn run_sim_with_faults(
     plan: &FaultPlan,
 ) -> ExperimentResult {
     let mut engine = ExperimentEngine::with_fault_injection(policy, workload, spec, plan);
-    let mut queue: EventQueue<SimEvent> = EventQueue::new();
+    // True worst-case heap occupancy under faults: besides each job's one
+    // live in-flight event, every interruption can orphan a stale-token
+    // event that lingers in the queue until its (delayed) due time, and a
+    // job is interrupted at most `max_retries + 1` times before it fails —
+    // so up to `max_retries + 2` queued events per job — plus one slot per
+    // timed fault in the plan (crashes/recoveries are enqueued up front;
+    // stall detections replace the reply they swallow, so the plan length
+    // over-covers them). Sized here so the queue never reallocates
+    // mid-run.
+    let per_job = plan.retry.max_retries as usize + 2;
+    let capacity = workload.len() * per_job + plan.events.len() + 1;
+    let mut queue: EventQueue<SimEvent> = EventQueue::with_capacity(capacity);
     let mut reply_faults = ReplyFaults::from_plan(plan);
     let mut now = SimTime::ZERO;
 
@@ -167,19 +178,25 @@ pub fn run_sim_with_faults(
         }
     }
 
-    let mut stopping = schedule_faulty(engine.start(), now, &mut queue, &mut reply_faults);
+    let mut cmds = Vec::new();
+    engine.start_into(&mut cmds);
+    let mut stopping = schedule_faulty(&cmds, now, &mut queue, &mut reply_faults);
     while !stopping {
         let Some((t, sim_event)) = queue.pop() else {
             break; // all work and all faults drained
         };
         now = t;
-        let cmds = match sim_event {
-            SimEvent::Engine(event) => engine.handle(event, t),
-            SimEvent::Crash(machine) => engine.inject_machine_crash(machine, t),
-            SimEvent::Recover(machine) => engine.inject_machine_recovery(machine, t),
-            SimEvent::StallDetected(machine) => engine.inject_agent_stall(machine, t),
-        };
-        stopping = schedule_faulty(cmds, now, &mut queue, &mut reply_faults) || engine.stopped();
+        match sim_event {
+            SimEvent::Engine(event) => engine.handle_into(event, t, &mut cmds),
+            SimEvent::Crash(machine) => engine.inject_machine_crash_into(machine, t, &mut cmds),
+            SimEvent::Recover(machine) => {
+                engine.inject_machine_recovery_into(machine, t, &mut cmds);
+            }
+            SimEvent::StallDetected(machine) => {
+                engine.inject_agent_stall_into(machine, t, &mut cmds);
+            }
+        }
+        stopping = schedule_faulty(&cmds, now, &mut queue, &mut reply_faults) || engine.stopped();
         if !stopping && engine.active_job_count() == 0 {
             // Every job reached a terminal state; anything left in the
             // queue is a fault event that can no longer affect the run.

@@ -61,20 +61,26 @@ pub fn run_sim(
     spec: ExperimentSpec,
 ) -> ExperimentResult {
     let mut engine = ExperimentEngine::new(policy, workload, spec);
-    // Each job has at most one in-flight event, so sizing the heap to the
-    // job count (plus the stop sentinel) makes steady-state scheduling
-    // allocation-free.
+    // Without fault injection each job holds at most one outstanding
+    // command, so at most one future event per job is ever queued (see
+    // `Simulation::new` for the full argument): this sizing means the heap
+    // never reallocates mid-run.
     let mut queue: EventQueue<EngineEvent> = EventQueue::with_capacity(workload.len() + 1);
     let mut now = SimTime::ZERO;
 
-    let mut stopping = stepper::schedule(engine.start(), now, &mut queue);
+    // One reusable command buffer for the whole run: together with the
+    // engine's internal reservations this makes the steady-state event
+    // loop allocation-free (pinned by the `sim_scale` bench).
+    let mut cmds = Vec::new();
+    engine.start_into(&mut cmds);
+    let mut stopping = stepper::schedule(&cmds, now, &mut queue);
     while !stopping {
         let Some((t, event)) = queue.pop() else {
             break; // all jobs finished
         };
         now = t;
-        let cmds = engine.handle(event, now);
-        stopping = stepper::schedule(cmds, now, &mut queue) || engine.stopped();
+        engine.handle_into(event, now, &mut cmds);
+        stopping = stepper::schedule(&cmds, now, &mut queue) || engine.stopped();
     }
     engine.into_result(now)
 }

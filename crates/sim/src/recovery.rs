@@ -20,8 +20,8 @@
 //! through multiple crashes in one call.
 
 use hyperdrive_framework::{
-    ExperimentEngine, ExperimentResult, ExperimentSpec, ExperimentWorkload, FaultKind, FaultPlan,
-    FaultStats, Journal, RecoveredJournal, ReplayInput, SchedulingPolicy,
+    Command, ExperimentEngine, ExperimentResult, ExperimentSpec, ExperimentWorkload, FaultKind,
+    FaultPlan, FaultStats, Journal, RecoveredJournal, ReplayInput, SchedulingPolicy,
 };
 use hyperdrive_types::{Error, Result, SimTime};
 
@@ -38,6 +38,15 @@ pub struct SimRunOutcome {
     /// coordinate space of crash positions: killing at position `k` means
     /// dying right after the engine consumed its `k`-th input.
     pub inputs: u64,
+}
+
+/// Worst-case future-event-queue occupancy under this plan — same bound as
+/// the plain fault executor (see `run_sim_with_faults`): one live event per
+/// job plus at most one stale token per interruption, plus the plan's own
+/// timed events.
+fn queue_capacity(workload: &ExperimentWorkload, plan: &FaultPlan) -> usize {
+    let per_job = plan.retry.max_retries as usize + 2;
+    workload.len() * per_job + plan.events.len() + 1
 }
 
 /// Schedules the plan's timed machine faults into the future-event queue.
@@ -74,33 +83,38 @@ pub fn run_sim_journaled(
     if crash_after == Some(0) {
         return SimRunOutcome { result: None, inputs: 0 };
     }
-    let mut queue: EventQueue<SimEvent> = EventQueue::new();
+    let mut queue: EventQueue<SimEvent> = EventQueue::with_capacity(queue_capacity(workload, plan));
     let mut reply_faults = ReplyFaults::from_plan(plan);
     let mut now = SimTime::ZERO;
     schedule_timed_faults(plan, &mut queue);
 
-    let cmds = engine.start();
+    let mut cmds: Vec<Command> = Vec::new();
+    engine.start_into(&mut cmds);
     if crash_after.is_some_and(|k| engine.journaled_inputs() >= k) {
         return SimRunOutcome { result: None, inputs: engine.journaled_inputs() };
     }
-    let mut stopping = schedule_faulty(cmds, now, &mut queue, &mut reply_faults);
+    let mut stopping = schedule_faulty(&cmds, now, &mut queue, &mut reply_faults);
     while !stopping {
         let Some((t, sim_event)) = queue.pop() else {
             break;
         };
         now = t;
-        let cmds = match sim_event {
-            SimEvent::Engine(event) => engine.handle(event, t),
-            SimEvent::Crash(machine) => engine.inject_machine_crash(machine, t),
-            SimEvent::Recover(machine) => engine.inject_machine_recovery(machine, t),
-            SimEvent::StallDetected(machine) => engine.inject_agent_stall(machine, t),
-        };
+        match sim_event {
+            SimEvent::Engine(event) => engine.handle_into(event, t, &mut cmds),
+            SimEvent::Crash(machine) => engine.inject_machine_crash_into(machine, t, &mut cmds),
+            SimEvent::Recover(machine) => {
+                engine.inject_machine_recovery_into(machine, t, &mut cmds);
+            }
+            SimEvent::StallDetected(machine) => {
+                engine.inject_agent_stall_into(machine, t, &mut cmds);
+            }
+        }
         // A crash at input k dies before the batch is acted on; recovery
         // regenerates and redelivers it.
         if crash_after.is_some_and(|k| engine.journaled_inputs() >= k) {
             return SimRunOutcome { result: None, inputs: engine.journaled_inputs() };
         }
-        stopping = schedule_faulty(cmds, now, &mut queue, &mut reply_faults) || engine.stopped();
+        stopping = schedule_faulty(&cmds, now, &mut queue, &mut reply_faults) || engine.stopped();
         if !stopping && engine.active_job_count() == 0 {
             break;
         }
@@ -142,27 +156,28 @@ fn resume_sim_inner(
     crash_after: Option<u64>,
 ) -> Result<SimRunOutcome> {
     let (mut engine, run) = ExperimentEngine::recover(policy, workload, spec, plan, recovered)?;
-    let mut queue: EventQueue<SimEvent> = EventQueue::new();
+    let mut queue: EventQueue<SimEvent> = EventQueue::with_capacity(queue_capacity(workload, plan));
     let mut reply_faults = ReplyFaults::from_plan(plan);
     schedule_timed_faults(plan, &mut queue);
 
+    let mut cmds: Vec<Command> = Vec::new();
     let mut stopping;
     if run.inputs.is_empty() {
         // Header-only journal (the process died before `start()` was
         // recorded): this is simply a fresh journaled run.
-        let cmds = engine.start();
+        engine.start_into(&mut cmds);
         if crash_after.is_some_and(|k| engine.journaled_inputs() >= k) {
             return Ok(SimRunOutcome { result: None, inputs: engine.journaled_inputs() });
         }
-        stopping = schedule_faulty(cmds, SimTime::ZERO, &mut queue, &mut reply_faults);
+        stopping = schedule_faulty(&cmds, SimTime::ZERO, &mut queue, &mut reply_faults);
     } else {
         // Re-schedule every regenerated command batch in original order.
         // The queue's (time, seq) ordering is deterministic, so the
         // events the dead process already consumed come off the front as
         // an exact prefix — pop and verify them against the journal.
         stopping = false;
-        for (at, cmds) in &run.batches {
-            stopping |= schedule_faulty(cmds.clone(), *at, &mut queue, &mut reply_faults);
+        for (at, batch) in &run.batches {
+            stopping |= schedule_faulty(batch, *at, &mut queue, &mut reply_faults);
         }
         for (i, input) in run.inputs.iter().enumerate().skip(1) {
             let Some((t, ev)) = queue.pop() else {
@@ -199,16 +214,20 @@ fn resume_sim_inner(
             break;
         };
         now = t;
-        let cmds = match sim_event {
-            SimEvent::Engine(event) => engine.handle(event, t),
-            SimEvent::Crash(machine) => engine.inject_machine_crash(machine, t),
-            SimEvent::Recover(machine) => engine.inject_machine_recovery(machine, t),
-            SimEvent::StallDetected(machine) => engine.inject_agent_stall(machine, t),
-        };
+        match sim_event {
+            SimEvent::Engine(event) => engine.handle_into(event, t, &mut cmds),
+            SimEvent::Crash(machine) => engine.inject_machine_crash_into(machine, t, &mut cmds),
+            SimEvent::Recover(machine) => {
+                engine.inject_machine_recovery_into(machine, t, &mut cmds);
+            }
+            SimEvent::StallDetected(machine) => {
+                engine.inject_agent_stall_into(machine, t, &mut cmds);
+            }
+        }
         if crash_after.is_some_and(|k| engine.journaled_inputs() >= k) {
             return Ok(SimRunOutcome { result: None, inputs: engine.journaled_inputs() });
         }
-        stopping = schedule_faulty(cmds, now, &mut queue, &mut reply_faults) || engine.stopped();
+        stopping = schedule_faulty(&cmds, now, &mut queue, &mut reply_faults) || engine.stopped();
         if !stopping && engine.active_job_count() == 0 {
             break;
         }

@@ -52,6 +52,9 @@ pub struct Simulation<'w, 'p> {
     queue: EventQueue<EngineEvent>,
     now: SimTime,
     stopping: bool,
+    /// Reusable command buffer: the engine writes each event's follow-up
+    /// batch here, so the steady-state step path allocates nothing.
+    cmds: Vec<Command>,
 }
 
 impl<'w, 'p> Simulation<'w, 'p> {
@@ -62,13 +65,20 @@ impl<'w, 'p> Simulation<'w, 'p> {
         spec: ExperimentSpec,
     ) -> Self {
         let mut engine = ExperimentEngine::new(policy, workload, spec);
-        // Each job has at most one in-flight event, so sizing the heap to
-        // the job count (plus the stop sentinel) makes steady-state
-        // scheduling allocation-free.
+        // Worst-case heap occupancy without fault injection: each job
+        // holds at most one outstanding command (RunEpoch *or* Suspend,
+        // never both) and no token ever goes stale, so at most one future
+        // event per job is ever queued, plus nothing for Stop (it is not
+        // enqueued). One extra slot keeps a full cluster's simultaneous
+        // batch from landing exactly on capacity. Executors that inject
+        // faults must also budget for orphaned (stale-token) events — see
+        // `faults.rs`.
         let mut queue = EventQueue::with_capacity(workload.len() + 1);
         let now = SimTime::ZERO;
-        let stopping = schedule(engine.start(), now, &mut queue);
-        Simulation { engine, queue, now, stopping }
+        let mut cmds = Vec::new();
+        engine.start_into(&mut cmds);
+        let stopping = schedule(&cmds, now, &mut queue);
+        Simulation { engine, queue, now, stopping, cmds }
     }
 
     /// Processes the next pending event. Returns `None` once the
@@ -79,8 +89,8 @@ impl<'w, 'p> Simulation<'w, 'p> {
         }
         let (t, event) = self.queue.pop()?;
         self.now = t;
-        let cmds = self.engine.handle(event, t);
-        self.stopping = schedule(cmds, t, &mut self.queue) || self.engine.stopped();
+        self.engine.handle_into(event, t, &mut self.cmds);
+        self.stopping = schedule(&self.cmds, t, &mut self.queue) || self.engine.stopped();
         Some(StepOutcome { event, time: t })
     }
 
@@ -132,13 +142,13 @@ impl<'w, 'p> Simulation<'w, 'p> {
 /// command's token), returning whether a `Stop` was seen. Shared by
 /// [`run_sim`](crate::run_sim) and [`Simulation`].
 pub(crate) fn schedule(
-    cmds: Vec<Command>,
+    cmds: &[Command],
     now: SimTime,
     queue: &mut EventQueue<EngineEvent>,
 ) -> bool {
     let mut stop = false;
     for cmd in cmds {
-        match cmd {
+        match *cmd {
             Command::RunEpoch { job, duration, token, .. } => {
                 queue.schedule(now + duration, EngineEvent::EpochDone { job, token });
             }

@@ -48,6 +48,13 @@ impl LearningCurve {
         LearningCurve { kind, points: Vec::new() }
     }
 
+    /// Creates an empty curve with room for `capacity` observations, so a
+    /// curve filled up to its job's epoch cap never reallocates (the
+    /// engine's zero-alloc steady-state contract).
+    pub fn with_capacity(kind: MetricKind, capacity: usize) -> Self {
+        LearningCurve { kind, points: Vec::with_capacity(capacity) }
+    }
+
     /// Creates a curve from pre-existing points.
     ///
     /// # Panics

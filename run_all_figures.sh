@@ -2,10 +2,13 @@
 # Regenerates every paper figure/table at full scale. CSVs land in results/,
 # terminal tables in results/logs/.
 #
-# Usage: ./run_all_figures.sh [-j N] [-s]
+# Usage: ./run_all_figures.sh [-j N] [-s] [-S]
 #   -j N   run N figure bins concurrently (default: number of CPUs).
 #   -s     also run the multi-tenant server bench (server_bench; off by
 #          default — it is a systems benchmark, not a paper figure).
+#   -S     also run the simulator capacity-scaling bench (sim_scale; off by
+#          default — it measures events/sec out to 50k machines, not a
+#          paper figure).
 #
 # The workspace is built once up front; the figure bins then run from the
 # prebuilt binaries in parallel. The script fails fast: the first failing
@@ -25,11 +28,13 @@ set -e
 
 JOBS=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 2)
 SERVER_BENCH=0
-while getopts "j:s" opt; do
+SIM_SCALE=0
+while getopts "j:sS" opt; do
   case "$opt" in
     j) JOBS="$OPTARG" ;;
     s) SERVER_BENCH=1 ;;
-    *) echo "usage: $0 [-j N] [-s]" >&2; exit 2 ;;
+    S) SIM_SCALE=1 ;;
+    *) echo "usage: $0 [-j N] [-s] [-S]" >&2; exit 2 ;;
   esac
 done
 
@@ -41,6 +46,9 @@ fig12b_capacity_sweep fig12c_order_sensitivity \
 tab02_lstm_frontier ablation_pop gantt_export scale_imagenet"
 if [ "$SERVER_BENCH" = 1 ]; then
   BINS="$BINS server_bench"
+fi
+if [ "$SIM_SCALE" = 1 ]; then
+  BINS="$BINS sim_scale"
 fi
 
 mkdir -p results/logs
