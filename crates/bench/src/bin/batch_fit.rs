@@ -101,6 +101,7 @@ fn sim_event_log(batch_fit: bool, fit_threads: usize) -> (Vec<u8>, u64) {
         ..Default::default()
     });
     let r = run_sim(&mut pop, &ew, spec);
+    hyperdrive_bench::record_pool_stats(&pop.pool_stats());
     let mut csv = Vec::new();
     r.events.write_csv(&mut csv).expect("event log serializes");
     (csv, pop.fit_stats().batched_fits)
@@ -256,13 +257,15 @@ fn main() {
   "sim_batched_fits": {on_batched_1},
   "sim_event_logs_byte_identical": {logs_ok},
   "determinism_mismatch": {determinism_mismatch},
-  {fit_cache_fragment}
+  {fit_cache_fragment},
+  {fit_pool_fragment}
 }}
 "#,
         bitwise = !determinism_mismatch,
         allocs = alloc_deltas[0],
         logs_ok = log_off_1 == log_on_1 && log_off_1 == log_on_4 && log_off_1 == log_off_4,
         fit_cache_fragment = hyperdrive_bench::fit_cache_json(),
+        fit_pool_fragment = hyperdrive_bench::fit_pool_json(),
     )
     .expect("json write");
     println!("wrote {}", path.display());

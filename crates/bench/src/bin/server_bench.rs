@@ -11,9 +11,13 @@
 //!   workers, no shared cache, one study at a time — the no-server
 //!   deployment) and the resulting speedup,
 //! * p50/p99 scheduling-decision latency (submit → dequeue),
+//! * p50/p99 *boundary* decision latency (fit submit → posterior ready,
+//!   from the shared pool's stall histogram) with speculative fit
+//!   prefetch off vs on,
 //! * the measured cross-study hit rate and admission rejections,
 //! * `determinism_mismatch`: every per-study server trace byte-compared
-//!   against its standalone reference, at 1 **and** 4 fit threads.
+//!   against its standalone reference, at 1 **and** 4 fit threads and
+//!   with prefetch forced on.
 //!
 //! The bin fails loudly if any trace diverges, if duplicates failed to
 //! dedup, or (on hosts with ≥ 4 cores, where shard overlap makes it
@@ -64,11 +68,13 @@ fn build_stream(n: usize, dup_ratio: f64, configs: usize, epochs: u32) -> Vec<St
 /// Pushes the whole stream through a server open-loop (submit as fast as
 /// admission allows, honoring `retry_after` on rejection), then waits for
 /// every outcome. Returns the outcomes in submission order, the wall
-/// clock, and the rejection count.
+/// clock, the rejection count, and the shared pool's final telemetry
+/// (whose stall histogram is the boundary submit→posterior-ready
+/// latency distribution).
 fn run_server_pass(
     config: ServerConfig,
     stream: &[StudySpec],
-) -> (Vec<StudyOutcome>, Duration, u64) {
+) -> (Vec<StudyOutcome>, Duration, u64, hyperdrive_curve::FitPoolStats) {
     let server = Server::new(config);
     let mut rejections = 0u64;
     let start = Instant::now();
@@ -93,7 +99,9 @@ fn run_server_pass(
         .collect();
     let outcomes: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
     let wall = start.elapsed();
-    (outcomes, wall, rejections)
+    let pool_stats = server.pool().stats();
+    hyperdrive_bench::record_pool_stats(&pool_stats);
+    (outcomes, wall, rejections, pool_stats)
 }
 
 /// The `q`-th percentile (0..=1) of already-sorted latencies.
@@ -136,13 +144,33 @@ fn main() {
         queue_capacity: 2,
         tenant_quota: n_studies,
         retry_after: Duration::from_millis(1),
+        tenant_prefetch_budget: u64::MAX,
     };
-    let (outcomes, server_wall, rejections) = run_server_pass(config, &stream);
-    let (outcomes_1t, _, _) = run_server_pass(ServerConfig { fit_threads: 1, ..config }, &stream);
+    let (outcomes, server_wall, rejections, pool_off) = run_server_pass(config, &stream);
+    let (outcomes_1t, _, _, _) =
+        run_server_pass(ServerConfig { fit_threads: 1, ..config }, &stream);
+
+    // The same stream with speculative fit prefetch forced on: boundary
+    // decisions collect already-computed posteriors, so the pool's stall
+    // histogram shrinks while every trace stays byte-identical.
+    let stream_on: Vec<StudySpec> = stream
+        .iter()
+        .map(|s| {
+            let mut s = s.clone();
+            s.policy.fit_prefetch = Some(true);
+            s
+        })
+        .collect();
+    let (outcomes_on, _, _, pool_on) = run_server_pass(config, &stream_on);
+    let speculated: u64 = outcomes_on.iter().map(|o| o.spec_stats.speculated).sum();
+    let adopted: u64 = outcomes_on.iter().map(|o| o.spec_stats.adopted).sum();
+    assert!(speculated > 0, "the prefetch-on pass never speculated");
 
     let mut mismatches = 0usize;
-    for (reference, (at4, at1)) in references.iter().zip(outcomes.iter().zip(&outcomes_1t)) {
-        for outcome in [at4, at1] {
+    for (reference, ((at4, at1), on)) in
+        references.iter().zip(outcomes.iter().zip(&outcomes_1t).zip(&outcomes_on))
+    {
+        for outcome in [at4, at1, on] {
             if outcome.trace != reference.trace
                 || outcome.posterior_digest != reference.posterior_digest
                 || outcome.predictions != reference.predictions
@@ -216,8 +244,44 @@ fn main() {
             rejections.to_string(),
         ]],
     );
+    print_table(
+        "boundary decision latency (fit submit -> posterior ready, pool stall histogram)",
+        &[
+            "prefetch",
+            "stalls",
+            "stall_s",
+            "p50_ms",
+            "p99_ms",
+            "pool_idle",
+            "speculated",
+            "adopted",
+        ],
+        &[
+            vec![
+                "off".to_string(),
+                pool_off.stall_events.to_string(),
+                format!("{:.3}", pool_off.stall_secs),
+                format!("{:.2}", pool_off.stall_p50_ms),
+                format!("{:.2}", pool_off.stall_p99_ms),
+                format!("{:.3}", pool_off.idle_fraction()),
+                "0".to_string(),
+                "0".to_string(),
+            ],
+            vec![
+                "on".to_string(),
+                pool_on.stall_events.to_string(),
+                format!("{:.3}", pool_on.stall_secs),
+                format!("{:.2}", pool_on.stall_p50_ms),
+                format!("{:.2}", pool_on.stall_p99_ms),
+                format!("{:.3}", pool_on.idle_fraction()),
+                speculated.to_string(),
+                adopted.to_string(),
+            ],
+        ],
+    );
     println!(
-        "determinism: {n_studies} studies byte-identical to standalone at 1 and 4 fit threads"
+        "determinism: {n_studies} studies byte-identical to standalone at 1 and 4 fit threads \
+         and with prefetch on"
     );
 
     let path = results_dir().join("BENCH_server.json");
@@ -236,19 +300,31 @@ fn main() {
              \"speedup_vs_isolated\": {speedup:.3},\n  \
              \"p50_decision_latency_ms\": {:.3},\n  \
              \"p99_decision_latency_ms\": {:.3},\n  \
+             \"boundary_decision_latency_ms\": {{ \
+             \"prefetch_off\": {{ \"stall_events\": {}, \"p50\": {:.4}, \"p99\": {:.4} }}, \
+             \"prefetch_on\": {{ \"stall_events\": {}, \"p50\": {:.4}, \"p99\": {:.4} }} }},\n  \
+             \"prefetch\": {{ \"speculated\": {speculated}, \"adopted\": {adopted} }},\n  \
              \"cross_study\": {{ \"lookups\": {}, \"hits\": {}, \"inserts\": {}, \
              \"hit_rate\": {:.4} }},\n  \
              \"rejections\": {rejections},\n  \
              \"host_parallelism\": {host},\n  \
-             \"determinism_mismatch\": {determinism_mismatch}\n}}\n",
+             \"determinism_mismatch\": {determinism_mismatch},\n  \
+             {}\n}}\n",
             config.fit_threads,
             config.queue_capacity,
             p50.as_secs_f64() * 1e3,
             p99.as_secs_f64() * 1e3,
+            pool_off.stall_events,
+            pool_off.stall_p50_ms,
+            pool_off.stall_p99_ms,
+            pool_on.stall_events,
+            pool_on.stall_p50_ms,
+            pool_on.stall_p99_ms,
             cache.lookups,
             cache.shared_hits,
             cache.inserts,
             cache.hit_rate(),
+            hyperdrive_bench::fit_pool_json(),
         ),
     )
     .expect("json write");

@@ -8,12 +8,12 @@
 //! workload traces fetch them through [`cached_traces`] instead of
 //! regenerating per process.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use hyperdrive_curve::{
     cache_for_mode, cache_mode_from_env, global_fit_cache, install_global_fit_cache, CacheMode,
-    SharedFitCache,
+    FitPoolStats, SharedFitCache,
 };
 use hyperdrive_workload::{TraceSet, Workload};
 
@@ -29,6 +29,70 @@ pub fn init_fit_cache() -> Option<Arc<SharedFitCache>> {
     let mode = cache_mode_from_env().unwrap_or(CacheMode::Mem);
     install_global_fit_cache(cache_for_mode(mode));
     global_fit_cache()
+}
+
+/// Process-wide fit-pool telemetry aggregate: how many pools reported and
+/// their merged [`FitPoolStats`]. Counters and worker-seconds sum across
+/// pools; the stall quantiles are taken from the pool that timed the most
+/// `fit_batch` calls (quantiles do not merge, so the busiest pool stands
+/// for the distribution).
+static POOL_AGG: Mutex<Option<(u64, FitPoolStats)>> = Mutex::new(None);
+
+/// Folds one policy's fit-pool statistics into the process aggregate
+/// reported by [`fit_pool_json`]. Bins call this once per finished policy
+/// (e.g. `record_pool_stats(&pop.pool_stats())`) before their final
+/// [`report_fit_cache`].
+pub fn record_pool_stats(stats: &FitPoolStats) {
+    let mut agg = POOL_AGG.lock().expect("pool aggregate lock");
+    match agg.as_mut() {
+        None => *agg = Some((1, *stats)),
+        Some((pools, merged)) => {
+            *pools += 1;
+            merged.threads = merged.threads.max(stats.threads);
+            merged.queue_depth += stats.queue_depth;
+            merged.demand_completions += stats.demand_completions;
+            merged.speculative_completions += stats.speculative_completions;
+            merged.speculative_skipped += stats.speculative_skipped;
+            merged.busy_secs += stats.busy_secs;
+            merged.uptime_secs += stats.uptime_secs;
+            merged.stall_secs += stats.stall_secs;
+            if stats.stall_events > merged.stall_events {
+                merged.stall_p50_ms = stats.stall_p50_ms;
+                merged.stall_p99_ms = stats.stall_p99_ms;
+            }
+            merged.stall_events += stats.stall_events;
+        }
+    }
+}
+
+/// The aggregated fit-pool statistics as a JSON object fragment
+/// (`"fit_pool": {...}`), embedded in every `BENCH_*.json` alongside
+/// [`fit_cache_json`]. `"recorded": false` when no policy reported a pool
+/// (bins that never run a fitting policy).
+#[must_use]
+pub fn fit_pool_json() -> String {
+    let agg = POOL_AGG.lock().expect("pool aggregate lock");
+    match *agg {
+        None => "\"fit_pool\": { \"recorded\": false }".to_string(),
+        Some((pools, s)) => format!(
+            "\"fit_pool\": {{ \"recorded\": true, \"pools\": {pools}, \"threads\": {}, \
+             \"queue_depth\": {}, \"demand_completions\": {}, \"speculative_completions\": {}, \
+             \"speculative_skipped\": {}, \"busy_secs\": {:.4}, \"idle_fraction\": {:.4}, \
+             \"stall_events\": {}, \"stall_secs\": {:.4}, \"stall_p50_ms\": {:.4}, \
+             \"stall_p99_ms\": {:.4} }}",
+            s.threads,
+            s.queue_depth,
+            s.demand_completions,
+            s.speculative_completions,
+            s.speculative_skipped,
+            s.busy_secs,
+            s.idle_fraction(),
+            s.stall_events,
+            s.stall_secs,
+            s.stall_p50_ms,
+            s.stall_p99_ms,
+        ),
+    }
 }
 
 /// The process-global fit-cache statistics as a JSON object fragment
@@ -58,11 +122,12 @@ pub fn fit_cache_json() -> String {
     }
 }
 
-/// Writes `BENCH_<bin>.json` with the bin's fit-cache statistics and
-/// prints the one-line summary every figure bin ends with.
+/// Writes `BENCH_<bin>.json` with the bin's fit-cache and fit-pool
+/// statistics and prints the one-line summary every figure bin ends with.
 pub fn report_fit_cache(bin: &str) {
     let path = crate::results_dir().join(format!("BENCH_{bin}.json"));
-    let body = format!("{{\n  \"bin\": \"{bin}\",\n  {}\n}}\n", fit_cache_json());
+    let body =
+        format!("{{\n  \"bin\": \"{bin}\",\n  {},\n  {}\n}}\n", fit_cache_json(), fit_pool_json());
     if let Err(e) = std::fs::write(&path, body) {
         eprintln!("fit cache: writing {path:?} failed ({e})");
     }
@@ -124,5 +189,37 @@ mod tests {
                 assert!(json.contains("\"inserts\""));
             }
         }
+    }
+
+    #[test]
+    fn fit_pool_json_merges_recorded_pools() {
+        // Before anything records, the fragment still embeds cleanly.
+        assert!(fit_pool_json().starts_with("\"fit_pool\": {"));
+        let a = FitPoolStats {
+            threads: 2,
+            demand_completions: 10,
+            speculative_completions: 3,
+            busy_secs: 1.0,
+            uptime_secs: 2.0,
+            stall_events: 4,
+            stall_p99_ms: 8.0,
+            ..FitPoolStats::default()
+        };
+        let b = FitPoolStats {
+            threads: 1,
+            demand_completions: 5,
+            stall_events: 1,
+            stall_p99_ms: 99.0,
+            ..FitPoolStats::default()
+        };
+        record_pool_stats(&a);
+        record_pool_stats(&b);
+        let json = fit_pool_json();
+        assert!(json.contains("\"recorded\": true"));
+        assert!(json.contains("\"demand_completions\": 15"), "{json}");
+        assert!(json.contains("\"speculative_completions\": 3"), "{json}");
+        assert!(json.contains("\"stall_events\": 5"), "{json}");
+        // Quantiles come from the pool with the most stall events (a).
+        assert!(json.contains("\"stall_p99_ms\": 8.0000"), "{json}");
     }
 }

@@ -263,8 +263,22 @@ pub fn run_comparison(
                 let spec = ExperimentSpec::new(settings.machines)
                     .with_tmax(settings.tmax)
                     .with_seed(noise_seed);
-                let mut policy = policy_kind.build(settings.fidelity, noise_seed);
-                let result = run_sim(policy.as_mut(), experiment, spec);
+                // POP built concretely so its fit-pool telemetry folds into
+                // the process aggregate every BENCH_*.json reports.
+                let result = if policy_kind == PolicyKind::Pop {
+                    let mut pop = PopPolicy::with_config(PopConfig {
+                        predictor: settings.fidelity,
+                        seed: noise_seed,
+                        fit_threads: harness_fit_threads(),
+                        ..Default::default()
+                    });
+                    let result = run_sim(&mut pop, experiment, spec);
+                    crate::cache::record_pool_stats(&pop.pool_stats());
+                    result
+                } else {
+                    let mut policy = policy_kind.build(settings.fidelity, noise_seed);
+                    run_sim(policy.as_mut(), experiment, spec)
+                };
                 results.lock().expect("no panics hold the lock")[i] =
                     Some(ComparisonRun { policy: policy_kind, repeat, result });
             });

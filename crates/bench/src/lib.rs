@@ -26,7 +26,10 @@ pub mod harness;
 pub mod par;
 pub mod report;
 
-pub use cache::{cached_traces, fit_cache_json, init_fit_cache, report_fit_cache};
+pub use cache::{
+    cached_traces, fit_cache_json, fit_pool_json, init_fit_cache, record_pool_stats,
+    report_fit_cache,
+};
 pub use harness::{
     harness_fit_threads, run_comparison, summarize, ComparisonRun, ComparisonSettings, PolicyKind,
     PolicySummary,

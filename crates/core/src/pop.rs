@@ -20,8 +20,10 @@
 use std::collections::HashMap;
 
 use hyperdrive_curve::{FitRequest, FitService, PredictorConfig};
-use hyperdrive_framework::{JobDecision, JobEvent, SchedulerContext, SchedulingPolicy};
-use hyperdrive_types::{JobId, SimTime};
+use hyperdrive_framework::{
+    JobDecision, JobEvent, PrefetchHint, SchedulerContext, SchedulingPolicy,
+};
+use hyperdrive_types::{JobId, LearningCurve, SimTime};
 
 use crate::allocation::{allocate_slots, AllocationPoint};
 use crate::ert::estimate_remaining_time;
@@ -153,6 +155,15 @@ pub struct PopConfig {
     /// each boundary decision reports the modeled makespan of its fit
     /// batch, which the engine charges to the decided job.
     pub fit_cost: Option<FitCostModel>,
+    /// Speculative ahead-of-boundary fit prefetch: the engine hints each
+    /// boundary epoch at *issue* time and the fit service computes the
+    /// boundary fit while the epoch runs, so the decision collects an
+    /// already-finished posterior instead of launching it synchronously.
+    /// Prefetch changes *when* fits compute, never *what* they compute —
+    /// traces stay byte-identical (see `FitService::prefetch_fit`).
+    /// `None` defers to the `HYPERDRIVE_FIT_PREFETCH` environment knob
+    /// (default off); `Some` overrides it either way.
+    pub fit_prefetch: Option<bool>,
     /// Base seed for prediction determinism.
     pub seed: u64,
 }
@@ -168,6 +179,7 @@ impl Default for PopConfig {
             static_threshold: None,
             fit_threads: 0,
             fit_cost: None,
+            fit_prefetch: None,
             seed: 0,
         }
     }
@@ -328,6 +340,25 @@ impl PopPolicy {
         self.service.shared_snapshot()
     }
 
+    /// Speculation counters (speculated / adopted / cancelled /
+    /// mismatched); all zero unless fit prefetch is enabled.
+    pub fn spec_stats(&self) -> hyperdrive_curve::SpecStats {
+        self.service.spec_stats()
+    }
+
+    /// Worker-pool occupancy and boundary-stall telemetry from this
+    /// policy's fit service.
+    pub fn pool_stats(&self) -> hyperdrive_curve::FitPoolStats {
+        self.service.pool_stats()
+    }
+
+    /// Whether this policy speculates ahead of boundaries: the explicit
+    /// config override when present, else the `HYPERDRIVE_FIT_PREFETCH`
+    /// environment knob (default off).
+    fn prefetch_enabled(&self) -> bool {
+        self.config.fit_prefetch.unwrap_or_else(hyperdrive_curve::fit_prefetch_forced)
+    }
+
     /// An order-independent digest over every posterior this policy has
     /// memoized: two runs of the same experiment produced byte-identical
     /// posteriors iff their digests match (the server's equivalence tests
@@ -474,6 +505,39 @@ impl SchedulingPolicy for PopPolicy {
 
     fn take_decision_overhead(&mut self) -> SimTime {
         std::mem::replace(&mut self.pending_overhead, SimTime::ZERO)
+    }
+
+    fn prefetch_boundary(&self, default_boundary: u32) -> Option<u32> {
+        self.prefetch_enabled().then(|| self.config.boundary.unwrap_or(default_boundary).max(1))
+    }
+
+    fn prefetch_hint(&mut self, hint: &PrefetchHint, curve: &LearningCurve) {
+        // Mirror of `refresh_assessments` for the hinted job, evaluated on
+        // the curve as it will look when the in-flight epoch lands — same
+        // budget arithmetic, same fallback epoch duration, same horizon —
+        // so the speculative fit's fingerprint matches the boundary's
+        // demand fit exactly and is adopted rather than recomputed.
+        let budget = hint.tmax.saturating_sub(hint.completion_time);
+        if budget <= SimTime::ZERO {
+            return; // Tmax imminent; the boundary never fits either.
+        }
+        if hint.epoch == 0 || curve.last_epoch() != Some(hint.epoch - 1) {
+            return; // curve out of step with the hint (rollback mid-turn)
+        }
+        let mut predicted = curve.clone();
+        predicted.push(hint.epoch, hint.completion_time, hint.value);
+        let epoch_duration = predicted.mean_epoch_duration().unwrap_or_else(|| {
+            SimTime::from_secs(hint.completion_time.as_secs() / f64::from(hint.epoch.max(1)))
+        });
+        if epoch_duration <= SimTime::ZERO {
+            return;
+        }
+        let m_budget = (budget.as_secs() / epoch_duration.as_secs()).floor() as u32;
+        let max_future = m_budget.min(hint.max_epochs.saturating_sub(hint.epoch));
+        if max_future < 1 {
+            return;
+        }
+        self.service.prefetch_fit(hint.job, &predicted, hint.epoch + max_future);
     }
 
     fn on_iteration_finish(
@@ -881,6 +945,110 @@ mod tests {
         };
         assert_eq!(uneven.makespan_secs(&[5.0, 3.0, 2.0]), 5.0);
         assert_eq!(serial.makespan_secs(&[]), 0.0, "all-cached batches are free");
+    }
+
+    #[test]
+    fn prefetch_boundary_follows_config_not_environment() {
+        let pop_with = |fit_prefetch, boundary| {
+            PopPolicy::with_config(PopConfig {
+                predictor: PredictorConfig::test(),
+                fit_prefetch,
+                boundary,
+                ..Default::default()
+            })
+        };
+        // Explicit overrides win over whatever HYPERDRIVE_FIT_PREFETCH
+        // says, so these hold in any test environment.
+        assert_eq!(pop_with(Some(false), None).prefetch_boundary(10), None);
+        assert_eq!(pop_with(Some(true), None).prefetch_boundary(10), Some(10));
+        assert_eq!(pop_with(Some(true), Some(7)).prefetch_boundary(10), Some(7));
+        assert_eq!(pop_with(Some(true), Some(0)).prefetch_boundary(0), Some(1));
+    }
+
+    #[test]
+    fn hinted_boundary_fit_is_adopted_not_recomputed() {
+        let mut ctx = MockContext::new(4);
+        let values = saturating(0.85, 30);
+        // The policy sees 29 observed epochs while epoch 30 is in flight.
+        ctx.push_curve(JobId::new(0), &values[..29], 60.0);
+        ctx.active = vec![JobId::new(0)];
+        let mut policy = PopPolicy::with_config(PopConfig {
+            predictor: PredictorConfig::test(),
+            fit_prefetch: Some(true),
+            ..Default::default()
+        });
+        let curve = ctx.curve(JobId::new(0)).expect("curve");
+        let hint = PrefetchHint {
+            job: JobId::new(0),
+            epoch: 30,
+            completion_time: SimTime::from_mins(30.0),
+            value: values[29],
+            max_epochs: ctx.max_epochs(),
+            tmax: ctx.tmax(),
+        };
+        policy.prefetch_hint(&hint, &curve);
+        assert_eq!(policy.spec_stats().speculated, 1);
+
+        // The epoch lands; the boundary decision collects the speculation.
+        let mut boundary_ctx = MockContext::new(4);
+        boundary_ctx.push_curve(JobId::new(0), &values, 60.0);
+        boundary_ctx.active = vec![JobId::new(0)];
+        let decision = policy.on_iteration_finish(&event(0, 30, values[29]), &mut boundary_ctx);
+        let spec = policy.spec_stats();
+        assert_eq!((spec.adopted, spec.mismatched), (1, 0), "horizon math matched");
+        assert_eq!(policy.fit_stats().fits, 1, "adopted fits still count as fits");
+
+        // Byte-equivalence with the prefetch-off policy: same decision,
+        // same assessment, same posterior digest.
+        let mut plain = PopPolicy::with_config(PopConfig {
+            predictor: PredictorConfig::test(),
+            fit_prefetch: Some(false),
+            ..Default::default()
+        });
+        let mut plain_ctx = MockContext::new(4);
+        plain_ctx.push_curve(JobId::new(0), &values, 60.0);
+        plain_ctx.active = vec![JobId::new(0)];
+        assert_eq!(plain.on_iteration_finish(&event(0, 30, values[29]), &mut plain_ctx), decision);
+        assert_eq!(
+            policy.assessment(JobId::new(0)).map(|a| (a.confidence, a.ert)),
+            plain.assessment(JobId::new(0)).map(|a| (a.confidence, a.ert)),
+        );
+        assert_eq!(policy.posterior_digest(), plain.posterior_digest());
+    }
+
+    #[test]
+    fn out_of_step_hints_are_dropped() {
+        let mut policy = PopPolicy::with_config(PopConfig {
+            predictor: PredictorConfig::test(),
+            fit_prefetch: Some(true),
+            ..Default::default()
+        });
+        let mut ctx = MockContext::new(4);
+        ctx.push_curve(JobId::new(0), &saturating(0.85, 20), 60.0);
+        let curve = ctx.curve(JobId::new(0)).expect("curve");
+        let hint = |epoch, completion: SimTime, tmax| PrefetchHint {
+            job: JobId::new(0),
+            epoch,
+            completion_time: completion,
+            value: 0.5,
+            max_epochs: 120,
+            tmax,
+        };
+        // A rollback between issue and drain leaves the curve behind the
+        // hinted epoch; past Tmax the boundary never fits either.
+        policy
+            .prefetch_hint(&hint(30, SimTime::from_mins(30.0), SimTime::from_hours(12.0)), &curve);
+        policy
+            .prefetch_hint(&hint(21, SimTime::from_hours(13.0), SimTime::from_hours(12.0)), &curve);
+        // At the final epoch no future remains to predict into.
+        policy.prefetch_hint(
+            &PrefetchHint {
+                max_epochs: 21,
+                ..hint(21, SimTime::from_mins(21.0), SimTime::from_hours(12.0))
+            },
+            &curve,
+        );
+        assert_eq!(policy.spec_stats().speculated, 0);
     }
 
     #[test]

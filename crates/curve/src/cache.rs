@@ -497,6 +497,18 @@ impl SharedFitCache {
         found
     }
 
+    /// Looks up a fingerprint **without** counting a hit or miss.
+    ///
+    /// Speculative prefetch probes use this to dedup against posteriors
+    /// the cache already holds: a probe is bookkeeping, not a request, so
+    /// it must not perturb the counted hit/miss stream — per-study
+    /// snapshot sums over counted [`SharedFitCache::get`] calls are
+    /// pinned by tests and must stay invariant under prefetch.
+    #[must_use]
+    pub fn peek(&self, fp: &CurveFingerprint) -> Option<CurvePosterior> {
+        self.map.lock().get(fp).cloned()
+    }
+
     /// Inserts a freshly computed posterior (first writer wins; equal
     /// fingerprints carry bitwise-equal posteriors, so a racing duplicate
     /// insert is idempotent and simply skipped). Appends to the disk
@@ -826,6 +838,19 @@ mod tests {
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.inserts), (1, 1, 1));
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peek_returns_entries_without_touching_counted_stats() {
+        let cache = SharedFitCache::in_memory();
+        let fp = fit_fingerprint(&curve(10), &PredictorConfig::test(), 1, 100, None);
+        assert!(cache.peek(&fp).is_none());
+        cache.insert(fp, &posterior(3));
+        let hit = cache.peek(&fp).expect("cached");
+        assert_eq!(hit.draws(), posterior(3).draws());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0), "peek must not count as a lookup");
+        assert_eq!(cache.snapshot().lookups, 0);
     }
 
     #[test]

@@ -73,9 +73,28 @@
 //! blocks until exactly its own replies arrive, and workers hold no
 //! state beyond reusable scratch buffers — so a study's outcomes are
 //! byte-identical whether its service owns the pool or shares it.
+//!
+//! # Speculative ahead-of-boundary prefetch
+//!
+//! The scheduler only *consumes* posteriors at evaluation boundaries, so
+//! without prefetch every fit is a synchronous burst at the boundary
+//! while the pool idles in between. [`FitService::prefetch_fit`] lets the
+//! engine enqueue the fit for an epoch *the moment the epoch is issued*:
+//! the seed, warm source, and [`CurveFingerprint`] are resolved at
+//! enqueue time — exactly the resolution `fit_batch` would perform at
+//! the boundary — and the result is parked on a private channel, **not**
+//! in any cache. At the boundary, `fit_batch` adopts a speculation only
+//! on an exact fingerprint match (anything else is counted waste and
+//! refit on demand), so prefetch changes *when* a fit computes, never
+//! *what* it computes. Speculation depth is bounded
+//! ([`fit_prefetch_depth`]) and a speculation is cancelled when its job
+//! is [`forget`](FitService::forget)-ten, so prefetch can never starve
+//! demand fits by more than `depth` queued entries on the shared FIFO.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -127,6 +146,46 @@ pub fn batch_fit_forced() -> bool {
                 !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("off")
             })
             .unwrap_or(false)
+    })
+}
+
+/// Default bound on in-flight speculations per service when
+/// `HYPERDRIVE_FIT_PREFETCH_DEPTH` is unset.
+pub const DEFAULT_PREFETCH_DEPTH: usize = 32;
+
+/// True when `HYPERDRIVE_FIT_PREFETCH` turns speculative
+/// ahead-of-boundary fit prefetching on for every policy in the process
+/// (any value except empty, `0`, or `off`). Default **off**. Safe to
+/// force globally because an adopted speculation is keyed by the same
+/// [`CurveFingerprint`] the demand fit would resolve, so prefetch moves
+/// compute earlier in wall-clock time without changing any result.
+#[must_use]
+pub fn fit_prefetch_forced() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("HYPERDRIVE_FIT_PREFETCH")
+            .map(|v| {
+                let v = v.trim();
+                !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("off")
+            })
+            .unwrap_or(false)
+    })
+}
+
+/// Resolves the speculation-depth bound: `HYPERDRIVE_FIT_PREFETCH_DEPTH`
+/// when set to a positive integer, else [`DEFAULT_PREFETCH_DEPTH`]. The
+/// bound caps how many speculative fits a service may have in flight, so
+/// a demand fit arriving at a boundary waits behind at most this many
+/// queued speculations on the pool's FIFO.
+#[must_use]
+pub fn fit_prefetch_depth() -> usize {
+    static DEPTH: OnceLock<usize> = OnceLock::new();
+    *DEPTH.get_or_init(|| {
+        std::env::var("HYPERDRIVE_FIT_PREFETCH_DEPTH")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|n| *n > 0)
+            .unwrap_or(DEFAULT_PREFETCH_DEPTH)
     })
 }
 
@@ -215,6 +274,145 @@ impl FitStats {
     }
 }
 
+/// Cumulative speculation counters for one service. `wasted()` —
+/// speculations whose result was never adopted — is the price of
+/// prefetching; the hit rate is what it bought.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpecStats {
+    /// Speculative fits enqueued on the pool.
+    pub speculated: u64,
+    /// Speculations adopted at a boundary on an exact fingerprint match.
+    pub adopted: u64,
+    /// Speculations cancelled (job forgotten or superseded) before
+    /// collection.
+    pub cancelled: u64,
+    /// Speculations whose fingerprint no longer matched at collection
+    /// time (warm source or horizon drifted); refit on demand.
+    pub mismatched: u64,
+}
+
+impl SpecStats {
+    /// Speculations that computed (or will compute) without their result
+    /// being used.
+    #[must_use]
+    pub fn wasted(&self) -> u64 {
+        self.speculated.saturating_sub(self.adopted)
+    }
+
+    /// Fraction of speculations adopted at a boundary (0 when idle).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.speculated == 0 {
+            0.0
+        } else {
+            self.adopted as f64 / self.speculated as f64
+        }
+    }
+}
+
+/// A point-in-time view of the worker pool: queue pressure, busy/idle
+/// worker time, demand vs speculative completions, and the boundary
+/// stall distribution (wall-clock spent blocked inside `fit_batch`,
+/// which is exactly the submit→posterior-ready latency of a boundary
+/// decision). Telemetry only — none of these numbers feed scheduling.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FitPoolStats {
+    /// Worker threads in the pool.
+    pub threads: usize,
+    /// Messages currently queued (sent but not yet picked up).
+    pub queue_depth: u64,
+    /// Demand fits completed (batched items counted individually).
+    pub demand_completions: u64,
+    /// Speculative fits completed.
+    pub speculative_completions: u64,
+    /// Speculative fits skipped by a worker because they were cancelled
+    /// before compute started.
+    pub speculative_skipped: u64,
+    /// Total worker seconds spent fitting.
+    pub busy_secs: f64,
+    /// Wall-clock seconds since the pool spawned.
+    pub uptime_secs: f64,
+    /// `fit_batch` calls timed into the stall histogram.
+    pub stall_events: u64,
+    /// Total wall-clock seconds callers spent blocked in `fit_batch`.
+    pub stall_secs: f64,
+    /// Median per-call boundary stall, in milliseconds (log-bucket upper
+    /// bound).
+    pub stall_p50_ms: f64,
+    /// 99th-percentile per-call boundary stall, in milliseconds.
+    pub stall_p99_ms: f64,
+}
+
+impl FitPoolStats {
+    /// Fraction of total worker capacity (threads x uptime) spent idle.
+    #[must_use]
+    pub fn idle_fraction(&self) -> f64 {
+        let capacity = self.uptime_secs * self.threads as f64;
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.busy_secs / capacity).clamp(0.0, 1.0)
+    }
+}
+
+/// Lock-free pool counters, shared between the workers and `stats()`
+/// readers. The stall histogram buckets per-call `fit_batch` wall time
+/// by `ilog2(nanos)` — fixed size, so recording never allocates.
+struct PoolTelemetry {
+    queued: AtomicU64,
+    demand_fits: AtomicU64,
+    spec_fits: AtomicU64,
+    spec_skipped: AtomicU64,
+    busy_nanos: AtomicU64,
+    stall_events: AtomicU64,
+    stall_nanos: AtomicU64,
+    stall_buckets: [AtomicU64; 64],
+}
+
+impl Default for PoolTelemetry {
+    fn default() -> Self {
+        PoolTelemetry {
+            queued: AtomicU64::new(0),
+            demand_fits: AtomicU64::new(0),
+            spec_fits: AtomicU64::new(0),
+            spec_skipped: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+            stall_events: AtomicU64::new(0),
+            stall_nanos: AtomicU64::new(0),
+            stall_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl PoolTelemetry {
+    fn record_stall(&self, nanos: u64) {
+        self.stall_events.fetch_add(1, Ordering::Relaxed);
+        self.stall_nanos.fetch_add(nanos, Ordering::Relaxed);
+        let bucket = (nanos.max(1).ilog2() as usize).min(63);
+        self.stall_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The upper bound (in ms) of the bucket holding the `q`-quantile
+    /// stall, or 0 when nothing was recorded.
+    fn stall_quantile_ms(&self, q: f64) -> f64 {
+        let counts: Vec<u64> =
+            self.stall_buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (1u64 << (i + 1).min(63)) as f64 / 1e6;
+            }
+        }
+        (1u64 << 63) as f64 / 1e6
+    }
+}
+
 enum WorkerMsg {
     Fit {
         key: FitKey,
@@ -237,6 +435,20 @@ enum WorkerMsg {
         items: Vec<BatchFitItem>,
         reply: Sender<(FitKey, Result<CurvePosterior>)>,
     },
+    /// A speculative ahead-of-boundary fit: identical inputs to `Fit`
+    /// (seed and warm source resolved at enqueue), plus a cancellation
+    /// flag checked before compute starts. The worker drops the reply
+    /// silently when cancelled — the receiver side was already discarded.
+    SpecFit {
+        key: FitKey,
+        config: PredictorConfig,
+        curve: LearningCurve,
+        horizon: u32,
+        seed: u64,
+        warm: Option<CurvePosterior>,
+        cancelled: Arc<AtomicBool>,
+        reply: Sender<(FitKey, Result<CurvePosterior>)>,
+    },
     Shutdown,
 }
 
@@ -249,6 +461,8 @@ enum WorkerMsg {
 pub struct FitPool {
     tx: Sender<WorkerMsg>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    telemetry: Arc<PoolTelemetry>,
+    started: Instant,
 }
 
 impl std::fmt::Debug for FitPool {
@@ -264,14 +478,16 @@ impl FitPool {
     #[must_use]
     pub fn new(threads: usize) -> Arc<Self> {
         let threads = resolve_fit_threads(threads);
+        let telemetry = Arc::new(PoolTelemetry::default());
         let (tx, rx): (Sender<WorkerMsg>, Receiver<WorkerMsg>) = unbounded();
         let workers = (0..threads)
             .map(|_| {
                 let rx = rx.clone();
-                std::thread::spawn(move || worker_loop(&rx))
+                let telemetry = Arc::clone(&telemetry);
+                std::thread::spawn(move || worker_loop(&rx, &telemetry))
             })
             .collect();
-        Arc::new(FitPool { tx, workers })
+        Arc::new(FitPool { tx, workers, telemetry, started: Instant::now() })
     }
 
     /// Number of worker threads.
@@ -280,8 +496,88 @@ impl FitPool {
         self.workers.len()
     }
 
+    /// A point-in-time snapshot of the pool's telemetry counters.
+    #[must_use]
+    pub fn stats(&self) -> FitPoolStats {
+        let t = &self.telemetry;
+        FitPoolStats {
+            threads: self.workers.len(),
+            queue_depth: t.queued.load(Ordering::Relaxed),
+            demand_completions: t.demand_fits.load(Ordering::Relaxed),
+            speculative_completions: t.spec_fits.load(Ordering::Relaxed),
+            speculative_skipped: t.spec_skipped.load(Ordering::Relaxed),
+            busy_secs: t.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            uptime_secs: self.started.elapsed().as_secs_f64(),
+            stall_events: t.stall_events.load(Ordering::Relaxed),
+            stall_secs: t.stall_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            stall_p50_ms: t.stall_quantile_ms(0.50),
+            stall_p99_ms: t.stall_quantile_ms(0.99),
+        }
+    }
+
     fn send(&self, msg: WorkerMsg) {
+        self.telemetry.queued.fetch_add(1, Ordering::Relaxed);
         self.tx.send(msg).expect("pool workers alive");
+    }
+
+    /// Launches a one-off **speculative** fit with an explicit seed and
+    /// returns a handle to collect (or cancel) it. This is the prefetch
+    /// entry point for policies that fit outside a [`FitService`]
+    /// (EarlyTerm derives its per-(job, epoch) seeds with its own
+    /// formula); service-managed speculation goes through
+    /// [`FitService::prefetch_fit`] instead, which also dedups against
+    /// caches and in-flight work.
+    #[must_use]
+    pub fn speculate(
+        &self,
+        key: FitKey,
+        config: PredictorConfig,
+        curve: LearningCurve,
+        horizon: u32,
+        seed: u64,
+    ) -> SpecFitHandle {
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let (reply_tx, reply_rx) = unbounded();
+        self.send(WorkerMsg::SpecFit {
+            key,
+            config,
+            curve,
+            horizon,
+            seed,
+            warm: None,
+            cancelled: Arc::clone(&cancelled),
+            reply: reply_tx,
+        });
+        SpecFitHandle { key, cancelled, reply: reply_rx }
+    }
+}
+
+/// Handle to a one-off speculative fit launched with
+/// [`FitPool::speculate`]: collect the result with [`wait`](Self::wait)
+/// or abandon it with [`cancel`](Self::cancel). Dropping the handle
+/// without either lets the fit run to completion and discards it.
+#[derive(Debug)]
+pub struct SpecFitHandle {
+    key: FitKey,
+    cancelled: Arc<AtomicBool>,
+    reply: Receiver<(FitKey, Result<CurvePosterior>)>,
+}
+
+impl SpecFitHandle {
+    /// Marks the fit as not wanted: a worker that has not started it yet
+    /// skips the compute entirely (counted `speculative_skipped`).
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Blocks until the fit finishes and returns its result; `None` if it
+    /// was cancelled before compute started (the worker dropped the
+    /// reply), in which case the caller fits on demand.
+    #[must_use]
+    pub fn wait(self) -> Option<Result<CurvePosterior>> {
+        let (key, result) = self.reply.recv().ok()?;
+        debug_assert_eq!(key, self.key);
+        Some(result)
     }
 }
 
@@ -310,9 +606,21 @@ fn warm_source(
         .and_then(|(_, r)| r.as_ref().ok().cloned())
 }
 
+/// One in-flight speculative fit. The result arrives on `reply`; nothing
+/// lands in any cache until (and unless) a boundary adopts it, which
+/// keeps warm-source resolution, `posterior_digest`, and per-run cache
+/// evolution byte-identical to a prefetch-off run.
+struct Speculation {
+    fingerprint: CurveFingerprint,
+    cancelled: Arc<AtomicBool>,
+    reply: Receiver<(FitKey, Result<CurvePosterior>)>,
+}
+
 struct Shared {
     cache: Mutex<HashMap<FitKey, Result<CurvePosterior>>>,
     stats: Mutex<FitStats>,
+    speculations: Mutex<HashMap<FitKey, Speculation>>,
+    spec_stats: Mutex<SpecStats>,
 }
 
 /// A fixed-size worker pool fitting curve ensembles concurrently and
@@ -323,6 +631,7 @@ pub struct FitService {
     shared: Arc<Shared>,
     shared_layer: Option<Arc<SharedFitCache>>,
     pool: Arc<FitPool>,
+    prefetch_depth: usize,
 }
 
 impl std::fmt::Debug for FitService {
@@ -374,8 +683,26 @@ impl FitService {
         let shared = Arc::new(Shared {
             cache: Mutex::new(HashMap::new()),
             stats: Mutex::new(FitStats::default()),
+            speculations: Mutex::new(HashMap::new()),
+            spec_stats: Mutex::new(SpecStats::default()),
         });
-        FitService { config, experiment_seed, shared, shared_layer, pool }
+        FitService {
+            config,
+            experiment_seed,
+            shared,
+            shared_layer,
+            pool,
+            prefetch_depth: fit_prefetch_depth(),
+        }
+    }
+
+    /// Overrides the in-flight speculation bound (default:
+    /// [`fit_prefetch_depth`]). A `0` depth disables speculation entirely
+    /// — [`prefetch_fit`](FitService::prefetch_fit) becomes a no-op.
+    #[must_use]
+    pub fn with_prefetch_depth(mut self, depth: usize) -> Self {
+        self.prefetch_depth = depth;
+        self
     }
 
     /// Number of worker threads in the pool.
@@ -393,6 +720,97 @@ impl FitService {
         &self.config
     }
 
+    /// Speculatively enqueues the fit for `(job, curve.last_epoch())` so
+    /// a later `fit_batch` for the same request can *collect* the result
+    /// instead of computing it at the boundary. Returns `true` when a
+    /// speculation was actually enqueued.
+    ///
+    /// Seed, warm source, and [`CurveFingerprint`] are resolved here, at
+    /// enqueue time, exactly as `fit_batch` would resolve them; the
+    /// boundary adopts the speculation only if its own resolution matches
+    /// bit for bit, so a speculation can never change what a fit
+    /// computes. Dedups against the per-run cache, in-flight speculations
+    /// for the same key, and the shared content-addressed layer (via the
+    /// stats-free [`SharedFitCache::peek`], so counted dedup accounting
+    /// stays invariant under prefetch). Skipped when the in-flight bound
+    /// (`prefetch_depth`) is reached.
+    pub fn prefetch_fit(&self, job: JobId, curve: &LearningCurve, horizon: u32) -> bool {
+        if self.prefetch_depth == 0 {
+            return false;
+        }
+        let Some(last_epoch) = curve.last_epoch() else {
+            return false;
+        };
+        let key = (job, last_epoch);
+        if self.shared.cache.lock().contains_key(&key) {
+            return false;
+        }
+        let seed = derive_fit_seed(self.experiment_seed, job.raw(), last_epoch);
+        let warm = if self.config.warm_start {
+            warm_source(&self.shared.cache.lock(), job, last_epoch)
+        } else {
+            None
+        };
+        let fp = fit_fingerprint(curve, &self.config, seed, horizon, warm.as_ref());
+        if let Some(layer) = &self.shared_layer {
+            if layer.peek(&fp).is_some() {
+                // The boundary will take a counted shared hit; computing
+                // the fit again would be pure waste.
+                return false;
+            }
+        }
+        let mut superseded = None;
+        {
+            let mut specs = self.shared.speculations.lock();
+            match specs.get(&key) {
+                Some(existing) if existing.fingerprint == fp => return false,
+                Some(_) => {
+                    // Same key, different resolution (warm source or
+                    // horizon drifted since enqueue): the old speculation
+                    // can never be adopted — cancel and replace it.
+                    superseded = specs.remove(&key);
+                }
+                None if specs.len() >= self.prefetch_depth => return false,
+                None => {}
+            }
+            let cancelled = Arc::new(AtomicBool::new(false));
+            let (reply_tx, reply_rx) = unbounded();
+            self.pool.send(WorkerMsg::SpecFit {
+                key,
+                config: self.config,
+                curve: curve.clone(),
+                horizon,
+                seed,
+                warm,
+                cancelled: Arc::clone(&cancelled),
+                reply: reply_tx,
+            });
+            specs.insert(key, Speculation { fingerprint: fp, cancelled, reply: reply_rx });
+        }
+        {
+            let mut stats = self.shared.spec_stats.lock();
+            stats.speculated += 1;
+            if superseded.is_some() {
+                stats.cancelled += 1;
+            }
+        }
+        if let Some(old) = superseded {
+            old.cancelled.store(true, Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// Cumulative speculation counters (enqueued / adopted / cancelled /
+    /// mismatched).
+    pub fn spec_stats(&self) -> SpecStats {
+        *self.shared.spec_stats.lock()
+    }
+
+    /// The worker pool's telemetry snapshot (see [`FitPoolStats`]).
+    pub fn pool_stats(&self) -> FitPoolStats {
+        self.pool.stats()
+    }
+
     /// Fits every request in `requests`, returning outcomes in request
     /// order. Cached prefixes are answered without refitting; the rest run
     /// concurrently on the pool, and the call blocks until all complete.
@@ -400,6 +818,12 @@ impl FitService {
     /// Duplicate `(job, last epoch)` keys within one batch are fitted once
     /// and share the result.
     pub fn fit_batch(&self, requests: &[FitRequest]) -> Vec<FitOutcome> {
+        let stall_timer = Instant::now();
+        // Snapshot once: when no speculation is in flight the whole
+        // adoption path (including fingerprinting without a shared
+        // layer) is skipped and the scan is exactly the pre-prefetch
+        // code path.
+        let spec_active = !self.shared.speculations.lock().is_empty();
         let mut out: Vec<Option<FitOutcome>> = vec![None; requests.len()];
         // Indices waiting on each in-flight key, in submission order.
         let mut waiting: HashMap<FitKey, Vec<usize>> = HashMap::new();
@@ -423,6 +847,11 @@ impl FitService {
         let batching = (self.config.batch_fit || batch_fit_forced()) && self.config.fast_math;
         let mut batch_keys: Vec<FitKey> = Vec::new();
         let mut batch_items: Vec<BatchFitItem> = Vec::new();
+        // Speculations this batch adopts (exact fingerprint match):
+        // collected after all demand fits are enqueued, handled exactly
+        // like a fresh fit's reply.
+        let mut adopted_specs: Vec<(FitKey, Speculation)> = Vec::new();
+        let mut spec_mismatched = 0u64;
 
         for (i, req) in requests.iter().enumerate() {
             let Some(last_epoch) = req.curve.last_epoch() else {
@@ -457,14 +886,22 @@ impl FitService {
                     } else {
                         None
                     };
-                    if let Some(layer) = &self.shared_layer {
-                        let fp = fit_fingerprint(
+                    // The fingerprint is needed by the shared layer and by
+                    // speculation adoption; skip hashing when neither is
+                    // in play.
+                    let fp = if self.shared_layer.is_some() || spec_active {
+                        Some(fit_fingerprint(
                             &req.curve,
                             &self.config,
                             seed,
                             req.horizon,
                             warm.as_ref(),
-                        );
+                        ))
+                    } else {
+                        None
+                    };
+                    if let Some(layer) = &self.shared_layer {
+                        let fp = fp.expect("fingerprint computed when a layer is attached");
                         shared_lookups += 1;
                         if let Some(p) = layer.get(&fp) {
                             // Bitwise the posterior this fit would have
@@ -473,11 +910,37 @@ impl FitService {
                             shared_hits += 1;
                             out[i] = Some(FitOutcome { result: Ok(p.clone()), cached: false });
                             shared_found.insert(key, p);
+                            if spec_active {
+                                // A sibling study published this fit since
+                                // the speculation enqueued: the counted
+                                // shared hit wins, the speculation is waste.
+                                if let Some(spec) = self.shared.speculations.lock().remove(&key) {
+                                    spec.cancelled.store(true, Ordering::Relaxed);
+                                    spec_mismatched += 1;
+                                }
+                            }
                             continue;
                         }
                         enqueued_fp.insert(key, fp);
                     }
                     e.insert(vec![i]);
+                    if spec_active {
+                        if let Some(spec) = self.shared.speculations.lock().remove(&key) {
+                            let fp = fp.expect("fingerprint computed while speculating");
+                            if spec.fingerprint == fp {
+                                // Exact match: the speculative fit IS this
+                                // demand fit — adopt its (possibly still
+                                // computing) result in the collection loop.
+                                adopted_specs.push((key, spec));
+                                continue;
+                            }
+                            // Resolution drifted since enqueue (warm source
+                            // or horizon changed): the speculation must not
+                            // be used. Cancel it and fit on demand.
+                            spec.cancelled.store(true, Ordering::Relaxed);
+                            spec_mismatched += 1;
+                        }
+                    }
                     if batching && warm.is_none() {
                         batch_keys.push(key);
                         batch_items.push(BatchFitItem {
@@ -530,8 +993,19 @@ impl FitService {
 
         let mut warm_fits = 0u64;
         let mut shared_inserts = 0u64;
-        for _ in 0..enqueued {
-            let (key, result) = reply_rx.recv().expect("workers alive");
+        let spec_adopted = adopted_specs.len();
+        // Adopted speculations resolve exactly like fresh replies: same
+        // warm accounting, same shared-layer publication, same per-run
+        // cache insertion, same `cached: false` outcome — a caller (or a
+        // trace byte-compare) cannot tell a collected speculation from
+        // the demand fit it replaced.
+        let adopted_results = adopted_specs.into_iter().map(|(key, spec)| {
+            let (k, result) = spec.reply.recv().expect("speculative fit worker alive");
+            debug_assert_eq!(k, key);
+            (key, result)
+        });
+        let demand_results = (0..enqueued).map(|_| reply_rx.recv().expect("workers alive"));
+        for (key, result) in adopted_results.chain(demand_results) {
             if result.as_ref().map(CurvePosterior::warm_started).unwrap_or(false) {
                 warm_fits += 1;
             }
@@ -550,7 +1024,7 @@ impl FitService {
         {
             let mut stats = self.shared.stats.lock();
             stats.cache_hits += hits;
-            stats.fits += enqueued as u64;
+            stats.fits += (enqueued + spec_adopted) as u64;
             stats.warm_fits += warm_fits;
             stats.shared_hits += shared_hits;
             stats.batches += 1;
@@ -558,6 +1032,12 @@ impl FitService {
             stats.shared_lookups += shared_lookups;
             stats.shared_inserts += shared_inserts;
         }
+        if spec_adopted > 0 || spec_mismatched > 0 {
+            let mut spec = self.shared.spec_stats.lock();
+            spec.adopted += spec_adopted as u64;
+            spec.mismatched += spec_mismatched;
+        }
+        self.pool.telemetry.record_stall(stall_timer.elapsed().as_nanos() as u64);
         out.into_iter().map(|o| o.expect("every request answered")).collect()
     }
 
@@ -614,31 +1094,78 @@ impl FitService {
         self.shared_layer.as_ref()
     }
 
-    /// Drops cached results for a job (e.g. after termination).
+    /// Drops cached results for a job (e.g. after termination), and
+    /// cancels any in-flight speculations for it — a dead job's
+    /// speculative fits are abandoned, not collected.
     pub fn forget(&self, job: JobId) {
         self.shared.cache.lock().retain(|(j, _), _| *j != job);
+        let mut dropped = 0u64;
+        self.shared.speculations.lock().retain(|(j, _), spec| {
+            if *j == job {
+                spec.cancelled.store(true, Ordering::Relaxed);
+                dropped += 1;
+                false
+            } else {
+                true
+            }
+        });
+        if dropped > 0 {
+            self.shared.spec_stats.lock().cancelled += dropped;
+        }
     }
 }
 
-fn worker_loop(rx: &Receiver<WorkerMsg>) {
+impl Drop for FitService {
+    fn drop(&mut self) {
+        // Abandon whatever is still speculating so pool workers shared
+        // with other services don't burn time on results nobody will
+        // collect.
+        for spec in self.shared.speculations.lock().values() {
+            spec.cancelled.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+fn worker_loop(rx: &Receiver<WorkerMsg>, telemetry: &PoolTelemetry) {
     // One scratch per worker thread, reused across every fit this worker
     // performs: after the first fit sizes the buffers, the MCMC inner loop
     // runs allocation-free.
     let mut scratch = FitScratch::default();
     while let Ok(msg) = rx.recv() {
+        if !matches!(msg, WorkerMsg::Shutdown) {
+            telemetry.queued.fetch_sub(1, Ordering::Relaxed);
+        }
         match msg {
             WorkerMsg::Fit { key, config, curve, horizon, seed, warm, reply } => {
+                let t = Instant::now();
                 let predictor = CurvePredictor::new(config.with_seed(seed));
                 let result = predictor.fit_with(&curve, horizon, warm.as_ref(), &mut scratch);
+                telemetry.busy_nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                telemetry.demand_fits.fetch_add(1, Ordering::Relaxed);
                 // The batch owner may have given up (dropped receiver) if a
                 // sibling fit panicked; nothing useful to do then.
                 let _ = reply.send((key, result));
             }
             WorkerMsg::FitBatch { keys, config, items, reply } => {
+                let t = Instant::now();
                 let results = fit_curves_batched(&config, &items, &mut scratch);
+                telemetry.busy_nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                telemetry.demand_fits.fetch_add(keys.len() as u64, Ordering::Relaxed);
                 for (key, result) in keys.into_iter().zip(results) {
                     let _ = reply.send((key, result));
                 }
+            }
+            WorkerMsg::SpecFit { key, config, curve, horizon, seed, warm, cancelled, reply } => {
+                if cancelled.load(Ordering::Relaxed) {
+                    telemetry.spec_skipped.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let t = Instant::now();
+                let predictor = CurvePredictor::new(config.with_seed(seed));
+                let result = predictor.fit_with(&curve, horizon, warm.as_ref(), &mut scratch);
+                telemetry.busy_nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                telemetry.spec_fits.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send((key, result));
             }
             WorkerMsg::Shutdown => return,
         }
@@ -1118,6 +1645,140 @@ mod tests {
         assert_ne!(digest(1, 7), digest(1, 8), "different seeds fit different posteriors");
         let empty = isolated(config, 7, 1);
         assert_ne!(digest(1, 7), empty.posterior_digest());
+    }
+
+    #[test]
+    fn adopted_speculations_are_bitwise_the_demand_fits() {
+        let config = PredictorConfig::test();
+        for threads in [1, 4] {
+            let service = isolated(config, 7, threads).with_prefetch_depth(32);
+            let requests: Vec<FitRequest> = (0..4).map(|j| req(j, 10 + j as u32)).collect();
+            for r in &requests {
+                assert!(service.prefetch_fit(r.job, &r.curve, r.horizon));
+            }
+            let outcomes = service.fit_batch(&requests);
+            let spec = service.spec_stats();
+            assert_eq!((spec.speculated, spec.adopted, spec.mismatched), (4, 4, 0));
+            assert_eq!(spec.wasted(), 0);
+            let stats = service.stats();
+            assert_eq!(stats.fits, 4, "adopted speculations count as the fits they replaced");
+            for (r, o) in requests.iter().zip(&outcomes) {
+                assert!(!o.cached, "an adopted speculation must look like a fresh fit");
+                let reference = sequential_fit(config, 7, r).expect("reference fits");
+                assert_eq!(
+                    o.result.as_ref().expect("adopted fit succeeds").draws(),
+                    reference.draws(),
+                    "speculative fit diverged from the demand fit at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_dedups_cached_inflight_and_bounded_work() {
+        let service = isolated(PredictorConfig::test(), 7, 2).with_prefetch_depth(2);
+        let r0 = req(0, 10);
+        let r1 = req(1, 10);
+        let r2 = req(2, 10);
+        assert!(service.prefetch_fit(r0.job, &r0.curve, r0.horizon));
+        assert!(
+            !service.prefetch_fit(r0.job, &r0.curve, r0.horizon),
+            "identical in-flight speculation must dedup"
+        );
+        assert!(service.prefetch_fit(r1.job, &r1.curve, r1.horizon));
+        assert!(
+            !service.prefetch_fit(r2.job, &r2.curve, r2.horizon),
+            "depth bound must refuse further speculation"
+        );
+        let outcomes = service.fit_batch(&[r0.clone(), r1, r2]);
+        assert!(outcomes.iter().all(|o| o.result.is_ok()));
+        let spec = service.spec_stats();
+        assert_eq!((spec.speculated, spec.adopted), (2, 2));
+        assert!(
+            !service.prefetch_fit(r0.job, &r0.curve, r0.horizon),
+            "a per-run-cached key must not speculate"
+        );
+    }
+
+    #[test]
+    fn mismatched_speculation_is_cancelled_and_refit_on_demand() {
+        let config = PredictorConfig::test();
+        let service = isolated(config, 7, 2).with_prefetch_depth(8);
+        let r = req(3, 12);
+        assert!(service.prefetch_fit(r.job, &r.curve, 60), "speculate at a stale horizon");
+        let demand = FitRequest { horizon: 100, ..r.clone() };
+        let outcomes = service.fit_batch(std::slice::from_ref(&demand));
+        let spec = service.spec_stats();
+        assert_eq!((spec.adopted, spec.mismatched), (0, 1));
+        let reference = sequential_fit(config, 7, &demand).expect("reference fits");
+        assert_eq!(
+            outcomes[0].result.as_ref().unwrap().draws(),
+            reference.draws(),
+            "a mismatched speculation must never leak into the demand result"
+        );
+    }
+
+    #[test]
+    fn forget_cancels_that_jobs_speculations() {
+        let service = isolated(PredictorConfig::test(), 7, 2).with_prefetch_depth(8);
+        let r0 = req(0, 10);
+        let r1 = req(1, 10);
+        assert!(service.prefetch_fit(r0.job, &r0.curve, r0.horizon));
+        assert!(service.prefetch_fit(r1.job, &r1.curve, r1.horizon));
+        service.forget(JobId::new(0));
+        assert_eq!(service.spec_stats().cancelled, 1);
+        let outcomes = service.fit_batch(&[r0, r1]);
+        assert!(outcomes.iter().all(|o| o.result.is_ok()));
+        let spec = service.spec_stats();
+        assert_eq!(spec.adopted, 1, "only the surviving speculation is adopted");
+        assert_eq!(service.stats().fits, 2, "the forgotten job refits on demand");
+    }
+
+    #[test]
+    fn prefetch_probes_do_not_perturb_counted_shared_stats() {
+        let config = PredictorConfig::test();
+        let cache = SharedFitCache::in_memory();
+        let writer = FitService::with_shared_cache(config, 7, 2, Some(cache.clone()));
+        writer.fit_batch(&[req(0, 10)]);
+        let counted_before = cache.stats();
+
+        let reader =
+            FitService::with_shared_cache(config, 7, 2, Some(cache.clone())).with_prefetch_depth(8);
+        let r = req(0, 10);
+        assert!(
+            !reader.prefetch_fit(r.job, &r.curve, r.horizon),
+            "a shared-layer hit must not be re-speculated"
+        );
+        let counted_after = cache.stats();
+        assert_eq!(
+            (counted_before.hits, counted_before.misses),
+            (counted_after.hits, counted_after.misses),
+            "speculative probes must be invisible to counted dedup accounting"
+        );
+        // The boundary still takes its counted shared hit as usual.
+        let replay = reader.fit_batch(&[r]);
+        assert!(!replay[0].cached);
+        assert_eq!(reader.stats().shared_hits, 1);
+        assert_eq!(cache.stats().hits, counted_after.hits + 1);
+    }
+
+    #[test]
+    fn pool_stats_report_demand_and_speculative_completions() {
+        let service = isolated(PredictorConfig::test(), 7, 2).with_prefetch_depth(8);
+        let r0 = req(0, 10);
+        let r1 = req(1, 10);
+        assert!(service.prefetch_fit(r0.job, &r0.curve, r0.horizon));
+        service.fit_batch(&[r0, r1]);
+        let pool = service.pool_stats();
+        assert_eq!(pool.threads, 2);
+        assert_eq!(pool.speculative_completions, 1);
+        assert_eq!(pool.demand_completions, 1);
+        assert!(pool.stall_events >= 1);
+        assert!(pool.stall_secs > 0.0);
+        assert!(pool.stall_p99_ms >= pool.stall_p50_ms);
+        assert!(pool.busy_secs > 0.0);
+        assert!(pool.uptime_secs > 0.0);
+        assert!((0.0..=1.0).contains(&pool.idle_fraction()));
     }
 
     #[test]

@@ -27,7 +27,7 @@ use crate::experiment::{
 use crate::fault::{FaultPlan, FaultStats, RetryPolicy};
 use crate::job_manager::{JobManager, JobState};
 use crate::journal::{self, Journal, RecoveredJournal, ReplayInput};
-use crate::policy::{JobDecision, JobEvent, SchedulerContext, SchedulingPolicy};
+use crate::policy::{JobDecision, JobEvent, PrefetchHint, SchedulerContext, SchedulingPolicy};
 use crate::resource::ResourceManager;
 use crate::snapshot::JobSnapshot;
 
@@ -174,6 +174,17 @@ struct EngineCore<'w> {
     fault_rng_draws: u64,
     /// The fault plan's seed; deterministic retry jitter derives from it.
     fault_seed: u64,
+    /// Boundary at which the policy wants speculative fit-prefetch hints
+    /// ([`SchedulingPolicy::prefetch_boundary`] snapshotted at
+    /// construction); `None` — the default — disables hinting entirely.
+    prefetch_boundary: Option<u32>,
+    /// Hints buffered while a turn runs: `issue_epoch` fires inside
+    /// [`SchedulerContext`] up-calls where the policy is borrowed, so
+    /// the sink buffers `(job, epoch, completion, value)` and
+    /// `finish_turn_into` drains it to the policy. Never journaled —
+    /// prefetch is pure compute-ahead and must leave every journal and
+    /// log record untouched.
+    prefetch_hints: Vec<(JobId, u32, SimTime, f64)>,
 }
 
 impl<'w> EngineCore<'w> {
@@ -208,6 +219,21 @@ impl<'w> EngineCore<'w> {
         self.charge(job, duration);
         let token = self.issue_token(job);
         self.pending.push(Command::RunEpoch { job, machine, epoch: next_epoch, duration, token });
+        // Speculative prefetch hook: the epoch just issued will surface at
+        // a decision boundary, so tell the policy *now* — its fit overlaps
+        // with every event processed until the epoch completes. The
+        // executor reports exactly `value_at(next_epoch)` at `now +
+        // duration` (fault interruptions cancel the token, and `forget`
+        // reaps any stale speculation), so the hint predicts the
+        // observation the boundary fit would use. Epochs at `max_epochs`
+        // complete the job instead of reaching `on_iteration_finish`.
+        if let Some(b) = self.prefetch_boundary {
+            let profile = self.profile_of(job);
+            if next_epoch.is_multiple_of(b) && next_epoch < profile.max_epochs() {
+                let value = profile.value_at(next_epoch);
+                self.prefetch_hints.push((job, next_epoch, self.now + duration, value));
+            }
+        }
     }
 
     /// Knocks `job` off `machine` after a fault: invalidates its in-flight
@@ -452,6 +478,9 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
         // Steady-state zero-alloc sizing: one command batch can start at
         // most min(jobs, machines) jobs, plus one Suspend and one Stop.
         let batch_cap = n_jobs.min(spec.machines) + 2;
+        // Snapshotted once: the prefetch boundary is part of the policy's
+        // configuration, not run state, so it cannot drift mid-run.
+        let prefetch_boundary = policy.prefetch_boundary(workload.eval_boundary);
         ExperimentEngine {
             core: EngineCore {
                 workload,
@@ -491,6 +520,14 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
                 rng_draws: 0,
                 fault_rng_draws: 0,
                 fault_seed: plan.seed,
+                prefetch_boundary,
+                // One hint per issued epoch at most — the same bound as
+                // the command batch — so this never grows mid-run either.
+                prefetch_hints: Vec::with_capacity(if prefetch_boundary.is_some() {
+                    batch_cap
+                } else {
+                    0
+                }),
             },
             policy,
         }
@@ -587,6 +624,31 @@ impl<'w, 'p> ExperimentEngine<'w, 'p> {
         out.clear();
         out.extend_from_slice(&self.core.pending);
         self.core.pending.clear();
+        self.drain_prefetch_hints();
+    }
+
+    /// Delivers hints buffered by `issue_epoch` to the policy. Runs after
+    /// the journal records for the turn are written: hints carry no run
+    /// state — they only let the policy start fits early — so they are
+    /// invisible to the journal, the event log, and replay verification
+    /// (replay re-fires them identically from the same issue points).
+    fn drain_prefetch_hints(&mut self) {
+        if self.core.prefetch_hints.is_empty() {
+            return;
+        }
+        let max_epochs = self.core.workload.max_epochs;
+        let tmax = self.core.spec.tmax;
+        // Index loop instead of drain(): the policy up-call borrows
+        // `self.policy` mutably while `self.core` stays readable, and the
+        // buffer keeps its capacity for the next turn.
+        for i in 0..self.core.prefetch_hints.len() {
+            let (job, epoch, completion_time, value) = self.core.prefetch_hints[i];
+            if let Some(curve) = self.core.db.curve_ref(job) {
+                let hint = PrefetchHint { job, epoch, completion_time, value, max_epochs, tmax };
+                self.policy.prefetch_hint(&hint, curve);
+            }
+        }
+        self.core.prefetch_hints.clear();
     }
 
     /// Feeds one completion event back at time `now`, returning follow-up
@@ -1044,6 +1106,75 @@ mod tests {
         let result = engine.into_result(duration);
         assert!(result.reached_target());
         assert_eq!(result.winner, Some(job));
+    }
+
+    /// Scheduling decisions stay `Continue`; the policy only records the
+    /// prefetch hints the engine delivers.
+    #[derive(Default)]
+    struct HintRecorder {
+        boundary: Option<u32>,
+        hints: Vec<(JobId, u32, SimTime, f64, usize)>,
+    }
+    impl SchedulingPolicy for HintRecorder {
+        fn name(&self) -> &str {
+            "hint-recorder"
+        }
+        fn prefetch_boundary(&self, _default: u32) -> Option<u32> {
+            self.boundary
+        }
+        fn prefetch_hint(&mut self, hint: &PrefetchHint, curve: &LearningCurve) {
+            self.hints.push((hint.job, hint.epoch, hint.completion_time, hint.value, curve.len()));
+        }
+    }
+
+    #[test]
+    fn prefetch_hints_fire_at_boundary_epochs_before_they_complete() {
+        let ew = tiny_workload(1, 6);
+        let mut policy = HintRecorder { boundary: Some(2), ..Default::default() };
+        let spec = ExperimentSpec::new(1).with_stop_on_target(false);
+        let mut engine = ExperimentEngine::new(&mut policy, &ew, spec);
+        let mut cmds = engine.start();
+        let mut now = SimTime::ZERO;
+        let mut issued = Vec::new();
+        while let Some(Command::RunEpoch { job, epoch, duration, token, .. }) =
+            cmds.first().copied()
+        {
+            issued.push((epoch, now + duration));
+            now += duration;
+            cmds = engine.handle(EngineEvent::EpochDone { job, token }, now);
+        }
+        drop(engine);
+        // Epochs 2 and 4 hit the boundary; 6 == max_epochs completes the
+        // job and never reaches a decision, so it must not be hinted.
+        assert_eq!(issued.iter().map(|&(e, _)| e).collect::<Vec<_>>(), vec![1, 2, 3, 4, 5, 6]);
+        let epochs: Vec<u32> = policy.hints.iter().map(|&(_, e, ..)| e).collect();
+        assert_eq!(epochs, vec![2, 4]);
+        for &(job, epoch, completion, value, curve_len) in &policy.hints {
+            // The hint predicts exactly what the executor will report: the
+            // profile value at that epoch, at the scheduled finish time.
+            let (_, scheduled) = issued[epoch as usize - 1];
+            assert_eq!(completion, scheduled);
+            assert_eq!(value, ew.profile(job).value_at(epoch));
+            // Delivered while the epoch is in flight: the curve holds only
+            // the epochs observed so far.
+            assert_eq!(curve_len, epoch as usize - 1);
+        }
+    }
+
+    #[test]
+    fn no_prefetch_boundary_means_no_hints() {
+        let ew = tiny_workload(2, 6);
+        let mut policy = HintRecorder::default();
+        let spec = ExperimentSpec::new(1).with_stop_on_target(false);
+        let mut engine = ExperimentEngine::new(&mut policy, &ew, spec);
+        let mut cmds = engine.start();
+        let mut now = SimTime::ZERO;
+        while let Some(Command::RunEpoch { job, duration, token, .. }) = cmds.first().copied() {
+            now += duration;
+            cmds = engine.handle(EngineEvent::EpochDone { job, token }, now);
+        }
+        drop(engine);
+        assert!(policy.hints.is_empty());
     }
 
     #[test]

@@ -74,8 +74,8 @@ pub use live::{
     install_sigterm_handler, run_live, run_live_journaled, run_live_with_faults, LiveFaultPlan,
 };
 pub use policy::{
-    testing, DefaultPolicy, FitCacheSnapshot, JobDecision, JobEvent, SchedulerContext,
-    SchedulingPolicy,
+    testing, DefaultPolicy, FitCacheSnapshot, JobDecision, JobEvent, PrefetchHint,
+    SchedulerContext, SchedulingPolicy,
 };
 pub use resource::ResourceManager;
 pub use snapshot::JobSnapshot;

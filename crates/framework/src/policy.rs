@@ -29,6 +29,35 @@ pub struct JobEvent {
     pub now: SimTime,
 }
 
+/// Advance notice that a job will complete an epoch visible at the next
+/// evaluation boundary, delivered to
+/// [`SchedulingPolicy::prefetch_hint`] the moment the epoch command is
+/// *issued* — before the epoch runs — so a policy can speculatively
+/// start the curve fit it will want at the boundary.
+///
+/// `completion_time` and `value` are the engine's predictions of the
+/// observation the boundary will see (exact in simulation and replay;
+/// best-effort live — a wrong prediction produces a fingerprint mismatch
+/// at the boundary and a demand refit, never a wrong result). `tmax` and
+/// `max_epochs` carry the context a hint handler needs for horizon math,
+/// since no [`SchedulerContext`] is available outside an up-call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefetchHint {
+    /// The job whose epoch was issued.
+    pub job: JobId,
+    /// The 1-based epoch that will have completed at the boundary.
+    pub epoch: u32,
+    /// Predicted experiment time of the epoch's completion.
+    pub completion_time: SimTime,
+    /// Predicted performance value at `epoch`.
+    pub value: f64,
+    /// The workload's maximum epochs (see
+    /// [`SchedulerContext::max_epochs`]).
+    pub max_epochs: u32,
+    /// The experiment's `Tmax` (see [`SchedulerContext::tmax`]).
+    pub tmax: SimTime,
+}
+
 /// A policy's verdict for a job that just finished an iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum JobDecision {
@@ -172,6 +201,30 @@ pub trait SchedulingPolicy: Send {
     /// zero (decisions are free).
     fn take_decision_overhead(&mut self) -> SimTime {
         SimTime::ZERO
+    }
+
+    /// The evaluation boundary (in epochs) at which this policy wants
+    /// speculative fit-prefetch hints, or `None` when prefetching is off
+    /// (the default). The engine snapshots this once at construction and
+    /// then calls [`prefetch_hint`](Self::prefetch_hint) whenever it
+    /// issues an epoch `e` with `e % boundary == 0` that will still be
+    /// scheduler-visible (`e < max_epochs`). `default_boundary` is the
+    /// workload's evaluation boundary, passed in because no
+    /// [`SchedulerContext`] exists at construction time; policies that
+    /// resolve their boundary from the workload use it as the fallback.
+    fn prefetch_boundary(&self, default_boundary: u32) -> Option<u32> {
+        let _ = default_boundary;
+        None
+    }
+
+    /// Advance notice that `hint.job` will complete `hint.epoch` — a
+    /// boundary-visible epoch — at `hint.completion_time`, with `curve`
+    /// the job's currently observed curve (epochs `1..hint.epoch`).
+    /// Policies overlap fitting with event processing by enqueuing the
+    /// boundary fit here. Purely speculative: a hint must never change
+    /// any decision, only move compute earlier. The default ignores it.
+    fn prefetch_hint(&mut self, hint: &PrefetchHint, curve: &LearningCurve) {
+        let _ = (hint, curve);
     }
 
     /// A snapshot of the policy's curve-fit cache counters, filled into

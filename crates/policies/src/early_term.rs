@@ -17,14 +17,17 @@
 //! curve model but never computes confidence-weighted resource division —
 //! every surviving job keeps equal resources, and nothing is suspended.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use hyperdrive_curve::{
-    fit_fingerprint, global_fit_cache, CurvePredictor, PredictorConfig, SharedFitCache,
+    fit_fingerprint, fit_prefetch_depth, fit_prefetch_forced, global_fit_cache, CurveFingerprint,
+    CurvePredictor, FitPool, PredictorConfig, SharedFitCache, SpecFitHandle,
 };
 use hyperdrive_framework::{
-    FitCacheSnapshot, JobDecision, JobEvent, SchedulerContext, SchedulingPolicy,
+    FitCacheSnapshot, JobDecision, JobEvent, PrefetchHint, SchedulerContext, SchedulingPolicy,
 };
+use hyperdrive_types::{JobId, LearningCurve};
 
 /// Configuration for [`EarlyTermPolicy`].
 #[derive(Debug, Clone, Copy)]
@@ -37,26 +40,55 @@ pub struct EarlyTermConfig {
     pub boundary: Option<u32>,
     /// Curve-model fidelity.
     pub predictor: PredictorConfig,
+    /// Speculative ahead-of-boundary fit prefetch: boundary fits start on
+    /// a worker pool when the boundary epoch is *issued* and are adopted
+    /// at the decision if their fingerprint matches — changing when they
+    /// compute, never what. `None` defers to `HYPERDRIVE_FIT_PREFETCH`
+    /// (default off).
+    pub fit_prefetch: Option<bool>,
     /// Base seed mixed into per-(job, epoch) prediction seeds.
     pub seed: u64,
 }
 
 impl Default for EarlyTermConfig {
     fn default() -> Self {
-        EarlyTermConfig { delta: 0.05, boundary: None, predictor: PredictorConfig::fast(), seed: 0 }
+        EarlyTermConfig {
+            delta: 0.05,
+            boundary: None,
+            predictor: PredictorConfig::fast(),
+            fit_prefetch: None,
+            seed: 0,
+        }
     }
+}
+
+/// One in-flight speculative boundary fit: adopted at the boundary only
+/// when the fingerprint recomputed from the *observed* curve matches, so
+/// a fault-rolled-back or otherwise divergent curve falls back to the
+/// demand fit and the decision cannot change.
+#[derive(Debug)]
+struct EtSpeculation {
+    fingerprint: CurveFingerprint,
+    handle: SpecFitHandle,
 }
 
 /// The predictive-termination baseline.
 #[derive(Debug)]
 pub struct EarlyTermPolicy {
     config: EarlyTermConfig,
-    /// Ensemble fits executed by this policy instance.
+    /// Ensemble fits executed by this policy instance (adopted
+    /// speculations included — they are the same fits, started earlier).
     fits: u64,
     /// Predictions answered by the shared content-addressed fit cache
     /// (bitwise the fit each replaced, so decisions are unchanged).
     shared_hits: u64,
     shared: Option<Arc<SharedFitCache>>,
+    /// Worker pool for speculative fits; `None` when prefetch is off (the
+    /// demand path then fits inline exactly as before).
+    pool: Option<Arc<FitPool>>,
+    /// In-flight speculations by job, bounded by `prefetch_depth`.
+    specs: HashMap<JobId, EtSpeculation>,
+    prefetch_depth: usize,
 }
 
 impl EarlyTermPolicy {
@@ -79,7 +111,16 @@ impl EarlyTermPolicy {
         config: EarlyTermConfig,
         cache: Option<Arc<SharedFitCache>>,
     ) -> Self {
-        EarlyTermPolicy { config, fits: 0, shared_hits: 0, shared: cache }
+        let prefetch = config.fit_prefetch.unwrap_or_else(fit_prefetch_forced);
+        EarlyTermPolicy {
+            config,
+            fits: 0,
+            shared_hits: 0,
+            shared: cache,
+            pool: prefetch.then(|| FitPool::new(0)),
+            specs: HashMap::new(),
+            prefetch_depth: fit_prefetch_depth(),
+        }
     }
 
     /// Number of curve-model predictions produced so far (diagnostic):
@@ -89,11 +130,110 @@ impl EarlyTermPolicy {
         self.fits + self.shared_hits
     }
 
+    /// Worker-pool telemetry for the speculative path; `None` when
+    /// prefetch is off and every fit runs inline.
+    pub fn pool_stats(&self) -> Option<hyperdrive_curve::FitPoolStats> {
+        self.pool.as_ref().map(|p| p.stats())
+    }
+
     fn boundary(&self, ctx: &dyn SchedulerContext) -> u32 {
         // §5.3: b = 30 from [11] for supervised learning; RL keeps its
         // native boundary (20 blocks = 2,000 iterations) since prior work
         // gives no guidance there.
         self.config.boundary.unwrap_or_else(|| ctx.eval_boundary().max(30)).max(1)
+    }
+
+    /// The policy's own per-(job, epoch) seed formula — predates the
+    /// prefetch path and must not change, or every golden trace moves.
+    fn prediction_seed(&self, job: JobId, epoch: u32) -> u64 {
+        self.config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(job.raw() << 20)
+            .wrapping_add(u64::from(epoch))
+    }
+
+    /// The boundary decision proper. `spec` is this job's in-flight
+    /// speculation, taken on adoption; whatever the caller still holds
+    /// afterwards is cancelled — including when a gate below (no
+    /// incumbent, incumbent itself, curve missing, no future) skips the
+    /// fit the speculation was betting on.
+    fn predictive_decision(
+        &mut self,
+        event: &JobEvent,
+        ctx: &mut dyn SchedulerContext,
+        spec: &mut Option<EtSpeculation>,
+    ) -> JobDecision {
+        let Some((best_job, y_hat)) = ctx.global_best() else {
+            return JobDecision::Continue;
+        };
+        if best_job == event.job {
+            // The incumbent best trivially satisfies P(y_m >= its own best).
+            return JobDecision::Continue;
+        }
+        let Some(curve) = ctx.curve(event.job) else {
+            return JobDecision::Continue;
+        };
+        let m = ctx.max_epochs();
+        if m <= event.epoch {
+            return JobDecision::Continue;
+        }
+        let seed = self.prediction_seed(event.job, event.epoch);
+        // Consult the shared content-addressed layer first: EarlyTerm fits
+        // cold (no warm source), so the fingerprint is just (prefix,
+        // fidelity, derived seed, horizon) and a hit is bitwise the fit it
+        // replaces — the decision below cannot tell the difference. The
+        // same fingerprint validates a speculation before adoption.
+        let fp = (self.shared.is_some() || spec.is_some())
+            .then(|| fit_fingerprint(&curve, &self.config.predictor, seed, m, None));
+        let shared_hit = match (&self.shared, fp) {
+            (Some(cache), Some(fp)) => cache.get(&fp),
+            _ => None,
+        };
+        let posterior = match shared_hit {
+            Some(hit) => {
+                self.shared_hits += 1;
+                hit
+            }
+            None => {
+                // Adopt a fingerprint-matching speculation: bitwise the
+                // fit below, already computed (or computing) on the pool.
+                let adopted = match spec.take() {
+                    Some(s) if Some(s.fingerprint) == fp => s.handle.wait(),
+                    other => {
+                        *spec = other;
+                        None
+                    }
+                };
+                let result = adopted.unwrap_or_else(|| {
+                    CurvePredictor::new(self.config.predictor.with_seed(seed)).fit(&curve, m)
+                });
+                let Ok(posterior) = result else {
+                    return JobDecision::Continue; // too little history: keep training
+                };
+                self.fits += 1;
+                if let (Some(cache), Some(fp)) = (&self.shared, fp) {
+                    cache.insert(fp, &posterior);
+                }
+                posterior
+            }
+        };
+        let pval = posterior.prob_at_least(m, y_hat);
+        if pval < self.config.delta {
+            JobDecision::Terminate
+        } else {
+            JobDecision::Continue
+        }
+    }
+}
+
+impl Drop for EarlyTermPolicy {
+    fn drop(&mut self) {
+        // Unclaimed speculations would otherwise burn pool time after the
+        // run has already ended.
+        for spec in self.specs.values() {
+            spec.handle.cancel();
+        }
     }
 }
 
@@ -122,6 +262,44 @@ impl SchedulingPolicy for EarlyTermPolicy {
         })
     }
 
+    fn prefetch_boundary(&self, default_boundary: u32) -> Option<u32> {
+        // Mirrors `boundary()` with the workload's `b` passed in, since no
+        // context exists at engine construction.
+        self.pool
+            .is_some()
+            .then(|| self.config.boundary.unwrap_or_else(|| default_boundary.max(30)).max(1))
+    }
+
+    fn prefetch_hint(&mut self, hint: &PrefetchHint, curve: &LearningCurve) {
+        let Some(pool) = &self.pool else { return };
+        let m = hint.max_epochs;
+        // The global-best / incumbent gates cannot be evaluated ahead of
+        // time (the incumbent may change while the epoch runs); when they
+        // end up skipping the fit, the boundary cancels the speculation —
+        // that is the waste the bench reports, never a wrong result.
+        if m <= hint.epoch || hint.epoch == 0 || curve.last_epoch() != Some(hint.epoch - 1) {
+            return;
+        }
+        let mut predicted = curve.clone();
+        predicted.push(hint.epoch, hint.completion_time, hint.value);
+        let seed = self.prediction_seed(hint.job, hint.epoch);
+        let fp = fit_fingerprint(&predicted, &self.config.predictor, seed, m, None);
+        // Stats-free probe: a published posterior means the boundary takes
+        // the *counted* shared hit, so speculating would only burn a core.
+        if self.shared.as_ref().is_some_and(|c| c.peek(&fp).is_some()) {
+            return;
+        }
+        match self.specs.get(&hint.job) {
+            Some(s) if s.fingerprint == fp => return, // already in flight
+            Some(s) => s.handle.cancel(),             // superseded: replace below
+            None if self.specs.len() >= self.prefetch_depth => return,
+            None => {}
+        }
+        let handle =
+            pool.speculate((hint.job, hint.epoch), self.config.predictor, predicted, m, seed);
+        self.specs.insert(hint.job, EtSpeculation { fingerprint: fp, handle });
+    }
+
     fn on_iteration_finish(
         &mut self,
         event: &JobEvent,
@@ -131,57 +309,15 @@ impl SchedulingPolicy for EarlyTermPolicy {
         if !event.epoch.is_multiple_of(b) {
             return JobDecision::Continue;
         }
-        let Some((best_job, y_hat)) = ctx.global_best() else {
-            return JobDecision::Continue;
-        };
-        if best_job == event.job {
-            // The incumbent best trivially satisfies P(y_m >= its own best).
-            return JobDecision::Continue;
+        // This boundary consumes the job's speculation whether or not the
+        // decision ends up fitting; anything unadopted is stale (the next
+        // hint carries a new fingerprint) and is cancelled.
+        let mut spec = self.specs.remove(&event.job);
+        let decision = self.predictive_decision(event, ctx, &mut spec);
+        if let Some(s) = spec {
+            s.handle.cancel();
         }
-        let Some(curve) = ctx.curve(event.job) else {
-            return JobDecision::Continue;
-        };
-        let m = ctx.max_epochs();
-        if m <= event.epoch {
-            return JobDecision::Continue;
-        }
-        let seed = self
-            .config
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(event.job.raw() << 20)
-            .wrapping_add(u64::from(event.epoch));
-        // Consult the shared content-addressed layer first: EarlyTerm fits
-        // cold (no warm source), so the fingerprint is just (prefix,
-        // fidelity, derived seed, horizon) and a hit is bitwise the fit it
-        // replaces — the decision below cannot tell the difference.
-        let fp = self
-            .shared
-            .as_ref()
-            .map(|_| fit_fingerprint(&curve, &self.config.predictor, seed, m, None));
-        let posterior = match fp.and_then(|fp| self.shared.as_ref().unwrap().get(&fp)) {
-            Some(hit) => {
-                self.shared_hits += 1;
-                hit
-            }
-            None => {
-                let predictor = CurvePredictor::new(self.config.predictor.with_seed(seed));
-                let Ok(posterior) = predictor.fit(&curve, m) else {
-                    return JobDecision::Continue; // too little history: keep training
-                };
-                self.fits += 1;
-                if let (Some(cache), Some(fp)) = (&self.shared, fp) {
-                    cache.insert(fp, &posterior);
-                }
-                posterior
-            }
-        };
-        let pval = posterior.prob_at_least(m, y_hat);
-        if pval < self.config.delta {
-            JobDecision::Terminate
-        } else {
-            JobDecision::Continue
-        }
+        decision
     }
 }
 
@@ -279,6 +415,72 @@ mod tests {
         let snap = replay.fit_cache_snapshot().unwrap();
         assert_eq!((snap.fits, snap.shared_hits), (0, 1), "replay must not refit");
         assert_eq!(replay.predictions_made(), cold.predictions_made());
+    }
+
+    #[test]
+    fn hinted_boundary_fit_is_adopted_and_decides_identically() {
+        let values = saturating(0.30, 30);
+        let mut policy = EarlyTermPolicy::with_config(EarlyTermConfig {
+            predictor: PredictorConfig::test(),
+            fit_prefetch: Some(true),
+            ..Default::default()
+        });
+        // Epoch 30 of the hopeless candidate is in flight: 29 observed.
+        let mut ctx = MockContext::new(2);
+        ctx.push_curve(JobId::new(0), &saturating(0.82, 40), 60.0);
+        ctx.push_curve(JobId::new(1), &values[..29], 60.0);
+        let curve = ctx.curve(JobId::new(1)).expect("curve");
+        let hint = PrefetchHint {
+            job: JobId::new(1),
+            epoch: 30,
+            completion_time: SimTime::from_mins(30.0),
+            value: values[29],
+            max_epochs: ctx.max_epochs(),
+            tmax: ctx.tmax(),
+        };
+        policy.prefetch_hint(&hint, &curve);
+
+        let mut boundary_ctx = MockContext::new(2);
+        boundary_ctx.push_curve(JobId::new(0), &saturating(0.82, 40), 60.0);
+        boundary_ctx.push_curve(JobId::new(1), &values, 60.0);
+        let decision = policy.on_iteration_finish(&event(1, 30, values[29]), &mut boundary_ctx);
+        assert_eq!(decision, JobDecision::Terminate, "same verdict as the inline fit");
+        assert_eq!(policy.predictions_made(), 1, "the adopted speculation is the fit");
+        let pool = policy.pool_stats().expect("prefetch spawns a pool");
+        assert_eq!(pool.speculative_completions, 1);
+        assert_eq!(pool.demand_completions, 0, "nothing was refit on demand");
+    }
+
+    #[test]
+    fn stale_speculation_falls_back_to_the_demand_fit() {
+        let values = saturating(0.30, 30);
+        let mut policy = EarlyTermPolicy::with_config(EarlyTermConfig {
+            predictor: PredictorConfig::test(),
+            fit_prefetch: Some(true),
+            ..Default::default()
+        });
+        let mut ctx = MockContext::new(2);
+        ctx.push_curve(JobId::new(0), &saturating(0.82, 40), 60.0);
+        ctx.push_curve(JobId::new(1), &values[..29], 60.0);
+        let curve = ctx.curve(JobId::new(1)).expect("curve");
+        // Hint predicts a value the run then fails to reproduce (live-mode
+        // divergence): the fingerprint cannot match at the boundary.
+        let hint = PrefetchHint {
+            job: JobId::new(1),
+            epoch: 30,
+            completion_time: SimTime::from_mins(30.0),
+            value: 0.9,
+            max_epochs: ctx.max_epochs(),
+            tmax: ctx.tmax(),
+        };
+        policy.prefetch_hint(&hint, &curve);
+
+        let mut boundary_ctx = MockContext::new(2);
+        boundary_ctx.push_curve(JobId::new(0), &saturating(0.82, 40), 60.0);
+        boundary_ctx.push_curve(JobId::new(1), &values, 60.0);
+        let decision = policy.on_iteration_finish(&event(1, 30, values[29]), &mut boundary_ctx);
+        assert_eq!(decision, JobDecision::Terminate, "the observed curve decides, not the hint");
+        assert_eq!(policy.predictions_made(), 1, "exactly one counted fit, the demand one");
     }
 
     #[test]

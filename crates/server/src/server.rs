@@ -39,6 +39,12 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Maximum in-flight (queued + running) studies per tenant.
     pub tenant_quota: usize,
+    /// Speculative fits a tenant may launch across all its studies
+    /// (prefetch burns pool time other tenants share, so it is metered
+    /// like admission). A tenant that exhausts the budget has later
+    /// studies run with prefetch forced off — same traces, demand-fit
+    /// timing. `u64::MAX` disables metering.
+    pub tenant_prefetch_budget: u64,
     /// The `retry_after` hint attached to saturation/quota rejections.
     pub retry_after: Duration,
 }
@@ -50,6 +56,7 @@ impl Default for ServerConfig {
             fit_threads: 0,
             queue_capacity: 64,
             tenant_quota: 256,
+            tenant_prefetch_budget: 1 << 20,
             retry_after: Duration::from_millis(50),
         }
     }
@@ -157,6 +164,9 @@ struct StudyJob {
 /// Per-tenant in-flight accounting, shared by admission and shard workers.
 type TenantLoads = Arc<Mutex<HashMap<String, usize>>>;
 
+/// Per-tenant speculative-fit ledger (lifetime totals, never released).
+type PrefetchLedger = Arc<Mutex<HashMap<String, u64>>>;
+
 /// The multi-tenant study server.
 ///
 /// Dropping the server closes admission and joins every shard worker;
@@ -169,6 +179,7 @@ pub struct Server {
     pool: Arc<FitPool>,
     cache: Option<Arc<SharedFitCache>>,
     tenants: TenantLoads,
+    prefetch_spent: PrefetchLedger,
     next_id: std::sync::atomic::AtomicU64,
 }
 
@@ -200,6 +211,7 @@ impl Server {
         assert!(config.shards > 0, "a server needs at least one shard");
         let pool = FitPool::new(config.fit_threads);
         let tenants: TenantLoads = Arc::new(Mutex::new(HashMap::new()));
+        let prefetch_spent: PrefetchLedger = Arc::new(Mutex::new(HashMap::new()));
         let mut shards = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
         for _ in 0..config.shards {
@@ -207,8 +219,12 @@ impl Server {
             let pool = Arc::clone(&pool);
             let cache = cache.clone();
             let tenants = Arc::clone(&tenants);
+            let ledger = Arc::clone(&prefetch_spent);
+            let budget = config.tenant_prefetch_budget;
             shards.push(tx);
-            workers.push(std::thread::spawn(move || shard_loop(&rx, &pool, cache, &tenants)));
+            workers.push(std::thread::spawn(move || {
+                shard_loop(&rx, &pool, cache, &tenants, &ledger, budget);
+            }));
         }
         Server {
             config,
@@ -217,6 +233,7 @@ impl Server {
             pool,
             cache,
             tenants,
+            prefetch_spent,
             next_id: std::sync::atomic::AtomicU64::new(0),
         }
     }
@@ -348,6 +365,13 @@ impl Server {
     pub fn tenant_in_flight(&self, tenant: &str) -> usize {
         self.tenants.lock().get(tenant).copied().unwrap_or(0)
     }
+
+    /// Speculative fits a tenant has launched so far, charged against
+    /// [`ServerConfig::tenant_prefetch_budget`].
+    #[must_use]
+    pub fn tenant_prefetch_spent(&self, tenant: &str) -> u64 {
+        self.prefetch_spent.lock().get(tenant).copied().unwrap_or(0)
+    }
 }
 
 impl Drop for Server {
@@ -368,11 +392,27 @@ fn shard_loop(
     pool: &Arc<FitPool>,
     cache: Option<Arc<SharedFitCache>>,
     tenants: &TenantLoads,
+    prefetch_spent: &PrefetchLedger,
+    prefetch_budget: u64,
 ) {
-    while let Ok(job) = rx.recv() {
+    while let Ok(mut job) = rx.recv() {
         let queue_latency = job.submitted.elapsed();
+        // Prefetch budget gate: a tenant over budget keeps running, but
+        // its studies stop speculating. Forcing the override here (not in
+        // `run_study`) keeps the standalone path budget-free, and since
+        // speculation never changes a trace the gate cannot either.
+        if job.spec.policy.fit_prefetch != Some(false)
+            && prefetch_spent.lock().get(&job.spec.tenant).copied().unwrap_or(0) >= prefetch_budget
+        {
+            job.spec.policy.fit_prefetch = Some(false);
+        }
         let outcome =
             run_study(&job.spec, job.id, Some(Arc::clone(pool)), cache.clone(), queue_latency);
+        if outcome.spec_stats.speculated > 0 {
+            let mut ledger = prefetch_spent.lock();
+            let spent = ledger.entry(job.spec.tenant.clone()).or_insert(0);
+            *spent = spent.saturating_add(outcome.spec_stats.speculated);
+        }
         // Release before replying so a waiter that resubmits immediately
         // sees its freed quota slot.
         Server::release(tenants, &job.spec.tenant);
@@ -507,6 +547,47 @@ mod tests {
         }
         let _ = blocked.wait();
         assert_eq!(server.tenant_in_flight("alice"), 0);
+    }
+
+    #[test]
+    fn prefetched_studies_trace_identically_and_charge_the_budget() {
+        let server = Server::new(ServerConfig { shards: 1, fit_threads: 2, ..Default::default() });
+        let mut spec = study("alice", 5);
+        spec.policy.fit_prefetch = Some(true);
+        let outcome = server.submit(spec.clone()).expect("admitted").wait();
+        // The reference runs with prefetch explicitly off: speculation may
+        // only move wall-clock, never a trace byte.
+        spec.policy.fit_prefetch = Some(false);
+        let reference = run_study_standalone(&spec);
+        assert_eq!(outcome.trace, reference.trace, "prefetch changed the trace");
+        assert_eq!(outcome.posterior_digest, reference.posterior_digest);
+        assert_eq!(outcome.predictions, reference.predictions);
+        assert!(outcome.spec_stats.speculated > 0, "prefetch never engaged");
+        assert_eq!(
+            server.tenant_prefetch_spent("alice"),
+            outcome.spec_stats.speculated,
+            "the ledger charges exactly the launched speculations"
+        );
+    }
+
+    #[test]
+    fn exhausted_prefetch_budget_silences_speculation() {
+        let server = Server::new(ServerConfig {
+            shards: 1,
+            fit_threads: 2,
+            tenant_prefetch_budget: 0,
+            ..Default::default()
+        });
+        let mut spec = study("alice", 5);
+        spec.policy.fit_prefetch = Some(true);
+        let outcome = server.submit(spec.clone()).expect("admitted").wait();
+        assert_eq!(outcome.spec_stats.speculated, 0, "budget 0 must force prefetch off");
+        assert_eq!(server.tenant_prefetch_spent("alice"), 0);
+        // Another tenant's ledger is untouched by alice's studies.
+        assert_eq!(server.tenant_prefetch_spent("bob"), 0);
+        // And the trace still matches the standalone reference.
+        let reference = run_study_standalone(&spec);
+        assert_eq!(outcome.trace, reference.trace);
     }
 
     #[test]

@@ -74,6 +74,10 @@ pub struct StudyOutcome {
     pub predictions: u64,
     /// This study's traffic against the shared content-addressed cache.
     pub shared_cache: CacheStatsSnapshot,
+    /// This study's speculative-prefetch counters (all zero with prefetch
+    /// off); `speculated` is what the server charges against the tenant's
+    /// prefetch budget.
+    pub spec_stats: hyperdrive_curve::SpecStats,
     /// The policy's full fit-cache counters.
     pub fit_cache: Option<FitCacheSnapshot>,
     /// Simulated time at which the target was reached, if it was.
@@ -154,6 +158,7 @@ pub fn run_study(
         posterior_digest: pop.posterior_digest(),
         predictions: pop.predictions_made(),
         shared_cache: pop.shared_cache_snapshot(),
+        spec_stats: pop.spec_stats(),
         fit_cache: result.fit_cache,
         time_to_target: result.time_to_target,
         end_time: result.end_time,

@@ -69,6 +69,68 @@ fn trace_with(
     .0
 }
 
+/// [`trace_with`] with speculative fit prefetch forced on (the engine
+/// hints boundary epochs at issue time and the policy fits them ahead).
+#[allow(clippy::too_many_arguments)]
+fn trace_prefetched(
+    workload: &dyn Workload,
+    configs: usize,
+    seed: u64,
+    machines: usize,
+    tmax: SimTime,
+    fit_threads: usize,
+    warm_start: bool,
+    fast_math: bool,
+    batch_fit: bool,
+) -> String {
+    let ew = ExperimentWorkload::from_workload(workload, configs, seed);
+    let spec = ExperimentSpec::new(machines).with_stop_on_target(false).with_tmax(tmax);
+    let config = PopConfig {
+        predictor: PredictorConfig::test()
+            .with_warm_start(warm_start)
+            .with_fast_math(fast_math)
+            .with_batch_fit(batch_fit),
+        fit_threads,
+        seed,
+        fit_prefetch: Some(true),
+        ..Default::default()
+    };
+    let mut pop = PopPolicy::with_config(config);
+    let result = run_sim(&mut pop, &ew, spec);
+    assert!(
+        pop.spec_stats().speculated > 0,
+        "prefetch never engaged — the equivalence assertion would be vacuous"
+    );
+
+    let mut csv = Vec::new();
+    result.events.write_csv(&mut csv).expect("event log serializes");
+    let mut out = String::from_utf8(csv).expect("csv is utf-8");
+    out.push_str("decision,now_s,active,promising,running,promising_running,p_star,slots\n");
+    for s in pop.timeline() {
+        writeln!(
+            out,
+            "decision,{:.3},{},{},{},{},{:.6},{}",
+            s.now.as_secs(),
+            s.active_jobs,
+            s.promising_jobs,
+            s.running_jobs,
+            s.promising_running,
+            s.p_threshold,
+            s.promising_slots,
+        )
+        .expect("string write");
+    }
+    writeln!(
+        out,
+        "end,{:.3},total_epochs={},terminated_early={}",
+        result.end_time.as_secs(),
+        result.total_epochs,
+        result.terminated_early(),
+    )
+    .expect("string write");
+    out
+}
+
 /// [`trace_with`] against an explicit shared content-addressed fit cache
 /// (`None` = the default process-global resolution). Also returns the
 /// policy's `predictions_made` counter so callers can pin that caching
@@ -313,6 +375,46 @@ fn existing_goldens_are_untouched_by_batch_fit() {
             .unwrap_or_else(|e| panic!("missing golden file {path:?} ({e})"));
         let replay = trace_with(w, configs, seed, machines, tmax, 1, warm, fast, true);
         assert_eq!(replay, golden, "{name}: batch_fit=on moved the default trace");
+    }
+}
+
+// Speculative fit prefetch is the same kind of claim as batch_fit —
+// bitwise invisible, pure overlap — so every existing golden is replayed
+// with prefetch forced on, at BOTH 1 and 4 fit threads (overlap only pays
+// off with spare workers, and worker count must never leak into traces).
+
+#[test]
+fn existing_goldens_are_untouched_by_fit_prefetch() {
+    if std::env::var("HYPERDRIVE_UPDATE_GOLDEN").is_ok() {
+        return; // the per-trace tests above own regeneration
+    }
+    let cifar = CifarWorkload::new().with_max_epochs(40);
+    let lunar = LunarWorkload::new().with_max_blocks(60);
+    let cifar_t = SimTime::from_hours(48.0);
+    let lunar_t = SimTime::from_hours(200.0);
+    type Case<'a> = (&'a str, &'a dyn Workload, usize, u64, usize, SimTime, bool, bool, bool);
+    let cases: [Case; 8] = [
+        ("cifar_trace.csv", &cifar, 12, 7, 4, cifar_t, false, false, false),
+        ("cifar_warm_trace.csv", &cifar, 12, 7, 4, cifar_t, true, false, false),
+        ("cifar_fast_trace.csv", &cifar, 12, 7, 4, cifar_t, false, true, false),
+        ("cifar_batch_trace.csv", &cifar, 12, 7, 4, cifar_t, false, true, true),
+        ("lunar_trace.csv", &lunar, 10, 11, 3, lunar_t, false, false, false),
+        ("lunar_warm_trace.csv", &lunar, 10, 11, 3, lunar_t, true, false, false),
+        ("lunar_fast_trace.csv", &lunar, 10, 11, 3, lunar_t, false, true, false),
+        ("lunar_batch_trace.csv", &lunar, 10, 11, 3, lunar_t, false, true, true),
+    ];
+    for (name, w, configs, seed, machines, tmax, warm, fast, batch) in cases {
+        let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name].iter().collect();
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden file {path:?} ({e})"));
+        for threads in [1, 4] {
+            let replay =
+                trace_prefetched(w, configs, seed, machines, tmax, threads, warm, fast, batch);
+            assert_eq!(
+                replay, golden,
+                "{name}: fit_prefetch=on moved the trace at {threads} fit threads"
+            );
+        }
     }
 }
 
